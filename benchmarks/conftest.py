@@ -1,0 +1,51 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one paper artefact (table or figure) at the
+default experiment scale, prints it (run with ``-s`` to see the tables),
+and asserts the headline *shape* the paper reports.  Set
+``REPRO_BENCH_SCALE=tiny`` to smoke the whole suite in seconds.
+
+Fleets are cached (see repro.experiments.common), so the first benchmark
+touching a fleet pays its generation cost once for the session.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.common import DEFAULT_SCALE, ExperimentScale
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    """The fleet scale used by every benchmark."""
+    if os.environ.get("REPRO_BENCH_SCALE") == "tiny":
+        return ExperimentScale.tiny()
+    return DEFAULT_SCALE
+
+
+@pytest.fixture(scope="session")
+def strict(scale) -> bool:
+    """True at full scale: enforce the paper-shape assertions.
+
+    At tiny scale the fleets are noise-dominated, so the benchmarks only
+    smoke-check structure and ranges.
+    """
+    return scale == DEFAULT_SCALE
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing.
+
+    The experiment drivers are deterministic and expensive; repeated
+    rounds would only re-measure fleet-cache hits.
+    """
+
+    def _run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return _run

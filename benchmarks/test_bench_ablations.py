@@ -1,0 +1,133 @@
+"""Benchmark: ablations on the paper's design choices (DESIGN.md §6).
+
+Not a paper artefact — these sweeps justify the pipeline defaults:
+the 10x false-alarm loss, the 20% failed share, the pruning strength,
+personalised deterioration windows, the ensemble alternatives named in
+the paper's related/future work, and the drift-triggered updating
+extension.
+"""
+
+import numpy as np
+
+from repro.experiments import ablations as ab
+
+
+def test_ablation_loss_weight(run_once, scale, strict):
+    rows = run_once(ab.sweep_loss_weight, scale)
+    print("\n" + ab.render_ablation_rows("Ablation: false-alarm loss weight", rows))
+    assert len(rows) == 4
+    if not strict:
+        return
+    # Heavier penalties never raise FAR; the paper's 10x sits at (or
+    # near) the low-FAR end while keeping high detection.
+    fars = [row.result.far for row in rows]
+    assert fars[-1] <= fars[0] + 1e-9
+    assert rows[2].result.fdr >= 0.85
+
+
+def test_ablation_failed_share(run_once, scale, strict):
+    rows = run_once(ab.sweep_failed_share, scale)
+    print("\n" + ab.render_ablation_rows("Ablation: failed-class share", rows))
+    assert len(rows) == 3
+    if not strict:
+        return
+    # A larger failed share can only push detection up (more failed
+    # mass) at some false-alarm cost; the extremes bracket the default.
+    assert rows[-1].result.fdr >= rows[0].result.fdr - 0.05
+
+
+def test_ablation_cp(run_once, scale, strict):
+    rows = run_once(ab.sweep_cp, scale)
+    print("\n" + ab.render_ablation_rows("Ablation: pruning strength (CP)", rows))
+    leaves = [int(row.detail.split()[0]) for row in rows]
+    # More pruning, smaller trees — always true.
+    assert all(a >= b for a, b in zip(leaves, leaves[1:]))
+    if not strict:
+        return
+    # The unpruned tree false-alarms at least as much as the default.
+    by_label = {row.label: row.result for row in rows}
+    assert by_label["cp=0"].far >= by_label["cp=0.004"].far - 1e-9
+
+
+def test_ablation_window_modes(run_once, scale, strict):
+    rows = run_once(ab.compare_window_modes, scale)
+    print("\n" + ab.render_ablation_rows("Ablation: deterioration windows", rows))
+    assert [row.label for row in rows] == [
+        "personalized windows", "global 24h window",
+    ]
+    if not strict:
+        return
+    # Section III-B: at its best low-FAR operating point the personalised
+    # variant detects at least as well as the global-window variant, and
+    # its partial ROC area is at least comparable.
+    assert rows[0].result.fdr >= rows[1].result.fdr - 1e-9
+    p_auc = [float(row.detail.split("pAUC@0.01=")[1].split(";")[0]) for row in rows]
+    assert p_auc[0] >= p_auc[1] - 5e-4
+
+
+def test_ablation_health_regressors(run_once, scale, strict):
+    rows = run_once(ab.compare_health_regressors, scale)
+    print("\n" + ab.render_ablation_rows(
+        "Ablation: single vs bagged health-degree regressor", rows
+    ))
+    assert [row.label for row in rows] == ["single RT (paper)", "bagged RT x15"]
+    if not strict:
+        return
+    single, bagged = (row.result for row in rows)
+    # Bagging never detects less at its best affordable point, and it
+    # pays no more false alarms (variance reduction).
+    assert bagged.fdr >= single.fdr - 1e-9
+    assert bagged.far <= single.far + 1e-9
+
+
+def test_ablation_surrogate_splits(run_once, scale, strict):
+    rows = run_once(ab.compare_missing_data_robustness, scale)
+    print("\n" + ab.render_ablation_rows(
+        "Ablation: surrogate splits under sensor outage", rows
+    ))
+    assert len(rows) == 3
+    if not strict:
+        return
+    intact, outage_plain, outage_surrogate = (row.result for row in rows)
+    # The outage cripples the majority-fallback tree...
+    assert outage_plain.fdr <= intact.fdr - 0.3
+    # ...and surrogates substantially restore detection.
+    assert outage_surrogate.fdr >= intact.fdr - 0.1
+    assert outage_surrogate.far <= 0.02
+
+
+def test_ablation_model_zoo(run_once, scale, strict):
+    rows = run_once(ab.compare_model_zoo, scale)
+    print("\n" + ab.render_ablation_rows("Ablation: CT vs ensembles", rows))
+    assert len(rows) == 3
+    if not strict:
+        return
+    by_label = {row.label: row.result for row in rows}
+    ct = by_label["CT (paper)"]
+    # The paper's MSST'13 finding: AdaBoost does not significantly
+    # improve on the plain tree.
+    ada = by_label["adaboost (15 stumps)"]
+    assert ada.fdr <= ct.fdr + 0.05
+    # The forest is competitive (the future-work hypothesis) — within a
+    # few points of the CT on both axes.
+    forest = by_label["random forest (30 trees)"]
+    assert forest.fdr >= ct.fdr - 0.15
+
+
+def test_ablation_adaptive_updating(run_once, scale, strict):
+    comparison = run_once(ab.compare_adaptive_updating, scale)
+    print("\n" + ab.render_adaptive_comparison(comparison))
+    if not strict:
+        return
+    fixed = next(r for r in comparison.calendar if r.strategy == "fixed")
+    weekly = next(r for r in comparison.calendar if r.strategy == "1-week replacing")
+    fixed_mean = np.mean([far for _, far in fixed.far_percent_by_week()])
+    weekly_mean = np.mean([far for _, far in weekly.far_percent_by_week()])
+    adaptive_mean = np.mean(
+        [far for _, far in comparison.adaptive.far_percent_by_week()]
+    )
+    # Adaptive beats never-updating while spending fewer retrains than
+    # the weekly calendar.
+    assert adaptive_mean <= fixed_mean + 1e-9
+    assert 0 < comparison.adaptive.n_retrains <= 7
+    assert adaptive_mean <= 2.5 * weekly_mean + 1.0

@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Figure 1 (the simplified classification tree).
+
+Paper shape: a compact, readable tree whose root region is dominated by
+good drives, whose failed leaves carry near-pure distributions, and
+whose split conditions name the family's failure-signature attributes.
+"""
+
+from repro.experiments.fig1 import render_fig1, run_fig1
+
+
+def test_fig1_simplified_tree(run_once, scale, strict):
+    tree = run_once(run_fig1, scale)
+    print("\n" + render_fig1(tree))
+
+    assert tree.depth <= 4
+    assert tree.failed_rules
+    if not strict:
+        return
+
+    # The figure's defining readability property: a handful of leaves.
+    assert 2 <= tree.n_leaves <= 20
+
+    # Failed rules implicate family W's signature attributes.
+    mentioned = {
+        condition.split(" ")[0]
+        for rule in tree.failed_rules
+        for condition in rule.conditions
+    }
+    assert mentioned & {"RUE", "TC", "RSC", "POH", "RSC_RAW", "d6h(RSC_RAW)"}
+
+    # Failed leaves are near-pure (high confidence), like the figure's
+    # shaded nodes.
+    assert max(rule.confidence for rule in tree.failed_rules) >= 0.9

@@ -1,0 +1,38 @@
+"""Benchmark: regenerate Figure 12 (MTTDL of four RAID systems vs size).
+
+Paper shape: SATA RAID-6 with the CT model achieves MTTDL several
+orders of magnitude above SAS RAID-6 without prediction; the SAS curve
+stays above the plain SATA curve; and the predictive SATA RAID-5 lands
+near the two non-predictive RAID-6 curves, especially at scale.
+"""
+
+from repro.experiments.fig12 import PAPER_FLEET_SIZES, render_fig12, run_fig12
+
+
+def test_fig12_raid_mttdl_curves(run_once, scale):
+    result = run_once(run_fig12, scale)
+    print("\n" + render_fig12(result))
+
+    assert [p.n_drives for p in result.points] == list(PAPER_FLEET_SIZES)
+
+    for point in result.points:
+        # Ordering of the four systems.
+        assert point.sata_raid6_ct_years > point.sas_raid6_years
+        assert point.sas_raid6_years > point.sata_raid6_years
+        # "Several orders of magnitude higher."
+        assert point.sata_raid6_ct_years / point.sas_raid6_years > 50.0
+
+    # Every curve decays as the fleet grows.
+    for attribute in (
+        "sas_raid6_years", "sata_raid6_years",
+        "sata_raid6_ct_years", "sata_raid5_ct_years",
+    ):
+        series = [getattr(p, attribute) for p in result.points]
+        assert all(a > b for a, b in zip(series, series[1:]))
+
+    # At scale, predictive RAID-5 is in the non-predictive RAID-6
+    # neighbourhood ("the curves of the other three systems are close").
+    tail = [p for p in result.points if p.n_drives >= 1000]
+    for point in tail:
+        ratio = point.sata_raid5_ct_years / point.sata_raid6_years
+        assert 0.1 < ratio < 10.0

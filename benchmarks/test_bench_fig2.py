@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Figure 2 (voting ROC, CT vs BP ANN, family W).
+
+Paper shape: the CT reaches a high FDR at a very low FAR; its FAR keeps
+falling as voters are added while its FDR decays slowly; the BP ANN's
+best achievable FDR is below the CT's.
+"""
+
+from repro.detection.metrics import partial_auc
+from repro.experiments.fig2 import PAPER_VOTERS, render_fig2, run_fig2
+
+
+def test_fig2_voting_roc(run_once, scale, strict):
+    curves = run_once(run_fig2, scale)
+    print("\n" + render_fig2(curves))
+
+    assert len(curves.ct) == len(PAPER_VOTERS)
+    if not strict:
+        return
+
+    # FAR falls monotonically with N for the CT.
+    ct_fars = [p.far for p in curves.ct]
+    assert ct_fars == sorted(ct_fars, reverse=True)
+
+    # CT keeps >90% detection at its most-voters point; FDR decays slowly.
+    assert curves.ct[-1].fdr >= 0.90
+    assert curves.ct[0].fdr - curves.ct[-1].fdr <= 0.10
+
+    # CT's best detection beats the ANN's best detection (the paper's
+    # headline comparison), and the CT curve has at least the ANN's area.
+    assert max(p.fdr for p in curves.ct) >= max(p.fdr for p in curves.ann)
+    assert partial_auc(curves.ct, 0.05) >= partial_auc(curves.ann, 0.05) - 1e-6
+
+    # Operating in the paper's regime: >=90% FDR at <=1% FAR somewhere.
+    assert any(p.fdr >= 0.90 and p.far <= 0.01 for p in curves.ct)

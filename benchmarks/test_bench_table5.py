@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Table V (small-fleet performance).
+
+Paper shape: both models degrade gracefully as the fleet shrinks to 10%
+of its size; even the smallest fleet yields usable FDR; the CT keeps a
+reasonably low FAR throughout; and mean TIA stays around two weeks.
+"""
+
+from repro.experiments.table5 import PAPER_FRACTIONS, render_table5, run_table5
+
+
+def test_table5_small_fleets(run_once, scale, strict):
+    rows = run_once(run_table5, scale)
+    print("\n" + render_table5(rows))
+
+    assert len(rows) == 2 * len(PAPER_FRACTIONS)
+    ct_rows = [row for row in rows if row.model == "CT"]
+    if not strict:
+        return
+
+    for row in ct_rows:
+        # "CT model remains reasonably low FAR" on every subsample.
+        assert row.result.far <= 0.02
+        # Usable detection even at 10% fleet size (paper: 82.35%).
+        assert row.result.fdr >= 0.6
+        # "Both models keep an average TIA about two weeks."
+        assert row.result.mean_tia_hours > 150.0
+
+    # The larger subsamples (C/D) detect at least as well as A on average.
+    by_label = {row.dataset: row.result for row in ct_rows}
+    large = (by_label["C"].fdr + by_label["D"].fdr) / 2
+    assert large >= by_label["A"].fdr - 0.05

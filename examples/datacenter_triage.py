@@ -1,0 +1,95 @@
+"""Data-center triage with the RT health-degree model.
+
+The operational scenario from Sections III-B and V-C: a monitoring
+system raises warnings for drives predicted to fail, but repair crews
+and migration bandwidth are limited, so warnings must be *ordered*.  A
+binary classifier cannot rank its warnings; the regression-tree health
+degree can.
+
+This example fits the health-degree pipeline (CT-derived personalised
+deterioration windows, formula 6), scans the test fleet, and prints a
+repair queue sorted most-critical-first, with each drive's health score
+and — for drives that really fail — how much lead time the queue gave.
+
+Run:
+    python examples/datacenter_triage.py
+"""
+
+import numpy as np
+
+from repro import RTConfig, SmartDataset, default_fleet_config
+from repro.detection.voting import MeanThresholdDetector
+from repro.health import HealthDegreePredictor
+
+WARNING_THRESHOLD = -0.1  # mean health below this raises a warning
+N_VOTERS = 11
+
+
+def main() -> None:
+    fleet = SmartDataset.generate(
+        default_fleet_config(
+            w_good=400, w_failed=30, q_good=0, q_failed=0, collection_days=7, seed=11
+        )
+    )
+    split = fleet.filter_family("W").split(seed=2)
+
+    model = HealthDegreePredictor(RTConfig()).fit(split)
+    print(
+        f"Fitted health-degree model; personalised deterioration windows for "
+        f"{len(model.windows_)} training drives "
+        f"(median {np.median(list(model.windows_.values())):.0f}h)."
+    )
+
+    # Scan the whole test fleet as a monitoring pass.
+    fleet_under_watch = list(split.test_good) + list(split.test_failed)
+    detector = MeanThresholdDetector(n_voters=N_VOTERS, threshold=WARNING_THRESHOLD)
+
+    warned = []
+    for series in model.score_drives(fleet_under_watch):
+        alarm = detector.first_alarm(series.scores)
+        if alarm is None:
+            continue
+        valid = series.scores[np.isfinite(series.scores)]
+        current_health = float(valid[-min(N_VOTERS, valid.size):].mean())
+        warned.append((series, alarm, current_health))
+
+    # The triage queue: most degraded first.
+    warned.sort(key=lambda item: item[2])
+    failed_serials = {d.serial for d in split.test_failed}
+
+    print(f"\nRepair queue ({len(warned)} warnings, most critical first):")
+    print(f"{'rank':>4}  {'serial':<12} {'health':>7}  outcome")
+    for rank, (series, alarm, health) in enumerate(warned, start=1):
+        if series.serial in failed_serials:
+            lead = series.failure_hour - series.hours[alarm]
+            outcome = f"FAILS in {lead:.0f}h after first warning"
+        else:
+            outcome = "survives the observation period (false alarm)"
+        print(f"{rank:>4}  {series.serial:<12} {health:>7.3f}  {outcome}")
+
+    # Sanity summary: true failures should pile up at the head of the queue.
+    top = [s.serial in failed_serials for s, _, _ in warned[: max(len(warned) // 2, 1)]]
+    print(
+        f"\n{sum(top)}/{len(top)} of the top half of the queue are genuine "
+        f"impending failures."
+    )
+
+    # The interpretability payoff: the ticket text for the most critical
+    # drive, built from the CT's decision path plus the health context.
+    if warned and model.ct_ is not None:
+        from repro.detection.reporting import explain_alert
+
+        head_serial = warned[0][0].serial
+        head_drive = next(
+            d for d in fleet_under_watch if d.serial == head_serial
+        )
+        report = explain_alert(
+            model.ct_, head_drive, n_voters=N_VOTERS, health_model=model
+        )
+        if report is not None:
+            print("\nTicket for the most critical drive:")
+            print(report.render())
+
+
+if __name__ == "__main__":
+    main()

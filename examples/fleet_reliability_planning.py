@@ -1,0 +1,85 @@
+"""Storage-procurement planning with the Section VI reliability models.
+
+The paper's cost argument: with a good failure predictor you can build
+on cheap consumer SATA drives — or even drop from RAID-6 to RAID-5 —
+and still beat an enterprise SAS RAID-6 on reliability.  This example
+walks a capacity-planning question end to end:
+
+1. measure a CT predictor's actual operating point (FDR, TIA) on a
+   synthetic fleet;
+2. feed that point into the Figure 11 Markov model;
+3. print the MTTDL of the four candidate architectures across array
+   sizes, plus the single-drive Table VI view.
+
+Run:
+    python examples/fleet_reliability_planning.py
+"""
+
+from repro import CTConfig, DriveFailurePredictor, SmartDataset, default_fleet_config
+from repro.reliability import (
+    MTTR_HOURS,
+    PredictionQuality,
+    raid_comparison_curves,
+    single_drive_table,
+)
+from repro.utils.tables import AsciiTable
+
+
+def measure_predictor() -> PredictionQuality:
+    """Fit a CT on a synthetic fleet and return its operating point."""
+    fleet = SmartDataset.generate(
+        default_fleet_config(
+            w_good=500, w_failed=40, q_good=0, q_failed=0, collection_days=7, seed=5
+        )
+    )
+    split = fleet.filter_family("W").split(seed=6)
+    result = DriveFailurePredictor(CTConfig()).fit(split).evaluate(split, n_voters=11)
+    print(
+        f"Measured CT operating point: FDR {100 * result.fdr:.2f}%, "
+        f"mean TIA {result.mean_tia_hours:.0f}h "
+        f"(FAR {100 * result.far:.3f}%)"
+    )
+    return PredictionQuality(
+        fdr=max(result.fdr, 0.01), tia_hours=max(result.mean_tia_hours, 1.0)
+    )
+
+
+def main() -> None:
+    quality = measure_predictor()
+
+    print("\nSingle-drive view (Table VI, our measured CT):")
+    table = AsciiTable(["Model", "MTTDL (years)", "% increase"])
+    for row in single_drive_table({"CT (measured)": quality}):
+        table.add_row([row.model, row.mttdl_years, row.increase_percent])
+    print(table.render())
+
+    print(
+        f"\nArray-level view (Figure 12; MTTR {MTTR_HOURS:.0f}h, "
+        f"MTTDL in million years):"
+    )
+    curves = AsciiTable(
+        ["Drives", "SAS R6 w/o pred", "SATA R6 w/o pred",
+         "SATA R6 + CT", "SATA R5 + CT"]
+    )
+    for point in raid_comparison_curves([50, 200, 800, 2500], quality=quality):
+        curves.add_row(
+            [
+                point.n_drives,
+                point.sas_raid6_years / 1e6,
+                point.sata_raid6_years / 1e6,
+                point.sata_raid6_ct_years / 1e6,
+                point.sata_raid5_ct_years / 1e6,
+            ]
+        )
+    print(curves.render())
+
+    point = raid_comparison_curves([800], quality=quality)[0]
+    gain = point.sata_raid6_ct_years / point.sas_raid6_years
+    print(
+        f"\nAt 800 drives, predictive SATA RAID-6 beats non-predictive SAS "
+        f"RAID-6 by {gain:,.0f}x — the cheaper fleet is also the safer one."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Keeping a deployed predictor healthy: the model-aging experiment.
+
+A predictor trained once slowly rots as the fleet's SMART baselines
+drift (Section V-B3).  This example simulates eight weeks of deployment
+under the paper's three updating policies and prints the weekly false
+alarm rates — the data behind Figures 6-9 — so you can see the fixed
+model decay while weekly retraining holds steady.
+
+Run:
+    python examples/model_maintenance.py
+"""
+
+from repro import CTConfig, DriveFailurePredictor, SmartDataset, default_fleet_config
+from repro.updating import (
+    AccumulationStrategy,
+    FixedStrategy,
+    ReplacingStrategy,
+    simulate_updating,
+)
+from repro.utils.tables import AsciiTable
+
+
+def main() -> None:
+    # An 8-week fleet: the drift that ages models needs the long horizon.
+    fleet = SmartDataset.generate(
+        default_fleet_config(
+            w_good=300, w_failed=30, q_good=0, q_failed=0,
+            collection_days=56, seed=23,
+        )
+    )
+    strategies = [FixedStrategy(), AccumulationStrategy(), ReplacingStrategy(1)]
+    print(
+        "Simulating 8 weeks of deployment for 3 updating strategies "
+        "(each cell: that week's false alarm rate, %)..."
+    )
+    reports = simulate_updating(
+        fleet,
+        lambda: DriveFailurePredictor(CTConfig()),
+        strategies,
+        n_weeks=8,
+        n_voters=11,
+        split_seed=3,
+    )
+
+    weeks = [week for week, _ in reports[0].far_percent_by_week()]
+    table = AsciiTable(["Strategy"] + [f"wk{w}" for w in weeks] + ["mean"])
+    for report in reports:
+        fars = [far for _, far in report.far_percent_by_week()]
+        table.add_row([report.strategy] + fars + [sum(fars) / len(fars)])
+    print(table.render())
+
+    fixed = [far for _, far in reports[0].far_percent_by_week()]
+    weekly = [far for _, far in reports[2].far_percent_by_week()]
+    print(
+        f"\nBy week 8 the never-updated model false-alarms on {fixed[-1]:.1f}% "
+        f"of good drives; weekly retraining holds it at {weekly[-1]:.1f}%."
+    )
+    print(
+        "Detection is not the casualty — FDR stays high for every strategy "
+        "(aging shows up as false alarms, not misses):"
+    )
+    for report in reports:
+        fdrs = [fdr for _, fdr in report.fdr_percent_by_week()]
+        print(f"  {report.strategy:<14} min weekly FDR {min(fdrs):.1f}%")
+
+
+if __name__ == "__main__":
+    main()

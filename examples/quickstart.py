@@ -1,0 +1,52 @@
+"""Quickstart: train a CT failure predictor and read its decisions.
+
+Generates a small synthetic SMART fleet (family "W"), splits it with the
+paper's 70/30 protocol, fits the Classification Tree pipeline, evaluates
+drive-level FDR/FAR/TIA with the 11-voter rule, and prints the fitted
+tree plus the attributes its failed leaves implicate.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import CTConfig, DriveFailurePredictor, SmartDataset, default_fleet_config
+
+
+def main() -> None:
+    # 1. A synthetic fleet standing in for the paper's proprietary one:
+    #    500 good + 40 failed family-"W" drives, hourly SMART samples.
+    config = default_fleet_config(
+        w_good=500, w_failed=40, q_good=0, q_failed=0, collection_days=7, seed=42
+    )
+    fleet = SmartDataset.generate(config)
+    print("Fleet:", fleet.summary())
+
+    # 2. The paper's split: good drives early/late 70/30 by time, failed
+    #    drives 7:3 at random.
+    split = fleet.filter_family("W").split(seed=1)
+    print(
+        f"Training on {len(split.train_good)} good / {len(split.train_failed)} "
+        f"failed drives; testing on {len(split.test_good)} / {len(split.test_failed)}."
+    )
+
+    # 3. Fit the CT pipeline (critical-13 features, 168h failed window,
+    #    20% failed share, 10x false-alarm loss — the paper's defaults).
+    predictor = DriveFailurePredictor(CTConfig()).fit(split)
+
+    # 4. Drive-level evaluation with the voting rule.
+    for n_voters in (1, 11):
+        result = predictor.evaluate(split, n_voters=n_voters)
+        metrics = result.as_percentages()
+        print(
+            f"N={n_voters:>2} voters: FDR {metrics['FDR (%)']:.2f}%  "
+            f"FAR {metrics['FAR (%)']:.3f}%  mean TIA {metrics['TIA (hours)']:.0f}h"
+        )
+
+    # 5. Interpretability — the part a black-box model cannot give you.
+    print("\nAttributes implicated in failures:", predictor.failure_attributes())
+    print("\nFitted tree (Figure 1 style):")
+    print(predictor.explain())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Offline environments without the ``wheel`` package cannot build PEP 660
+editable installs; with this shim ``pip install -e . --no-build-isolation``
+falls back to ``setup.py develop`` and works without network access.
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

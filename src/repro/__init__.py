@@ -1,0 +1,88 @@
+"""Reproduction of "Hard Drive Failure Prediction Using Classification and
+Regression Trees" (Li et al., DSN 2014).
+
+Quick start::
+
+    from repro import (
+        SmartDataset, default_fleet_config,
+        DriveFailurePredictor, HealthDegreePredictor,
+    )
+
+    fleet = SmartDataset.generate(default_fleet_config())
+    split = fleet.filter_family("W").split(seed=1)
+    ct = DriveFailurePredictor().fit(split)
+    print(ct.evaluate(split, n_voters=11).as_percentages())
+
+Subpackages:
+
+* :mod:`repro.core` — the prediction pipelines (public API).
+* :mod:`repro.tree` — CART (Algorithms 1 and 2) plus ensembles.
+* :mod:`repro.ann` — the BP ANN control model.
+* :mod:`repro.smart` — SMART attributes, drives, synthetic fleets, IO.
+* :mod:`repro.features` — change rates, selection statistics, vectorisation.
+* :mod:`repro.detection` — voting detectors, FDR/FAR/TIA, ROC.
+* :mod:`repro.health` — deterioration windows and the RT health model.
+* :mod:`repro.updating` — model-aging strategies and simulation.
+* :mod:`repro.reliability` — Markov MTTDL models (Table VI, Figure 12).
+* :mod:`repro.experiments` — one driver per paper table/figure.
+"""
+
+from repro.core import (
+    AnnConfig,
+    AnnFailurePredictor,
+    CTConfig,
+    DriveFailurePredictor,
+    FAILED_LABEL,
+    FleetPredictor,
+    GenericFailurePredictor,
+    GOOD_LABEL,
+    RTConfig,
+    SamplingConfig,
+)
+from repro.detection import (
+    DetectionResult,
+    DriveScoreSeries,
+    MajorityVoteDetector,
+    MeanThresholdDetector,
+    RocPoint,
+)
+from repro.features import Feature, FeatureExtractor, get_feature_set
+from repro.health import HealthDegreePredictor
+from repro.smart import (
+    DriveRecord,
+    FleetConfig,
+    SmartDataset,
+    default_fleet_config,
+)
+from repro.tree import ClassificationTree, RegressionTree
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnnConfig",
+    "AnnFailurePredictor",
+    "CTConfig",
+    "ClassificationTree",
+    "DetectionResult",
+    "DriveFailurePredictor",
+    "DriveRecord",
+    "DriveScoreSeries",
+    "FAILED_LABEL",
+    "Feature",
+    "FleetPredictor",
+    "GenericFailurePredictor",
+    "FeatureExtractor",
+    "FleetConfig",
+    "GOOD_LABEL",
+    "HealthDegreePredictor",
+    "MajorityVoteDetector",
+    "MeanThresholdDetector",
+    "RTConfig",
+    "RegressionTree",
+    "RocPoint",
+    "SamplingConfig",
+    "SmartDataset",
+    "default_fleet_config",
+    "get_feature_set",
+    "__version__",
+]

@@ -1,0 +1,6 @@
+"""BP artificial neural network baseline (the paper's control model)."""
+
+from repro.ann.activations import ACTIVATIONS, Activation, get_activation
+from repro.ann.network import BPNeuralNetwork
+
+__all__ = ["ACTIVATIONS", "Activation", "BPNeuralNetwork", "get_activation"]

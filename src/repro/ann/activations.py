@@ -1,0 +1,53 @@
+"""Activation functions for the BP ANN baseline.
+
+Each activation exposes the forward map and its derivative expressed in
+terms of the *activation output* (the form backpropagation consumes, so
+the forward pass values can be reused directly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Activation:
+    """A forward function plus its derivative w.r.t. the pre-activation,
+    written as a function of the forward output."""
+
+    name: str
+    forward: Callable[[np.ndarray], np.ndarray]
+    derivative_from_output: Callable[[np.ndarray], np.ndarray]
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    # Split by sign to avoid overflow in exp for large |z|.
+    out = np.empty_like(z)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    exp_z = np.exp(z[~positive])
+    out[~positive] = exp_z / (1.0 + exp_z)
+    return out
+
+
+SIGMOID = Activation("sigmoid", _sigmoid, lambda a: a * (1.0 - a))
+TANH = Activation("tanh", np.tanh, lambda a: 1.0 - a**2)
+RELU = Activation(
+    "relu", lambda z: np.maximum(z, 0.0), lambda a: (a > 0).astype(float)
+)
+IDENTITY = Activation("identity", lambda z: z, lambda a: np.ones_like(a))
+
+ACTIVATIONS = {act.name: act for act in (SIGMOID, TANH, RELU, IDENTITY)}
+
+
+def get_activation(name: str) -> Activation:
+    """Look up an activation by name, raising with the valid choices."""
+    try:
+        return ACTIVATIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"activation must be one of {sorted(ACTIVATIONS)}, got {name!r}"
+        ) from None

@@ -1,0 +1,51 @@
+"""Related-work baselines (the paper's Section II landscape).
+
+From-scratch implementations of the prior approaches the paper positions
+itself against, all evaluated under the same protocol as the CT:
+
+* :class:`ThresholdModel` — the in-drive SMART algorithm: conservative
+  per-attribute thresholds ("manufacturers set the thresholds
+  conservatively to keep the FAR to a minimum at the expense of failure
+  detection rate" — 3-10% FDR in the wild);
+* :class:`NaiveBayesModel` — Hamerly & Elkan's supervised naive Bayes
+  over binned attributes;
+* :class:`MahalanobisModel` — Wang et al.'s Mahalanobis-distance anomaly
+  detector built from the good population;
+* :class:`MultiInstanceNaiveBayes` — Murray et al.'s mi-NB
+  (multiple-instance re-labelling around the naive Bayes);
+* :class:`RankSumPredictor` — Hughes et al.'s OR-ed single-variate
+  Wilcoxon rank-sum test of a drive's recent samples against a good
+  reference population;
+* :class:`LinearSVMModel` — Murray et al.'s SVM (Pegasos-trained linear
+  soft margin);
+* :class:`HmmPredictor` — Zhao et al.'s two-HMM likelihood-ratio
+  detector over a single attribute's symbol sequences (with
+  :class:`DiscreteHMM`, a from-scratch Baum-Welch implementation).
+
+The first three are sample-level classifiers that plug straight into
+:class:`~repro.core.predictor.GenericFailurePredictor`; the rank-sum
+detector needs windows of consecutive samples and therefore ships its
+own pipeline with the same ``fit``/``evaluate`` surface.
+"""
+
+from repro.baselines.hmm import DiscreteHMM, HmmConfig, HmmPredictor
+from repro.baselines.mahalanobis import MahalanobisModel
+from repro.baselines.minb import MultiInstanceNaiveBayes
+from repro.baselines.naive_bayes import NaiveBayesModel
+from repro.baselines.ranksum import RankSumConfig, RankSumPredictor, hughes_features
+from repro.baselines.svm import LinearSVMModel
+from repro.baselines.threshold import ThresholdModel
+
+__all__ = [
+    "DiscreteHMM",
+    "HmmConfig",
+    "HmmPredictor",
+    "LinearSVMModel",
+    "MahalanobisModel",
+    "MultiInstanceNaiveBayes",
+    "NaiveBayesModel",
+    "RankSumConfig",
+    "RankSumPredictor",
+    "ThresholdModel",
+    "hughes_features",
+]

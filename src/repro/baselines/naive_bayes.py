@@ -1,0 +1,137 @@
+"""Supervised naive Bayes baseline (Hamerly & Elkan, ICML 2001).
+
+Attributes are discretised into equal-frequency bins (quantile edges
+fitted on the training data); class-conditional bin probabilities get
+Laplace smoothing; prediction is the MAP class.  The original reached
+~55% detection at ~1% FAR on the Quantum dataset — a mid-field baseline
+between vendor thresholds and the tree models.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_2d, check_matching_length, check_positive
+
+
+class NaiveBayesModel:
+    """Multinomial naive Bayes over quantile-binned SMART features.
+
+    Args:
+        n_bins: Bins per feature (equal-frequency; missing values get a
+            dedicated extra bin, so NaNs carry class information instead
+            of being imputed away).
+        laplace: Additive smoothing mass per bin.
+    """
+
+    def __init__(self, n_bins: int = 8, laplace: float = 1.0):
+        check_positive("n_bins", n_bins)
+        check_positive("laplace", laplace)
+        self.n_bins = int(n_bins)
+        self.laplace = float(laplace)
+        self.classes_: Optional[np.ndarray] = None
+        self.edges_: list[np.ndarray] = []
+        self.log_priors_: Optional[np.ndarray] = None
+        self.log_likelihoods_: Optional[np.ndarray] = None  # (C, F, bins+1)
+
+    # -- fitting --------------------------------------------------------------
+
+    def fit(
+        self,
+        X: object,
+        y: Sequence[object],
+        sample_weight: Optional[Sequence[float]] = None,
+    ) -> "NaiveBayesModel":
+        """Fit bin edges, priors and class-conditional bin probabilities."""
+        matrix = check_2d("X", X)
+        labels = np.asarray(y)
+        check_matching_length(("X", matrix), ("y", labels))
+        weights = (
+            np.ones(matrix.shape[0])
+            if sample_weight is None
+            else np.asarray(sample_weight, dtype=float)
+        )
+        self.classes_, class_indices = np.unique(labels, return_inverse=True)
+        n_classes = len(self.classes_)
+        n_features = matrix.shape[1]
+
+        self.edges_ = []
+        for feature in range(n_features):
+            column = matrix[:, feature]
+            finite = column[np.isfinite(column)]
+            if finite.size == 0:
+                self.edges_.append(np.array([]))
+                continue
+            quantiles = np.linspace(0, 1, self.n_bins + 1)[1:-1]
+            edges = np.unique(np.quantile(finite, quantiles))
+            self.edges_.append(edges)
+
+        binned = self._bin(matrix)
+        counts = np.full(
+            (n_classes, n_features, self.n_bins + 1), self.laplace, dtype=float
+        )
+        for cls in range(n_classes):
+            rows = class_indices == cls
+            w = weights[rows]
+            for feature in range(n_features):
+                counts[cls, feature] += np.bincount(
+                    binned[rows, feature], weights=w, minlength=self.n_bins + 1
+                )
+        totals = counts.sum(axis=2, keepdims=True)
+        self.log_likelihoods_ = np.log(counts / totals)
+        class_mass = np.array(
+            [weights[class_indices == cls].sum() for cls in range(n_classes)]
+        )
+        class_mass = np.maximum(class_mass, 1e-12)
+        self.log_priors_ = np.log(class_mass / class_mass.sum())
+        return self
+
+    def _bin(self, matrix: np.ndarray) -> np.ndarray:
+        """Quantile-bin every feature; the last index is the missing bin."""
+        binned = np.empty(matrix.shape, dtype=int)
+        for feature in range(matrix.shape[1]):
+            column = matrix[:, feature]
+            edges = self.edges_[feature]
+            indices = (
+                np.searchsorted(edges, column, side="right")
+                if edges.size
+                else np.zeros(column.shape[0], dtype=int)
+            )
+            indices = np.clip(indices, 0, self.n_bins - 1)
+            binned[:, feature] = np.where(np.isfinite(column), indices, self.n_bins)
+        return binned
+
+    # -- inference --------------------------------------------------------------
+
+    def _check_fitted(self) -> None:
+        if self.log_likelihoods_ is None:
+            raise RuntimeError("NaiveBayesModel is not fitted; call fit() first")
+
+    def log_posterior(self, X: object) -> np.ndarray:
+        """Unnormalised per-class log posteriors, shape (n, C)."""
+        self._check_fitted()
+        matrix = check_2d("X", X)
+        if matrix.shape[1] != self.log_likelihoods_.shape[1]:
+            raise ValueError(
+                f"X has {matrix.shape[1]} features, model fitted on "
+                f"{self.log_likelihoods_.shape[1]}"
+            )
+        binned = self._bin(matrix)
+        scores = np.tile(self.log_priors_, (matrix.shape[0], 1))
+        for feature in range(matrix.shape[1]):
+            scores += self.log_likelihoods_[:, feature, binned[:, feature]].T
+        return scores
+
+    def predict(self, X: object) -> np.ndarray:
+        """MAP class labels."""
+        scores = self.log_posterior(X)
+        return self.classes_[np.argmax(scores, axis=1)]
+
+    def predict_proba(self, X: object) -> np.ndarray:
+        """Normalised class posteriors."""
+        log_posterior = self.log_posterior(X)
+        shifted = log_posterior - log_posterior.max(axis=1, keepdims=True)
+        probabilities = np.exp(shifted)
+        return probabilities / probabilities.sum(axis=1, keepdims=True)

@@ -1,0 +1,151 @@
+"""Linear SVM baseline (Murray et al., JMLR 2005).
+
+Murray et al. found an SVM over 25 selected SMART features the best
+learner of its generation (50.6% detection at 0% FAR on the Quantum
+dataset).  This is a from-scratch linear soft-margin SVM trained with
+the Pegasos stochastic sub-gradient algorithm — primal hinge loss with
+L2 regularisation — which keeps the implementation compact while
+matching the original's linear decision surface.  Inputs are z-score
+standardised (fitted on training data) and NaNs imputed to 0 ("at the
+mean"), consistent with the era's preprocessing.  With the default
+protocol weighting it lands in Murray's reported regime: mid-to-high
+detection at essentially zero false alarms.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.utils.rng import RandomState, as_rng
+from repro.utils.validation import check_2d, check_matching_length, check_positive
+
+
+class LinearSVMModel:
+    """Soft-margin linear SVM trained with Pegasos.
+
+    Args:
+        regularization: Pegasos lambda (inverse margin softness).
+        n_epochs: Passes over the training set.
+        failed_label: The class mapped to the -1 side of the margin.
+        class_balanced: Reweight the hinge loss so both classes carry
+            equal mass (Murray's good/failed sets were roughly equal;
+            ours are not).
+        scaling: ``"standardize"`` (z-scores; linear margins need
+            centred inputs) or ``"max_abs"``.
+        seed: Sampling seed.
+    """
+
+    def __init__(
+        self,
+        regularization: float = 1e-4,
+        n_epochs: int = 8,
+        *,
+        failed_label: float = -1.0,
+        class_balanced: bool = False,
+        scaling: str = "standardize",
+        seed: RandomState = 13,
+    ):
+        check_positive("regularization", regularization)
+        check_positive("n_epochs", n_epochs)
+        if scaling not in ("standardize", "max_abs"):
+            raise ValueError(
+                f"scaling must be 'standardize' or 'max_abs', got {scaling!r}"
+            )
+        self.regularization = float(regularization)
+        self.n_epochs = int(n_epochs)
+        self.failed_label = failed_label
+        self.class_balanced = bool(class_balanced)
+        self.scaling = scaling
+        self.seed = seed
+        self.weights_: Optional[np.ndarray] = None
+        self.bias_: float = 0.0
+        self._mean: Optional[np.ndarray] = None
+        self._scale: Optional[np.ndarray] = None
+        self.classes_: Optional[np.ndarray] = None
+
+    def _transform(self, matrix: np.ndarray) -> np.ndarray:
+        scaled = (matrix - self._mean) / self._scale
+        return np.nan_to_num(scaled, nan=0.0, posinf=0.0, neginf=0.0)
+
+    def fit(
+        self,
+        X: object,
+        y: Sequence[object],
+        sample_weight: Optional[Sequence[float]] = None,
+    ) -> "LinearSVMModel":
+        """Pegasos primal training on hinge loss."""
+        matrix = check_2d("X", X)
+        labels = np.asarray(y)
+        check_matching_length(("X", matrix), ("y", labels))
+        if matrix.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self.classes_ = np.unique(labels)
+        if len(self.classes_) != 2:
+            raise ValueError(
+                f"LinearSVMModel needs exactly 2 classes, got {len(self.classes_)}"
+            )
+        signs = np.where(labels == self.failed_label, -1.0, 1.0)
+
+        if self.scaling == "standardize":
+            mean = np.nanmean(matrix, axis=0)
+            self._mean = np.where(np.isfinite(mean), mean, 0.0)
+            std = np.nanstd(matrix, axis=0)
+            self._scale = np.where(np.isfinite(std) & (std > 0), std, 1.0)
+        else:
+            self._mean = np.zeros(matrix.shape[1])
+            peak = np.nanmax(np.abs(matrix), axis=0)
+            self._scale = np.where(np.isfinite(peak) & (peak > 0), peak, 1.0)
+        inputs = self._transform(matrix)
+
+        weights = (
+            np.ones(matrix.shape[0])
+            if sample_weight is None
+            else np.asarray(sample_weight, dtype=float)
+        )
+        if self.class_balanced:
+            for sign in (-1.0, 1.0):
+                mask = signs == sign
+                mass = weights[mask].sum()
+                if mass > 0:
+                    weights = np.where(mask, weights * (weights.sum() / (2 * mass)), weights)
+
+        rng = as_rng(self.seed)
+        n, d = inputs.shape
+        w = np.zeros(d)
+        b = 0.0
+        step_count = 0
+        for _ in range(self.n_epochs):
+            for index in rng.permutation(n):
+                step_count += 1
+                eta = 1.0 / (self.regularization * step_count)
+                margin = signs[index] * (inputs[index] @ w + b)
+                w *= 1.0 - eta * self.regularization
+                if margin < 1.0:
+                    w += eta * weights[index] * signs[index] * inputs[index]
+                    b += eta * weights[index] * signs[index]
+        self.weights_ = w
+        self.bias_ = float(b)
+        return self
+
+    def _check_fitted(self) -> None:
+        if self.weights_ is None:
+            raise RuntimeError("LinearSVMModel is not fitted; call fit() first")
+
+    def decision_function(self, X: object) -> np.ndarray:
+        """Signed margin; negative values lean toward the failed class."""
+        self._check_fitted()
+        matrix = check_2d("X", X)
+        if matrix.shape[1] != self.weights_.shape[0]:
+            raise ValueError(
+                f"X has {matrix.shape[1]} features, model fitted on "
+                f"{self.weights_.shape[0]}"
+            )
+        return self._transform(matrix) @ self.weights_ + self.bias_
+
+    def predict(self, X: object) -> np.ndarray:
+        """Labels in the training convention ({failed_label, other})."""
+        margins = self.decision_function(X)
+        other = [c for c in self.classes_ if c != self.failed_label][0]
+        return np.where(margins < 0, self.failed_label, other)

@@ -1,0 +1,132 @@
+"""Vendor-style threshold baseline (the in-drive SMART algorithm).
+
+Drives ship with per-attribute thresholds; a value crossing its
+threshold raises the SMART trip.  Manufacturers set thresholds
+conservatively — the paper quotes 3-10% FDR at ~0.1% FAR — because a
+false trip costs them an RMA.  This baseline reproduces that behaviour:
+per-feature lower/upper thresholds at extreme quantiles of the *good*
+training population (failed samples are ignored, as a vendor has no
+failure labels at threshold-setting time), flagging a sample when any
+attribute exceeds its range.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_2d, check_fraction
+
+
+class ThresholdModel:
+    """Per-attribute quantile thresholds fitted on the good population.
+
+    Args:
+        alpha: Tail mass per side used to place each threshold; smaller
+            is more conservative (fewer trips).
+        margin_stds: Extra clearance in good-population standard
+            deviations pushed beyond each quantile.  Vendors place
+            thresholds far below any healthy excursion (an RMA costs
+            them money), which is exactly why the in-drive algorithm
+            catches only the most catastrophic deteriorations — the
+            paper's quoted 3-10% FDR regime corresponds to a large
+            margin here.
+        two_sided: Also trip on unusually *high* values (raw counters,
+            change rates).  One-sided uses only the lower tail, the
+            degradation direction of normalized SMART values.
+        good_label: The label treated as good during ``fit``.
+
+    Example:
+        >>> model = ThresholdModel(alpha=0.01)
+        >>> import numpy as np
+        >>> X = np.vstack([np.random.default_rng(0).normal(100, 1, (200, 2)),
+        ...                [[50.0, 100.0]]])
+        >>> y = np.array([1] * 200 + [-1])
+        >>> _ = model.fit(X, y)
+        >>> int(model.predict([[50.0, 100.0]])[0])
+        -1
+    """
+
+    def __init__(
+        self,
+        alpha: float = 1e-4,
+        *,
+        margin_stds: float = 0.0,
+        two_sided: bool = True,
+        good_label: float = 1.0,
+    ):
+        check_fraction("alpha", alpha, inclusive=False)
+        if margin_stds < 0:
+            raise ValueError(f"margin_stds must be >= 0, got {margin_stds}")
+        self.alpha = float(alpha)
+        self.margin_stds = float(margin_stds)
+        self.two_sided = bool(two_sided)
+        self.good_label = good_label
+        self.lower_: Optional[np.ndarray] = None
+        self.upper_: Optional[np.ndarray] = None
+
+    @classmethod
+    def vendor(cls) -> "ThresholdModel":
+        """The in-drive SMART configuration: deeply conservative thresholds.
+
+        Reproduces the paper's quoted vendor regime — single-digit FDR
+        at essentially zero FAR, with trips arriving only hours before
+        the failure.
+        """
+        return cls(alpha=1e-4, margin_stds=14.0, two_sided=False)
+
+    def fit(
+        self,
+        X: object,
+        y: Sequence[object],
+        sample_weight: Optional[Sequence[float]] = None,
+    ) -> "ThresholdModel":
+        """Place thresholds from the good samples' extreme quantiles.
+
+        ``sample_weight`` is accepted for pipeline compatibility but —
+        like the vendor algorithm — ignored.
+        """
+        matrix = check_2d("X", X)
+        labels = np.asarray(y)
+        good = matrix[labels == self.good_label]
+        if good.shape[0] == 0:
+            raise ValueError("ThresholdModel needs good samples to fit thresholds")
+        with np.errstate(all="ignore"):
+            lower = np.nanquantile(good, self.alpha, axis=0)
+            upper = np.nanquantile(good, 1.0 - self.alpha, axis=0)
+            spread = np.nanstd(good, axis=0)
+        spread = np.where(np.isfinite(spread), spread, 0.0)
+        lower = lower - self.margin_stds * spread
+        upper = upper + self.margin_stds * spread
+        # All-NaN columns never trip.
+        self.lower_ = np.where(np.isfinite(lower), lower, -np.inf)
+        self.upper_ = (
+            np.where(np.isfinite(upper), upper, np.inf)
+            if self.two_sided
+            else np.full(matrix.shape[1], np.inf)
+        )
+        return self
+
+    def predict(self, X: object) -> np.ndarray:
+        """-1 where any attribute exceeds its range, +1 otherwise."""
+        if self.lower_ is None:
+            raise RuntimeError("ThresholdModel is not fitted; call fit() first")
+        matrix = check_2d("X", X)
+        if matrix.shape[1] != self.lower_.shape[0]:
+            raise ValueError(
+                f"X has {matrix.shape[1]} features, model fitted on "
+                f"{self.lower_.shape[0]}"
+            )
+        below = matrix < self.lower_[None, :]
+        above = matrix > self.upper_[None, :]
+        tripped = np.any(below | above, axis=1)  # NaNs compare False: no trip
+        return np.where(tripped, -1, 1)
+
+    def tripped_attributes(self, sample: Sequence[float]) -> list[int]:
+        """Indices of the attributes that trip for one sample (diagnostics)."""
+        if self.lower_ is None:
+            raise RuntimeError("ThresholdModel is not fitted; call fit() first")
+        row = np.asarray(sample, dtype=float)
+        hits = (row < self.lower_) | (row > self.upper_)
+        return np.nonzero(hits)[0].tolist()

@@ -1,0 +1,43 @@
+"""Primary public API: configs, sampling protocol and the predictors."""
+
+from repro.core.config import (
+    FAILED_LABEL,
+    GOOD_LABEL,
+    AnnConfig,
+    CTConfig,
+    RTConfig,
+    SamplingConfig,
+    resolve_features,
+)
+from repro.core.fleet import FleetPredictor
+from repro.core.predictor import (
+    AnnFailurePredictor,
+    DriveFailurePredictor,
+    GenericFailurePredictor,
+)
+from repro.core.sampling import (
+    TrainingSet,
+    build_training_set,
+    failed_training_rows,
+    good_training_rows,
+    score_drives,
+)
+
+__all__ = [
+    "AnnConfig",
+    "AnnFailurePredictor",
+    "CTConfig",
+    "DriveFailurePredictor",
+    "FleetPredictor",
+    "GenericFailurePredictor",
+    "FAILED_LABEL",
+    "GOOD_LABEL",
+    "RTConfig",
+    "SamplingConfig",
+    "TrainingSet",
+    "build_training_set",
+    "failed_training_rows",
+    "good_training_rows",
+    "resolve_features",
+    "score_drives",
+]

@@ -1,0 +1,158 @@
+"""Per-family fleet prediction (one model per drive family).
+
+The paper separates everything by drive family: "hard drive models,
+manufacturers and other environment factors can influence the
+statistical behavior of failures ... the SMART dataset is separated by
+drive model when building and evaluating our models", and Section V-B1
+shows the families' failure signatures genuinely differ.  A deployment
+therefore runs one fitted model per family and routes each drive to its
+family's model — which is what :class:`FleetPredictor` packages:
+
+* ``fit(dataset)`` splits per family (the Section V-A1 protocol inside
+  each) and fits one pipeline per family via a factory;
+* scoring/evaluation route drives by their ``family`` attribute;
+* families unseen at fit time are reported, not silently mis-scored.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Optional, Sequence
+
+from repro.core.config import CTConfig
+from repro.core.predictor import DriveFailurePredictor
+from repro.detection.evaluator import (
+    DriveScoreSeries,
+    evaluate_detection,
+)
+from repro.detection.metrics import DetectionResult
+from repro.detection.voting import MajorityVoteDetector
+from repro.smart.dataset import SmartDataset, TrainTestSplit
+from repro.smart.drive import DriveRecord
+from repro.utils.rng import RandomState
+
+#: Builds a fresh pipeline (fit(split)/score_drives/evaluate surface).
+ModelFactory = Callable[[], object]
+
+
+class FleetPredictor:
+    """One prediction model per drive family, routed by ``drive.family``.
+
+    Args:
+        model_factory: Zero-argument callable building a fresh pipeline
+            per family (default: the paper's CT pipeline).
+        split_seed: Seed for each family's train/test split.
+
+    Example:
+        >>> from repro.smart import SmartDataset, default_fleet_config
+        >>> fleet = SmartDataset.generate(default_fleet_config(
+        ...     w_good=60, w_failed=10, q_good=40, q_failed=8))
+        >>> from repro.core.config import CTConfig
+        >>> predictor = FleetPredictor(
+        ...     lambda: DriveFailurePredictor(CTConfig(minsplit=4, minbucket=2)))
+        >>> sorted(predictor.fit(fleet).families())
+        ['Q', 'W']
+    """
+
+    def __init__(
+        self,
+        model_factory: Optional[ModelFactory] = None,
+        *,
+        split_seed: RandomState = 11,
+    ):
+        self.model_factory = model_factory or (
+            lambda: DriveFailurePredictor(CTConfig())
+        )
+        self.split_seed = split_seed
+        self.models_: dict[str, object] = {}
+        self.splits_: dict[str, TrainTestSplit] = {}
+
+    # -- fitting ------------------------------------------------------------------
+
+    def fit(self, dataset: SmartDataset) -> "FleetPredictor":
+        """Split and fit one model per family present in ``dataset``."""
+        self.models_ = {}
+        self.splits_ = {}
+        for family in dataset.families():
+            subset = dataset.filter_family(family)
+            if not subset.failed_drives or not subset.good_drives:
+                # A family without both classes cannot be trained; skip
+                # it (its drives will be reported as unroutable).
+                continue
+            split = subset.split(seed=self.split_seed)
+            self.models_[family] = self.model_factory().fit(split)
+            self.splits_[family] = split
+        if not self.models_:
+            raise ValueError(
+                "no family had both good and failed drives; nothing to fit"
+            )
+        return self
+
+    def _check_fitted(self) -> None:
+        if not self.models_:
+            raise RuntimeError("FleetPredictor is not fitted; call fit() first")
+
+    def families(self) -> list[str]:
+        """Families with a fitted model."""
+        self._check_fitted()
+        return sorted(self.models_)
+
+    def model_for(self, family: str) -> object:
+        """The fitted pipeline for one family."""
+        self._check_fitted()
+        try:
+            return self.models_[family]
+        except KeyError:
+            raise ValueError(
+                f"no model for family {family!r}; fitted: {self.families()}"
+            ) from None
+
+    # -- routing ------------------------------------------------------------------
+
+    def partition_by_family(
+        self, drives: Sequence[DriveRecord]
+    ) -> tuple[dict[str, list[DriveRecord]], list[DriveRecord]]:
+        """Group drives by fitted family; the second item is unroutable."""
+        self._check_fitted()
+        routed: dict[str, list[DriveRecord]] = {f: [] for f in self.models_}
+        unroutable: list[DriveRecord] = []
+        for drive in drives:
+            if drive.family in routed:
+                routed[drive.family].append(drive)
+            else:
+                unroutable.append(drive)
+        return routed, unroutable
+
+    def score_drives(
+        self, drives: Sequence[DriveRecord]
+    ) -> tuple[list[DriveScoreSeries], list[DriveRecord]]:
+        """Score every routable drive with its family's model.
+
+        Returns ``(series, unroutable_drives)``; callers decide how to
+        treat drives of families never seen at fit time.
+        """
+        routed, unroutable = self.partition_by_family(drives)
+        series: list[DriveScoreSeries] = []
+        for family, family_drives in routed.items():
+            if family_drives:
+                series.extend(self.models_[family].score_drives(family_drives))
+        return series, unroutable
+
+    # -- evaluation ------------------------------------------------------------------
+
+    def evaluate(
+        self, *, n_voters: int = 1
+    ) -> dict[str, DetectionResult]:
+        """Per-family test-set results, plus a ``"fleet"`` aggregate."""
+        self._check_fitted()
+        detector = MajorityVoteDetector(n_voters=n_voters)
+        all_series: list[DriveScoreSeries] = []
+        results: dict[str, DetectionResult] = {}
+        for family, model in self.models_.items():
+            split = self.splits_[family]
+            series = model.score_drives(
+                list(split.test_good) + list(split.test_failed)
+            )
+            all_series.extend(series)
+            results[family] = evaluate_detection(series, detector)
+        results["fleet"] = evaluate_detection(all_series, detector)
+        return results

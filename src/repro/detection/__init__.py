@@ -1,0 +1,72 @@
+"""Drive-level detection: voting rules, metrics and evaluation."""
+
+from repro.detection.evaluator import (
+    Detector,
+    DriveScoreSeries,
+    evaluate_detection,
+    roc_over_thresholds,
+    roc_over_voters,
+)
+from repro.detection.cost import (
+    CostBreakdown,
+    OperationalCostModel,
+    choose_operating_point,
+    expected_annual_cost,
+)
+from repro.detection.intervals import (
+    RateInterval,
+    far_interval,
+    fdr_interval,
+    rates_compatible,
+    wilson_interval,
+)
+from repro.detection.reporting import AlertReport, PathStep, explain_alert
+from repro.detection.metrics import (
+    TIA_BIN_LABELS,
+    TIA_BINS,
+    DetectionResult,
+    RocPoint,
+    partial_auc,
+    roc_dominates,
+)
+from repro.detection.streaming import (
+    Alert,
+    FleetMonitor,
+    OnlineFeatureBuffer,
+    OnlineMajorityVote,
+    OnlineMeanThreshold,
+)
+from repro.detection.voting import MajorityVoteDetector, MeanThresholdDetector
+
+__all__ = [
+    "Alert",
+    "CostBreakdown",
+    "OperationalCostModel",
+    "AlertReport",
+    "PathStep",
+    "RateInterval",
+    "explain_alert",
+    "choose_operating_point",
+    "expected_annual_cost",
+    "far_interval",
+    "fdr_interval",
+    "rates_compatible",
+    "wilson_interval",
+    "DetectionResult",
+    "FleetMonitor",
+    "OnlineFeatureBuffer",
+    "OnlineMajorityVote",
+    "OnlineMeanThreshold",
+    "Detector",
+    "DriveScoreSeries",
+    "MajorityVoteDetector",
+    "MeanThresholdDetector",
+    "RocPoint",
+    "TIA_BINS",
+    "TIA_BIN_LABELS",
+    "evaluate_detection",
+    "partial_auc",
+    "roc_dominates",
+    "roc_over_thresholds",
+    "roc_over_voters",
+]

@@ -1,0 +1,162 @@
+"""Operational cost of a prediction operating point.
+
+The paper motivates its false-alarm obsession economically: every alarm
+triggers handling work (migration, replacement), so "a high FAR implies
+too many false alarms and results in heavy processing cost", while a
+missed detection risks rebuild windows and, ultimately, data loss.  This
+module makes that trade-off computable: an :class:`OperationalCostModel`
+prices alarms, misses and data-loss events, and
+:func:`choose_operating_point` picks the ROC point (voter count or RT
+threshold) minimising the expected annual cost of a fleet — turning the
+paper's qualitative guidance into a procurement-grade decision rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.detection.metrics import RocPoint
+from repro.reliability.raid import mttdl_raid6_with_prediction
+from repro.reliability.single_drive import PredictionQuality
+from repro.utils.validation import check_fraction, check_positive
+
+HOURS_PER_YEAR = 8760.0
+
+
+@dataclass(frozen=True)
+class OperationalCostModel:
+    """Prices and fleet parameters for costing an operating point.
+
+    Attributes:
+        fleet_size: Number of drives monitored.
+        mttf_hours: Per-drive mean time to failure.
+        mttr_hours: Repair/rebuild mean time.
+        alarm_handling_cost: Cost of acting on one alarm (migration +
+            replacement labour), true or false.
+        missed_failure_cost: Extra cost of an *unpredicted* failure
+            (degraded-mode operation, urgent rebuild) beyond the
+            handling cost it eventually incurs anyway.
+        data_loss_cost: Cost of one data-loss event in a RAID group.
+        raid_group_size: Drives per RAID-6 group (0 disables the
+            data-loss term, e.g. for replicated systems).
+        evaluation_weeks: The horizon over which FAR was measured; FAR
+            is a per-drive probability over this window and is
+            annualised accordingly.
+    """
+
+    fleet_size: int = 10_000
+    mttf_hours: float = 1_390_000.0
+    mttr_hours: float = 8.0
+    alarm_handling_cost: float = 300.0
+    missed_failure_cost: float = 1_500.0
+    data_loss_cost: float = 1_000_000.0
+    raid_group_size: int = 16
+    evaluation_weeks: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive("fleet_size", self.fleet_size)
+        check_positive("mttf_hours", self.mttf_hours)
+        check_positive("mttr_hours", self.mttr_hours)
+        check_positive("evaluation_weeks", self.evaluation_weeks)
+        if self.raid_group_size < 0:
+            raise ValueError(
+                f"raid_group_size must be >= 0, got {self.raid_group_size}"
+            )
+        for name in ("alarm_handling_cost", "missed_failure_cost", "data_loss_cost"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Expected annual cost of one operating point, itemised."""
+
+    operating_point: RocPoint
+    true_alarm_cost: float
+    false_alarm_cost: float
+    missed_failure_cost: float
+    data_loss_cost: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.true_alarm_cost
+            + self.false_alarm_cost
+            + self.missed_failure_cost
+            + self.data_loss_cost
+        )
+
+
+def expected_annual_cost(
+    point: RocPoint,
+    model: OperationalCostModel,
+    *,
+    tia_hours: float = 336.0,
+) -> CostBreakdown:
+    """Expected annual fleet cost at one (FAR, FDR) operating point.
+
+    Cost terms:
+
+    * **true alarms** — annual failures ``fleet / MTTF`` caught at rate
+      FDR, each paying the handling cost;
+    * **false alarms** — FAR is a per-drive probability over the
+      evaluation window, annualised linearly (an upper bound for small
+      rates), each paying the same handling cost;
+    * **missed failures** — uncaught failures pay the missed-failure
+      premium;
+    * **data loss** — RAID-6 groups at this prediction quality lose data
+      at ``1 / MTTDL``; each event pays the data-loss cost.
+    """
+    check_fraction("point.far", point.far)
+    check_fraction("point.fdr", point.fdr)
+    check_positive("tia_hours", tia_hours)
+
+    annual_failures = model.fleet_size * HOURS_PER_YEAR / model.mttf_hours
+    caught = annual_failures * point.fdr
+    missed = annual_failures * (1.0 - point.fdr)
+    false_alarms_per_year = (
+        model.fleet_size * point.far * (52.0 / model.evaluation_weeks)
+    )
+
+    loss_cost = 0.0
+    if model.raid_group_size >= 3 and model.data_loss_cost > 0:
+        quality = PredictionQuality(
+            fdr=min(max(point.fdr, 0.0), 1.0), tia_hours=tia_hours
+        )
+        mttdl = mttdl_raid6_with_prediction(
+            model.raid_group_size, model.mttf_hours, model.mttr_hours, quality
+        )
+        n_groups = model.fleet_size / model.raid_group_size
+        loss_cost = (
+            n_groups * (HOURS_PER_YEAR / mttdl) * model.data_loss_cost
+        )
+
+    return CostBreakdown(
+        operating_point=point,
+        true_alarm_cost=caught * model.alarm_handling_cost,
+        false_alarm_cost=false_alarms_per_year * model.alarm_handling_cost,
+        missed_failure_cost=missed * model.missed_failure_cost,
+        data_loss_cost=loss_cost,
+    )
+
+
+def choose_operating_point(
+    points: Sequence[RocPoint],
+    model: Optional[OperationalCostModel] = None,
+    *,
+    tia_hours: float = 336.0,
+) -> tuple[CostBreakdown, list[CostBreakdown]]:
+    """Cost-minimising point of a ROC sweep.
+
+    Returns ``(best, all_breakdowns)`` with breakdowns in input order;
+    ties resolve to the earlier point.
+    """
+    if not points:
+        raise ValueError("points must not be empty")
+    model = model or OperationalCostModel()
+    breakdowns = [
+        expected_annual_cost(point, model, tia_hours=tia_hours) for point in points
+    ]
+    best = min(breakdowns, key=lambda breakdown: breakdown.total)
+    return best, breakdowns

@@ -1,0 +1,116 @@
+"""Drive-level evaluation harness.
+
+Models emit per-sample scores; this module runs a detector over each
+drive's chronological score series and aggregates the paper's metrics:
+a good drive that ever alarms is a false alarm, a failed drive that
+alarms before its failure is a detection, and the alarm's lead time is
+its TIA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Protocol, Sequence
+
+import numpy as np
+
+from repro.detection.metrics import DetectionResult, RocPoint
+from repro.detection.voting import MajorityVoteDetector, MeanThresholdDetector
+
+
+class Detector(Protocol):
+    """Anything that maps a score series to a first-alarm index."""
+
+    def first_alarm(self, scores: object) -> Optional[int]: ...
+
+
+@dataclass(frozen=True)
+class DriveScoreSeries:
+    """One test drive's chronological per-sample model outputs.
+
+    ``scores`` are class labels for classifier models or health degrees
+    for the RT model; NaN marks samples the model could not score
+    (missing SMART records).  ``failure_hour`` is required for failed
+    drives so TIA can be computed.
+    """
+
+    serial: str
+    failed: bool
+    hours: np.ndarray
+    scores: np.ndarray
+    failure_hour: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        hours = np.asarray(self.hours, dtype=float)
+        scores = np.asarray(self.scores, dtype=float)
+        object.__setattr__(self, "hours", hours)
+        object.__setattr__(self, "scores", scores)
+        if hours.shape != scores.shape:
+            raise ValueError(
+                f"drive {self.serial}: hours {hours.shape} and scores "
+                f"{scores.shape} must match"
+            )
+        if self.failed and self.failure_hour is None:
+            raise ValueError(f"failed drive {self.serial} needs a failure_hour")
+
+
+def evaluate_detection(
+    series: Iterable[DriveScoreSeries], detector: Detector
+) -> DetectionResult:
+    """Run ``detector`` over every drive and aggregate FDR/FAR/TIA."""
+    n_good = n_false = n_failed = n_detected = 0
+    tia: list[float] = []
+    for drive in series:
+        alarm = detector.first_alarm(drive.scores) if drive.scores.size else None
+        if drive.failed:
+            n_failed += 1
+            if alarm is not None:
+                lead = float(drive.failure_hour - drive.hours[alarm])
+                if lead >= 0:
+                    n_detected += 1
+                    tia.append(lead)
+        else:
+            n_good += 1
+            if alarm is not None:
+                n_false += 1
+    return DetectionResult(
+        n_good=n_good,
+        n_false_alarms=n_false,
+        n_failed=n_failed,
+        n_detected=n_detected,
+        tia_hours=tuple(tia),
+    )
+
+
+def roc_over_voters(
+    series: Sequence[DriveScoreSeries],
+    voters: Sequence[int],
+    *,
+    failed_label: float = -1.0,
+) -> list[RocPoint]:
+    """The paper's Figure 2/5 sweep: one ROC point per voter count N."""
+    points = []
+    for n in voters:
+        result = evaluate_detection(
+            series, MajorityVoteDetector(n_voters=n, failed_label=failed_label)
+        )
+        points.append(RocPoint(parameter=float(n), far=result.far, fdr=result.fdr))
+    return points
+
+
+def roc_over_thresholds(
+    series: Sequence[DriveScoreSeries],
+    thresholds: Sequence[float],
+    *,
+    n_voters: int = 11,
+) -> list[RocPoint]:
+    """The paper's Figure 10 sweep: one ROC point per RT output threshold."""
+    points = []
+    for threshold in thresholds:
+        result = evaluate_detection(
+            series, MeanThresholdDetector(n_voters=n_voters, threshold=threshold)
+        )
+        points.append(
+            RocPoint(parameter=float(threshold), far=result.far, fdr=result.fdr)
+        )
+    return points

@@ -1,0 +1,120 @@
+"""Binomial confidence intervals for drive-level rates.
+
+The paper reports FDR over ~130 test drives and FAR over ~23,000 —
+point estimates with very different uncertainties (95.49% of 133 drives
+is ±4 points at 95% confidence).  This module provides Wilson score
+intervals (well-behaved near 0 and 1, where detection rates live) and
+attaches them to :class:`~repro.detection.metrics.DetectionResult` so
+any reported comparison can be read with its error bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from scipy import stats as scipy_stats
+
+from repro.detection.metrics import DetectionResult
+from repro.utils.validation import check_fraction, check_positive
+
+
+@dataclass(frozen=True)
+class RateInterval:
+    """A rate estimate with its Wilson score interval."""
+
+    point: float
+    lower: float
+    upper: float
+    confidence: float
+
+    @property
+    def width(self) -> float:
+        return self.upper - self.lower
+
+    def contains(self, value: float) -> bool:
+        """True when ``value`` lies inside the interval (inclusive)."""
+        return self.lower <= value <= self.upper
+
+    def __str__(self) -> str:
+        return (
+            f"{100 * self.point:.2f}% "
+            f"[{100 * self.lower:.2f}, {100 * self.upper:.2f}] "
+            f"@{self.confidence:.0%}"
+        )
+
+
+def wilson_interval(
+    successes: int, trials: int, *, confidence: float = 0.95
+) -> RateInterval:
+    """Wilson score interval for a binomial proportion.
+
+    Non-degenerate even for 0 or ``trials`` successes, unlike the normal
+    approximation; ``trials = 0`` returns the vacuous [0, 1] interval.
+
+    >>> interval = wilson_interval(127, 133)  # a paper-scale FDR
+    >>> round(interval.point, 3), round(interval.lower, 3), round(interval.upper, 3)
+    (0.955, 0.905, 0.979)
+    """
+    check_fraction("confidence", confidence, inclusive=False)
+    if trials < 0 or successes < 0 or successes > trials:
+        raise ValueError(
+            f"need 0 <= successes <= trials, got {successes}/{trials}"
+        )
+    if trials == 0:
+        return RateInterval(point=0.0, lower=0.0, upper=1.0, confidence=confidence)
+    z = float(scipy_stats.norm.ppf(0.5 + confidence / 2.0))
+    p = successes / trials
+    denominator = 1.0 + z**2 / trials
+    centre = (p + z**2 / (2 * trials)) / denominator
+    margin = (
+        z
+        * ((p * (1 - p) / trials + z**2 / (4 * trials**2)) ** 0.5)
+        / denominator
+    )
+    # Exact boundary cases: rounding must not pull the interval off the
+    # observed extreme (0 successes has lower bound exactly 0).
+    lower = 0.0 if successes == 0 else max(0.0, centre - margin)
+    upper = 1.0 if successes == trials else min(1.0, centre + margin)
+    return RateInterval(
+        point=p, lower=lower, upper=upper, confidence=confidence
+    )
+
+
+def fdr_interval(
+    result: DetectionResult, *, confidence: float = 0.95
+) -> RateInterval:
+    """Wilson interval on the failure detection rate."""
+    return wilson_interval(
+        result.n_detected, result.n_failed, confidence=confidence
+    )
+
+
+def far_interval(
+    result: DetectionResult, *, confidence: float = 0.95
+) -> RateInterval:
+    """Wilson interval on the false alarm rate."""
+    return wilson_interval(
+        result.n_false_alarms, result.n_good, confidence=confidence
+    )
+
+
+def rates_compatible(
+    a: DetectionResult,
+    b: DetectionResult,
+    *,
+    metric: str = "fdr",
+    confidence: float = 0.95,
+) -> bool:
+    """True when the two results' intervals for ``metric`` overlap.
+
+    Overlapping intervals mean the observed difference is within
+    sampling noise at the given confidence — the sanity check to apply
+    before declaring one model "better" on a handful of failed drives.
+    """
+    if metric == "fdr":
+        interval_a, interval_b = fdr_interval(a, confidence=confidence), fdr_interval(b, confidence=confidence)
+    elif metric == "far":
+        interval_a, interval_b = far_interval(a, confidence=confidence), far_interval(b, confidence=confidence)
+    else:
+        raise ValueError(f"metric must be 'fdr' or 'far', got {metric!r}")
+    return interval_a.lower <= interval_b.upper and interval_b.lower <= interval_a.upper

@@ -1,0 +1,126 @@
+"""Drive-level prediction metrics: FDR, FAR, TIA and ROC utilities.
+
+The paper's three metrics (Section V-A1):
+
+* **FDR** (failure detection rate) — fraction of failed drives correctly
+  flagged before failure;
+* **FAR** (false alarm rate) — fraction of good drives incorrectly
+  flagged;
+* **TIA** (time in advance) — how long before the actual failure the
+  first alarm fired, reported as a mean and as the histogram of
+  Figures 3-4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+#: The histogram bin edges of Figures 3 and 4 (hours in advance).
+TIA_BINS: tuple[tuple[float, float], ...] = (
+    (0.0, 24.0),
+    (25.0, 72.0),
+    (73.0, 168.0),
+    (169.0, 336.0),
+    (337.0, 450.0),
+)
+
+TIA_BIN_LABELS: tuple[str, ...] = tuple(
+    f"{int(lo)}-{int(hi)}" for lo, hi in TIA_BINS
+)
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """Outcome of evaluating a detector over a test fleet.
+
+    ``tia_hours`` holds one lead time per *correctly detected* failed
+    drive; missed drives contribute nothing (matching the paper, which
+    plots TIA "for correct predictions").
+    """
+
+    n_good: int
+    n_false_alarms: int
+    n_failed: int
+    n_detected: int
+    tia_hours: tuple[float, ...] = field(default=())
+
+    @property
+    def far(self) -> float:
+        """False alarm rate over good drives, in [0, 1]."""
+        return self.n_false_alarms / self.n_good if self.n_good else 0.0
+
+    @property
+    def fdr(self) -> float:
+        """Failure detection rate over failed drives, in [0, 1]."""
+        return self.n_detected / self.n_failed if self.n_failed else 0.0
+
+    @property
+    def mean_tia_hours(self) -> float:
+        """Mean time in advance of the correct detections (0.0 if none)."""
+        return float(np.mean(self.tia_hours)) if self.tia_hours else 0.0
+
+    def tia_histogram(self) -> list[int]:
+        """Detection counts per Figure 3/4 bin (last bin absorbs overflow)."""
+        counts = [0] * len(TIA_BINS)
+        for tia in self.tia_hours:
+            for index, (lo, hi) in enumerate(TIA_BINS):
+                if lo <= tia <= hi:
+                    counts[index] += 1
+                    break
+            else:
+                counts[-1] += 1
+        return counts
+
+    def as_percentages(self) -> dict[str, float]:
+        """FAR/FDR as percentages plus mean TIA — the paper's table row."""
+        return {
+            "FAR (%)": 100.0 * self.far,
+            "FDR (%)": 100.0 * self.fdr,
+            "TIA (hours)": self.mean_tia_hours,
+        }
+
+
+@dataclass(frozen=True)
+class RocPoint:
+    """One operating point of a ROC sweep (rates in [0, 1])."""
+
+    parameter: float
+    far: float
+    fdr: float
+
+
+def roc_dominates(points_a: Sequence[RocPoint], points_b: Sequence[RocPoint]) -> bool:
+    """True when curve A is nowhere below curve B on the FAR axis overlap.
+
+    Compares, for every point of B, the best FDR A achieves at a FAR no
+    larger than B's — the paper's sense of "the CT model is superior in
+    both FDR and FAR".
+    """
+    if not points_a or not points_b:
+        return False
+    a_sorted = sorted(points_a, key=lambda p: p.far)
+    for b in points_b:
+        achievable = [a.fdr for a in a_sorted if a.far <= b.far + 1e-12]
+        if not achievable or max(achievable) + 1e-9 < b.fdr:
+            return False
+    return True
+
+
+def partial_auc(points: Sequence[RocPoint], max_far: float = 1.0) -> float:
+    """Trapezoidal area under the (FAR, FDR) points up to ``max_far``.
+
+    The curve is anchored at (0, 0) and extended horizontally to
+    ``max_far``; a larger value means a uniformly better detector.
+    """
+    if not points:
+        return 0.0
+    ordered = sorted(points, key=lambda p: (p.far, p.fdr))
+    fars = [0.0] + [min(p.far, max_far) for p in ordered if p.far <= max_far]
+    fdrs = [0.0] + [p.fdr for p in ordered if p.far <= max_far]
+    if fars[-1] < max_far:
+        fars.append(max_far)
+        fdrs.append(fdrs[-1])
+    return float(np.trapezoid(fdrs, fars))

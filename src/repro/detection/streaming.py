@@ -1,0 +1,262 @@
+"""Online (streaming) failure monitoring.
+
+The paper's deployment story is a monitoring daemon: every hour each
+drive reports a SMART record, the model scores it, and the voting rule
+decides whether to raise a warning.  This module provides that streaming
+surface with *exactly* the offline semantics:
+
+* :class:`OnlineFeatureBuffer` — per-drive rolling history that computes
+  value and change-rate features incrementally (a change rate needs the
+  reading from ``interval`` hours ago, so the buffer keeps just enough
+  history);
+* :class:`OnlineMajorityVote` / :class:`OnlineMeanThreshold` — O(1)
+  sliding-window reimplementations of the offline detectors;
+* :class:`FleetMonitor` — routes per-drive observations through a fitted
+  model and collects :class:`Alert` events.
+
+Equivalence with the offline path (score_drives + first_alarm) is
+guaranteed by construction and enforced by the test suite.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.features.vectorize import Feature, FeatureExtractor
+from repro.smart.attributes import N_CHANNELS, channel_index
+from repro.utils.validation import check_positive
+
+#: Scores one feature row; returns a class label or health degree.
+SampleScorer = Callable[[np.ndarray], float]
+
+
+class OnlineFeatureBuffer:
+    """Incremental feature computation for one drive.
+
+    Keeps a bounded history of raw channel readings so change-rate
+    features can look back ``interval`` hours.  Observations must arrive
+    in strictly increasing hour order; gaps (missed samples) are fine —
+    a change rate whose lag hour was never observed is NaN, matching
+    :func:`repro.features.change_rates.change_rate`.
+    """
+
+    def __init__(self, features: Sequence[Feature]):
+        self.features = tuple(features)
+        if not self.features:
+            raise ValueError("at least one feature is required")
+        self._max_lag = max(
+            (f.change_interval_hours for f in self.features), default=0.0
+        )
+        self._history: deque[tuple[float, np.ndarray]] = deque()
+        self._last_hour: Optional[float] = None
+
+    def push(self, hour: float, channel_values: Sequence[float]) -> np.ndarray:
+        """Ingest one SMART record; return the feature row for this hour."""
+        values = np.asarray(channel_values, dtype=float)
+        if values.shape != (N_CHANNELS,):
+            raise ValueError(
+                f"channel_values must have shape ({N_CHANNELS},), got {values.shape}"
+            )
+        if self._last_hour is not None and hour <= self._last_hour:
+            raise ValueError(
+                f"observations must be in increasing hour order "
+                f"({hour} after {self._last_hour})"
+            )
+        self._last_hour = hour
+        self._history.append((float(hour), values))
+        # Drop history older than the longest lag (keep the lag hour itself).
+        while self._history and self._history[0][0] < hour - self._max_lag:
+            self._history.popleft()
+
+        row = np.empty(len(self.features))
+        for column, feature in enumerate(self.features):
+            channel = channel_index(feature.short)
+            current = values[channel]
+            if not feature.is_change_rate:
+                row[column] = current
+                continue
+            lag_hour = hour - feature.change_interval_hours
+            lagged = self._lookup(lag_hour, channel)
+            if lagged is None or not np.isfinite(current) or not np.isfinite(lagged):
+                row[column] = np.nan
+            else:
+                row[column] = (current - lagged) / feature.change_interval_hours
+        return row
+
+    def _lookup(self, hour: float, channel: int) -> Optional[float]:
+        for recorded_hour, values in self._history:
+            if np.isclose(recorded_hour, hour):
+                return float(values[channel])
+        return None
+
+
+class OnlineMajorityVote:
+    """Streaming equivalent of :class:`~repro.detection.voting.MajorityVoteDetector`.
+
+    ``push`` returns True the first time the trailing window holds a
+    strict failed majority.  NaN scores (missed/unusable samples) occupy
+    a window slot but never count as failed votes.
+    """
+
+    def __init__(self, n_voters: int = 1, failed_label: float = -1.0):
+        check_positive("n_voters", n_voters)
+        self.n_voters = int(n_voters)
+        self.failed_label = failed_label
+        self._window: deque[bool] = deque(maxlen=self.n_voters)
+        self._failed_in_window = 0
+
+    def push(self, score: float) -> bool:
+        """Ingest one per-sample score; True when this time point alarms."""
+        if len(self._window) == self._window.maxlen and self._window[0]:
+            self._failed_in_window -= 1
+        vote = bool(np.isfinite(score) and score == self.failed_label)
+        self._window.append(vote)
+        if vote:
+            self._failed_in_window += 1
+        if len(self._window) < self.n_voters:
+            return False
+        return self._failed_in_window > self.n_voters / 2.0
+
+    def flush_short_history(self) -> bool:
+        """Judge a drive whose whole history is shorter than the window.
+
+        Mirrors the offline rule that short series are judged once over
+        all their samples.
+        """
+        if not self._window or len(self._window) >= self.n_voters:
+            return False
+        return self._failed_in_window > len(self._window) / 2.0
+
+
+class OnlineMeanThreshold:
+    """Streaming equivalent of :class:`~repro.detection.voting.MeanThresholdDetector`."""
+
+    def __init__(self, n_voters: int = 11, threshold: float = 0.0):
+        check_positive("n_voters", n_voters)
+        self.n_voters = int(n_voters)
+        self.threshold = float(threshold)
+        self._window: deque[float] = deque(maxlen=self.n_voters)
+
+    def push(self, score: float) -> bool:
+        """Ingest one health degree; True when the window mean alarms."""
+        self._window.append(float(score))
+        if len(self._window) < self.n_voters:
+            return False
+        return self._mean_alarms(self.n_voters)
+
+    def flush_short_history(self) -> bool:
+        """Judge a shorter-than-window history once, like the offline rule."""
+        if not self._window or len(self._window) >= self.n_voters:
+            return False
+        return self._mean_alarms(len(self._window))
+
+    def _mean_alarms(self, width: int) -> bool:
+        values = np.array(list(self._window)[-width:])
+        valid = values[np.isfinite(values)]
+        return valid.size > 0 and float(valid.mean()) < self.threshold
+
+
+@dataclass(frozen=True)
+class Alert:
+    """A raised warning: which drive, when, and the triggering score."""
+
+    serial: str
+    hour: float
+    score: float
+
+
+@dataclass
+class _DriveState:
+    buffer: OnlineFeatureBuffer
+    detector: object
+    alerted: bool = False
+
+
+class FleetMonitor:
+    """Routes streaming SMART records through a fitted model.
+
+    Args:
+        features: The feature definitions the model was trained on.
+        score_sample: Callable scoring one feature row (e.g. wrapping
+            ``predictor.tree_.predict``); rows with no finite feature are
+            scored NaN without calling it.
+        detector_factory: Zero-argument callable building a fresh online
+            detector per drive (majority vote or mean threshold).
+
+    Example:
+        >>> from repro.features.selection import critical_features
+        >>> monitor = FleetMonitor(
+        ...     critical_features(),
+        ...     score_sample=lambda row: 1.0,
+        ...     detector_factory=lambda: OnlineMajorityVote(3),
+        ... )
+        >>> import numpy as np
+        >>> monitor.observe("d1", 0.0, np.ones(12)) is None
+        True
+    """
+
+    def __init__(
+        self,
+        features: Sequence[Feature],
+        score_sample: SampleScorer,
+        detector_factory: Callable[[], object],
+    ):
+        self.features = tuple(features)
+        self.score_sample = score_sample
+        self.detector_factory = detector_factory
+        self._drives: dict[str, _DriveState] = {}
+        self.alerts: list[Alert] = []
+
+    def observe(
+        self, serial: str, hour: float, channel_values: Sequence[float]
+    ) -> Optional[Alert]:
+        """Ingest one record; return an :class:`Alert` if the drive trips.
+
+        A drive raises at most one alert (further records are ignored for
+        alerting but still tracked, so health queries stay current).
+        """
+        state = self._drives.get(serial)
+        if state is None:
+            state = _DriveState(
+                buffer=OnlineFeatureBuffer(self.features),
+                detector=self.detector_factory(),
+            )
+            self._drives[serial] = state
+        row = state.buffer.push(hour, channel_values)
+        if np.any(np.isfinite(row)):
+            score = float(self.score_sample(row))
+        else:
+            score = np.nan
+        alarmed = state.detector.push(score)
+        if alarmed and not state.alerted:
+            state.alerted = True
+            alert = Alert(serial=serial, hour=float(hour), score=score)
+            self.alerts.append(alert)
+            return alert
+        return None
+
+    def finalize(self) -> list[Alert]:
+        """Apply the short-history rule to drives that never filled a window.
+
+        Call once at the end of a replay; returns (and records) the extra
+        alerts.  Idempotent per drive thanks to the ``alerted`` latch.
+        """
+        extra = []
+        for serial, state in self._drives.items():
+            if state.alerted:
+                continue
+            flush = getattr(state.detector, "flush_short_history", None)
+            if flush is not None and flush():
+                state.alerted = True
+                alert = Alert(serial=serial, hour=np.nan, score=np.nan)
+                self.alerts.append(alert)
+                extra.append(alert)
+        return extra
+
+    def watched_drives(self) -> list[str]:
+        """Serials currently tracked."""
+        return sorted(self._drives)

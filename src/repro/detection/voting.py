@@ -1,0 +1,109 @@
+"""Voting-based failure detection (Section V-A3 and V-C).
+
+A single abnormal sample is weak evidence — measurement noise can flip
+one reading — so the paper flags a drive only by vote: "when detecting a
+drive, we check the last N consecutive samples (voters) before a time
+point, and predict the drive is going to fail if more than N/2 samples
+are classified as failed, and the next time point is tested otherwise."
+For the RT health-degree model the vote is replaced by a threshold on
+the *average* output of the last N samples.
+
+Both rules are implemented as sliding-window scans over a drive's
+chronological per-sample scores, returning the index of the first alarm
+(or ``None``), from which the evaluator derives FDR, FAR and TIA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.validation import check_1d, check_positive
+
+
+def _sliding_sums(values: np.ndarray, window: int) -> np.ndarray:
+    """Sums over trailing windows of length ``window`` (NaNs count as 0).
+
+    Output index ``t`` covers samples ``[t - window + 1, t]``; positions
+    with an incomplete window are NaN.  Windows are summed directly
+    (not via prefix-sum differences, whose cancellation error can flip
+    threshold comparisons for extreme value ranges).
+    """
+    filled = np.nan_to_num(values, nan=0.0)
+    sums = np.full(values.shape[0], np.nan)
+    if values.shape[0] >= window:
+        windows = np.lib.stride_tricks.sliding_window_view(filled, window)
+        sums[window - 1 :] = windows.sum(axis=1)
+    return sums
+
+
+@dataclass(frozen=True)
+class MajorityVoteDetector:
+    """Binary-classifier voting rule (used with CT / BP ANN / forests).
+
+    Args:
+        n_voters: Window length N (paper sweeps 1, 3, 5, ..., 27).
+        failed_label: The class value meaning "failed" (paper: -1).
+
+    A time point alarms when, among the valid (non-missing) votes in its
+    window, failed votes outnumber half the *window* size — the paper's
+    strict "more than N/2" bar, which missing samples cannot relax.
+    Drives with fewer than N samples are judged once over all of them.
+    """
+
+    n_voters: int = 1
+    failed_label: float = -1.0
+
+    def __post_init__(self) -> None:
+        check_positive("n_voters", self.n_voters)
+
+    def first_alarm(self, scores: object) -> Optional[int]:
+        """Index of the first alarming time point, or ``None``.
+
+        ``scores`` are per-sample predicted labels in chronological
+        order; NaN marks a missing sample.
+        """
+        labels = check_1d("scores", scores)
+        if labels.shape[0] == 0:
+            return None
+        window = min(self.n_voters, labels.shape[0])
+        failed_votes = _sliding_sums(
+            np.where(np.isfinite(labels), labels == self.failed_label, 0.0), window
+        )
+        alarming = failed_votes > window / 2.0
+        hits = np.nonzero(alarming)[0]
+        return int(hits[0]) if hits.size else None
+
+
+@dataclass(frozen=True)
+class MeanThresholdDetector:
+    """Health-degree voting rule (used with the RT model, Section V-C).
+
+    "For each drive in test, if the average output of the last N samples
+    is lower than the threshold, the drive is predicted to be failed."
+    Missing samples are excluded from the average; a window with no
+    valid sample cannot alarm.
+    """
+
+    n_voters: int = 11
+    threshold: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive("n_voters", self.n_voters)
+
+    def first_alarm(self, scores: object) -> Optional[int]:
+        """Index of the first time point whose window mean < threshold."""
+        values = check_1d("scores", scores)
+        if values.shape[0] == 0:
+            return None
+        window = min(self.n_voters, values.shape[0])
+        valid = np.isfinite(values)
+        sums = _sliding_sums(np.where(valid, values, 0.0), window)
+        counts = _sliding_sums(valid.astype(float), window)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            means = sums / counts
+        alarming = (counts > 0) & (means < self.threshold)
+        hits = np.nonzero(alarming)[0]
+        return int(hits[0]) if hits.size else None

@@ -1,0 +1,17 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+See :data:`repro.experiments.runner.CATALOGUE` for the full index and
+DESIGN.md for the experiment-to-module map.
+"""
+
+from repro.experiments.common import DEFAULT_SCALE, ExperimentScale, aging_fleet, main_fleet
+from repro.experiments.runner import CATALOGUE, run_experiment
+
+__all__ = [
+    "CATALOGUE",
+    "DEFAULT_SCALE",
+    "ExperimentScale",
+    "aging_fleet",
+    "main_fleet",
+    "run_experiment",
+]

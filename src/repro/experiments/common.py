@@ -1,0 +1,77 @@
+"""Shared infrastructure for the experiment drivers.
+
+Each driver reproduces one table or figure of the paper on a synthetic
+fleet.  Fleet construction is cached per configuration so the drivers
+(and the benchmark suite, which runs them all) generate each fleet once.
+
+Scaled-down defaults: the paper's fleet has 25,792 drives; the drivers
+default to ~2,500 (7-day experiments) and ~640 (56-day aging
+experiments), which keeps every experiment's *comparisons* intact at
+benchmark-friendly runtimes (see DESIGN.md §2).  Pass a larger
+:class:`ExperimentScale` to push toward paper scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.smart.dataset import SmartDataset
+from repro.smart.generator import FleetConfig, default_fleet_config
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Fleet sizes used by the drivers.
+
+    ``tiny()`` is for unit tests, the default for benchmarks.
+    """
+
+    w_good: int = 2_000
+    w_failed: int = 90
+    q_good: int = 500
+    q_failed: int = 30
+    aging_w_good: int = 600
+    aging_w_failed: int = 40
+    aging_q_good: int = 300
+    aging_q_failed: int = 25
+    seed: int = 7
+    split_seed: int = 8
+
+    @classmethod
+    def tiny(cls) -> "ExperimentScale":
+        """A minutes-to-seconds scale for tests."""
+        return cls(
+            w_good=120, w_failed=16, q_good=60, q_failed=10,
+            aging_w_good=60, aging_w_failed=10, aging_q_good=40, aging_q_failed=8,
+        )
+
+
+DEFAULT_SCALE = ExperimentScale()
+
+
+@lru_cache(maxsize=8)
+def _cached_fleet(
+    w_good: int, w_failed: int, q_good: int, q_failed: int,
+    collection_days: int, seed: int,
+) -> SmartDataset:
+    config = default_fleet_config(
+        w_good=w_good, w_failed=w_failed, q_good=q_good, q_failed=q_failed,
+        collection_days=collection_days, seed=seed,
+    )
+    return SmartDataset.generate(config)
+
+
+def main_fleet(scale: ExperimentScale = DEFAULT_SCALE) -> SmartDataset:
+    """The 7-day two-family fleet behind the Section V-A/V-B experiments."""
+    return _cached_fleet(
+        scale.w_good, scale.w_failed, scale.q_good, scale.q_failed, 7, scale.seed
+    )
+
+
+def aging_fleet(scale: ExperimentScale = DEFAULT_SCALE) -> SmartDataset:
+    """The 56-day fleet behind the model-updating experiments (Figs 6-9)."""
+    return _cached_fleet(
+        scale.aging_w_good, scale.aging_w_failed,
+        scale.aging_q_good, scale.aging_q_failed, 56, scale.seed,
+    )

@@ -1,0 +1,65 @@
+"""Figure 10: ROC curves of the RT health-degree model vs the RT classifier.
+
+Two regression trees on family "W": one trained on deterioration-window
+health degrees (personalised windows from a CT, formula 6), one on plain
++/-1 targets (the control group).  Both are swept over their output
+threshold with the 11-sample mean-vote rule.  Expected shape: the health
+-degree curve sits closer to the upper-left corner and reaches a higher
+maximum FDR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.config import RTConfig
+from repro.detection.metrics import RocPoint
+from repro.experiments.common import DEFAULT_SCALE, ExperimentScale, main_fleet
+from repro.health.model import HealthDegreePredictor
+from repro.utils.tables import AsciiTable
+
+#: The paper's threshold sweeps (Figure 10 caption).
+HEALTH_THRESHOLDS = (-0.5, -0.37, -0.3, -0.2, -0.1, -0.02, 0.0)
+CLASSIFIER_THRESHOLDS = (-0.94, -0.86, -0.6, -0.4, -0.2, -0.05, 0.0)
+
+
+@dataclass(frozen=True)
+class Fig10Curves:
+    """The two Figure 10 ROC curves."""
+
+    health: list[RocPoint]
+    classifier: list[RocPoint]
+
+
+def run_fig10(
+    scale: ExperimentScale = DEFAULT_SCALE,
+    *,
+    n_voters: int = 11,
+    health_thresholds: tuple[float, ...] = HEALTH_THRESHOLDS,
+    classifier_thresholds: tuple[float, ...] = CLASSIFIER_THRESHOLDS,
+) -> Fig10Curves:
+    """Fit both RT variants and sweep their detection thresholds."""
+    split = main_fleet(scale).filter_family("W").split(seed=scale.split_seed)
+    health = HealthDegreePredictor(RTConfig(targets="health")).fit(split)
+    control = HealthDegreePredictor(RTConfig(targets="binary")).fit(split)
+    return Fig10Curves(
+        health=health.roc(split, health_thresholds, n_voters=n_voters),
+        classifier=control.roc(split, classifier_thresholds, n_voters=n_voters),
+    )
+
+
+def render_fig10(curves: Fig10Curves) -> str:
+    """Both threshold sweeps as (threshold, FAR%, FDR%) tables."""
+    table = AsciiTable(
+        ["Model", "Threshold", "FAR (%)", "FDR (%)"],
+        title="Figure 10: ROC of RT health-degree model vs RT classifier",
+    )
+    for name, points in (
+        ("health degree", curves.health),
+        ("classifier", curves.classifier),
+    ):
+        for point in points:
+            table.add_row(
+                [name, point.parameter, 100.0 * point.far, 100.0 * point.fdr]
+            )
+    return table.render()

@@ -1,0 +1,58 @@
+"""Figure 5: CT versus BP ANN on the (much smaller) drive family "Q".
+
+Same voting sweep as Figure 2 but with models trained and tested on
+family "Q".  Expected shape: both models degrade relative to family "W"
+(fewer drives), the CT stays usable (FAR under ~1%, high FDR), and the
+CT-over-ANN gap widens — the paper's stability argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import AnnConfig, CTConfig
+from repro.core.predictor import AnnFailurePredictor, DriveFailurePredictor
+from repro.detection.metrics import RocPoint
+from repro.experiments.common import DEFAULT_SCALE, ExperimentScale, main_fleet
+from repro.utils.tables import AsciiTable
+
+PAPER_VOTERS_Q = (1, 3, 5, 11, 17)
+
+
+@dataclass(frozen=True)
+class Fig5Curves:
+    """The two family-"Q" ROC curves plus the fitted CT's failure attributes."""
+
+    ct: list[RocPoint]
+    ann: list[RocPoint]
+    ct_failure_attributes: tuple[str, ...]
+
+
+def run_fig5(
+    scale: ExperimentScale = DEFAULT_SCALE,
+    voters: tuple[int, ...] = PAPER_VOTERS_Q,
+) -> Fig5Curves:
+    """Fit and sweep both models on family "Q"."""
+    split = main_fleet(scale).filter_family("Q").split(seed=scale.split_seed)
+    ct = DriveFailurePredictor(CTConfig()).fit(split)
+    ann = AnnFailurePredictor(AnnConfig()).fit(split)
+    return Fig5Curves(
+        ct=ct.roc(split, voters),
+        ann=ann.roc(split, voters),
+        ct_failure_attributes=tuple(ct.failure_attributes()),
+    )
+
+
+def render_fig5(curves: Fig5Curves) -> str:
+    """Both curves plus the interpretability readout of Section V-B1."""
+    table = AsciiTable(
+        ["Model", "Voters N", "FAR (%)", "FDR (%)"],
+        title="Figure 5: CT vs BP ANN on family Q",
+    )
+    for name, points in (("CT", curves.ct), ("BP ANN", curves.ann)):
+        for point in points:
+            table.add_row(
+                [name, int(point.parameter), 100.0 * point.far, 100.0 * point.fdr]
+            )
+    attributes = ", ".join(curves.ct_failure_attributes)
+    return f"{table.render()}\nCT failure-inducing attributes (Q): {attributes}"

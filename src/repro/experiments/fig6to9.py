@@ -1,0 +1,89 @@
+"""Figures 6-9: false alarm rate over weeks under five updating strategies.
+
+Four panels — {CT, BP ANN} x {family W, family Q} — each showing FAR per
+test week (2..8) for fixed / accumulation / 1,2,3-week replacing.
+Expected shape: the fixed strategy's FAR climbs steeply in the late
+weeks, accumulation sits in between, replacing (1-week in particular)
+stays low; the CT's FDR stays high and steady throughout while the BP
+ANN's fluctuates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.config import AnnConfig, CTConfig
+from repro.core.predictor import AnnFailurePredictor, DriveFailurePredictor
+from repro.experiments.common import DEFAULT_SCALE, ExperimentScale, aging_fleet
+from repro.updating.simulator import UpdatingReport, simulate_updating
+from repro.updating.strategies import paper_strategies
+from repro.utils.tables import AsciiTable
+
+
+@dataclass(frozen=True)
+class UpdatingPanel:
+    """One figure panel: a model/family pair with one report per strategy."""
+
+    figure: str
+    model: str
+    family: str
+    reports: tuple[UpdatingReport, ...]
+
+
+_PANELS: tuple[tuple[str, str, str], ...] = (
+    ("Figure 6", "CT", "W"),
+    ("Figure 7", "BP ANN", "W"),
+    ("Figure 8", "CT", "Q"),
+    ("Figure 9", "BP ANN", "Q"),
+)
+
+
+def _factory(model: str) -> Callable:
+    if model == "CT":
+        return lambda: DriveFailurePredictor(CTConfig())
+    return lambda: AnnFailurePredictor(AnnConfig())
+
+
+def run_fig6to9(
+    scale: ExperimentScale = DEFAULT_SCALE,
+    *,
+    n_weeks: int = 8,
+    n_voters: int = 11,
+    panels: tuple[tuple[str, str, str], ...] = _PANELS,
+) -> list[UpdatingPanel]:
+    """Run the weekly simulation for every (model, family) panel."""
+    fleet = aging_fleet(scale)
+    results = []
+    for figure, model, family in panels:
+        reports = simulate_updating(
+            fleet.filter_family(family),
+            _factory(model),
+            paper_strategies(),
+            n_weeks=n_weeks,
+            n_voters=n_voters,
+            split_seed=scale.split_seed,
+        )
+        results.append(
+            UpdatingPanel(figure=figure, model=model, family=family,
+                          reports=tuple(reports))
+        )
+    return results
+
+
+def render_fig6to9(panels: list[UpdatingPanel]) -> str:
+    """Each panel as a strategies-by-weeks FAR% table."""
+    parts = []
+    for panel in panels:
+        weeks = [week for week, _ in panel.reports[0].far_percent_by_week()]
+        table = AsciiTable(
+            ["Strategy"] + [f"wk{week}" for week in weeks],
+            title=f"{panel.figure}: FAR% of {panel.model} with updating "
+            f"on family {panel.family}",
+        )
+        for report in panel.reports:
+            table.add_row(
+                [report.strategy] + [far for _, far in report.far_percent_by_week()]
+            )
+        parts.append(table.render())
+    return "\n\n".join(parts)

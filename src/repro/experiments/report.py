@@ -1,0 +1,76 @@
+"""Machine-readable experiment results.
+
+The drivers return typed dataclasses; this module flattens any of them
+into JSON-able dictionaries so runs can be archived, diffed across
+library versions, or consumed by plotting tools.  Dataclasses are
+converted recursively; numpy scalars/arrays become plain Python;
+properties that carry the headline metrics (``far``, ``fdr``,
+``mean_tia_hours``, ``total``...) are materialised alongside the raw
+fields so downstream consumers never need to re-derive them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Union
+
+import numpy as np
+
+#: Property names worth materialising when present on a dataclass.
+_MATERIALIZED_PROPERTIES = (
+    "far",
+    "fdr",
+    "mean_tia_hours",
+    "total",
+    "combined",
+    "drifted",
+    "n_retrains",
+    "separation",
+    "non_normal",
+)
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert experiment results to JSON-able values."""
+    if isinstance(value, (str, bool, int, float)) or value is None:
+        return value
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        payload = {
+            field.name: to_jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+        for name in _MATERIALIZED_PROPERTIES:
+            if hasattr(type(value), name) and isinstance(
+                getattr(type(value), name), property
+            ):
+                payload[name] = to_jsonable(getattr(value, name))
+        payload["__type__"] = type(value).__name__
+        return payload
+    if isinstance(value, dict):
+        return {str(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [to_jsonable(item) for item in value]
+    raise TypeError(
+        f"cannot convert {type(value).__name__} to a JSON-able value"
+    )
+
+
+def export_results(
+    path: Union[str, Path], results: dict[str, Any]
+) -> None:
+    """Write a ``{experiment_id: result}`` mapping as a JSON document."""
+    document = {name: to_jsonable(result) for name, result in results.items()}
+    Path(path).write_text(json.dumps(document, indent=1, sort_keys=True))
+
+
+def load_results(path: Union[str, Path]) -> dict[str, Any]:
+    """Load a document written by :func:`export_results` (plain dicts)."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,157 @@
+"""Command-line runner: reproduce every table and figure.
+
+``repro-experiments`` (or ``python -m repro.experiments.runner``) runs
+the requested experiments at the requested scale and prints paper-style
+tables.  ``--list`` shows the catalogue; ``--experiments table3 fig2``
+selects a subset; ``--tiny`` uses the test-sized fleets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.experiments.common import DEFAULT_SCALE, ExperimentScale
+from repro.experiments.fig1 import render_fig1, run_fig1
+from repro.experiments.fig2 import render_fig2, run_fig2
+from repro.experiments.fig5 import render_fig5, run_fig5
+from repro.experiments.fig10 import render_fig10, run_fig10
+from repro.experiments.fig12 import render_fig12, run_fig12
+from repro.experiments.fig34 import render_fig34, run_fig34
+from repro.experiments.fig6to9 import render_fig6to9, run_fig6to9
+from repro.experiments.related_work import render_related_work, run_related_work
+from repro.experiments.table3 import render_table3, run_table3
+from repro.experiments.table4 import render_table4, run_table4
+from repro.experiments.table5 import render_table5, run_table5
+from repro.experiments.table6 import render_table6, run_table6
+
+#: Experiment id -> (run, render); ordered as they appear in the paper.
+CATALOGUE: dict[str, tuple[Callable, Callable]] = {
+    "fig1": (run_fig1, render_fig1),
+    "table3": (run_table3, render_table3),
+    "table4": (run_table4, render_table4),
+    "fig2": (run_fig2, render_fig2),
+    "fig34": (run_fig34, render_fig34),
+    "fig5": (run_fig5, render_fig5),
+    "table5": (run_table5, render_table5),
+    "fig6to9": (run_fig6to9, render_fig6to9),
+    "fig10": (run_fig10, render_fig10),
+    "table6": (run_table6, render_table6),
+    "fig12": (run_fig12, render_fig12),
+}
+
+#: Extra experiments beyond the paper's evaluation artefacts.  Run only
+#: when named explicitly (`--experiments related_work ablations`).
+EXTRAS: dict[str, tuple[Callable, Callable]] = {
+    "related_work": (run_related_work, render_related_work),
+    "ablations": (None, None),  # resolved lazily below (many sub-sweeps)
+}
+
+
+def _run_ablations(scale: ExperimentScale):
+    from repro.experiments import ablations as ab
+
+    return [
+        ("false-alarm loss weight", ab.render_ablation_rows(
+            "Ablation: false-alarm loss weight", ab.sweep_loss_weight(scale))),
+        ("failed share", ab.render_ablation_rows(
+            "Ablation: failed-class share", ab.sweep_failed_share(scale))),
+        ("pruning strength", ab.render_ablation_rows(
+            "Ablation: pruning strength (CP)", ab.sweep_cp(scale))),
+        ("deterioration windows", ab.render_ablation_rows(
+            "Ablation: deterioration windows", ab.compare_window_modes(scale))),
+        ("health regressors", ab.render_ablation_rows(
+            "Ablation: single vs bagged health regressor",
+            ab.compare_health_regressors(scale))),
+        ("surrogate splits", ab.render_ablation_rows(
+            "Ablation: surrogate splits under sensor outage",
+            ab.compare_missing_data_robustness(scale))),
+        ("model zoo", ab.render_ablation_rows(
+            "Ablation: CT vs ensembles", ab.compare_model_zoo(scale))),
+        ("adaptive updating", ab.render_adaptive_comparison(
+            ab.compare_adaptive_updating(scale))),
+    ]
+
+
+def _render_ablations(sections) -> str:
+    return "\n\n".join(text for _, text in sections)
+
+
+EXTRAS["ablations"] = (_run_ablations, _render_ablations)
+
+
+def run_experiment(name: str, scale: ExperimentScale = DEFAULT_SCALE) -> str:
+    """Run one experiment by id and return its rendered output."""
+    try:
+        run, render = {**CATALOGUE, **EXTRAS}[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {name!r}; known: "
+            f"{', '.join([*CATALOGUE, *EXTRAS])}"
+        ) from None
+    return render(run(scale))
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        description="Reproduce the tables and figures of Li et al., DSN 2014."
+    )
+    parser.add_argument(
+        "--experiments", nargs="*", default=list(CATALOGUE),
+        help="experiment ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit"
+    )
+    parser.add_argument(
+        "--tiny", action="store_true",
+        help="use the small test-sized fleets (fast, noisier numbers)",
+    )
+    parser.add_argument(
+        "--json", type=str, default=None, metavar="PATH",
+        help="also export the raw results of this run as a JSON document",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in CATALOGUE:
+            print(name)
+        for name in EXTRAS:
+            print(f"{name} (extra)")
+        return 0
+
+    scale = ExperimentScale.tiny() if args.tiny else DEFAULT_SCALE
+    status = 0
+    collected: dict[str, object] = {}
+    for name in args.experiments:
+        started = time.perf_counter()
+        try:
+            run, render = {**CATALOGUE, **EXTRAS}[name]
+        except KeyError:
+            print(
+                f"error: unknown experiment {name!r}; known: "
+                f"{', '.join([*CATALOGUE, *EXTRAS])}",
+                file=sys.stderr,
+            )
+            status = 2
+            continue
+        result = run(scale)
+        collected[name] = result
+        elapsed = time.perf_counter() - started
+        print(f"=== {name} ({elapsed:.1f}s) ===")
+        print(render(result))
+        print()
+
+    if args.json is not None and collected:
+        from repro.experiments.report import export_results
+
+        export_results(args.json, collected)
+        print(f"raw results written to {args.json}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

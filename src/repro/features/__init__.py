@@ -1,0 +1,39 @@
+"""Feature substrate: change rates, selection statistics, vectorisation."""
+
+from repro.features.change_rates import change_rate, change_rate_matrix
+from repro.features.selection import (
+    FEATURE_SETS,
+    FeatureScore,
+    basic_features,
+    critical_features,
+    expert_features,
+    get_feature_set,
+    score_candidates,
+    select_features,
+)
+from repro.features.statistics import (
+    count_inversions,
+    rank_sum_z,
+    reverse_arrangements_z,
+    z_score_separation,
+)
+from repro.features.vectorize import Feature, FeatureExtractor
+
+__all__ = [
+    "FEATURE_SETS",
+    "Feature",
+    "FeatureExtractor",
+    "FeatureScore",
+    "basic_features",
+    "change_rate",
+    "change_rate_matrix",
+    "count_inversions",
+    "critical_features",
+    "expert_features",
+    "get_feature_set",
+    "rank_sum_z",
+    "reverse_arrangements_z",
+    "score_candidates",
+    "select_features",
+    "z_score_separation",
+]

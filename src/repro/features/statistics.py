@@ -1,0 +1,128 @@
+"""Non-parametric statistical tests for feature selection.
+
+Section IV-B: "we use three non-parametric statistical methods — reverse
+arrangement test, rank-sum test and z-scores — to select features",
+following the observation (shared with Hughes et al. and Murray et al.)
+that SMART attributes are non-parametrically distributed.  All three are
+implemented from scratch here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_1d
+
+
+def _drop_nan(values: np.ndarray) -> np.ndarray:
+    return values[np.isfinite(values)]
+
+
+def rank_sum_z(sample_a: object, sample_b: object) -> float:
+    """Wilcoxon rank-sum z statistic of ``sample_a`` versus ``sample_b``.
+
+    Positive values mean ``sample_a`` ranks higher.  Uses the normal
+    approximation with the standard tie correction; returns 0.0 when
+    either sample is empty or the pooled data is constant.
+    """
+    a = _drop_nan(check_1d("sample_a", sample_a))
+    b = _drop_nan(check_1d("sample_b", sample_b))
+    n_a, n_b = a.shape[0], b.shape[0]
+    if n_a == 0 or n_b == 0:
+        return 0.0
+    pooled = np.concatenate([a, b])
+    order = np.argsort(pooled, kind="stable")
+    ranks = np.empty(pooled.shape[0], dtype=float)
+    ranks[order] = np.arange(1, pooled.shape[0] + 1, dtype=float)
+    # Average ranks over ties.
+    sorted_values = pooled[order]
+    unique_values, starts, counts = np.unique(
+        sorted_values, return_index=True, return_counts=True
+    )
+    for start, count in zip(starts, counts):
+        if count > 1:
+            tied_positions = order[start : start + count]
+            ranks[tied_positions] = ranks[tied_positions].mean()
+
+    w = float(ranks[:n_a].sum())
+    n = n_a + n_b
+    mean_w = n_a * (n + 1) / 2.0
+    tie_term = float(np.sum(counts.astype(float) ** 3 - counts)) / (n * (n - 1)) if n > 1 else 0.0
+    variance = n_a * n_b / 12.0 * ((n + 1) - tie_term)
+    if variance <= 0:
+        return 0.0
+    return (w - mean_w) / np.sqrt(variance)
+
+
+def count_inversions(values: np.ndarray) -> int:
+    """Number of pairs ``i < j`` with ``values[i] > values[j]`` (merge sort)."""
+    sequence = np.asarray(values, dtype=float)
+    if sequence.ndim != 1:
+        raise ValueError(f"values must be 1-D, got shape {sequence.shape}")
+
+    def merge_count(chunk: list[float]) -> tuple[list[float], int]:
+        if len(chunk) <= 1:
+            return chunk, 0
+        middle = len(chunk) // 2
+        left, left_count = merge_count(chunk[:middle])
+        right, right_count = merge_count(chunk[middle:])
+        merged: list[float] = []
+        count = left_count + right_count
+        i = j = 0
+        while i < len(left) and j < len(right):
+            if left[i] <= right[j]:
+                merged.append(left[i])
+                i += 1
+            else:
+                merged.append(right[j])
+                j += 1
+                count += len(left) - i
+        merged.extend(left[i:])
+        merged.extend(right[j:])
+        return merged, count
+
+    _, inversions = merge_count(list(sequence))
+    return inversions
+
+
+def reverse_arrangements_z(series: object, *, max_points: int = 256) -> float:
+    """Reverse-arrangements trend z statistic for a time series.
+
+    Counts the reverse arrangements ``A`` (inversions) of the series;
+    under the null of no trend ``E[A] = n(n-1)/4`` and
+    ``Var[A] = (2n^3 + 3n^2 - 5n)/72``.  A strongly *decreasing* series
+    (degrading normalized SMART value) yields a large positive z.  Long
+    series are decimated to ``max_points`` for tractability.
+    """
+    x = _drop_nan(check_1d("series", series))
+    n = x.shape[0]
+    if n < 3:
+        return 0.0
+    if n > max_points:
+        indices = np.linspace(0, n - 1, max_points).round().astype(int)
+        x = x[indices]
+        n = x.shape[0]
+    inversions = count_inversions(x)
+    mean_a = n * (n - 1) / 4.0
+    variance = (2 * n**3 + 3 * n**2 - 5 * n) / 72.0
+    if variance <= 0:
+        return 0.0
+    return (inversions - mean_a) / np.sqrt(variance)
+
+
+def z_score_separation(failed_values: object, good_values: object) -> float:
+    """Hughes-style z-score: failed-vs-good mean gap in good-noise units.
+
+    ``(mean_good - mean_failed) / std_good`` — positive when failed
+    samples sit *below* the good population, the degradation direction of
+    normalized SMART values.  Returns 0.0 for empty inputs or a constant
+    good population.
+    """
+    failed = _drop_nan(check_1d("failed_values", failed_values))
+    good = _drop_nan(check_1d("good_values", good_values))
+    if failed.shape[0] == 0 or good.shape[0] == 0:
+        return 0.0
+    spread = float(good.std())
+    if spread == 0:
+        return 0.0
+    return float((good.mean() - failed.mean()) / spread)

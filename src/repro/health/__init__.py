@@ -1,0 +1,15 @@
+"""Health-degree modelling: deterioration-window targets and the RT pipeline."""
+
+from repro.health.degree import (
+    evenly_spaced_window_samples,
+    health_degree,
+    personalized_windows,
+)
+from repro.health.model import HealthDegreePredictor
+
+__all__ = [
+    "HealthDegreePredictor",
+    "evenly_spaced_window_samples",
+    "health_degree",
+    "personalized_windows",
+]

@@ -1,0 +1,89 @@
+"""Health-degree target functions (Section III-B, formulas 5 and 6).
+
+A failed sample ``i`` hours before failure gets target
+``h(i) = -1 + i / w``: -1 at the failure instant, rising linearly to 0
+(the "borderline condition between good and failed") at the start of the
+deterioration window ``w``.  Good samples keep target +1.
+
+With the **global** window (formula 5) every drive shares one ``w``;
+with the **personalised** window (formula 6) each drive ``d`` uses its
+own ``w_d`` — the time in advance a fitted CT model achieves on that
+drive — which "distinguishes different individual drives' deterioration
+process more precisely".
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.detection.voting import MajorityVoteDetector
+from repro.utils.validation import check_positive
+
+
+def health_degree(lead_hours: object, window_hours: float) -> np.ndarray:
+    """Formula 5/6: targets for samples ``lead_hours`` before failure.
+
+    Values are clipped to [-1, 0]; leads beyond the window saturate at
+    the borderline value 0 (callers normally only pass in-window leads).
+
+    >>> health_degree([0.0, 12.0, 24.0], 24.0).tolist()
+    [-1.0, -0.5, 0.0]
+    """
+    check_positive("window_hours", window_hours)
+    lead = np.asarray(lead_hours, dtype=float)
+    if np.any(lead < 0):
+        raise ValueError("lead_hours must be non-negative (before the failure)")
+    return np.clip(-1.0 + lead / window_hours, -1.0, 0.0)
+
+
+def personalized_windows(
+    score_series,
+    *,
+    fallback_window_hours: float = 24.0,
+    n_voters: int = 1,
+    failed_label: float = -1.0,
+) -> dict[str, float]:
+    """Per-drive deterioration windows from a CT model's alarms.
+
+    ``score_series`` are :class:`~repro.detection.evaluator.DriveScoreSeries`
+    for *failed training drives*, scored by an already-fitted CT model.
+    A drive's window is the CT's time in advance on it; drives the CT
+    misses fall back to the paper's 24-hour global window.
+    """
+    check_positive("fallback_window_hours", fallback_window_hours)
+    detector = MajorityVoteDetector(n_voters=n_voters, failed_label=failed_label)
+    windows: dict[str, float] = {}
+    for drive in score_series:
+        if not drive.failed:
+            raise ValueError(
+                f"personalized windows are defined for failed drives; "
+                f"{drive.serial} is good"
+            )
+        alarm = detector.first_alarm(drive.scores) if drive.scores.size else None
+        if alarm is None:
+            windows[drive.serial] = fallback_window_hours
+            continue
+        lead = float(drive.failure_hour - drive.hours[alarm])
+        windows[drive.serial] = max(lead, fallback_window_hours)
+    return windows
+
+
+def evenly_spaced_window_samples(
+    lead_hours: np.ndarray, window_hours: float, n_samples: int
+) -> np.ndarray:
+    """Indices of ~``n_samples`` evenly-spread in-window samples.
+
+    The paper trains the RT on 12 samples "chosen evenly within the
+    window for each failed drive" rather than every in-window sample.
+    ``lead_hours`` is the drive's per-sample lead-time vector; only
+    recorded samples should be offered (filter NaNs upstream).
+    """
+    check_positive("n_samples", n_samples)
+    lead = np.asarray(lead_hours, dtype=float)
+    in_window = np.nonzero((lead >= 0) & (lead <= window_hours))[0]
+    if in_window.size <= n_samples:
+        return in_window
+    positions = np.linspace(0, in_window.size - 1, n_samples).round().astype(int)
+    return in_window[np.unique(positions)]

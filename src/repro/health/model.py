@@ -1,0 +1,230 @@
+"""The health-degree predictor (Section V-C's RT pipeline).
+
+Training proceeds exactly as the paper describes: first fit a CT model
+on the training split and apply it to each failed *training* drive to
+obtain that drive's personalised deterioration window (its time in
+advance); then train a regression tree whose failed targets follow
+formula (6) over those windows (formula (5) with a 24-hour global window
+for drives the CT missed), using 12 evenly-spaced in-window samples per
+failed drive; good samples keep target +1.
+
+At detection time the drive's health degree series feeds the
+mean-threshold voting rule, giving a *tunable* FDR/FAR trade-off (the
+paper's Figure 10) and an ordering for processing warnings.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import FAILED_LABEL, GOOD_LABEL, RTConfig, resolve_features
+from repro.core.predictor import DriveFailurePredictor
+from repro.core.sampling import good_training_rows, score_drives
+from repro.detection.evaluator import (
+    DriveScoreSeries,
+    evaluate_detection,
+    roc_over_thresholds,
+)
+from repro.detection.metrics import DetectionResult, RocPoint
+from repro.detection.voting import MeanThresholdDetector
+from repro.features.vectorize import FeatureExtractor
+from repro.smart.dataset import TrainTestSplit
+from repro.smart.drive import DriveRecord
+from repro.tree.regression import RegressionTree
+
+from repro.health.degree import (
+    evenly_spaced_window_samples,
+    health_degree,
+    personalized_windows,
+)
+
+
+class HealthDegreePredictor:
+    """Regression-tree health-degree model.
+
+    With ``config.targets == "health"`` this is the paper's proposed
+    model; with ``"binary"`` it is the Figure 10 control group (an RT
+    trained on plain +/-1 targets).
+
+    Example:
+        >>> from repro.smart import SmartDataset, default_fleet_config
+        >>> from repro.core.config import RTConfig, CTConfig
+        >>> fleet = default_fleet_config(w_good=60, w_failed=8, q_good=0, q_failed=0)
+        >>> split = SmartDataset.generate(fleet).split(seed=1)
+        >>> rt_config = RTConfig(minsplit=4, minbucket=2, ct=CTConfig(minsplit=4, minbucket=2))
+        >>> model = HealthDegreePredictor(rt_config).fit(split)
+        >>> series = model.score_drive(split.test_good[0])
+        >>> bool(np.nanmax(series.scores) <= 1.0 + 1e-9)
+        True
+    """
+
+    def __init__(self, config: RTConfig | None = None):
+        self.config = config or RTConfig()
+        self.extractor: Optional[FeatureExtractor] = None
+        self.tree_: Optional[RegressionTree] = None
+        self.windows_: dict[str, float] = {}
+        self.ct_: Optional[DriveFailurePredictor] = None
+
+    # -- fitting ------------------------------------------------------------------
+
+    def fit(self, split: TrainTestSplit) -> "HealthDegreePredictor":
+        """Fit the RT (and, for health targets, the window-defining CT)."""
+        features = resolve_features(self.config.features)
+        self.extractor = FeatureExtractor(features)
+
+        good_rows = good_training_rows(
+            self.extractor,
+            split.train_good,
+            self.config.sampling.good_samples_per_drive,
+            self.config.sampling.seed,
+        )
+        if self.config.targets == "health":
+            self.windows_ = self._fit_windows(split)
+            failed_rows, failed_targets = self._failed_health_rows(split.train_failed)
+        else:
+            self.windows_ = {}
+            failed_rows, failed_targets = self._failed_binary_rows(split.train_failed)
+
+        if good_rows.shape[0] == 0 or failed_rows.shape[0] == 0:
+            raise ValueError(
+                f"training set needs both classes; got {good_rows.shape[0]} good "
+                f"and {failed_rows.shape[0]} failed samples"
+            )
+        X = np.vstack([good_rows, failed_rows])
+        y = np.concatenate(
+            [np.full(good_rows.shape[0], float(GOOD_LABEL)), failed_targets]
+        )
+        if self.config.regressor_factory is not None:
+            self.tree_ = self.config.regressor_factory()
+        else:
+            self.tree_ = RegressionTree(
+                minsplit=self.config.minsplit,
+                minbucket=self.config.minbucket,
+                cp=self.config.cp,
+            )
+        self.tree_.fit(X, y)
+        return self
+
+    def _fit_windows(self, split: TrainTestSplit) -> dict[str, float]:
+        """Per-drive deterioration windows (formula 6), or the global one.
+
+        In ``"global"`` window mode every failed drive uses the fallback
+        window (formula 5) and no CT is fitted.
+        """
+        if self.config.window_mode == "global":
+            return {
+                drive.serial: self.config.fallback_window_hours
+                for drive in split.train_failed
+            }
+        self.ct_ = DriveFailurePredictor(self.config.ct).fit(split)
+        ct_series = self.ct_.score_drives(list(split.train_failed))
+        return personalized_windows(
+            ct_series,
+            fallback_window_hours=self.config.fallback_window_hours,
+            failed_label=FAILED_LABEL,
+        )
+
+    def _failed_health_rows(
+        self, train_failed: Sequence[DriveRecord]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        rows, targets = [], []
+        for drive in train_failed:
+            window = self.windows_.get(drive.serial, self.config.fallback_window_hours)
+            matrix = self.extractor.extract(drive)
+            lead = drive.hours_before_failure()
+            usable_lead = np.where(
+                np.any(np.isfinite(matrix), axis=1), lead, -1.0
+            )
+            chosen = evenly_spaced_window_samples(
+                usable_lead, window, self.config.failed_samples_per_drive
+            )
+            if chosen.size == 0:
+                continue
+            rows.append(matrix[chosen])
+            targets.append(health_degree(lead[chosen], window))
+        if not rows:
+            return np.empty((0, len(self.extractor))), np.empty(0)
+        return np.vstack(rows), np.concatenate(targets)
+
+    def _failed_binary_rows(
+        self, train_failed: Sequence[DriveRecord]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Control-group targets: a flat -1 on the same sample selection."""
+        rows, targets = [], []
+        for drive in train_failed:
+            window = self.config.sampling.failed_window_hours
+            matrix = self.extractor.extract(drive)
+            lead = drive.hours_before_failure()
+            usable_lead = np.where(
+                np.any(np.isfinite(matrix), axis=1), lead, -1.0
+            )
+            chosen = evenly_spaced_window_samples(
+                usable_lead, window, self.config.failed_samples_per_drive
+            )
+            if chosen.size == 0:
+                continue
+            rows.append(matrix[chosen])
+            targets.append(np.full(chosen.size, float(FAILED_LABEL)))
+        if not rows:
+            return np.empty((0, len(self.extractor))), np.empty(0)
+        return np.vstack(rows), np.concatenate(targets)
+
+    # -- inference ------------------------------------------------------------------
+
+    def _check_fitted(self) -> FeatureExtractor:
+        if self.extractor is None or self.tree_ is None:
+            raise RuntimeError("HealthDegreePredictor is not fitted; call fit() first")
+        return self.extractor
+
+    def score_drive(self, drive: DriveRecord) -> DriveScoreSeries:
+        """Chronological health-degree series for one drive (+1 .. -1)."""
+        return self.score_drives([drive])[0]
+
+    def score_drives(self, drives: Sequence[DriveRecord]) -> list[DriveScoreSeries]:
+        """Health-degree series for many drives."""
+        extractor = self._check_fitted()
+        return score_drives(extractor, drives, self.tree_.predict)
+
+    def evaluate(
+        self,
+        split: TrainTestSplit,
+        *,
+        threshold: float = -0.2,
+        n_voters: int = 11,
+    ) -> DetectionResult:
+        """FDR/FAR/TIA with the mean-threshold voting rule."""
+        series = self.score_drives(list(split.test_good) + list(split.test_failed))
+        detector = MeanThresholdDetector(n_voters=n_voters, threshold=threshold)
+        return evaluate_detection(series, detector)
+
+    def roc(
+        self,
+        split: TrainTestSplit,
+        thresholds: Sequence[float],
+        *,
+        n_voters: int = 11,
+    ) -> list[RocPoint]:
+        """The Figure 10 threshold sweep."""
+        series = self.score_drives(list(split.test_good) + list(split.test_failed))
+        return roc_over_thresholds(series, thresholds, n_voters=n_voters)
+
+    def triage(
+        self, drives: Sequence[DriveRecord], *, n_voters: int = 11
+    ) -> list[tuple[str, float]]:
+        """Warned drives ordered most-critical-first by current health.
+
+        The paper's operational use case: "deal with warnings in order of
+        their health degrees to reduce processing overhead".  Returns
+        (serial, mean health over the last N samples) sorted ascending.
+        """
+        ranked = []
+        for series in self.score_drives(drives):
+            valid = series.scores[np.isfinite(series.scores)]
+            if valid.size == 0:
+                continue
+            window = valid[-min(n_voters, valid.size):]
+            ranked.append((series.serial, float(window.mean())))
+        ranked.sort(key=lambda item: item[1])
+        return ranked

@@ -1,0 +1,73 @@
+"""Reliability substrate: CTMCs, single-drive and RAID MTTDL models."""
+
+from repro.reliability.analysis import (
+    MTTR_HOURS,
+    SAS_MTTF_HOURS,
+    SATA_MTTF_HOURS,
+    RaidCurvePoint,
+    SingleDriveRow,
+    raid_comparison_curves,
+    single_drive_table,
+)
+from repro.reliability.markov import MarkovChain, exponential_rate
+from repro.reliability.montecarlo import RaidSimulator, SimulationResult
+from repro.reliability.sensitivity import (
+    SensitivityReport,
+    SweepPoint,
+    elasticity,
+    is_superlinear_in_fdr,
+    mttdl_vs_fdr,
+    raid6_sensitivity,
+)
+from repro.reliability.raid import (
+    DATA_LOSS,
+    build_raid5_prediction_chain,
+    build_raid6_prediction_chain,
+    mttdl_raid5_formula,
+    mttdl_raid5_with_prediction,
+    mttdl_raid6_formula,
+    mttdl_raid6_with_prediction,
+)
+from repro.reliability.single_drive import (
+    PAPER_MODELS,
+    PredictionQuality,
+    hours_to_years,
+    improvement_percent,
+    mttdl_predicted_drive,
+    mttdl_predicted_drive_exact,
+    mttdl_unpredicted_drive,
+)
+
+__all__ = [
+    "DATA_LOSS",
+    "MTTR_HOURS",
+    "MarkovChain",
+    "PAPER_MODELS",
+    "PredictionQuality",
+    "RaidSimulator",
+    "SensitivityReport",
+    "SimulationResult",
+    "SweepPoint",
+    "elasticity",
+    "is_superlinear_in_fdr",
+    "mttdl_vs_fdr",
+    "raid6_sensitivity",
+    "RaidCurvePoint",
+    "SAS_MTTF_HOURS",
+    "SATA_MTTF_HOURS",
+    "SingleDriveRow",
+    "build_raid5_prediction_chain",
+    "build_raid6_prediction_chain",
+    "exponential_rate",
+    "hours_to_years",
+    "improvement_percent",
+    "mttdl_predicted_drive",
+    "mttdl_predicted_drive_exact",
+    "mttdl_raid5_formula",
+    "mttdl_raid5_with_prediction",
+    "mttdl_raid6_formula",
+    "mttdl_raid6_with_prediction",
+    "mttdl_unpredicted_drive",
+    "raid_comparison_curves",
+    "single_drive_table",
+]

@@ -1,0 +1,107 @@
+"""Reliability analyses behind Table VI and Figure 12.
+
+Parameters follow the paper: MTTF 1,390,000 hours for consumer SATA
+drives and 1,990,000 hours for enterprise SAS drives, MTTR 8 hours, and
+the per-model (FDR, TIA) pairs of :data:`~repro.reliability.single_drive.PAPER_MODELS`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from repro.reliability.raid import (
+    mttdl_raid5_with_prediction,
+    mttdl_raid6_formula,
+    mttdl_raid6_with_prediction,
+)
+from repro.reliability.single_drive import (
+    PAPER_MODELS,
+    PredictionQuality,
+    hours_to_years,
+    improvement_percent,
+    mttdl_predicted_drive,
+    mttdl_unpredicted_drive,
+)
+
+#: Paper parameters (Section VI).
+SATA_MTTF_HOURS = 1_390_000.0
+SAS_MTTF_HOURS = 1_990_000.0
+MTTR_HOURS = 8.0
+
+
+@dataclass(frozen=True)
+class SingleDriveRow:
+    """One row of Table VI."""
+
+    model: str
+    mttdl_years: float
+    increase_percent: float
+
+
+def single_drive_table(
+    models: Optional[Mapping[str, PredictionQuality]] = None,
+    *,
+    mttf_hours: float = SATA_MTTF_HOURS,
+    mttr_hours: float = MTTR_HOURS,
+) -> list[SingleDriveRow]:
+    """Table VI: single-drive MTTDL without and with each prediction model."""
+    models = PAPER_MODELS if models is None else models
+    baseline = mttdl_unpredicted_drive(mttf_hours)
+    rows = [SingleDriveRow("No prediction", hours_to_years(baseline), 0.0)]
+    for name, quality in models.items():
+        with_prediction = mttdl_predicted_drive(mttf_hours, mttr_hours, quality)
+        rows.append(
+            SingleDriveRow(
+                model=name,
+                mttdl_years=hours_to_years(with_prediction),
+                increase_percent=improvement_percent(baseline, with_prediction),
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class RaidCurvePoint:
+    """MTTDL of the four Figure 12 systems at one fleet size."""
+
+    n_drives: int
+    sas_raid6_years: float
+    sata_raid6_years: float
+    sata_raid6_ct_years: float
+    sata_raid5_ct_years: float
+
+
+def raid_comparison_curves(
+    n_drives_list: Sequence[int],
+    *,
+    quality: Optional[PredictionQuality] = None,
+    sas_mttf_hours: float = SAS_MTTF_HOURS,
+    sata_mttf_hours: float = SATA_MTTF_HOURS,
+    mttr_hours: float = MTTR_HOURS,
+) -> list[RaidCurvePoint]:
+    """Figure 12: MTTDL versus fleet size for the four compared systems.
+
+    ``quality`` defaults to the paper's CT operating point.
+    """
+    quality = quality or PAPER_MODELS["CT"]
+    points = []
+    for n in n_drives_list:
+        points.append(
+            RaidCurvePoint(
+                n_drives=n,
+                sas_raid6_years=hours_to_years(
+                    mttdl_raid6_formula(n, sas_mttf_hours, mttr_hours)
+                ),
+                sata_raid6_years=hours_to_years(
+                    mttdl_raid6_formula(n, sata_mttf_hours, mttr_hours)
+                ),
+                sata_raid6_ct_years=hours_to_years(
+                    mttdl_raid6_with_prediction(n, sata_mttf_hours, mttr_hours, quality)
+                ),
+                sata_raid5_ct_years=hours_to_years(
+                    mttdl_raid5_with_prediction(n, sata_mttf_hours, mttr_hours, quality)
+                ),
+            )
+        )
+    return points

@@ -1,0 +1,169 @@
+"""RAID reliability models (Section VI, Figure 11 and Figure 12).
+
+Four system models:
+
+* :func:`mttdl_raid6_formula` — the classic closed form (formula 8),
+  used for the two non-predictive RAID-6 curves of Figure 12;
+* :func:`mttdl_raid5_formula` — the analogous RAID-5 closed form;
+* :func:`build_raid6_prediction_chain` — the paper's Figure 11 Markov
+  model for RAID-6 with proactive fault tolerance (3N+1 states);
+* :func:`build_raid5_prediction_chain` — the RAID-5-with-prediction
+  chain after Eckart et al. (2N+2 states).
+
+Chain semantics (rates per hour, all events exponential):
+``lambda = 1/MTTF`` is each drive's deterioration rate.  A deteriorating
+drive is *caught* by the predictor with probability ``k`` (entering a
+predicted state, from which it is proactively replaced at ``mu = 1/MTTR``
+or actually dies at ``gamma = 1/TIA``) and *missed* with probability
+``l = 1 - k`` (failing outright).  Failed drives rebuild one at a time
+at rate ``mu``.  Data is lost when erasures exceed the code's tolerance.
+"""
+
+from __future__ import annotations
+
+from repro.reliability.markov import MarkovChain, exponential_rate
+from repro.reliability.single_drive import PredictionQuality
+from repro.utils.validation import check_positive
+
+
+def mttdl_raid6_formula(n_drives: int, mttf_hours: float, mttr_hours: float) -> float:
+    """Formula (8): MTTDL of an N-drive RAID-6 group without prediction.
+
+    >>> round(mttdl_raid6_formula(10, 1e6, 10.0) / 1e12, 3)
+    13.889
+    """
+    if n_drives < 3:
+        raise ValueError(f"RAID-6 needs at least 3 drives, got {n_drives}")
+    check_positive("mttf_hours", mttf_hours)
+    check_positive("mttr_hours", mttr_hours)
+    return mttf_hours**3 / (
+        n_drives * (n_drives - 1) * (n_drives - 2) * mttr_hours**2
+    )
+
+
+def mttdl_raid5_formula(n_drives: int, mttf_hours: float, mttr_hours: float) -> float:
+    """Gibson-Patterson MTTDL of an N-drive RAID-5 group without prediction."""
+    if n_drives < 2:
+        raise ValueError(f"RAID-5 needs at least 2 drives, got {n_drives}")
+    check_positive("mttf_hours", mttf_hours)
+    check_positive("mttr_hours", mttr_hours)
+    return mttf_hours**2 / (n_drives * (n_drives - 1) * mttr_hours)
+
+
+# State encodings for the prediction chains: ("P", i) — all drives
+# operational, i predicted to fail; ("SP", i) — one erasure, i predicted;
+# ("DP", i) — two erasures, i predicted; "F" — data loss.
+DATA_LOSS = "F"
+
+
+def build_raid6_prediction_chain(
+    n_drives: int,
+    mttf_hours: float,
+    mttr_hours: float,
+    quality: PredictionQuality,
+) -> MarkovChain:
+    """The Figure 11 chain: RAID-6 with failure prediction, 3N+1 states."""
+    if n_drives < 3:
+        raise ValueError(f"RAID-6 needs at least 3 drives, got {n_drives}")
+    lam = exponential_rate(mttf_hours)
+    mu = exponential_rate(mttr_hours)
+    gamma = exponential_rate(quality.tia_hours)
+    k, miss = quality.fdr, 1.0 - quality.fdr
+    chain = MarkovChain()
+    n = n_drives
+
+    # P_i: no erasure, i in 0..N predicted.
+    for i in range(n + 1):
+        unflagged = n - i
+        if i < n:
+            chain.add_transition(("P", i), ("P", i + 1), unflagged * lam * k)
+        chain.add_transition(("P", i), ("SP", i), unflagged * lam * miss)
+        if i > 0:
+            chain.add_transition(("P", i), ("P", i - 1), i * mu)
+            chain.add_transition(("P", i), ("SP", i - 1), i * gamma)
+
+    # SP_i: one erasure rebuilding, i in 0..N-1 predicted.
+    for i in range(n):
+        unflagged = n - 1 - i
+        chain.add_transition(("SP", i), ("P", i), mu)
+        if i < n - 1:
+            chain.add_transition(("SP", i), ("SP", i + 1), unflagged * lam * k)
+        chain.add_transition(("SP", i), ("DP", i), unflagged * lam * miss)
+        if i > 0:
+            chain.add_transition(("SP", i), ("SP", i - 1), i * mu)
+            chain.add_transition(("SP", i), ("DP", i - 1), i * gamma)
+
+    # DP_i: two erasures rebuilding, i in 0..N-2 predicted; a third
+    # erasure of any kind is data loss.
+    for i in range(n - 1):
+        unflagged = n - 2 - i
+        chain.add_transition(("DP", i), ("SP", i), mu)
+        if i < n - 2:
+            chain.add_transition(("DP", i), ("DP", i + 1), unflagged * lam * k)
+        chain.add_transition(("DP", i), DATA_LOSS, unflagged * lam * miss)
+        if i > 0:
+            chain.add_transition(("DP", i), ("DP", i - 1), i * mu)
+            chain.add_transition(("DP", i), DATA_LOSS, i * gamma)
+    chain.add_state(DATA_LOSS)
+    return chain
+
+
+def build_raid5_prediction_chain(
+    n_drives: int,
+    mttf_hours: float,
+    mttr_hours: float,
+    quality: PredictionQuality,
+) -> MarkovChain:
+    """RAID-5 with failure prediction (Eckart et al.): 2N+2 states."""
+    if n_drives < 2:
+        raise ValueError(f"RAID-5 needs at least 2 drives, got {n_drives}")
+    lam = exponential_rate(mttf_hours)
+    mu = exponential_rate(mttr_hours)
+    gamma = exponential_rate(quality.tia_hours)
+    k, miss = quality.fdr, 1.0 - quality.fdr
+    chain = MarkovChain()
+    n = n_drives
+
+    for i in range(n + 1):
+        unflagged = n - i
+        if i < n:
+            chain.add_transition(("P", i), ("P", i + 1), unflagged * lam * k)
+        chain.add_transition(("P", i), ("SP", i), unflagged * lam * miss)
+        if i > 0:
+            chain.add_transition(("P", i), ("P", i - 1), i * mu)
+            chain.add_transition(("P", i), ("SP", i - 1), i * gamma)
+
+    # SP_i: one erasure; a second erasure of any kind is data loss.
+    for i in range(n):
+        unflagged = n - 1 - i
+        chain.add_transition(("SP", i), ("P", i), mu)
+        if i < n - 1:
+            chain.add_transition(("SP", i), ("SP", i + 1), unflagged * lam * k)
+        chain.add_transition(("SP", i), DATA_LOSS, unflagged * lam * miss)
+        if i > 0:
+            chain.add_transition(("SP", i), ("SP", i - 1), i * mu)
+            chain.add_transition(("SP", i), DATA_LOSS, i * gamma)
+    chain.add_state(DATA_LOSS)
+    return chain
+
+
+def mttdl_raid6_with_prediction(
+    n_drives: int,
+    mttf_hours: float,
+    mttr_hours: float,
+    quality: PredictionQuality,
+) -> float:
+    """MTTDL (hours) of the Figure 11 chain from the all-healthy state."""
+    chain = build_raid6_prediction_chain(n_drives, mttf_hours, mttr_hours, quality)
+    return chain.mean_time_to_absorption(("P", 0), {DATA_LOSS})
+
+
+def mttdl_raid5_with_prediction(
+    n_drives: int,
+    mttf_hours: float,
+    mttr_hours: float,
+    quality: PredictionQuality,
+) -> float:
+    """MTTDL (hours) of the RAID-5-with-prediction chain."""
+    chain = build_raid5_prediction_chain(n_drives, mttf_hours, mttr_hours, quality)
+    return chain.mean_time_to_absorption(("P", 0), {DATA_LOSS})

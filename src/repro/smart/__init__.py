@@ -1,0 +1,48 @@
+"""SMART data substrate: attributes, drives, synthetic fleets, IO."""
+
+from repro.smart.attributes import (
+    BY_SHORT,
+    CHANNELS,
+    N_CHANNELS,
+    AttributeSpec,
+    Kind,
+    channel_index,
+    channel_shorts,
+)
+from repro.smart.dataset import SmartDataset, TrainTestSplit
+from repro.smart.drive import DriveRecord
+from repro.smart.generator import (
+    DegradationSignature,
+    FamilySpec,
+    FleetConfig,
+    FleetGenerator,
+    default_fleet_config,
+    family_q,
+    family_w,
+)
+from repro.smart.backblaze import read_backblaze_csv, write_backblaze_csv
+from repro.smart.io import read_fleet_csv, write_fleet_csv
+
+__all__ = [
+    "BY_SHORT",
+    "CHANNELS",
+    "N_CHANNELS",
+    "AttributeSpec",
+    "DegradationSignature",
+    "DriveRecord",
+    "FamilySpec",
+    "FleetConfig",
+    "FleetGenerator",
+    "Kind",
+    "SmartDataset",
+    "TrainTestSplit",
+    "channel_index",
+    "channel_shorts",
+    "default_fleet_config",
+    "family_q",
+    "family_w",
+    "read_backblaze_csv",
+    "read_fleet_csv",
+    "write_backblaze_csv",
+    "write_fleet_csv",
+]

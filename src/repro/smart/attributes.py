@@ -1,0 +1,89 @@
+"""SMART attribute catalogue (the paper's Table II).
+
+The paper reads 23 attributes per SMART record, filters the changeless
+ones, and keeps 12 *basic features*: ten one-byte normalized values
+(range 1-253, where lower means less healthy by SMART convention) plus
+the raw values of "Reallocated Sectors Count" and "Current Pending
+Sector Count" (vendor-specific counters, where higher means worse).
+
+This module fixes the channel ordering used everywhere else in the
+library: a fleet's time series is a ``(T, N_CHANNELS)`` array whose
+columns follow :data:`CHANNELS`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Kind(Enum):
+    """Whether a channel stores a normalized value or a raw counter."""
+
+    NORMALIZED = "normalized"
+    RAW = "raw"
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """One SMART channel.
+
+    Attributes:
+        index: Column in the fleet time-series array.
+        smart_id: Numbering from the paper's Table II (1-12).
+        name: Full attribute name.
+        short: The abbreviation used in the paper's Figure 1 and text.
+        kind: Normalized value or raw counter.
+    """
+
+    index: int
+    smart_id: int
+    name: str
+    short: str
+    kind: Kind
+
+
+#: The paper's Table II in canonical column order.
+CHANNELS: tuple[AttributeSpec, ...] = (
+    AttributeSpec(0, 1, "Raw Read Error Rate", "RRER", Kind.NORMALIZED),
+    AttributeSpec(1, 2, "Spin Up Time", "SUT", Kind.NORMALIZED),
+    AttributeSpec(2, 3, "Reallocated Sectors Count", "RSC", Kind.NORMALIZED),
+    AttributeSpec(3, 4, "Seek Error Rate", "SER", Kind.NORMALIZED),
+    AttributeSpec(4, 5, "Power On Hours", "POH", Kind.NORMALIZED),
+    AttributeSpec(5, 6, "Reported Uncorrectable Errors", "RUE", Kind.NORMALIZED),
+    AttributeSpec(6, 7, "High Fly Writes", "HFW", Kind.NORMALIZED),
+    AttributeSpec(7, 8, "Temperature Celsius", "TC", Kind.NORMALIZED),
+    AttributeSpec(8, 9, "Hardware ECC Recovered", "HER", Kind.NORMALIZED),
+    AttributeSpec(9, 10, "Current Pending Sector Count", "CPSC", Kind.NORMALIZED),
+    AttributeSpec(10, 11, "Reallocated Sectors Count (raw value)", "RSC_RAW", Kind.RAW),
+    AttributeSpec(11, 12, "Current Pending Sector Count (raw value)", "CPSC_RAW", Kind.RAW),
+)
+
+#: Number of channels stored per sample.
+N_CHANNELS = len(CHANNELS)
+
+#: Lookup by the paper's abbreviations ("POH", "RUE", ...).
+BY_SHORT = {spec.short: spec for spec in CHANNELS}
+
+#: Normalized SMART values live in this closed range.
+NORMALIZED_MIN = 1.0
+NORMALIZED_MAX = 253.0
+
+
+def channel_index(short: str) -> int:
+    """Column index for an attribute abbreviation.
+
+    >>> channel_index("POH")
+    4
+    """
+    try:
+        return BY_SHORT[short].index
+    except KeyError:
+        raise ValueError(
+            f"unknown SMART attribute {short!r}; known: {sorted(BY_SHORT)}"
+        ) from None
+
+
+def channel_shorts() -> list[str]:
+    """All channel abbreviations in column order."""
+    return [spec.short for spec in CHANNELS]

@@ -1,0 +1,188 @@
+"""Adapter for Backblaze-style SMART snapshot CSVs.
+
+The paper's dataset is proprietary, but the de-facto public benchmark
+for drive-failure prediction is the Backblaze drive-stats corpus: one
+CSV per day, one row per drive, with columns
+
+    date, serial_number, model, capacity_bytes, failure,
+    smart_<id>_normalized, smart_<id>_raw, ...
+
+This module maps that schema onto the library's channel layout so real
+Backblaze data (or anything exported in its shape) can flow through the
+exact pipelines built for the synthetic fleet.  The SMART-id mapping
+follows the standard attribute numbering:
+
+    1   Raw Read Error Rate            RRER
+    3   Spin Up Time                   SUT
+    5   Reallocated Sectors Count      RSC (+ raw -> RSC_RAW)
+    7   Seek Error Rate                SER
+    9   Power On Hours                 POH
+    187 Reported Uncorrectable Errors  RUE
+    189 High Fly Writes                HFW
+    194 Temperature Celsius            TC
+    195 Hardware ECC Recovered         HER
+    197 Current Pending Sector Count   CPSC (+ raw -> CPSC_RAW)
+
+Backblaze samples daily rather than hourly; timestamps become hour
+offsets from the earliest date (24h apart), and every downstream
+component (change rates, voting windows) is cadence-agnostic as long as
+intervals are expressed in hours.
+"""
+
+from __future__ import annotations
+
+import csv
+from datetime import date
+from pathlib import Path
+from typing import Iterable, Sequence, Union
+
+import numpy as np
+
+from repro.smart.attributes import N_CHANNELS, channel_index
+from repro.smart.drive import DriveRecord
+
+HOURS_PER_DAY = 24.0
+
+#: Backblaze column name -> our channel abbreviation.
+COLUMN_TO_CHANNEL: dict[str, str] = {
+    "smart_1_normalized": "RRER",
+    "smart_3_normalized": "SUT",
+    "smart_5_normalized": "RSC",
+    "smart_7_normalized": "SER",
+    "smart_9_normalized": "POH",
+    "smart_187_normalized": "RUE",
+    "smart_189_normalized": "HFW",
+    "smart_194_normalized": "TC",
+    "smart_195_normalized": "HER",
+    "smart_197_normalized": "CPSC",
+    "smart_5_raw": "RSC_RAW",
+    "smart_197_raw": "CPSC_RAW",
+}
+
+_REQUIRED_COLUMNS = ("date", "serial_number", "model", "failure")
+
+
+def _parse_date(text: str, where: str) -> date:
+    try:
+        return date.fromisoformat(text)
+    except ValueError as error:
+        raise ValueError(f"{where}: bad date {text!r}: {error}") from None
+
+
+def read_backblaze_csv(
+    paths: Union[str, Path, Sequence[Union[str, Path]]],
+    *,
+    family_from_model: bool = True,
+) -> list[DriveRecord]:
+    """Load one or more Backblaze daily-snapshot CSVs into drive records.
+
+    Args:
+        paths: A single CSV path or a sequence of them (typically one
+            per day); rows are merged per serial across all files.
+        family_from_model: Use the ``model`` column as the drive family
+            (the paper separates models per family); if False, every
+            drive gets family ``"BB"``.
+
+    Failed drives take their failure time as the end of their last
+    reported day; SMART columns outside the mapping are ignored, and
+    mapped columns that are absent or empty load as NaN.
+    """
+    if isinstance(paths, (str, Path)):
+        paths = [paths]
+    per_drive: dict[str, dict] = {}
+    for path in paths:
+        path = Path(path)
+        with path.open(newline="") as handle:
+            reader = csv.DictReader(handle)
+            missing = [c for c in _REQUIRED_COLUMNS if c not in (reader.fieldnames or [])]
+            if missing:
+                raise ValueError(f"{path}: missing required columns {missing}")
+            for line_number, row in enumerate(reader, start=2):
+                where = f"{path}:{line_number}"
+                day = _parse_date(row["date"], where)
+                serial = row["serial_number"]
+                entry = per_drive.setdefault(
+                    serial,
+                    {"model": row["model"], "days": {}, "failed": False},
+                )
+                reading = np.full(N_CHANNELS, np.nan)
+                for column, short in COLUMN_TO_CHANNEL.items():
+                    cell = row.get(column, "")
+                    if cell not in ("", None):
+                        reading[channel_index(short)] = float(cell)
+                entry["days"][day] = reading
+                if row["failure"] == "1":
+                    entry["failed"] = True
+
+    if not per_drive:
+        return []
+    epoch = min(min(entry["days"]) for entry in per_drive.values())
+
+    drives = []
+    for serial, entry in sorted(per_drive.items()):
+        days = sorted(entry["days"])
+        hours = np.array(
+            [(day - epoch).days * HOURS_PER_DAY for day in days]
+        )
+        values = np.vstack([entry["days"][day] for day in days])
+        failure_hour = None
+        if entry["failed"]:
+            # The drive died sometime during its last reported day.
+            failure_hour = float(hours[-1] + HOURS_PER_DAY)
+        drives.append(
+            DriveRecord(
+                serial=serial,
+                family=entry["model"] if family_from_model else "BB",
+                failed=entry["failed"],
+                hours=hours,
+                values=values,
+                failure_hour=failure_hour,
+            )
+        )
+    return drives
+
+
+def write_backblaze_csv(
+    path: Union[str, Path],
+    drives: Iterable[DriveRecord],
+    *,
+    start: date = date(2024, 1, 1),
+) -> int:
+    """Export drives to the Backblaze daily-snapshot schema (one file).
+
+    Sample hours are binned to days relative to each drive's first
+    sample (sub-daily samples collapse to the day's last reading, since
+    the Backblaze corpus is daily).  Returns the number of rows written.
+    Useful for round-trip testing and for feeding our synthetic fleets
+    to external Backblaze-oriented tooling.
+    """
+    path = Path(path)
+    header = list(_REQUIRED_COLUMNS[:3]) + ["capacity_bytes", "failure"] + list(
+        COLUMN_TO_CHANNEL
+    )
+    rows_written = 0
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for drive in drives:
+            if drive.n_samples == 0:
+                continue
+            day_of = ((drive.hours - drive.hours[0]) // HOURS_PER_DAY).astype(int)
+            last_day = int(day_of[-1])
+            for day in sorted(set(day_of.tolist())):
+                index = int(np.nonzero(day_of == day)[0][-1])
+                reading = drive.values[index]
+                failure_flag = int(drive.failed and day == last_day)
+                cells = [
+                    (start.fromordinal(start.toordinal() + day)).isoformat(),
+                    drive.serial,
+                    drive.family,
+                    "",
+                    failure_flag,
+                ]
+                for short in COLUMN_TO_CHANNEL.values():
+                    value = reading[channel_index(short)]
+                    cells.append("" if np.isnan(value) else repr(float(value)))
+                writer.writerow(cells)
+                rows_written += 1
+    return rows_written

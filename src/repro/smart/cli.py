@@ -1,0 +1,124 @@
+"""``repro-fleet``: generate, describe and export synthetic fleets.
+
+Subcommands:
+
+* ``generate`` — build a synthetic fleet and write it to CSV (native
+  long format or the Backblaze daily-snapshot schema);
+* ``describe`` — print Table-I-style and per-attribute statistics for a
+  fleet CSV (native or Backblaze format, auto-detected by header).
+
+Examples::
+
+    repro-fleet generate --w-good 500 --w-failed 40 --out fleet.csv
+    repro-fleet generate --format backblaze --out daily.csv
+    repro-fleet describe fleet.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+
+from repro.smart.backblaze import read_backblaze_csv, write_backblaze_csv
+from repro.smart.dataset import SmartDataset
+from repro.smart.generator import default_fleet_config
+from repro.smart.io import read_fleet_csv, write_fleet_csv
+from repro.smart.stats import (
+    attribute_summary,
+    fleet_summary,
+    normality_evidence,
+    render_attribute_summary,
+    render_fleet_summary,
+)
+
+
+def _add_generate(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser(
+        "generate", help="generate a synthetic fleet and write it to CSV"
+    )
+    parser.add_argument("--w-good", type=int, default=500)
+    parser.add_argument("--w-failed", type=int, default=40)
+    parser.add_argument("--q-good", type=int, default=0)
+    parser.add_argument("--q-failed", type=int, default=0)
+    parser.add_argument("--days", type=int, default=7, help="collection days")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--format", choices=("native", "backblaze"), default="native"
+    )
+    parser.add_argument("--out", required=True, type=Path)
+
+
+def _add_describe(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser(
+        "describe", help="summarise a fleet CSV (native or Backblaze format)"
+    )
+    parser.add_argument("path", type=Path)
+    parser.add_argument(
+        "--normality", action="store_true",
+        help="also run per-attribute normality tests",
+    )
+
+
+def _load_any(path: Path) -> SmartDataset:
+    with path.open(newline="") as handle:
+        header = next(csv.reader(handle), [])
+    if "serial_number" in header:
+        return SmartDataset(read_backblaze_csv(path))
+    return SmartDataset(read_fleet_csv(path))
+
+
+def _run_generate(args: argparse.Namespace) -> int:
+    config = default_fleet_config(
+        w_good=args.w_good,
+        w_failed=args.w_failed,
+        q_good=args.q_good,
+        q_failed=args.q_failed,
+        collection_days=args.days,
+        seed=args.seed,
+    )
+    dataset = SmartDataset.generate(config)
+    if args.format == "backblaze":
+        rows = write_backblaze_csv(args.out, dataset.drives)
+    else:
+        rows = write_fleet_csv(args.out, dataset.drives)
+    print(f"wrote {rows} rows for {len(dataset.drives)} drives to {args.out}")
+    print(render_fleet_summary(fleet_summary(dataset)))
+    return 0
+
+
+def _run_describe(args: argparse.Namespace) -> int:
+    if not args.path.exists():
+        print(f"error: no such file: {args.path}", file=sys.stderr)
+        return 2
+    dataset = _load_any(args.path)
+    print(render_fleet_summary(fleet_summary(dataset)))
+    print()
+    print(render_attribute_summary(attribute_summary(dataset)))
+    if args.normality:
+        print()
+        print("Normality (D'Agostino-Pearson) over the good population:")
+        for row in normality_evidence(dataset):
+            verdict = "non-normal" if row.non_normal else "compatible with normal"
+            print(f"  {row.short:<9} p={row.p_value:.2e}  {verdict}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-fleet",
+        description="Generate, describe and export synthetic SMART fleets.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_generate(subparsers)
+    _add_describe(subparsers)
+    args = parser.parse_args(argv)
+    if args.command == "generate":
+        return _run_generate(args)
+    return _run_describe(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,100 @@
+"""Per-drive data structures.
+
+A :class:`DriveRecord` holds one drive's hourly SMART history as a
+``(T, N_CHANNELS)`` float array (NaN rows mark missed samples, matching
+the paper's note that "some samples were missed because of sampling or
+storing errors") together with the absolute hour of each sample and, for
+failed drives, the absolute hour of the failure event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.smart.attributes import N_CHANNELS
+
+
+@dataclass
+class DriveRecord:
+    """One drive's SMART history.
+
+    Attributes:
+        serial: Unique identifier within the fleet.
+        family: Drive family label (the paper's "W" / "Q").
+        failed: Whether the drive failed during the observation period.
+        hours: Absolute hour index of each sample, strictly increasing.
+            Good drives span the collection period; failed drives cover
+            (up to) the 20 days before failure.
+        values: ``(len(hours), N_CHANNELS)`` SMART readings; an all-NaN
+            row is a missed sample.
+        failure_hour: Absolute hour of failure (``None`` for good drives).
+    """
+
+    serial: str
+    family: str
+    failed: bool
+    hours: np.ndarray
+    values: np.ndarray
+    failure_hour: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        self.hours = np.asarray(self.hours, dtype=float)
+        self.values = np.asarray(self.values, dtype=float)
+        if self.hours.ndim != 1:
+            raise ValueError(f"hours must be 1-D, got shape {self.hours.shape}")
+        if self.values.shape != (self.hours.shape[0], N_CHANNELS):
+            raise ValueError(
+                f"values must be ({self.hours.shape[0]}, {N_CHANNELS}), "
+                f"got {self.values.shape}"
+            )
+        if self.hours.size > 1 and not np.all(np.diff(self.hours) > 0):
+            raise ValueError("hours must be strictly increasing")
+        if self.failed and self.failure_hour is None:
+            raise ValueError(f"failed drive {self.serial} needs a failure_hour")
+        if not self.failed and self.failure_hour is not None:
+            raise ValueError(f"good drive {self.serial} must not have a failure_hour")
+
+    @property
+    def n_samples(self) -> int:
+        """Number of recorded sampling slots (including missed ones)."""
+        return int(self.hours.shape[0])
+
+    def observed_mask(self) -> np.ndarray:
+        """Boolean mask of samples that were actually recorded (not all-NaN)."""
+        return ~np.all(np.isnan(self.values), axis=1)
+
+    def hours_before_failure(self) -> np.ndarray:
+        """Per-sample lead time to the failure event (failed drives only)."""
+        if not self.failed:
+            raise ValueError(f"drive {self.serial} is good; no failure to lead")
+        return self.failure_hour - self.hours
+
+    def window_before_failure(self, window_hours: float) -> np.ndarray:
+        """Indices of samples within the last ``window_hours`` before failure.
+
+        This is the paper's "failed time window": only the last-n-hours
+        samples of a failed drive are used as failed training samples.
+        """
+        if window_hours <= 0:
+            raise ValueError(f"window_hours must be > 0, got {window_hours}")
+        lead = self.hours_before_failure()
+        return np.nonzero((lead >= 0) & (lead <= window_hours) & self.observed_mask())[0]
+
+    def slice_hours(self, start_hour: float, end_hour: float) -> "DriveRecord":
+        """A copy restricted to samples with ``start_hour <= hour < end_hour``."""
+        if end_hour <= start_hour:
+            raise ValueError(
+                f"end_hour must exceed start_hour, got [{start_hour}, {end_hour})"
+            )
+        mask = (self.hours >= start_hour) & (self.hours < end_hour)
+        return DriveRecord(
+            serial=self.serial,
+            family=self.family,
+            failed=self.failed,
+            hours=self.hours[mask].copy(),
+            values=self.values[mask].copy(),
+            failure_hour=self.failure_hour,
+        )

@@ -1,0 +1,460 @@
+"""Synthetic SMART fleet generator.
+
+The paper's dataset (25,792 drives from a production data center, drive
+families "W" and "Q") is proprietary, so this module builds the closest
+synthetic equivalent: a fleet whose statistical structure matches what
+each of the paper's experiments actually exercises.
+
+* **Class imbalance and sampling protocol** — good drives sampled hourly
+  across the whole collection period, failed drives only over (up to) the
+  20 days before failure, ~1% missed samples recorded as NaN rows.
+* **Gradual deterioration** — each failed drive degrades over a per-drive
+  *deterioration window* drawn from a family-specific range; normalized
+  values sag toward the SMART floor and raw counters (reallocated /
+  pending sectors) accumulate Poisson events at a rate that grows with
+  the degradation progress.  A "sudden failure" subpopulation has windows
+  of only hours-to-days (populating the small time-in-advance buckets of
+  Figures 3-4) and a small "silent" subpopulation fails with almost no
+  SMART signature (bounding achievable detection below 100%).
+* **Family-specific signatures** — family "W" failures express through
+  Reported Uncorrectable Errors, temperature and reallocated sectors;
+  family "Q" failures through Seek Error Rate and temperature (Section
+  V-B1's interpretability finding).  Both families skew failed drives to
+  longer power-on ages.
+* **Fleet-wide drift** — temperatures creep up and error-rate baselines
+  wander over the weeks, and every drive's Power On Hours attribute keeps
+  decaying, so models trained once and never updated suffer the rising
+  false-alarm rates of Figures 6-9.
+* **Weak-but-healthy drives** — a small fraction of good drives carry
+  mild degradation-like offsets, providing the false-alarm pressure that
+  makes the loss-weighting strategy of Section V-A3 matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Optional
+
+import numpy as np
+from scipy.signal import lfilter
+
+from repro.smart.attributes import (
+    N_CHANNELS,
+    NORMALIZED_MAX,
+    NORMALIZED_MIN,
+    channel_index,
+)
+from repro.smart.drive import DriveRecord
+from repro.utils.rng import RandomState, as_rng, spawn_child
+from repro.utils.validation import check_fraction, check_positive
+
+HOURS_PER_DAY = 24
+HOURS_PER_WEEK = 168
+
+
+@dataclass(frozen=True)
+class DegradationSignature:
+    """How a family's drives deteriorate.
+
+    Attributes:
+        normalized_drops: ``{short: magnitude}`` — how far each normalized
+            channel sags (at full degradation progress) below its healthy
+            baseline.
+        raw_event_rates: ``{short: rate}`` — Poisson events/hour added to
+            a raw counter at full degradation progress.
+        ramp_exponent: Progress ramp ``p = ((t - onset) / window) ** e``;
+            ``e < 1`` front-loads the signature (detectable early, giving
+            the long time-in-advance the paper reports).
+    """
+
+    normalized_drops: Mapping[str, float]
+    raw_event_rates: Mapping[str, float]
+    ramp_exponent: float = 0.35
+
+
+@dataclass(frozen=True)
+class FamilySpec:
+    """Population parameters of one drive family.
+
+    Attributes:
+        name: Family label ("W", "Q", ...).
+        n_good / n_failed: Population sizes.
+        signature: Failure signature (see :class:`DegradationSignature`).
+        deterioration_window_hours: (lo, hi) of the per-drive gradual
+            deterioration window.
+        sudden_window_hours: (lo, hi) window for sudden failures.
+        sudden_fraction: Share of failed drives that fail suddenly.
+        silent_fraction: Share of failed drives with (near) zero
+            signature — effectively unpredictable.
+        good_age_hours / failed_age_hours: (lo, hi) of power-on age at
+            collection start; failed drives skew older (the paper finds
+            long Power On Hours among the top failure attributes).
+        weak_fraction: Share of good drives carrying mild degradation-like
+            offsets (false-alarm pressure).
+        temperature_mean_c / temperature_std_c: Fleet temperature model.
+    """
+
+    name: str
+    n_good: int
+    n_failed: int
+    signature: DegradationSignature
+    deterioration_window_hours: tuple[float, float] = (320.0, 470.0)
+    sudden_window_hours: tuple[float, float] = (8.0, 120.0)
+    sudden_fraction: float = 0.12
+    silent_fraction: float = 0.06
+    good_age_hours: tuple[float, float] = (1_000.0, 42_000.0)
+    failed_age_hours: tuple[float, float] = (12_000.0, 45_000.0)
+    weak_fraction: float = 0.03
+    temperature_mean_c: float = 26.0
+    temperature_std_c: float = 2.5
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Whole-fleet generation settings.
+
+    Attributes:
+        families: Family populations to generate.
+        collection_days: Length of the observation period (the paper's
+            main experiments use good samples from a single week; the
+            model-aging experiments use the full 56 days).
+        failed_history_days: Max recorded history before a failure (paper:
+            20 days; drives failing earlier than that since collection
+            start have naturally truncated histories).
+        sample_interval_hours: Sampling cadence (paper: hourly).
+        missing_rate: Probability a sampling slot was missed (NaN row).
+        temperature_drift_c_per_week: Fleet-wide warming over the period
+            (linear component).
+        temperature_drift_c_per_week_sq: Quadratic warming component (in
+            Celsius per week squared); seasonal heat build-up accelerates,
+            which is what makes the fixed strategy's false alarms climb
+            steeply in the late weeks of Figures 6-9.
+        error_baseline_drift_per_week: Slow sag of the RRER/HER baselines
+            (firmware/wear recalibration) driving model aging.
+        wear_drift_per_week_sq: Accelerating sag (points per week squared)
+            of the wear-coupled RUE and SER baselines — the channels the
+            failure signatures live on, so an un-updated model's learned
+            thresholds are progressively crossed by healthy drives (the
+            mechanism behind the steep late-week FAR rise of Figures 6-9).
+        seed: Seed / generator for full reproducibility.
+    """
+
+    families: tuple[FamilySpec, ...]
+    collection_days: int = 7
+    failed_history_days: int = 20
+    sample_interval_hours: float = 1.0
+    missing_rate: float = 0.01
+    temperature_drift_c_per_week: float = 0.1
+    temperature_drift_c_per_week_sq: float = 0.15
+    error_baseline_drift_per_week: float = 0.5
+    wear_drift_per_week_sq: float = 0.05
+    seed: RandomState = None
+
+
+def family_w(n_good: int = 2_000, n_failed: int = 90) -> FamilySpec:
+    """Default family "W": failures express via RUE, temperature, RSC."""
+    signature = DegradationSignature(
+        normalized_drops={
+            "RUE": 35.0,
+            "TC": 14.0,
+            "RSC": 18.0,
+            "HER": 12.0,
+            "RRER": 8.0,
+            "SUT": 4.0,
+            "SER": 4.0,
+        },
+        raw_event_rates={"RSC_RAW": 0.08, "CPSC_RAW": 0.03},
+    )
+    return FamilySpec(name="W", n_good=n_good, n_failed=n_failed, signature=signature)
+
+
+def family_q(n_good: int = 500, n_failed: int = 30) -> FamilySpec:
+    """Default family "Q": failures express via SER and temperature."""
+    signature = DegradationSignature(
+        normalized_drops={
+            "SER": 24.0,
+            "TC": 14.0,
+            "RRER": 12.0,
+            "HER": 6.0,
+            "RUE": 8.0,
+            "SUT": 4.0,
+            "RSC": 6.0,
+        },
+        raw_event_rates={"RSC_RAW": 0.02, "CPSC_RAW": 0.03},
+    )
+    return FamilySpec(name="Q", n_good=n_good, n_failed=n_failed, signature=signature)
+
+
+def default_fleet_config(
+    *,
+    w_good: int = 2_000,
+    w_failed: int = 90,
+    q_good: int = 500,
+    q_failed: int = 30,
+    collection_days: int = 7,
+    seed: RandomState = 7,
+) -> FleetConfig:
+    """The two-family configuration used by the experiment drivers."""
+    return FleetConfig(
+        families=(family_w(w_good, w_failed), family_q(q_good, q_failed)),
+        collection_days=collection_days,
+        seed=seed,
+    )
+
+
+# Healthy baselines per channel: (mean, AR(1) rho, innovation std).
+# POH, TC and the raw counters follow dedicated processes below.
+_BASELINES: dict[str, tuple[float, float, float]] = {
+    "RRER": (115.0, 0.90, 2.0),
+    "SUT": (97.0, 0.95, 0.4),
+    "RSC": (100.0, 0.995, 0.05),
+    "SER": (88.0, 0.90, 1.5),
+    "RUE": (100.0, 0.995, 0.02),
+    "HFW": (100.0, 0.99, 0.15),
+    "HER": (96.0, 0.90, 1.5),
+    "CPSC": (100.0, 0.995, 0.05),
+}
+
+#: Hours of power-on time that cost one point of normalized POH.
+_POH_HOURS_PER_POINT = 700.0
+
+
+def _ar1(
+    rng: np.random.Generator, length: int, rho: float, innovation_std: float
+) -> np.ndarray:
+    """A zero-mean stationary AR(1) series of ``length`` steps."""
+    if length == 0:
+        return np.empty(0)
+    noise = rng.normal(0.0, innovation_std, size=length)
+    # Start from the stationary distribution so early samples are not
+    # systematically calmer than late ones.
+    noise[0] /= max(np.sqrt(1.0 - rho**2), 1e-6)
+    return lfilter([1.0], [1.0, -rho], noise)
+
+
+class FleetGenerator:
+    """Generates a reproducible synthetic SMART fleet from a :class:`FleetConfig`.
+
+    Example:
+        >>> config = default_fleet_config(w_good=10, w_failed=2, q_good=0, q_failed=0)
+        >>> drives = FleetGenerator(config).generate()
+        >>> len(drives)
+        12
+    """
+
+    def __init__(self, config: FleetConfig):
+        check_positive("collection_days", config.collection_days)
+        check_positive("failed_history_days", config.failed_history_days)
+        check_positive("sample_interval_hours", config.sample_interval_hours)
+        check_fraction("missing_rate", config.missing_rate)
+        self.config = config
+
+    # -- public API ------------------------------------------------------------
+
+    def generate(self) -> list[DriveRecord]:
+        """Generate the full fleet (all families, good and failed drives)."""
+        rng = as_rng(self.config.seed)
+        drives: list[DriveRecord] = []
+        for family_offset, family in enumerate(self.config.families):
+            family_rng = spawn_child(rng, family_offset)
+            drives.extend(self._generate_family(family, family_rng))
+        return drives
+
+    # -- family / drive generation ----------------------------------------------
+
+    def _generate_family(
+        self, family: FamilySpec, rng: np.random.Generator
+    ) -> list[DriveRecord]:
+        drives = []
+        for i in range(family.n_good):
+            drives.append(self._good_drive(family, i, spawn_child(rng, i)))
+        for i in range(family.n_failed):
+            drives.append(
+                self._failed_drive(
+                    family, i, spawn_child(rng, family.n_good + i)
+                )
+            )
+        return drives
+
+    def _sample_hours(self, start_hour: float, end_hour: float) -> np.ndarray:
+        step = self.config.sample_interval_hours
+        return np.arange(start_hour, end_hour, step)
+
+    def _good_drive(
+        self, family: FamilySpec, index: int, rng: np.random.Generator
+    ) -> DriveRecord:
+        hours = self._sample_hours(0.0, self.config.collection_days * HOURS_PER_DAY)
+        age = rng.uniform(*family.good_age_hours)
+        weak = rng.random() < family.weak_fraction
+        values = self._healthy_series(family, hours, age, weak, rng)
+        self._apply_missing(values, rng)
+        return DriveRecord(
+            serial=f"{family.name}-G{index:05d}",
+            family=family.name,
+            failed=False,
+            hours=hours,
+            values=values,
+        )
+
+    def _failed_drive(
+        self, family: FamilySpec, index: int, rng: np.random.Generator
+    ) -> DriveRecord:
+        collection_hours = self.config.collection_days * HOURS_PER_DAY
+        history_hours = self.config.failed_history_days * HOURS_PER_DAY
+        # Failure occurs uniformly within the collection period.  The
+        # recorded history reaches back (up to) `failed_history_days`
+        # before the failure — possibly before the good-sample window
+        # opened, exactly as the paper's 20-day failed records predate
+        # its one-week good-sample slices.  A fraction of drives "had
+        # not survived 20 days of operation since we began to collect
+        # data" and carry naturally truncated records.
+        failure_hour = rng.uniform(0.05 * collection_hours, collection_hours)
+        if rng.random() < 0.15:
+            history_hours *= rng.uniform(0.1, 0.8)
+        start_hour = failure_hour - history_hours
+        hours = self._sample_hours(start_hour, failure_hour)
+        if hours.size == 0:
+            hours = np.array([max(0.0, failure_hour - self.config.sample_interval_hours)])
+
+        age = rng.uniform(*family.failed_age_hours)
+        values = self._healthy_series(family, hours, age, False, rng)
+
+        sudden = rng.random() < family.sudden_fraction
+        window_range = (
+            family.sudden_window_hours if sudden else family.deterioration_window_hours
+        )
+        window = rng.uniform(*window_range)
+        silent = rng.random() < family.silent_fraction
+        severity = rng.uniform(0.0, 0.08) if silent else rng.uniform(0.55, 1.2)
+        self._apply_degradation(
+            family, hours, values, failure_hour, window, severity, rng
+        )
+        self._apply_missing(values, rng)
+        return DriveRecord(
+            serial=f"{family.name}-F{index:05d}",
+            family=family.name,
+            failed=True,
+            hours=hours,
+            values=values,
+            failure_hour=float(failure_hour),
+        )
+
+    # -- signal synthesis ---------------------------------------------------------
+
+    def _healthy_series(
+        self,
+        family: FamilySpec,
+        hours: np.ndarray,
+        age_hours: float,
+        weak: bool,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        length = hours.shape[0]
+        values = np.empty((length, N_CHANNELS), dtype=float)
+        weeks = hours / HOURS_PER_WEEK
+        error_drift = self.config.error_baseline_drift_per_week * weeks
+
+        wear_drift = self.config.wear_drift_per_week_sq * weeks**2
+        for short, (mean, rho, innovation) in _BASELINES.items():
+            personal = rng.normal(0.0, 1.5)
+            series = mean + personal + _ar1(rng, length, rho, innovation)
+            if short in ("RRER", "HER"):
+                series = series - error_drift
+            if short in ("RUE", "SER"):
+                series = series - wear_drift
+            values[:, channel_index(short)] = series
+
+        # Power On Hours: deterministic decay with total power-on time.
+        poh = 100.0 - (age_hours + hours) / _POH_HOURS_PER_POINT
+        values[:, channel_index("POH")] = poh
+
+        # Temperature: diurnal cycle + fleet-wide warming + AR(1) noise,
+        # mapped to the normalized scale (hotter => lower value).
+        temp_c = (
+            rng.normal(family.temperature_mean_c, family.temperature_std_c)
+            + 1.5 * np.sin(2.0 * np.pi * (hours % HOURS_PER_DAY) / HOURS_PER_DAY)
+            + self.config.temperature_drift_c_per_week * weeks
+            + self.config.temperature_drift_c_per_week_sq * weeks**2
+            + _ar1(rng, length, 0.9, 0.4)
+        )
+        values[:, channel_index("TC")] = 100.0 - 2.0 * (temp_c - 20.0)
+
+        # Raw counters: rare benign events (a handful of reallocated
+        # sectors is normal wear, so isolated counts must not separate
+        # the classes on their own).
+        values[:, channel_index("RSC_RAW")] = np.cumsum(
+            rng.poisson(3e-4 * self.config.sample_interval_hours, size=length)
+        ).astype(float)
+        pending = rng.poisson(5e-5 * self.config.sample_interval_hours, size=length)
+        values[:, channel_index("CPSC_RAW")] = np.cumsum(pending).astype(float)
+
+        if weak:
+            self._apply_weak_offsets(values, rng)
+
+        np.clip(
+            values[:, :10], NORMALIZED_MIN, NORMALIZED_MAX, out=values[:, :10]
+        )
+        return values
+
+    def _apply_weak_offsets(self, values: np.ndarray, rng: np.random.Generator) -> None:
+        """Degradation-like *episodes* on a weak-but-healthy drive.
+
+        Episodes are short (hours-long) bursts where error attributes dip
+        into failure-like territory before recovering: exactly the
+        transient anomalies the paper's voting rule exists to suppress
+        ("an abnormal sample can not give the confident information of
+        the fault drive due to the measurement noise").  A small
+        persistent offset and a few extra reallocation events keep these
+        drives distinguishable from pristine ones even between episodes.
+        """
+        length = values.shape[0]
+        values[:, channel_index("RUE")] -= rng.uniform(0.0, 1.5)
+        values[:, channel_index("SER")] -= rng.uniform(0.0, 2.0)
+        extra_events = rng.poisson(0.0015, size=length)
+        values[:, channel_index("RSC_RAW")] += np.cumsum(extra_events)
+
+        n_episodes = rng.poisson(2.8 * length / HOURS_PER_WEEK)
+        for _ in range(n_episodes):
+            start = rng.integers(0, max(1, length))
+            duration = int(rng.integers(1, 9))
+            stop = min(length, start + duration)
+            depth = rng.uniform(0.4, 1.3)
+            values[start:stop, channel_index("RUE")] -= depth * rng.uniform(15.0, 45.0)
+            values[start:stop, channel_index("SER")] -= depth * rng.uniform(8.0, 30.0)
+            values[start:stop, channel_index("TC")] -= depth * rng.uniform(4.0, 12.0)
+            values[start:stop, channel_index("RSC")] -= depth * rng.uniform(2.0, 10.0)
+
+    def _apply_degradation(
+        self,
+        family: FamilySpec,
+        hours: np.ndarray,
+        values: np.ndarray,
+        failure_hour: float,
+        window_hours: float,
+        severity: float,
+        rng: np.random.Generator,
+    ) -> None:
+        """Overlay the family failure signature onto a healthy series."""
+        lead = failure_hour - hours
+        raw_progress = np.clip((window_hours - lead) / window_hours, 0.0, 1.0)
+        progress = raw_progress ** family.signature.ramp_exponent
+
+        for short, drop in family.signature.normalized_drops.items():
+            jitter = 1.0 + 0.35 * _ar1(rng, hours.shape[0], 0.8, 0.4)
+            column = channel_index(short)
+            values[:, column] -= severity * drop * progress * np.clip(jitter, 0.0, 2.0)
+
+        interval = self.config.sample_interval_hours
+        for short, rate in family.signature.raw_event_rates.items():
+            events = rng.poisson(
+                np.maximum(severity * rate * progress * interval, 0.0)
+            )
+            values[:, channel_index(short)] += np.cumsum(events).astype(float)
+
+        np.clip(values[:, :10], NORMALIZED_MIN, NORMALIZED_MAX, out=values[:, :10])
+
+    def _apply_missing(self, values: np.ndarray, rng: np.random.Generator) -> None:
+        if self.config.missing_rate <= 0:
+            return
+        missing = rng.random(values.shape[0]) < self.config.missing_rate
+        values[missing] = np.nan

@@ -1,0 +1,106 @@
+"""CSV round-trip for fleets.
+
+Uses a Backblaze-style long format — one row per (drive, sample) — so a
+synthesised fleet can be persisted, inspected with standard tools, and
+reloaded; real SMART dumps in the same column layout load through the
+same reader.
+
+Columns: ``serial, family, failed, failure_hour, hour`` followed by one
+column per channel in :data:`repro.smart.attributes.CHANNELS` order
+(named by abbreviation).  Missing readings serialise as empty cells.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Union
+
+import numpy as np
+
+from repro.smart.attributes import N_CHANNELS, channel_shorts
+from repro.smart.drive import DriveRecord
+
+_FIXED_COLUMNS = ["serial", "family", "failed", "failure_hour", "hour"]
+
+
+def write_fleet_csv(path: Union[str, Path], drives: Iterable[DriveRecord]) -> int:
+    """Write ``drives`` to ``path``; returns the number of rows written."""
+    path = Path(path)
+    rows_written = 0
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_FIXED_COLUMNS + channel_shorts())
+        for drive in drives:
+            failure = "" if drive.failure_hour is None else repr(float(drive.failure_hour))
+            prefix = [drive.serial, drive.family, int(drive.failed), failure]
+            for hour, reading in zip(drive.hours, drive.values):
+                cells = [
+                    "" if np.isnan(value) else repr(float(value)) for value in reading
+                ]
+                writer.writerow(prefix + [repr(float(hour))] + cells)
+                rows_written += 1
+    return rows_written
+
+
+def read_fleet_csv(path: Union[str, Path]) -> list[DriveRecord]:
+    """Load a fleet previously written by :func:`write_fleet_csv`.
+
+    Rows may arrive grouped by drive in any sample order; samples are
+    re-sorted by hour per drive.  Raises ``ValueError`` on a malformed
+    header or inconsistent per-drive metadata.
+    """
+    path = Path(path)
+    expected_header = _FIXED_COLUMNS + channel_shorts()
+    per_drive: dict[str, dict] = {}
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header != expected_header:
+            raise ValueError(
+                f"unexpected header in {path}: got {header!r}, "
+                f"expected {expected_header!r}"
+            )
+        for line_number, row in enumerate(reader, start=2):
+            if len(row) != len(expected_header):
+                raise ValueError(
+                    f"{path}:{line_number}: expected {len(expected_header)} cells, "
+                    f"got {len(row)}"
+                )
+            serial, family, failed, failure_hour, hour = row[:5]
+            entry = per_drive.setdefault(
+                serial,
+                {
+                    "family": family,
+                    "failed": failed == "1",
+                    "failure_hour": float(failure_hour) if failure_hour else None,
+                    "hours": [],
+                    "values": [],
+                },
+            )
+            if entry["family"] != family or entry["failed"] != (failed == "1"):
+                raise ValueError(
+                    f"{path}:{line_number}: inconsistent metadata for drive {serial}"
+                )
+            entry["hours"].append(float(hour))
+            entry["values"].append(
+                [float(cell) if cell else np.nan for cell in row[5:]]
+            )
+
+    drives = []
+    for serial, entry in per_drive.items():
+        hours = np.asarray(entry["hours"], dtype=float)
+        values = np.asarray(entry["values"], dtype=float).reshape(-1, N_CHANNELS)
+        order = np.argsort(hours)
+        drives.append(
+            DriveRecord(
+                serial=serial,
+                family=entry["family"],
+                failed=entry["failed"],
+                hours=hours[order],
+                values=values[order],
+                failure_hour=entry["failure_hour"],
+            )
+        )
+    drives.sort(key=lambda drive: drive.serial)
+    return drives

@@ -1,0 +1,216 @@
+"""Fleet descriptive statistics (the paper's Table I and Section IV-B).
+
+Three views of a fleet:
+
+* :func:`fleet_summary` — the Table I layout: per (family, class) drive
+  counts, observation period, and recorded sample counts;
+* :func:`attribute_summary` — per-channel location/spread for the good
+  population versus the failed population's last week, the raw material
+  of feature selection;
+* :func:`normality_evidence` — D'Agostino-Pearson normality tests per
+  channel, quantifying the paper's observation (after Hughes et al.)
+  that "the SMART attributes are non-parametrically distributed", which
+  motivates the rank-based selection statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from repro.smart.attributes import channel_index, channel_shorts
+from repro.smart.dataset import SmartDataset
+from repro.utils.rng import RandomState, as_rng
+from repro.utils.tables import AsciiTable
+
+
+@dataclass(frozen=True)
+class FleetSummaryRow:
+    """One Table I row."""
+
+    family: str
+    drive_class: str
+    n_drives: int
+    period_days: float
+    n_samples: int
+
+
+def fleet_summary(dataset: SmartDataset) -> list[FleetSummaryRow]:
+    """Per-(family, class) drive/sample counts, like the paper's Table I."""
+    rows = []
+    for family in dataset.families():
+        subset = dataset.filter_family(family)
+        for drive_class, drives in (
+            ("Good", subset.good_drives),
+            ("Failed", subset.failed_drives),
+        ):
+            if not drives:
+                continue
+            spans = [
+                float(d.hours[-1] - d.hours[0]) + 1.0 for d in drives if d.n_samples
+            ]
+            period_days = max(spans) / 24.0 if spans else 0.0
+            n_samples = int(sum(d.observed_mask().sum() for d in drives))
+            rows.append(
+                FleetSummaryRow(
+                    family=family,
+                    drive_class=drive_class,
+                    n_drives=len(drives),
+                    period_days=period_days,
+                    n_samples=n_samples,
+                )
+            )
+    return rows
+
+
+def render_fleet_summary(rows: Sequence[FleetSummaryRow]) -> str:
+    """Table I layout."""
+    table = AsciiTable(
+        ["Family", "Class", "Disks", "Period (days)", "Samples"],
+        title="Fleet summary (Table I layout)",
+    )
+    for row in rows:
+        table.add_row(
+            [row.family, row.drive_class, row.n_drives,
+             row.period_days, row.n_samples]
+        )
+    return table.render()
+
+
+@dataclass(frozen=True)
+class AttributeSummaryRow:
+    """Good vs failed-window statistics for one channel."""
+
+    short: str
+    good_mean: float
+    good_std: float
+    failed_mean: float
+    failed_std: float
+
+    @property
+    def separation(self) -> float:
+        """(good mean - failed mean) in good-std units; >0 = degrading."""
+        if self.good_std == 0:
+            return 0.0
+        return (self.good_mean - self.failed_mean) / self.good_std
+
+
+def _good_value_pool(
+    dataset: SmartDataset,
+    column: int,
+    samples_per_drive: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    pool = []
+    for drive in dataset.good_drives:
+        series = drive.values[:, column]
+        finite = np.nonzero(np.isfinite(series))[0]
+        if finite.size == 0:
+            continue
+        take = min(samples_per_drive, finite.size)
+        pool.append(series[rng.choice(finite, size=take, replace=False)])
+    return np.concatenate(pool) if pool else np.empty(0)
+
+
+def _failed_window_pool(
+    dataset: SmartDataset, column: int, window_hours: float
+) -> np.ndarray:
+    pool = []
+    for drive in dataset.failed_drives:
+        window = drive.window_before_failure(window_hours)
+        if window.size:
+            values = drive.values[window, column]
+            pool.append(values[np.isfinite(values)])
+    return np.concatenate(pool) if pool else np.empty(0)
+
+
+def attribute_summary(
+    dataset: SmartDataset,
+    *,
+    shorts: Optional[Sequence[str]] = None,
+    failed_window_hours: float = 168.0,
+    samples_per_drive: int = 5,
+    seed: RandomState = 0,
+) -> list[AttributeSummaryRow]:
+    """Good-vs-failed location/spread per channel, sorted by separation."""
+    shorts = list(shorts) if shorts is not None else channel_shorts()
+    rng = as_rng(seed)
+    rows = []
+    for short in shorts:
+        column = channel_index(short)
+        good = _good_value_pool(dataset, column, samples_per_drive, rng)
+        failed = _failed_window_pool(dataset, column, failed_window_hours)
+        rows.append(
+            AttributeSummaryRow(
+                short=short,
+                good_mean=float(good.mean()) if good.size else float("nan"),
+                good_std=float(good.std()) if good.size else float("nan"),
+                failed_mean=float(failed.mean()) if failed.size else float("nan"),
+                failed_std=float(failed.std()) if failed.size else float("nan"),
+            )
+        )
+    rows.sort(key=lambda row: abs(row.separation), reverse=True)
+    return rows
+
+
+def render_attribute_summary(rows: Sequence[AttributeSummaryRow]) -> str:
+    """Separation-ordered attribute table."""
+    table = AsciiTable(
+        ["Attribute", "Good mean", "Good std", "Failed mean", "Failed std",
+         "Separation (z)"],
+        title="Attribute statistics: good population vs failed drives' last week",
+    )
+    for row in rows:
+        table.add_row(
+            [row.short, row.good_mean, row.good_std, row.failed_mean,
+             row.failed_std, row.separation]
+        )
+    return table.render()
+
+
+@dataclass(frozen=True)
+class NormalityRow:
+    """D'Agostino-Pearson test outcome for one channel."""
+
+    short: str
+    statistic: float
+    p_value: float
+
+    @property
+    def non_normal(self) -> bool:
+        """True at the conventional 1% level."""
+        return self.p_value < 0.01
+
+
+def normality_evidence(
+    dataset: SmartDataset,
+    *,
+    shorts: Optional[Sequence[str]] = None,
+    samples_per_drive: int = 5,
+    max_samples: int = 5_000,
+    seed: RandomState = 0,
+) -> list[NormalityRow]:
+    """Normality tests over the good population per channel.
+
+    Constant channels (zero variance) are reported with ``p = 0.0`` —
+    degenerate distributions are certainly not Gaussian.
+    """
+    shorts = list(shorts) if shorts is not None else channel_shorts()
+    rng = as_rng(seed)
+    rows = []
+    for short in shorts:
+        column = channel_index(short)
+        pool = _good_value_pool(dataset, column, samples_per_drive, rng)
+        if pool.size > max_samples:
+            pool = pool[rng.choice(pool.size, size=max_samples, replace=False)]
+        if pool.size < 20 or np.isclose(pool.std(), 0.0):
+            rows.append(NormalityRow(short=short, statistic=float("inf"), p_value=0.0))
+            continue
+        statistic, p_value = scipy_stats.normaltest(pool)
+        rows.append(
+            NormalityRow(short=short, statistic=float(statistic), p_value=float(p_value))
+        )
+    return rows

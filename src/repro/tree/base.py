@@ -1,0 +1,303 @@
+"""Shared CART machinery: stack-based growth, application and pruning.
+
+The growth loop is a direct transcription of the paper's Algorithm 1/2
+skeleton: create a root holding all the data, push it on a stack, and
+repeatedly pop a node, check the split conditions (Minsplit, Minbucket,
+purity), find the criterion-maximising split, and push the children.
+After growth, subtrees whose split gain falls below the Complexity
+Parameter are pruned back (lines 18-22 of both algorithms).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from repro.tree.node import Node
+from repro.tree.splitter import SplitCandidate, partition
+from repro.tree.surrogates import find_surrogate_splits, route_left_with_surrogates
+from repro.utils.validation import check_2d, check_positive
+
+
+class BaseDecisionTree(ABC):
+    """Common fit/apply/prune logic for classification and regression trees.
+
+    Parameters mirror the paper's (and rpart's) controls:
+
+    Args:
+        minsplit: Minimum number of samples a node must hold to be
+            considered for splitting (paper default 20).
+        minbucket: Minimum number of samples in any leaf (paper default 7).
+        cp: Complexity parameter; a split must improve the tree's overall
+            relative criterion by at least ``cp`` to survive pruning
+            (paper default 0.001).
+        max_depth: Optional hard depth cap (``None`` = grow until the
+            split conditions stop the recursion, as in the paper).
+        n_surrogates: Surrogate splits kept per node for missing-value
+            routing (0 = rpart surrogates disabled; NaNs then follow the
+            heavier child).
+    """
+
+    def __init__(
+        self,
+        minsplit: int = 20,
+        minbucket: int = 7,
+        cp: float = 0.001,
+        max_depth: Optional[int] = None,
+        n_surrogates: int = 0,
+    ):
+        self.minsplit = int(check_positive("minsplit", minsplit))
+        self.minbucket = int(check_positive("minbucket", minbucket))
+        if cp < 0:
+            raise ValueError(f"cp must be >= 0, got {cp}")
+        self.cp = float(cp)
+        if max_depth is not None and max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1 or None, got {max_depth}")
+        self.max_depth = max_depth
+        if n_surrogates < 0:
+            raise ValueError(f"n_surrogates must be >= 0, got {n_surrogates}")
+        self.n_surrogates = int(n_surrogates)
+        self.root_: Optional[Node] = None
+        self.n_features_: Optional[int] = None
+
+    # -- subclass hooks -----------------------------------------------------
+
+    @abstractmethod
+    def _node_statistics(self, indices: np.ndarray) -> tuple[float, float, Optional[np.ndarray], float]:
+        """Return (prediction, impurity, class_distribution, weight) for a node."""
+
+    @abstractmethod
+    def _is_pure(self, indices: np.ndarray) -> bool:
+        """True when the node's samples all share one target value."""
+
+    @abstractmethod
+    def _search_split(self, indices: np.ndarray) -> Optional[SplitCandidate]:
+        """Best split over the node's samples, or None."""
+
+    @abstractmethod
+    def _relative_gain(self, node: Node, root: Node) -> float:
+        """Node split gain expressed as a fraction of the root criterion."""
+
+    # -- fitting ------------------------------------------------------------
+
+    def _grow(self, X: np.ndarray, sample_weight: np.ndarray) -> None:
+        """Grow the full tree (Algorithm 1/2 lines 2-17), then CP-prune."""
+        self._X = X
+        self._w = sample_weight
+        all_indices = np.arange(X.shape[0])
+        self.root_ = self._create_node(node_id=1, depth=0, indices=all_indices)
+        stack: list[tuple[Node, np.ndarray]] = [(self.root_, all_indices)]
+        while stack:
+            node, indices = stack.pop()
+            if not self._may_split(node, indices):
+                continue
+            candidate = self._search_split(indices)
+            if candidate is None:
+                continue
+            surrogates = self._find_surrogates(indices, candidate)
+            left_mask, right_mask = self._partition_rows(
+                X[indices],
+                candidate.feature,
+                candidate.threshold,
+                surrogates,
+                candidate.missing_goes_left,
+            )
+            left_idx = indices[left_mask]
+            right_idx = indices[right_mask]
+            if len(left_idx) == 0 or len(right_idx) == 0:
+                # NaN routing can empty a side even though the finite-value
+                # split was admissible; treat the node as unsplittable.
+                continue
+            node.feature = candidate.feature
+            node.threshold = candidate.threshold
+            node.missing_goes_left = candidate.missing_goes_left
+            node.surrogates = surrogates
+            node.gain = candidate.gain
+            node.left = self._create_node(2 * node.node_id, node.depth + 1, left_idx)
+            node.right = self._create_node(2 * node.node_id + 1, node.depth + 1, right_idx)
+            stack.append((node.left, left_idx))
+            stack.append((node.right, right_idx))
+        self._prune(self.cp)
+        del self._X, self._w
+
+    def _find_surrogates(self, indices: np.ndarray, candidate: SplitCandidate):
+        """Rank surrogate splits on the node's primary-routable samples."""
+        if self.n_surrogates <= 0:
+            return ()
+        rows = self._X[indices]
+        column = rows[:, candidate.feature]
+        finite = np.isfinite(column)
+        if finite.sum() < 2:
+            return ()
+        return find_surrogate_splits(
+            rows[finite],
+            column[finite] < candidate.threshold,
+            self._w[indices][finite],
+            exclude_feature=candidate.feature,
+            max_surrogates=self.n_surrogates,
+        )
+
+    @staticmethod
+    def _partition_rows(
+        rows: np.ndarray,
+        feature: int,
+        threshold: float,
+        surrogates,
+        missing_goes_left: bool,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Left/right masks using the primary split, surrogates, fallback."""
+        column = rows[:, feature]
+        left, right = partition(column, threshold, missing_goes_left)
+        if surrogates:
+            for index in np.nonzero(~np.isfinite(column))[0]:
+                goes_left = route_left_with_surrogates(
+                    rows[index], feature, threshold, surrogates, missing_goes_left
+                )
+                left[index] = goes_left
+                right[index] = not goes_left
+        return left, right
+
+    def _may_split(self, node: Node, indices: np.ndarray) -> bool:
+        """The paper's split conditions: Minsplit, optional depth, purity."""
+        if len(indices) < self.minsplit:
+            return False
+        if self.max_depth is not None and node.depth >= self.max_depth:
+            return False
+        return not self._is_pure(indices)
+
+    def _create_node(self, node_id: int, depth: int, indices: np.ndarray) -> Node:
+        prediction, impurity, distribution, weight = self._node_statistics(indices)
+        return Node(
+            node_id=node_id,
+            depth=depth,
+            n_samples=len(indices),
+            weight=weight,
+            prediction=prediction,
+            impurity=impurity,
+            class_distribution=distribution,
+        )
+
+    def _prune(self, cp: float) -> None:
+        """Prune every subtree whose split gain is below ``cp`` (relative).
+
+        Matches Algorithm 1/2 lines 18-22: the check is applied top-down
+        and a failing node loses its *entire* subtree, even if deeper
+        splits individually look strong.
+        """
+        root = self.root_
+        if root is None or root.is_leaf:
+            return
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                continue
+            if self._relative_gain(node, root) < cp:
+                node.make_leaf()
+                continue
+            stack.append(node.left)
+            stack.append(node.right)
+
+    # -- inference ----------------------------------------------------------
+
+    def _check_fitted(self) -> Node:
+        if self.root_ is None:
+            raise RuntimeError(
+                f"{type(self).__name__} is not fitted; call fit() first"
+            )
+        return self.root_
+
+    def _validate_X(self, X: object) -> np.ndarray:
+        matrix = check_2d("X", X)
+        if matrix.shape[1] != self.n_features_:
+            raise ValueError(
+                f"X has {matrix.shape[1]} features, tree was fitted on {self.n_features_}"
+            )
+        return matrix
+
+    def apply(self, X: object) -> np.ndarray:
+        """Return the id of the leaf each row of ``X`` lands in."""
+        root = self._check_fitted()
+        matrix = self._validate_X(X)
+        leaf_ids = np.empty(matrix.shape[0], dtype=np.int64)
+        self._route_rows(root, matrix, np.arange(matrix.shape[0]), leaf_ids, attr="node_id")
+        return leaf_ids
+
+    def _leaf_predictions(self, X: np.ndarray) -> np.ndarray:
+        """Per-row leaf ``prediction`` values, routed vectorised per node."""
+        root = self._check_fitted()
+        matrix = self._validate_X(X)
+        out = np.empty(matrix.shape[0], dtype=float)
+        self._route_rows(root, matrix, np.arange(matrix.shape[0]), out, attr="prediction")
+        return out
+
+    @staticmethod
+    def _route_rows(
+        root: Node,
+        X: np.ndarray,
+        row_indices: np.ndarray,
+        out: np.ndarray,
+        *,
+        attr: str,
+    ) -> None:
+        """Descend all rows through the tree, writing ``leaf.<attr>`` to ``out``."""
+        stack = [(root, row_indices)]
+        while stack:
+            node, rows = stack.pop()
+            if len(rows) == 0:
+                continue
+            if node.is_leaf:
+                out[rows] = getattr(node, attr)
+                continue
+            left_mask, right_mask = BaseDecisionTree._partition_rows(
+                X[rows], node.feature, node.threshold,
+                node.surrogates, node.missing_goes_left,
+            )
+            stack.append((node.left, rows[left_mask]))
+            stack.append((node.right, rows[right_mask]))
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def n_leaves_(self) -> int:
+        """Leaf count of the fitted tree."""
+        return self._check_fitted().count_leaves()
+
+    @property
+    def depth_(self) -> int:
+        """Depth of the fitted tree (root = 0)."""
+        return self._check_fitted().subtree_depth()
+
+    def feature_importances(self) -> np.ndarray:
+        """Gain-weighted feature importances, normalised to sum to one.
+
+        Each internal node contributes its criterion gain scaled by the
+        fraction of root weight it sees; pure decision-stump usage of a
+        feature near the root therefore dominates deep incidental splits.
+        This is the quantity behind the paper's interpretability claims
+        ("the significant attributes inducing failures").
+        """
+        root = self._check_fitted()
+        importances = np.zeros(self.n_features_, dtype=float)
+        for node in root.iter_nodes():
+            if not node.is_leaf:
+                importances[node.feature] += node.gain * (node.weight / root.weight)
+        total = importances.sum()
+        return importances / total if total > 0 else importances
+
+    def decision_path(self, sample: object) -> list[Node]:
+        """The root-to-leaf node sequence a single 1-D sample follows."""
+        root = self._check_fitted()
+        row = np.asarray(sample, dtype=float)
+        if row.ndim != 1 or row.shape[0] != self.n_features_:
+            raise ValueError(
+                f"sample must be 1-D with {self.n_features_} features, got shape {row.shape}"
+            )
+        path = [root]
+        node = root
+        while not node.is_leaf:
+            node = node.route(row)
+            path.append(node)
+        return path

@@ -1,0 +1,138 @@
+"""Interpretability exports for fitted trees.
+
+The paper argues the key advantage of CART over the BP ANN baseline is
+interpretability: "users can find out the significant attributes inducing
+drive failure by analyzing the output regulations of the tree".  This
+module renders fitted trees in the style of Figure 1 and extracts the
+root-to-leaf decision rules as human-readable conjunctions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.tree.base import BaseDecisionTree
+from repro.tree.node import Node
+
+
+def _feature_name(index: int, feature_names: Optional[Sequence[str]]) -> str:
+    if feature_names is None:
+        return f"x[{index}]"
+    return str(feature_names[index])
+
+
+def export_text(
+    tree: BaseDecisionTree, feature_names: Optional[Sequence[str]] = None
+) -> str:
+    """Render a fitted tree as an indented text diagram (Figure 1 style).
+
+    Each node line shows its id, the class distribution or target mean,
+    and the share of training weight it holds; internal nodes show the
+    split condition taken by their left ("Yes") branch.
+    """
+    root = tree._check_fitted()
+    lines: list[str] = []
+
+    def describe(node: Node) -> str:
+        share = 100.0 * node.weight / root.weight if root.weight > 0 else 0.0
+        if node.class_distribution is not None:
+            dist = ", ".join(f"{p:.2f}" for p in node.class_distribution)
+            stats = f"[{dist}] {share:.1f}%"
+        else:
+            stats = f"mean={node.prediction:.3f} {share:.1f}%"
+        if node.is_leaf:
+            return f"#{node.node_id} leaf -> {node.prediction:g} {stats}"
+        condition = f"{_feature_name(node.feature, feature_names)} < {node.threshold:g}"
+        return f"#{node.node_id} {condition}? {stats}"
+
+    def walk(node: Node, indent: int) -> None:
+        lines.append("  " * indent + describe(node))
+        if not node.is_leaf:
+            walk(node.left, indent + 1)
+            walk(node.right, indent + 1)
+
+    walk(root, 0)
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One root-to-leaf rule: conjunction of conditions implying a prediction.
+
+    ``conditions`` are strings such as ``"POH < 90"``; ``support`` is the
+    fraction of training weight reaching the leaf and ``confidence`` the
+    leaf's majority-class share (1.0 for regression leaves).
+    """
+
+    conditions: tuple[str, ...]
+    prediction: float
+    support: float
+    confidence: float
+
+    def __str__(self) -> str:
+        body = " AND ".join(self.conditions) if self.conditions else "TRUE"
+        return f"IF {body} THEN predict {self.prediction:g} (support={self.support:.4f}, confidence={self.confidence:.2f})"
+
+
+def extract_rules(
+    tree: BaseDecisionTree,
+    feature_names: Optional[Sequence[str]] = None,
+    *,
+    target_class: Optional[float] = None,
+) -> list[Rule]:
+    """Extract every root-to-leaf rule, optionally only for one predicted class.
+
+    ``target_class=-1`` recovers the paper's "significant attributes
+    inducing drive failure": the conditions leading to failed-labelled
+    leaves, ordered by support.
+    """
+    root = tree._check_fitted()
+    rules: list[Rule] = []
+
+    def walk(node: Node, conditions: list[str]) -> None:
+        if node.is_leaf:
+            if target_class is not None and node.prediction != target_class:
+                return
+            confidence = (
+                float(np.max(node.class_distribution))
+                if node.class_distribution is not None
+                else 1.0
+            )
+            support = node.weight / root.weight if root.weight > 0 else 0.0
+            rules.append(
+                Rule(tuple(conditions), node.prediction, support, confidence)
+            )
+            return
+        name = _feature_name(node.feature, feature_names)
+        walk(node.left, conditions + [f"{name} < {node.threshold:g}"])
+        walk(node.right, conditions + [f"{name} >= {node.threshold:g}"])
+
+    walk(root, [])
+    rules.sort(key=lambda rule: rule.support, reverse=True)
+    return rules
+
+
+def failure_signature(
+    tree: BaseDecisionTree,
+    feature_names: Sequence[str],
+    *,
+    failed_label: float = -1.0,
+    top: int = 5,
+) -> list[str]:
+    """Names of the attributes most implicated in failed-leaf rules.
+
+    Attributes are ranked by the total support of the failed rules whose
+    conditions mention them — the analysis behind the paper's Section
+    V-B1 observation that "W" failures trace to POH/temperature/RUE while
+    "Q" failures trace to POH/temperature/SER.
+    """
+    scores: dict[str, float] = {}
+    for rule in extract_rules(tree, feature_names, target_class=failed_label):
+        mentioned = {condition.split(" ")[0] for condition in rule.conditions}
+        for name in mentioned:
+            scores[name] = scores.get(name, 0.0) + rule.support
+    ranked = sorted(scores.items(), key=lambda item: item[1], reverse=True)
+    return [name for name, _ in ranked[:top]]

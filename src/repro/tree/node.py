@@ -1,0 +1,109 @@
+"""Tree node structure shared by the classification and regression trees.
+
+Nodes follow the paper's Figure 1 layout: an internal node carries the
+split ``feature``/``threshold`` (samples with ``x[feature] < threshold``
+go left, matching the figure's "Yes" branches), a leaf carries the
+prediction.  Every node also records the class/target statistics of the
+training data that reached it so the fitted tree can be rendered exactly
+like Figure 1 (per-node probability distribution + sample share).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.tree.surrogates import SurrogateSplit
+
+
+@dataclass
+class Node:
+    """One node of a fitted CART tree.
+
+    Attributes:
+        node_id: Breadth-first identifier; the root is 1, the children of
+            node ``i`` are ``2i`` and ``2i + 1`` (the numbering used in
+            the paper's Figure 1).
+        depth: Root depth is 0.
+        n_samples: Number of training samples that reached the node.
+        weight: Total (re-weighted) sample weight at the node.
+        prediction: Majority/loss-minimising class label (classification)
+            or weighted target mean (regression).
+        class_distribution: Per-class weight fractions (classification
+            only; ``None`` for regression nodes).
+        impurity: Entropy/Gini (classification) or within-node sum of
+            squares (regression) at the node.
+        feature: Split feature index, or ``None`` for a leaf.
+        threshold: Split threshold; samples with value < threshold go left.
+        missing_goes_left: Where samples with a missing (NaN) split value
+            are routed at prediction time when no surrogate applies
+            (the heavier child at fit time).
+        surrogates: Ranked surrogate splits consulted when the primary
+            split value is missing (empty unless the tree was fitted
+            with ``n_surrogates > 0``).
+        gain: The split's criterion improvement (information gain or SSE
+            reduction), 0.0 at leaves.
+        left/right: Child nodes, ``None`` for a leaf.
+    """
+
+    node_id: int
+    depth: int
+    n_samples: int
+    weight: float
+    prediction: float
+    impurity: float
+    class_distribution: Optional[np.ndarray] = None
+    feature: Optional[int] = None
+    threshold: Optional[float] = None
+    missing_goes_left: bool = True
+    surrogates: tuple["SurrogateSplit", ...] = ()
+    gain: float = 0.0
+    left: Optional["Node"] = None
+    right: Optional["Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the node has no split."""
+        return self.feature is None
+
+    def make_leaf(self) -> None:
+        """Collapse the subtree rooted here into a leaf (used by pruning)."""
+        self.feature = None
+        self.threshold = None
+        self.surrogates = ()
+        self.gain = 0.0
+        self.left = None
+        self.right = None
+
+    def route(self, sample: np.ndarray) -> "Node":
+        """Return the child the 1-D ``sample`` descends to (internal nodes)."""
+        from repro.tree.surrogates import route_left_with_surrogates
+
+        if self.is_leaf:
+            raise ValueError(f"node {self.node_id} is a leaf and routes nowhere")
+        goes_left = route_left_with_surrogates(
+            sample, self.feature, self.threshold, self.surrogates,
+            self.missing_goes_left,
+        )
+        return self.left if goes_left else self.right
+
+    def iter_nodes(self) -> Iterator["Node"]:
+        """Yield this node and every descendant in pre-order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            if not node.is_leaf:
+                stack.append(node.right)
+                stack.append(node.left)
+
+    def count_leaves(self) -> int:
+        """Number of leaves in the subtree rooted here."""
+        return sum(1 for node in self.iter_nodes() if node.is_leaf)
+
+    def subtree_depth(self) -> int:
+        """Maximum node depth within this subtree, relative to the root tree."""
+        return max(node.depth for node in self.iter_nodes())

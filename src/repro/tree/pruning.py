@@ -1,0 +1,94 @@
+"""Cost-complexity (weakest-link) pruning.
+
+The paper prunes with a flat CP threshold (Algorithm 1/2 lines 18-22,
+implemented inside :mod:`repro.tree.base`).  This module adds the full
+Breiman et al. cost-complexity pruning *path* as an extension: the nested
+sequence of subtrees indexed by the complexity penalty alpha, which the
+ablation benchmark uses to study how tree size trades off against
+detection performance.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tree.base import BaseDecisionTree
+from repro.tree.node import Node
+
+
+def _node_risk(node: Node) -> float:
+    """Training risk of collapsing ``node`` into a leaf.
+
+    Classification nodes use weight-scaled impurity; regression impurity
+    (SSE) is already weight-aggregated.
+    """
+    if node.class_distribution is not None:
+        return node.impurity * node.weight
+    return node.impurity
+
+
+def _subtree_risk(node: Node) -> float:
+    """Sum of leaf risks over the subtree rooted at ``node``."""
+    return sum(_node_risk(leaf) for leaf in node.iter_nodes() if leaf.is_leaf)
+
+
+def _weakest_link(root: Node) -> tuple[float, Node] | None:
+    """The internal node with the smallest alpha = (R(t) - R(T_t)) / (|T_t| - 1)."""
+    best: tuple[float, Node] | None = None
+    for node in root.iter_nodes():
+        if node.is_leaf:
+            continue
+        leaves = node.count_leaves()
+        alpha = (_node_risk(node) - _subtree_risk(node)) / (leaves - 1)
+        if best is None or alpha < best[0]:
+            best = (alpha, node)
+    return best
+
+
+@dataclass(frozen=True)
+class PruningStep:
+    """One entry of the cost-complexity path."""
+
+    alpha: float
+    n_leaves: int
+
+
+def cost_complexity_path(tree: BaseDecisionTree) -> list[PruningStep]:
+    """The sequence of (alpha, leaf-count) steps from the full tree to a stump.
+
+    The first step always has ``alpha = 0`` (the unpruned tree); each
+    following step records the penalty at which the next weakest link
+    collapses.  Alphas are non-decreasing along the path.
+    """
+    root = copy.deepcopy(tree._check_fitted())
+    path = [PruningStep(0.0, root.count_leaves())]
+    while not root.is_leaf:
+        found = _weakest_link(root)
+        if found is None:
+            break
+        alpha, node = found
+        node.make_leaf()
+        path.append(PruningStep(max(alpha, path[-1].alpha), root.count_leaves()))
+    return path
+
+
+def prune_to_alpha(tree: BaseDecisionTree, alpha: float) -> BaseDecisionTree:
+    """Return a copy of ``tree`` pruned with complexity penalty ``alpha``.
+
+    Repeatedly collapses the weakest link while its alpha is at most the
+    requested penalty, producing the optimal subtree for that penalty.
+    """
+    if alpha < 0:
+        raise ValueError(f"alpha must be >= 0, got {alpha}")
+    tree._check_fitted()
+    pruned = copy.deepcopy(tree)
+    root = pruned.root_
+    while not root.is_leaf:
+        found = _weakest_link(root)
+        if found is None or found[0] > alpha:
+            break
+        found[1].make_leaf()
+    return pruned

@@ -1,0 +1,143 @@
+"""Surrogate splits for missing values (rpart's mechanism).
+
+The paper's R/rpart substrate routes a sample whose primary split value
+is missing through *surrogate splits*: alternative (feature, threshold)
+rules chosen because they best mimic the primary split's left/right
+assignment on the training data, tried in agreement order, with the
+majority direction as the last resort.  Our default trees use only the
+majority-direction fallback (missing SMART readings are rare); enabling
+``surrogates=k`` on a tree reproduces rpart's behaviour and measurably
+helps when whole attributes go unreported.
+
+A surrogate is kept only if its weighted agreement with the primary
+assignment beats the blind majority rule — rpart's admission criterion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SurrogateSplit:
+    """One surrogate rule: mimic the primary split via another feature.
+
+    ``less_goes_left`` is True when ``x[feature] < threshold`` should
+    follow the primary split's *left* branch (surrogates may correlate
+    negatively with the primary, reversing the direction).
+    ``agreement`` is the weighted fraction of primary-routable training
+    samples the rule assigns to the same side.
+    """
+
+    feature: int
+    threshold: float
+    less_goes_left: bool
+    agreement: float
+
+
+def find_surrogate_splits(
+    X: np.ndarray,
+    primary_left: np.ndarray,
+    weights: np.ndarray,
+    *,
+    exclude_feature: int,
+    max_surrogates: int = 3,
+) -> tuple[SurrogateSplit, ...]:
+    """Rank surrogate rules that mimic a primary split.
+
+    Args:
+        X: The node's sample matrix.
+        primary_left: Boolean mask — the primary split's left assignment
+            (only rows with a finite primary value should be passed).
+        weights: Sample weights aligned with ``X``.
+        exclude_feature: The primary split's feature (never a surrogate).
+        max_surrogates: How many rules to keep (rpart default keeps up
+            to 5; we default to 3).
+
+    Returns surrogates sorted by agreement, best first; only rules that
+    beat the majority-direction baseline are admitted.
+    """
+    if max_surrogates <= 0 or X.shape[0] == 0:
+        return ()
+    left_weight = float(weights[primary_left].sum())
+    right_weight = float(weights[~primary_left].sum())
+    total = left_weight + right_weight
+    if total <= 0:
+        return ()
+    baseline = max(left_weight, right_weight) / total
+
+    found: list[SurrogateSplit] = []
+    for feature in range(X.shape[1]):
+        if feature == exclude_feature:
+            continue
+        column = X[:, feature]
+        finite = np.isfinite(column)
+        if finite.sum() < 2:
+            continue
+        x = column[finite]
+        is_left = primary_left[finite]
+        w = weights[finite]
+        observed = float(w.sum())
+        if observed <= 0:
+            continue
+
+        order = np.argsort(x, kind="stable")
+        x_sorted = x[order]
+        boundaries = np.nonzero(x_sorted[:-1] < x_sorted[1:])[0]
+        if boundaries.size == 0:
+            continue
+        left_w = np.where(is_left[order], w[order], 0.0)
+        right_w = np.where(is_left[order], 0.0, w[order])
+        cum_left = np.cumsum(left_w)
+        cum_right = np.cumsum(right_w)
+        total_left = cum_left[-1]
+        total_right = cum_right[-1]
+
+        # "x < thr goes left": matches = left-labeled below + right-labeled above.
+        normal = cum_left[boundaries] + (total_right - cum_right[boundaries])
+        # Reversed direction: the complement.
+        reversed_ = cum_right[boundaries] + (total_left - cum_left[boundaries])
+
+        best_normal = int(np.argmax(normal))
+        best_reversed = int(np.argmax(reversed_))
+        if normal[best_normal] >= reversed_[best_reversed]:
+            boundary, matched, less_left = best_normal, normal[best_normal], True
+        else:
+            boundary, matched, less_left = best_reversed, reversed_[best_reversed], False
+        agreement = float(matched) / observed
+        if agreement <= baseline + 1e-12:
+            continue
+        index = boundaries[boundary]
+        threshold = float((x_sorted[index] + x_sorted[index + 1]) / 2.0)
+        found.append(
+            SurrogateSplit(
+                feature=int(feature),
+                threshold=threshold,
+                less_goes_left=less_left,
+                agreement=agreement,
+            )
+        )
+
+    found.sort(key=lambda s: s.agreement, reverse=True)
+    return tuple(found[:max_surrogates])
+
+
+def route_left_with_surrogates(
+    sample: np.ndarray,
+    primary_feature: int,
+    primary_threshold: float,
+    surrogates: tuple[SurrogateSplit, ...],
+    missing_goes_left: bool,
+) -> bool:
+    """Decide a single sample's branch using primary, surrogates, fallback."""
+    value = sample[primary_feature]
+    if np.isfinite(value):
+        return bool(value < primary_threshold)
+    for surrogate in surrogates:
+        candidate = sample[surrogate.feature]
+        if np.isfinite(candidate):
+            goes_less = bool(candidate < surrogate.threshold)
+            return goes_less if surrogate.less_goes_left else not goes_less
+    return missing_goes_left

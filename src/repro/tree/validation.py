@@ -1,0 +1,177 @@
+"""Cross-validation and hyper-parameter search for the tree models.
+
+rpart — the CART implementation behind the paper — selects its
+Complexity Parameter by built-in cross-validation (the ``xval``
+machinery).  This module provides the equivalent for our trees:
+stratified k-fold splitting, a scorer-driven :func:`cross_validate`,
+and :func:`grid_search` over arbitrary constructor-parameter grids,
+which the ablation benchmark uses to justify the pipeline defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Callable, Iterator, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.rng import RandomState, as_rng
+from repro.utils.validation import check_2d, check_matching_length, check_positive
+
+#: A scorer maps (model, X, y) -> float, larger is better.
+Scorer = Callable[[object, np.ndarray, np.ndarray], float]
+
+
+def accuracy_score(model: object, X: np.ndarray, y: np.ndarray) -> float:
+    """Fraction of samples classified correctly."""
+    return float(np.mean(model.predict(X) == y))
+
+
+def weighted_error_score(
+    false_alarm_cost: float = 10.0, failed_label: float = -1.0
+) -> Scorer:
+    """Negative cost-weighted error: the paper's asymmetric objective.
+
+    A false alarm (good sample predicted failed) costs
+    ``false_alarm_cost``; a missed detection costs 1.  Larger is better.
+    """
+    check_positive("false_alarm_cost", false_alarm_cost)
+
+    def scorer(model: object, X: np.ndarray, y: np.ndarray) -> float:
+        predicted = model.predict(X)
+        false_alarm = (y != failed_label) & (predicted == failed_label)
+        miss = (y == failed_label) & (predicted != failed_label)
+        cost = false_alarm_cost * false_alarm.sum() + miss.sum()
+        return -float(cost) / max(len(y), 1)
+
+    return scorer
+
+
+def neg_mean_squared_error(model: object, X: np.ndarray, y: np.ndarray) -> float:
+    """Negative MSE, for regression trees."""
+    residual = model.predict(X) - y
+    return -float(np.mean(residual**2))
+
+
+def stratified_kfold_indices(
+    y: Sequence[object], n_folds: int, seed: RandomState = None
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield (train_idx, test_idx) pairs with per-class proportions kept.
+
+    Classes with fewer members than folds still appear in every training
+    split (their few members rotate through the test folds).
+    """
+    labels = np.asarray(y)
+    if n_folds < 2:
+        raise ValueError(f"n_folds must be >= 2, got {n_folds}")
+    if labels.shape[0] < n_folds:
+        raise ValueError(
+            f"cannot make {n_folds} folds from {labels.shape[0]} samples"
+        )
+    rng = as_rng(seed)
+    fold_of = np.empty(labels.shape[0], dtype=int)
+    for cls in np.unique(labels):
+        members = np.nonzero(labels == cls)[0]
+        members = members[rng.permutation(members.shape[0])]
+        fold_of[members] = np.arange(members.shape[0]) % n_folds
+    for fold in range(n_folds):
+        test = np.nonzero(fold_of == fold)[0]
+        train = np.nonzero(fold_of != fold)[0]
+        if test.size == 0 or train.size == 0:
+            continue
+        yield train, test
+
+
+@dataclass(frozen=True)
+class CrossValidationResult:
+    """Per-fold scores plus their mean/std."""
+
+    fold_scores: tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.fold_scores))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.fold_scores))
+
+
+def cross_validate(
+    model_factory: Callable[[], object],
+    X: object,
+    y: Sequence[object],
+    *,
+    n_folds: int = 5,
+    scorer: Scorer = accuracy_score,
+    sample_weight: Optional[Sequence[float]] = None,
+    seed: RandomState = 0,
+) -> CrossValidationResult:
+    """Stratified k-fold cross-validation of a fit/predict model."""
+    matrix = check_2d("X", X)
+    labels = np.asarray(y)
+    check_matching_length(("X", matrix), ("y", labels))
+    weights = None if sample_weight is None else np.asarray(sample_weight, dtype=float)
+    scores = []
+    for train_idx, test_idx in stratified_kfold_indices(labels, n_folds, seed):
+        model = model_factory()
+        if weights is None:
+            model.fit(matrix[train_idx], labels[train_idx])
+        else:
+            model.fit(
+                matrix[train_idx], labels[train_idx],
+                sample_weight=weights[train_idx],
+            )
+        scores.append(scorer(model, matrix[test_idx], labels[test_idx]))
+    if not scores:
+        raise ValueError("cross-validation produced no usable folds")
+    return CrossValidationResult(tuple(scores))
+
+
+@dataclass(frozen=True)
+class GridSearchResult:
+    """Best parameters plus the full (params -> CV result) table."""
+
+    best_params: Mapping[str, object]
+    best_score: float
+    table: tuple[tuple[Mapping[str, object], CrossValidationResult], ...]
+
+
+def grid_search(
+    model_class: Callable[..., object],
+    param_grid: Mapping[str, Sequence[object]],
+    X: object,
+    y: Sequence[object],
+    *,
+    n_folds: int = 5,
+    scorer: Scorer = accuracy_score,
+    sample_weight: Optional[Sequence[float]] = None,
+    seed: RandomState = 0,
+) -> GridSearchResult:
+    """Exhaustive grid search with stratified k-fold CV.
+
+    ``param_grid`` maps constructor-argument names to candidate values;
+    the Cartesian product is evaluated and the mean-score winner
+    returned (ties break toward the earlier grid point, so order the
+    grid from simplest to most complex).
+    """
+    if not param_grid:
+        raise ValueError("param_grid must name at least one parameter")
+    names = list(param_grid)
+    table = []
+    best: Optional[tuple[Mapping[str, object], CrossValidationResult]] = None
+    for values in product(*(param_grid[name] for name in names)):
+        params = dict(zip(names, values))
+        result = cross_validate(
+            lambda params=params: model_class(**params),
+            X, y,
+            n_folds=n_folds, scorer=scorer,
+            sample_weight=sample_weight, seed=seed,
+        )
+        table.append((params, result))
+        if best is None or result.mean > best[1].mean:
+            best = (params, result)
+    return GridSearchResult(
+        best_params=best[0], best_score=best[1].mean, table=tuple(table)
+    )

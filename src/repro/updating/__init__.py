@@ -1,0 +1,39 @@
+"""Model-aging simulation: updating strategies, drift detection, harnesses."""
+
+from repro.updating.drift import (
+    AdaptiveReport,
+    AdaptiveWeekOutcome,
+    DriftDetector,
+    DriftReport,
+    simulate_adaptive_updating,
+)
+from repro.updating.simulator import (
+    FleetModel,
+    UpdatingReport,
+    WeeklyOutcome,
+    simulate_updating,
+)
+from repro.updating.strategies import (
+    AccumulationStrategy,
+    FixedStrategy,
+    ReplacingStrategy,
+    UpdatingStrategy,
+    paper_strategies,
+)
+
+__all__ = [
+    "AccumulationStrategy",
+    "AdaptiveReport",
+    "AdaptiveWeekOutcome",
+    "DriftDetector",
+    "DriftReport",
+    "simulate_adaptive_updating",
+    "FixedStrategy",
+    "FleetModel",
+    "ReplacingStrategy",
+    "UpdatingReport",
+    "UpdatingStrategy",
+    "WeeklyOutcome",
+    "paper_strategies",
+    "simulate_updating",
+]

@@ -1,0 +1,206 @@
+"""Drift-triggered adaptive retraining (extension beyond the paper).
+
+The paper's updating strategies retrain on a fixed calendar (weekly
+blocks).  A natural refinement the paper leaves open: retrain only when
+the good population has *measurably drifted* from the model's training
+distribution.  This module implements that policy with the same
+non-parametric machinery as the feature selection: a Wilcoxon rank-sum
+statistic per feature between a reference sample (what the model was
+trained on) and the current week's sample, with a z-threshold trigger.
+
+:func:`simulate_adaptive_updating` mirrors the Figures 6-9 protocol but
+retrains on demand, reporting both the weekly FAR series and how many
+retrains the policy actually spent — the ablation benchmark shows it
+tracks 1-week replacing at a fraction of the training cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.sampling import good_training_rows
+from repro.detection.metrics import DetectionResult
+from repro.features.statistics import rank_sum_z
+from repro.features.vectorize import Feature, FeatureExtractor
+from repro.smart.dataset import SmartDataset, TrainTestSplit
+from repro.smart.drive import DriveRecord
+from repro.updating.simulator import HOURS_PER_WEEK, FleetModel
+from repro.utils.rng import RandomState, as_rng
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Outcome of one drift check.
+
+    ``per_feature`` maps feature names to |rank-sum z| between reference
+    and current samples; ``statistic`` is the maximum; ``drifted`` is
+    True when the maximum exceeds the detector's threshold.
+    """
+
+    statistic: float
+    threshold: float
+    per_feature: dict[str, float]
+
+    @property
+    def drifted(self) -> bool:
+        return self.statistic > self.threshold
+
+    def worst_feature(self) -> str:
+        """Name of the most-drifted feature."""
+        return max(self.per_feature, key=self.per_feature.get)
+
+
+class DriftDetector:
+    """Population-drift monitor over good-drive feature distributions.
+
+    Args:
+        features: Feature definitions to monitor.
+        z_threshold: |rank-sum z| above which drift is declared.  The
+            statistic grows with sample size, so the threshold should be
+            calibrated to the per-check sample budget (the default suits
+            a few hundred samples per side).
+        samples_per_drive: Random samples drawn per drive per check.
+        seed: Seed for the sample draws.
+    """
+
+    def __init__(
+        self,
+        features: Sequence[Feature],
+        *,
+        z_threshold: float = 8.0,
+        samples_per_drive: int = 3,
+        seed: RandomState = 0,
+    ):
+        check_positive("z_threshold", z_threshold)
+        check_positive("samples_per_drive", samples_per_drive)
+        self.extractor = FeatureExtractor(features)
+        self.z_threshold = float(z_threshold)
+        self.samples_per_drive = int(samples_per_drive)
+        self._seed = seed
+        self._reference: np.ndarray | None = None
+
+    def fit_reference(self, drives: Sequence[DriveRecord]) -> "DriftDetector":
+        """Capture the reference distribution (the training population)."""
+        self._reference = good_training_rows(
+            self.extractor, drives, self.samples_per_drive, self._seed
+        )
+        if self._reference.shape[0] == 0:
+            raise ValueError("reference drives produced no usable samples")
+        return self
+
+    def check(self, drives: Sequence[DriveRecord]) -> DriftReport:
+        """Compare the current population against the reference."""
+        if self._reference is None:
+            raise RuntimeError("DriftDetector has no reference; call fit_reference()")
+        current = good_training_rows(
+            self.extractor, drives, self.samples_per_drive, self._seed
+        )
+        if current.shape[0] == 0:
+            raise ValueError("current drives produced no usable samples")
+        per_feature = {}
+        for column, name in enumerate(self.extractor.names):
+            per_feature[name] = abs(
+                rank_sum_z(current[:, column], self._reference[:, column])
+            )
+        statistic = max(per_feature.values())
+        return DriftReport(
+            statistic=statistic,
+            threshold=self.z_threshold,
+            per_feature=per_feature,
+        )
+
+
+@dataclass(frozen=True)
+class AdaptiveWeekOutcome:
+    """One week of the adaptive simulation."""
+
+    week: int
+    retrained: bool
+    drift: DriftReport
+    result: DetectionResult
+
+
+@dataclass(frozen=True)
+class AdaptiveReport:
+    """Full adaptive-updating run."""
+
+    outcomes: tuple[AdaptiveWeekOutcome, ...]
+
+    @property
+    def n_retrains(self) -> int:
+        return sum(outcome.retrained for outcome in self.outcomes)
+
+    def far_percent_by_week(self) -> list[tuple[int, float]]:
+        return [(o.week, 100.0 * o.result.far) for o in self.outcomes]
+
+    def fdr_percent_by_week(self) -> list[tuple[int, float]]:
+        return [(o.week, 100.0 * o.result.fdr) for o in self.outcomes]
+
+
+def _week_slice(dataset: SmartDataset, first_week: int, last_week: int) -> SmartDataset:
+    return dataset.restrict_good_hours(
+        (first_week - 1) * HOURS_PER_WEEK, last_week * HOURS_PER_WEEK
+    )
+
+
+def simulate_adaptive_updating(
+    dataset: SmartDataset,
+    model_factory: Callable[[], FleetModel],
+    detector_factory: Callable[[], DriftDetector],
+    *,
+    n_weeks: int = 8,
+    n_voters: int = 11,
+    split_seed: RandomState = 11,
+) -> AdaptiveReport:
+    """Figures 6-9 protocol with drift-triggered retraining.
+
+    Week 1 trains the initial model and drift reference.  Each following
+    week is first *checked* for drift against the current model's
+    training week; on a trigger, the model and reference are retrained
+    on the previous week (the freshest complete data) before evaluation,
+    mirroring how an operator would react to a drift alert.
+    """
+    if n_weeks < 2:
+        raise ValueError(f"n_weeks must be >= 2, got {n_weeks}")
+    base_split = dataset.split(seed=split_seed)
+    train_failed, test_failed = base_split.train_failed, base_split.test_failed
+
+    def train_on(week: int) -> tuple[FleetModel, DriftDetector]:
+        week_slice = _week_slice(dataset, week, week)
+        split = TrainTestSplit(
+            train_good=tuple(week_slice.good_drives),
+            test_good=(),
+            train_failed=train_failed,
+            test_failed=(),
+        )
+        model = model_factory().fit(split)
+        detector = detector_factory().fit_reference(week_slice.good_drives)
+        return model, detector
+
+    model, detector = train_on(1)
+    outcomes = []
+    for week in range(2, n_weeks + 1):
+        week_slice = _week_slice(dataset, week, week)
+        drift = detector.check(week_slice.good_drives)
+        retrained = False
+        if drift.drifted and week > 2:
+            # React to the alert: refresh on the freshest complete week.
+            model, detector = train_on(week - 1)
+            retrained = True
+        eval_split = TrainTestSplit(
+            train_good=(),
+            test_good=tuple(week_slice.good_drives),
+            train_failed=(),
+            test_failed=test_failed,
+        )
+        result = model.evaluate(eval_split, n_voters=n_voters)
+        outcomes.append(
+            AdaptiveWeekOutcome(
+                week=week, retrained=retrained, drift=drift, result=result
+            )
+        )
+    return AdaptiveReport(outcomes=tuple(outcomes))

@@ -1,0 +1,121 @@
+"""Long-term (multi-week) simulation of prediction-model deployment.
+
+Reproduces the protocol behind Figures 6-9: good samples span eight
+weeks; for each test week ``w`` (2..8) a model is (re)trained on the
+good-sample window its updating strategy dictates, plus the global
+failed training pool, and then judged on week ``w``'s good samples and
+the held-out failed drives with the 11-voter detection rule.
+
+Identical training windows are fitted once and shared across strategies
+(the fixed model *is* every strategy's week-2 model), keeping the 5
+strategies x 7 weeks sweep affordable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol, Sequence
+
+from repro.detection.metrics import DetectionResult
+from repro.smart.dataset import SmartDataset, TrainTestSplit
+from repro.updating.strategies import UpdatingStrategy
+from repro.utils.rng import RandomState
+
+HOURS_PER_WEEK = 168.0
+
+
+class FleetModel(Protocol):
+    """The pipeline surface the simulator drives (CT, ANN, forest...)."""
+
+    def fit(self, split: TrainTestSplit) -> "FleetModel": ...
+
+    def evaluate(self, split: TrainTestSplit, *, n_voters: int = 1) -> DetectionResult: ...
+
+
+@dataclass(frozen=True)
+class WeeklyOutcome:
+    """One (strategy, test week) cell of Figures 6-9."""
+
+    strategy: str
+    week: int
+    result: DetectionResult
+
+
+@dataclass(frozen=True)
+class UpdatingReport:
+    """All weekly outcomes for one strategy."""
+
+    strategy: str
+    outcomes: tuple[WeeklyOutcome, ...]
+
+    def far_percent_by_week(self) -> list[tuple[int, float]]:
+        """The Figure 6-9 series: (week, FAR%) pairs."""
+        return [(o.week, 100.0 * o.result.far) for o in self.outcomes]
+
+    def fdr_percent_by_week(self) -> list[tuple[int, float]]:
+        """(week, FDR%) pairs (discussed in the text of Section V-B3)."""
+        return [(o.week, 100.0 * o.result.fdr) for o in self.outcomes]
+
+
+def _week_slice(dataset: SmartDataset, first_week: int, last_week: int) -> SmartDataset:
+    """Good drives restricted to the inclusive week range (1-based)."""
+    return dataset.restrict_good_hours(
+        (first_week - 1) * HOURS_PER_WEEK, last_week * HOURS_PER_WEEK
+    )
+
+
+def simulate_updating(
+    dataset: SmartDataset,
+    model_factory: Callable[[], FleetModel],
+    strategies: Sequence[UpdatingStrategy],
+    *,
+    n_weeks: int = 8,
+    n_voters: int = 11,
+    split_seed: RandomState = 11,
+) -> list[UpdatingReport]:
+    """Run the Figures 6-9 protocol and return one report per strategy.
+
+    The failed drives are split 7:3 once up front; every trained model
+    shares the same failed training pool and every weekly evaluation the
+    same held-out failed drives, so week-over-week FAR movements are
+    attributable to good-population drift alone (the paper's focus).
+    """
+    if n_weeks < 2:
+        raise ValueError(f"n_weeks must be >= 2, got {n_weeks}")
+    base_split = dataset.split(seed=split_seed)
+    train_failed, test_failed = base_split.train_failed, base_split.test_failed
+
+    fitted_cache: dict[tuple[int, int], FleetModel] = {}
+
+    def model_for_window(window: tuple[int, int]) -> FleetModel:
+        if window not in fitted_cache:
+            train_slice = _week_slice(dataset, *window)
+            split = TrainTestSplit(
+                train_good=tuple(train_slice.good_drives),
+                test_good=(),
+                train_failed=train_failed,
+                test_failed=(),
+            )
+            fitted_cache[window] = model_factory().fit(split)
+        return fitted_cache[window]
+
+    reports = []
+    for strategy in strategies:
+        outcomes = []
+        for week in range(2, n_weeks + 1):
+            model = model_for_window(strategy.training_weeks(week))
+            test_slice = _week_slice(dataset, week, week)
+            eval_split = TrainTestSplit(
+                train_good=(),
+                test_good=tuple(test_slice.good_drives),
+                train_failed=(),
+                test_failed=test_failed,
+            )
+            result = model.evaluate(eval_split, n_voters=n_voters)
+            outcomes.append(
+                WeeklyOutcome(strategy=strategy.name, week=week, result=result)
+            )
+        reports.append(
+            UpdatingReport(strategy=strategy.name, outcomes=tuple(outcomes))
+        )
+    return reports

@@ -1,0 +1,98 @@
+"""Model updating strategies (Section V-B3).
+
+Drives' SMART baselines drift, so a model trained once gradually loses
+its calibration ("model aging").  The paper compares three strategies:
+
+* **fixed** — train on the first week, never update;
+* **accumulation** — retrain each week on *all* good samples so far;
+* **replacing(c)** — retrain every ``c`` weeks on only the last
+  ``c``-week block of good samples.
+
+Each strategy maps a test week (1-based; testing starts at week 2) to
+the inclusive range of good-sample weeks its model trains on.  The
+failed-drive training pool is global and shared by every strategy ("we
+use the same failed sample set in all experiments").
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+
+class UpdatingStrategy(ABC):
+    """Maps a test week to the good-sample training window."""
+
+    name: str
+
+    @abstractmethod
+    def training_weeks(self, test_week: int) -> tuple[int, int]:
+        """Inclusive (first_week, last_week) of good training samples."""
+
+    def _check_week(self, test_week: int) -> None:
+        if test_week < 2:
+            raise ValueError(
+                f"testing starts at week 2 (week 1 is training-only), got {test_week}"
+            )
+
+
+@dataclass(frozen=True)
+class FixedStrategy(UpdatingStrategy):
+    """Train once on week 1; never update."""
+
+    name: str = "fixed"
+
+    def training_weeks(self, test_week: int) -> tuple[int, int]:
+        self._check_week(test_week)
+        return (1, 1)
+
+
+@dataclass(frozen=True)
+class AccumulationStrategy(UpdatingStrategy):
+    """Retrain weekly on every good sample collected so far."""
+
+    name: str = "accumulation"
+
+    def training_weeks(self, test_week: int) -> tuple[int, int]:
+        self._check_week(test_week)
+        return (1, test_week - 1)
+
+
+@dataclass(frozen=True)
+class ReplacingStrategy(UpdatingStrategy):
+    """Retrain every ``cycle_weeks`` on only the latest complete block.
+
+    A model trained on weeks ``(i-1)c+1 .. ic`` serves test weeks
+    ``ic+1 .. (i+1)c``.  Before the first complete block exists, the
+    strategy falls back to all available weeks.
+    """
+
+    cycle_weeks: int = 1
+
+    def __post_init__(self) -> None:
+        check_positive("cycle_weeks", self.cycle_weeks)
+
+    @property
+    def name(self) -> str:
+        return f"{self.cycle_weeks}-week replacing"
+
+    def training_weeks(self, test_week: int) -> tuple[int, int]:
+        self._check_week(test_week)
+        c = self.cycle_weeks
+        last_block_end = ((test_week - 1) // c) * c
+        if last_block_end < 1:
+            return (1, test_week - 1)
+        return (max(1, last_block_end - c + 1), last_block_end)
+
+
+def paper_strategies() -> list[UpdatingStrategy]:
+    """The five strategies compared in Figures 6-9."""
+    return [
+        ReplacingStrategy(1),
+        ReplacingStrategy(2),
+        ReplacingStrategy(3),
+        FixedStrategy(),
+        AccumulationStrategy(),
+    ]

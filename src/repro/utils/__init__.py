@@ -1,0 +1,31 @@
+"""Shared utilities: seeded randomness, validation and table rendering.
+
+These helpers are deliberately small and dependency-free so every other
+subpackage can use them without import cycles.
+"""
+
+from repro.utils.rng import RandomState, as_rng, spawn_child
+from repro.utils.tables import AsciiTable, format_float, render_histogram
+from repro.utils.validation import (
+    check_1d,
+    check_2d,
+    check_fraction,
+    check_in_choices,
+    check_matching_length,
+    check_positive,
+)
+
+__all__ = [
+    "AsciiTable",
+    "RandomState",
+    "as_rng",
+    "check_1d",
+    "check_2d",
+    "check_fraction",
+    "check_in_choices",
+    "check_matching_length",
+    "check_positive",
+    "format_float",
+    "render_histogram",
+    "spawn_child",
+]

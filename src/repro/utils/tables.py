@@ -1,0 +1,85 @@
+"""Plain-text rendering of tables and histograms.
+
+The experiment drivers print their results in the same row/column layout
+as the paper's tables, and render figure data as ASCII so the whole
+reproduction is inspectable from a terminal without matplotlib.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_float(value: float, digits: int = 2) -> str:
+    """Format ``value`` with ``digits`` decimals, using scientific notation
+    for magnitudes that would otherwise lose all precision."""
+    if value != 0 and (abs(value) < 10 ** (-digits) or abs(value) >= 1e7):
+        return f"{value:.{digits}e}"
+    return f"{value:.{digits}f}"
+
+
+class AsciiTable:
+    """A minimal column-aligned table builder.
+
+    >>> table = AsciiTable(["Model", "FAR (%)", "FDR (%)"])
+    >>> table.add_row(["CT", 0.09, 95.49])
+    >>> print(table.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, headers: Sequence[str], title: str | None = None):
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, cells: Iterable[object]) -> None:
+        """Append one row; floats are formatted, everything else str()'d."""
+        rendered = []
+        for cell in cells:
+            if isinstance(cell, bool):
+                rendered.append(str(cell))
+            elif isinstance(cell, float):
+                rendered.append(format_float(cell))
+            else:
+                rendered.append(str(cell))
+        if len(rendered) != len(self.headers):
+            raise ValueError(
+                f"row has {len(rendered)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(rendered)
+
+    def render(self) -> str:
+        """Render the table with a header rule, column-aligned."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = " | ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+def render_histogram(
+    labels: Sequence[str],
+    counts: Sequence[float],
+    *,
+    width: int = 40,
+    title: str | None = None,
+) -> str:
+    """Render a horizontal bar chart of ``counts`` labelled by ``labels``."""
+    if len(labels) != len(counts):
+        raise ValueError("labels and counts must have equal length")
+    peak = max((float(c) for c in counts), default=0.0)
+    label_width = max((len(str(lab)) for lab in labels), default=0)
+    lines = [] if title is None else [title]
+    for label, count in zip(labels, counts):
+        bar_len = 0 if peak == 0 else int(round(width * float(count) / peak))
+        lines.append(
+            f"{str(label).ljust(label_width)} | {'#' * bar_len} {format_float(float(count))}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Shared fixtures: tiny fleets, splits and canonical training data."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import CTConfig, SamplingConfig
+from repro.smart.dataset import SmartDataset
+from repro.smart.generator import default_fleet_config
+
+
+@pytest.fixture(scope="session")
+def tiny_fleet() -> SmartDataset:
+    """A small two-family fleet reused across test modules (read-only)."""
+    config = default_fleet_config(
+        w_good=60, w_failed=12, q_good=30, q_failed=8, collection_days=7, seed=3
+    )
+    return SmartDataset.generate(config)
+
+
+@pytest.fixture(scope="session")
+def tiny_split(tiny_fleet):
+    """The family-W split of the tiny fleet (read-only)."""
+    return tiny_fleet.filter_family("W").split(seed=5)
+
+
+@pytest.fixture(scope="session")
+def aging_fleet_small() -> SmartDataset:
+    """A small 8-week fleet for the updating tests (read-only)."""
+    config = default_fleet_config(
+        w_good=40, w_failed=10, q_good=0, q_failed=0, collection_days=56, seed=4
+    )
+    return SmartDataset.generate(config)
+
+
+@pytest.fixture
+def small_ct_config() -> CTConfig:
+    """CT settings sized for tiny training sets."""
+    return CTConfig(
+        minsplit=4,
+        minbucket=2,
+        cp=0.001,
+        sampling=SamplingConfig(failed_window_hours=168.0, good_samples_per_drive=3),
+    )
+
+
+@pytest.fixture
+def xor_like_data():
+    """A small dataset a depth-2 tree separates but a stump cannot."""
+    X = np.array(
+        [[0.0, 0.0], [0.0, 1.0], [1.0, 0.0], [1.0, 1.0]] * 10, dtype=float
+    )
+    y = np.array([1, -1, -1, 1] * 10)
+    return X, y

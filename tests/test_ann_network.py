@@ -1,0 +1,130 @@
+"""Tests for the BP ANN baseline."""
+
+import numpy as np
+import pytest
+
+from repro.ann.activations import ACTIVATIONS, get_activation
+from repro.ann.network import BPNeuralNetwork
+
+
+class TestActivations:
+    @pytest.mark.parametrize("name", sorted(ACTIVATIONS))
+    def test_derivative_matches_numerical(self, name):
+        act = get_activation(name)
+        z = np.linspace(-2, 2, 41)
+        if name == "relu":
+            z = z[np.abs(z) > 0.05]  # avoid the kink
+        eps = 1e-6
+        numeric = (act.forward(z + eps) - act.forward(z - eps)) / (2 * eps)
+        analytic = act.derivative_from_output(act.forward(z))
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+    def test_sigmoid_stable_for_large_inputs(self):
+        out = get_activation("sigmoid").forward(np.array([-1e3, 1e3]))
+        np.testing.assert_allclose(out, [0.0, 1.0], atol=1e-12)
+
+    def test_unknown_activation(self):
+        with pytest.raises(ValueError, match="activation must be one of"):
+            get_activation("swish")
+
+
+class TestTraining:
+    def test_learns_linear_separation(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(200, 2))
+        y = np.where(X[:, 0] > 0, 1.0, -1.0)
+        net = BPNeuralNetwork(hidden_sizes=(6,), max_iter=300, seed=1)
+        net.fit(X, y)
+        accuracy = np.mean(net.predict(X) == y)
+        assert accuracy > 0.95
+
+    def test_loss_curve_decreases_overall(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(100, 2))
+        y = np.where(X[:, 1] > 0, 1.0, -1.0)
+        net = BPNeuralNetwork(hidden_sizes=(4,), max_iter=100, seed=2).fit(X, y)
+        assert net.loss_curve_[-1] < net.loss_curve_[0]
+
+    def test_reproducible_with_seed(self):
+        X = np.random.default_rng(3).normal(size=(50, 2))
+        y = np.where(X[:, 0] > 0, 1.0, -1.0)
+        a = BPNeuralNetwork(max_iter=20, seed=9).fit(X, y).decision_function(X)
+        b = BPNeuralNetwork(max_iter=20, seed=9).fit(X, y).decision_function(X)
+        np.testing.assert_array_equal(a, b)
+
+    def test_sample_weight_shifts_decision(self):
+        # One heavily-weighted positive point amid negatives.
+        X = np.array([[0.0], [0.1], [-0.1], [0.05]])
+        y = np.array([1.0, -1.0, -1.0, -1.0])
+        weighted = BPNeuralNetwork(hidden_sizes=(3,), max_iter=300, seed=4)
+        weighted.fit(X, y, sample_weight=[100.0, 1.0, 1.0, 1.0])
+        assert weighted.predict([[0.0]])[0] == 1
+
+    def test_early_stopping_on_tol(self):
+        X = np.zeros((10, 1))
+        y = np.zeros(10)
+        net = BPNeuralNetwork(hidden_sizes=(2,), max_iter=400, tol=1e-3, seed=0)
+        net.fit(X, y)
+        assert len(net.loss_curve_) < 400
+
+
+class TestScaling:
+    @pytest.mark.parametrize("scaling", ["max_abs", "standardize"])
+    def test_scaled_modes_handle_large_magnitudes(self, scaling):
+        X = np.random.default_rng(5).normal(size=(60, 3)) * 100
+        y = np.where(X[:, 0] > 0, 1.0, -1.0)
+        net = BPNeuralNetwork(
+            hidden_sizes=(4,), max_iter=150, scaling=scaling, seed=6
+        ).fit(X, y)
+        assert np.mean(net.predict(X) == y) > 0.8
+
+    def test_none_mode_trains_on_unit_scale_data(self):
+        X = np.random.default_rng(5).normal(size=(60, 3))
+        y = np.where(X[:, 0] > 0, 1.0, -1.0)
+        net = BPNeuralNetwork(
+            hidden_sizes=(4,), max_iter=150, scaling="none", seed=6
+        ).fit(X, y)
+        assert np.mean(net.predict(X) == y) > 0.8
+
+    def test_invalid_scaling_rejected(self):
+        with pytest.raises(ValueError, match="scaling"):
+            BPNeuralNetwork(scaling="minmax")
+
+    def test_nan_inputs_imputed(self):
+        X = np.array([[0.0], [1.0], [np.nan], [2.0]])
+        y = np.array([-1.0, 1.0, -1.0, 1.0])
+        net = BPNeuralNetwork(hidden_sizes=(3,), max_iter=50, seed=7).fit(X, y)
+        out = net.decision_function([[np.nan]])
+        assert np.isfinite(out[0])
+
+
+class TestValidation:
+    def test_bad_hidden_sizes(self):
+        with pytest.raises(ValueError, match="hidden_sizes"):
+            BPNeuralNetwork(hidden_sizes=(0,))
+
+    def test_bad_learning_rate(self):
+        with pytest.raises(ValueError):
+            BPNeuralNetwork(learning_rate=0.0)
+
+    def test_bad_batch_size(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            BPNeuralNetwork(batch_size=0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            BPNeuralNetwork().predict([[0.0]])
+
+    def test_feature_count_checked_at_predict(self):
+        net = BPNeuralNetwork(hidden_sizes=(2,), max_iter=5, seed=0)
+        net.fit([[0.0], [1.0]], [-1.0, 1.0])
+        with pytest.raises(ValueError, match="features"):
+            net.predict([[0.0, 1.0]])
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            BPNeuralNetwork().fit(np.empty((0, 1)), [])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="length mismatch"):
+            BPNeuralNetwork().fit([[0.0], [1.0]], [1.0])

@@ -1,0 +1,184 @@
+"""Tests for the Section II baseline implementations."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mahalanobis import MahalanobisModel
+from repro.baselines.naive_bayes import NaiveBayesModel
+from repro.baselines.ranksum import RankSumConfig, RankSumPredictor, hughes_features
+from repro.baselines.threshold import ThresholdModel
+
+
+@pytest.fixture
+def separable_samples():
+    rng = np.random.default_rng(0)
+    good = rng.normal(100.0, 2.0, size=(400, 3))
+    failed = rng.normal(80.0, 2.0, size=(40, 3))
+    X = np.vstack([good, failed])
+    y = np.array([1] * 400 + [-1] * 40)
+    return X, y
+
+
+class TestThresholdModel:
+    def test_flags_extreme_values(self, separable_samples):
+        X, y = separable_samples
+        model = ThresholdModel(alpha=0.005).fit(X, y)
+        predictions = model.predict(X)
+        assert np.all(predictions[y == -1] == -1)  # 20 sigma away
+        assert np.mean(predictions[y == 1] == -1) < 0.05
+
+    def test_margin_suppresses_detection(self, separable_samples):
+        X, y = separable_samples
+        sharp = ThresholdModel(alpha=0.005, margin_stds=0.0).fit(X, y)
+        blunt = ThresholdModel(alpha=0.005, margin_stds=50.0).fit(X, y)
+        assert np.sum(blunt.predict(X) == -1) < np.sum(sharp.predict(X) == -1)
+
+    def test_one_sided_ignores_high_values(self, separable_samples):
+        X, y = separable_samples
+        model = ThresholdModel(alpha=0.005, two_sided=False).fit(X, y)
+        high = np.full((1, 3), 1e6)
+        assert model.predict(high)[0] == 1
+
+    def test_nan_never_trips(self, separable_samples):
+        X, y = separable_samples
+        model = ThresholdModel().fit(X, y)
+        assert model.predict(np.full((1, 3), np.nan))[0] == 1
+
+    def test_tripped_attributes(self, separable_samples):
+        X, y = separable_samples
+        model = ThresholdModel(alpha=0.005).fit(X, y)
+        sample = np.array([80.0, 100.0, 100.0])
+        assert model.tripped_attributes(sample) == [0]
+
+    def test_fit_requires_good_samples(self):
+        with pytest.raises(ValueError, match="good samples"):
+            ThresholdModel().fit([[1.0]], [-1])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            ThresholdModel().predict([[1.0]])
+
+    def test_feature_count_checked(self, separable_samples):
+        X, y = separable_samples
+        model = ThresholdModel().fit(X, y)
+        with pytest.raises(ValueError, match="features"):
+            model.predict([[1.0]])
+
+    def test_vendor_preset_is_conservative(self, separable_samples):
+        X, y = separable_samples
+        vendor = ThresholdModel.vendor().fit(X, y)
+        # 10-sigma failures still trip nothing at margin 9 + quantile? They
+        # are exactly 10 sigma out, so they *do* trip the 9-sigma margin
+        # minus the alpha quantile -> check it is at least far more
+        # conservative than the sharp model.
+        sharp = ThresholdModel(alpha=1e-4).fit(X, y)
+        assert np.sum(vendor.predict(X) == -1) <= np.sum(sharp.predict(X) == -1)
+
+
+class TestNaiveBayesModel:
+    def test_learns_separation(self, separable_samples):
+        X, y = separable_samples
+        model = NaiveBayesModel(n_bins=6).fit(X, y)
+        accuracy = np.mean(model.predict(X) == y)
+        assert accuracy > 0.95
+
+    def test_probabilities_normalised(self, separable_samples):
+        X, y = separable_samples
+        model = NaiveBayesModel().fit(X, y)
+        probabilities = model.predict_proba(X[:10])
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_missing_values_get_their_own_bin(self):
+        # NaN-ness itself is the class signal here.
+        X = np.array([[1.0], [2.0], [1.5], [np.nan], [np.nan]] * 20)
+        y = np.array([1, 1, 1, -1, -1] * 20)
+        model = NaiveBayesModel(n_bins=4).fit(X, y)
+        assert model.predict([[np.nan]])[0] == -1
+        assert model.predict([[1.4]])[0] == 1
+
+    def test_sample_weight_shifts_priors(self, separable_samples):
+        X, y = separable_samples
+        heavy_failed = np.where(y == -1, 100.0, 1.0)
+        model = NaiveBayesModel().fit(X, y, sample_weight=heavy_failed)
+        plain = NaiveBayesModel().fit(X, y)
+        assert model.log_priors_[0] > plain.log_priors_[0]  # class -1 boosted
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            NaiveBayesModel().predict([[0.0]])
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            NaiveBayesModel(n_bins=0)
+        with pytest.raises(ValueError):
+            NaiveBayesModel(laplace=0.0)
+
+
+class TestMahalanobisModel:
+    def test_flags_outliers(self, separable_samples):
+        X, y = separable_samples
+        model = MahalanobisModel(threshold_quantile=0.99).fit(X, y)
+        predictions = model.predict(X)
+        assert np.all(predictions[y == -1] == -1)
+        assert np.mean(predictions[y == 1] == -1) < 0.05
+
+    def test_distance_increases_with_deviation(self, separable_samples):
+        X, y = separable_samples
+        model = MahalanobisModel().fit(X, y)
+        near = model.decision_function([[100.0, 100.0, 100.0]])[0]
+        far = model.decision_function([[90.0, 100.0, 100.0]])[0]
+        assert far > near
+
+    def test_missing_features_conservative(self, separable_samples):
+        X, y = separable_samples
+        model = MahalanobisModel().fit(X, y)
+        assert model.predict(np.full((1, 3), np.nan))[0] == 1
+
+    def test_needs_enough_samples(self):
+        with pytest.raises(ValueError, match="complete good samples"):
+            MahalanobisModel().fit(np.eye(3), [1, 1, 1])
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError):
+            MahalanobisModel(threshold_quantile=1.0)
+        with pytest.raises(ValueError):
+            MahalanobisModel(regularization=0.0)
+
+
+class TestRankSumPredictor:
+    def test_hughes_features_are_change_rates(self):
+        features = hughes_features()
+        assert all(f.is_change_rate for f in features)
+
+    def test_fit_evaluate_on_fleet(self, tiny_split):
+        predictor = RankSumPredictor(
+            RankSumConfig(reference_per_drive=3, z_critical=5.0)
+        ).fit(tiny_split)
+        result = predictor.evaluate(tiny_split, n_voters=5)
+        assert 0.0 <= result.far <= 1.0
+        assert result.n_failed == len(tiny_split.test_failed)
+
+    def test_scores_are_labels_or_nan(self, tiny_split):
+        predictor = RankSumPredictor().fit(tiny_split)
+        series = predictor.score_drives([tiny_split.test_failed[0]])[0]
+        valid = series.scores[np.isfinite(series.scores)]
+        assert set(np.unique(valid)) <= {-1.0, 1.0}
+
+    def test_unfitted_raises(self, tiny_split):
+        with pytest.raises(RuntimeError):
+            RankSumPredictor().evaluate(tiny_split)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RankSumConfig(window_samples=0)
+        with pytest.raises(ValueError):
+            RankSumConfig(z_critical=0.0)
+
+    def test_saturating_statistic_bound(self, tiny_split):
+        # With window m and reference n, |z| cannot exceed sqrt(3mn/(m+n+1)).
+        config = RankSumConfig(reference_per_drive=3)
+        predictor = RankSumPredictor(config).fit(tiny_split)
+        m = config.window_samples
+        n = predictor.reference_.shape[0]
+        bound = np.sqrt(3 * m * n / (m + n + 1))
+        assert bound > config.z_critical * 0.5  # the test is actually armed

@@ -1,0 +1,144 @@
+"""Tests for the SVM and HMM baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.hmm import DiscreteHMM, HmmConfig, HmmPredictor
+from repro.baselines.svm import LinearSVMModel
+
+
+@pytest.fixture
+def separable():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(300, 4))
+    y = np.where(X[:, 0] + 0.5 * X[:, 1] > 0, 1, -1)
+    return X, y
+
+
+class TestLinearSVM:
+    def test_learns_linear_boundary(self, separable):
+        X, y = separable
+        model = LinearSVMModel(n_epochs=10, seed=1).fit(X, y)
+        assert np.mean(model.predict(X) == y) > 0.9
+
+    def test_decision_function_sign_matches_predict(self, separable):
+        X, y = separable
+        model = LinearSVMModel(seed=2).fit(X, y)
+        margins = model.decision_function(X)
+        predictions = model.predict(X)
+        np.testing.assert_array_equal(predictions == -1, margins < 0)
+
+    def test_reproducible(self, separable):
+        X, y = separable
+        a = LinearSVMModel(seed=5).fit(X, y).decision_function(X)
+        b = LinearSVMModel(seed=5).fit(X, y).decision_function(X)
+        np.testing.assert_array_equal(a, b)
+
+    def test_nan_inputs_handled(self, separable):
+        X, y = separable
+        X = X.copy()
+        X[::11, 0] = np.nan
+        model = LinearSVMModel(seed=3).fit(X, y)
+        assert np.all(np.isfinite(model.decision_function(X)))
+
+    def test_class_balancing_changes_boundary(self):
+        rng = np.random.default_rng(4)
+        X = np.vstack([rng.normal(0, 1, (190, 2)), rng.normal(1.0, 1, (10, 2))])
+        y = np.array([1] * 190 + [-1] * 10)
+        plain = LinearSVMModel(seed=6, class_balanced=False).fit(X, y)
+        balanced = LinearSVMModel(seed=6, class_balanced=True).fit(X, y)
+        assert np.sum(balanced.predict(X) == -1) >= np.sum(plain.predict(X) == -1)
+
+    def test_two_classes_required(self):
+        with pytest.raises(ValueError, match="2 classes"):
+            LinearSVMModel().fit([[0.0], [1.0]], [1, 1])
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            LinearSVMModel(regularization=0.0)
+        with pytest.raises(ValueError):
+            LinearSVMModel(scaling="minmax")
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LinearSVMModel().predict([[0.0]])
+
+
+class TestDiscreteHMM:
+    def test_learns_distinct_emission_profiles(self):
+        rng = np.random.default_rng(0)
+        low = [rng.integers(0, 2, size=30) for _ in range(25)]
+        model = DiscreteHMM(n_states=2, n_symbols=4, n_iter=10, seed=1).fit(low)
+        # Sequences from the training regime are far more likely than
+        # sequences from an unseen regime.
+        seen = model.log_likelihood(rng.integers(0, 2, size=30))
+        unseen = model.log_likelihood(np.full(30, 3))
+        assert seen > unseen
+
+    def test_probabilities_normalised(self):
+        sequences = [np.array([0, 1, 2, 1, 0])] * 5
+        model = DiscreteHMM(n_states=2, n_symbols=3, n_iter=5, seed=2).fit(sequences)
+        np.testing.assert_allclose(model.start_.sum(), 1.0)
+        np.testing.assert_allclose(model.transition_.sum(axis=1), 1.0)
+        np.testing.assert_allclose(model.emission_.sum(axis=1), 1.0)
+
+    def test_em_increases_likelihood(self):
+        rng = np.random.default_rng(3)
+        sequences = [rng.integers(0, 3, size=20) for _ in range(10)]
+        short = DiscreteHMM(n_states=2, n_symbols=3, n_iter=1, seed=4).fit(sequences)
+        long = DiscreteHMM(n_states=2, n_symbols=3, n_iter=15, seed=4).fit(sequences)
+        total_short = sum(short.log_likelihood(s) for s in sequences)
+        total_long = sum(long.log_likelihood(s) for s in sequences)
+        assert total_long >= total_short - 1e-6
+
+    def test_symbol_range_validated(self):
+        with pytest.raises(ValueError, match="symbols must lie"):
+            DiscreteHMM(n_symbols=2).fit([np.array([0, 5])])
+
+    def test_empty_training_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            DiscreteHMM().fit([])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            DiscreteHMM().log_likelihood([0, 1])
+
+    def test_empty_sequence_likelihood_zero(self):
+        model = DiscreteHMM(n_states=2, n_symbols=2, n_iter=2, seed=5).fit(
+            [np.array([0, 1, 0])]
+        )
+        assert model.log_likelihood([]) == 0.0
+
+
+class TestHmmPredictor:
+    def test_fit_evaluate_on_fleet(self, tiny_split):
+        predictor = HmmPredictor(
+            HmmConfig(good_sequences=30, n_iter=5, window_samples=12)
+        ).fit(tiny_split)
+        result = predictor.evaluate(tiny_split, n_voters=3)
+        assert 0.0 <= result.far <= 1.0
+        assert result.n_failed == len(tiny_split.test_failed)
+
+    def test_scores_are_labels_or_nan(self, tiny_split):
+        predictor = HmmPredictor(
+            HmmConfig(good_sequences=30, n_iter=5, window_samples=12)
+        ).fit(tiny_split)
+        series = predictor.score_drives([tiny_split.test_failed[0]])[0]
+        valid = series.scores[np.isfinite(series.scores)]
+        assert set(np.unique(valid)) <= {-1.0, 1.0}
+
+    def test_warmup_prefix_unscored(self, tiny_split):
+        config = HmmConfig(good_sequences=30, n_iter=5, window_samples=12)
+        predictor = HmmPredictor(config).fit(tiny_split)
+        series = predictor.score_drives([tiny_split.test_good[0]])[0]
+        assert np.all(np.isnan(series.scores[: config.window_samples - 1]))
+
+    def test_unfitted_raises(self, tiny_split):
+        with pytest.raises(RuntimeError):
+            HmmPredictor().evaluate(tiny_split)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            HmmConfig(window_samples=0)
+        with pytest.raises(ValueError):
+            HmmConfig(stride=0)

@@ -1,0 +1,101 @@
+"""Tests for the multiple-instance naive Bayes baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.minb import MultiInstanceNaiveBayes
+
+
+@pytest.fixture
+def bagged_problem():
+    """Failed bags contain mostly-healthy samples plus true witnesses."""
+    rng = np.random.default_rng(0)
+    X_rows, y_rows, bag_rows = [], [], []
+    # 20 good bags of 10 healthy samples.
+    for bag in range(20):
+        X_rows.append(rng.normal(100.0, 2.0, size=(10, 2)))
+        y_rows.append(np.full(10, 1.0))
+        bag_rows.append(np.full(10, f"g{bag}"))
+    # 8 failed bags: 7 healthy-looking samples + 3 true failure samples.
+    for bag in range(8):
+        healthy = rng.normal(100.0, 2.0, size=(7, 2))
+        failing = rng.normal(80.0, 2.0, size=(3, 2))
+        X_rows.append(np.vstack([healthy, failing]))
+        y_rows.append(np.full(10, -1.0))
+        bag_rows.append(np.full(10, f"f{bag}"))
+    return (
+        np.vstack(X_rows),
+        np.concatenate(y_rows),
+        np.concatenate(bag_rows),
+    )
+
+
+class TestFitBags:
+    def test_recovers_true_witnesses(self, bagged_problem):
+        X, y, bags = bagged_problem
+        model = MultiInstanceNaiveBayes(n_iterations=4).fit_bags(X, y, bags)
+        predictions = model.predict(X)
+        # True failure samples (mean 80) classified failed...
+        truly_failing = X[:, 0] < 90
+        assert np.mean(predictions[truly_failing] == -1) > 0.9
+        # ...while healthy-looking samples inside failed bags are mostly
+        # reclaimed as good (the whole point of the MI re-labelling).
+        healthy_in_failed_bags = (y == -1) & ~truly_failing
+        assert np.mean(predictions[healthy_in_failed_bags] == 1) > 0.6
+
+    def test_beats_plain_nb_on_healthy_members_of_failed_bags(self, bagged_problem):
+        from repro.baselines.naive_bayes import NaiveBayesModel
+
+        X, y, bags = bagged_problem
+        plain = NaiveBayesModel().fit(X, y)
+        minb = MultiInstanceNaiveBayes(n_iterations=4).fit_bags(X, y, bags)
+        healthy_in_failed = (y == -1) & (X[:, 0] >= 90)
+        plain_good = np.mean(plain.predict(X[healthy_in_failed]) == 1)
+        minb_good = np.mean(minb.predict(X[healthy_in_failed]) == 1)
+        assert minb_good >= plain_good
+
+    def test_every_failed_bag_keeps_a_witness(self, bagged_problem):
+        X, y, bags = bagged_problem
+        model = MultiInstanceNaiveBayes(
+            n_iterations=5, relabel_quantile=0.9
+        ).fit_bags(X, y, bags)
+        predictions = model.predict(X)
+        for bag in np.unique(bags[y == -1]):
+            members = bags == bag
+            # The fitted model still flags at least the witness sample of
+            # the strongest failure evidence in almost every failed bag.
+            assert np.any(X[members, 0] < 90)  # the data guarantees witnesses
+
+    def test_posteriors_normalised(self, bagged_problem):
+        X, y, bags = bagged_problem
+        model = MultiInstanceNaiveBayes().fit_bags(X, y, bags)
+        probabilities = model.predict_proba(X[:20])
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0)
+
+
+class TestPipelineFit:
+    def test_contiguous_run_bags(self, bagged_problem):
+        X, y, _ = bagged_problem
+        model = MultiInstanceNaiveBayes(n_iterations=3).fit(X, y)
+        assert set(np.unique(model.predict(X))) <= {-1.0, 1.0}
+
+    def test_via_generic_pipeline(self, tiny_split):
+        from repro.core.predictor import GenericFailurePredictor
+
+        predictor = GenericFailurePredictor(
+            lambda: MultiInstanceNaiveBayes(n_iterations=2),
+            failed_share=None,
+        ).fit(tiny_split)
+        result = predictor.evaluate(tiny_split, n_voters=3)
+        assert 0.0 <= result.far <= 1.0
+        assert 0.0 <= result.fdr <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiInstanceNaiveBayes(n_iterations=0)
+        with pytest.raises(ValueError):
+            MultiInstanceNaiveBayes(relabel_quantile=1.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            MultiInstanceNaiveBayes().predict([[0.0]])

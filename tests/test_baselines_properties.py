@@ -1,0 +1,98 @@
+"""Property-based tests for the baseline models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.baselines.mahalanobis import MahalanobisModel
+from repro.baselines.naive_bayes import NaiveBayesModel
+from repro.baselines.threshold import ThresholdModel
+
+
+@st.composite
+def labelled_samples(draw):
+    n_good = draw(st.integers(30, 80))
+    n_failed = draw(st.integers(5, 20))
+    d = draw(st.integers(1, 4))
+    rng = np.random.default_rng(draw(st.integers(0, 10_000)))
+    offset = draw(st.floats(min_value=2.0, max_value=30.0))
+    good = rng.normal(100.0, 2.0, size=(n_good, d))
+    failed = rng.normal(100.0 - offset, 2.0, size=(n_failed, d))
+    X = np.vstack([good, failed])
+    y = np.array([1] * n_good + [-1] * n_failed)
+    return X, y
+
+
+class TestThresholdProperties:
+    @given(labelled_samples(), st.floats(min_value=1e-4, max_value=0.2))
+    @settings(max_examples=30, deadline=None)
+    def test_predictions_are_valid_labels(self, data, alpha):
+        X, y = data
+        model = ThresholdModel(alpha=alpha).fit(X, y)
+        predictions = model.predict(X)
+        assert set(np.unique(predictions)) <= {-1, 1}
+
+    @given(labelled_samples())
+    @settings(max_examples=30, deadline=None)
+    def test_margin_monotone_in_trips(self, data):
+        # A larger safety margin can only reduce the number of trips.
+        X, y = data
+        sharp = ThresholdModel(alpha=0.01, margin_stds=0.0).fit(X, y)
+        blunt = ThresholdModel(alpha=0.01, margin_stds=5.0).fit(X, y)
+        assert np.sum(blunt.predict(X) == -1) <= np.sum(sharp.predict(X) == -1)
+
+    @given(labelled_samples())
+    @settings(max_examples=30, deadline=None)
+    def test_thresholds_bracket_the_bulk_of_good_data(self, data):
+        X, y = data
+        model = ThresholdModel(alpha=0.01).fit(X, y)
+        good = X[y == 1]
+        inside = (good >= model.lower_) & (good <= model.upper_)
+        assert inside.mean() > 0.9
+
+
+class TestNaiveBayesProperties:
+    @given(labelled_samples(), st.integers(2, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_posteriors_are_distributions(self, data, n_bins):
+        X, y = data
+        model = NaiveBayesModel(n_bins=n_bins).fit(X, y)
+        probabilities = model.predict_proba(X)
+        assert np.all(probabilities >= 0)
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0, atol=1e-9)
+
+    @given(labelled_samples())
+    @settings(max_examples=30, deadline=None)
+    def test_predictions_match_argmax_posterior(self, data):
+        X, y = data
+        model = NaiveBayesModel().fit(X, y)
+        probabilities = model.predict_proba(X)
+        expected = model.classes_[np.argmax(probabilities, axis=1)]
+        np.testing.assert_array_equal(model.predict(X), expected)
+
+
+class TestMahalanobisProperties:
+    @given(labelled_samples())
+    @settings(max_examples=30, deadline=None)
+    def test_distances_non_negative_and_finite(self, data):
+        X, y = data
+        if np.sum(y == 1) <= X.shape[1]:
+            return
+        model = MahalanobisModel().fit(X, y)
+        distances = model.decision_function(X)
+        assert np.all(distances >= 0)
+        assert np.all(np.isfinite(distances))
+
+    @given(labelled_samples(), st.floats(min_value=0.8, max_value=0.999))
+    @settings(max_examples=30, deadline=None)
+    def test_good_flag_rate_bounded_by_quantile(self, data, quantile):
+        X, y = data
+        if np.sum(y == 1) <= X.shape[1]:
+            return
+        model = MahalanobisModel(threshold_quantile=quantile).fit(X, y)
+        good_flagged = np.mean(model.predict(X[y == 1]) == -1)
+        # The threshold is the `quantile` of good training distances, so
+        # roughly (1 - quantile) of good samples sit above it.
+        assert good_flagged <= (1 - quantile) + 0.1

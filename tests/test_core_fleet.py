@@ -1,0 +1,80 @@
+"""Tests for the per-family FleetPredictor."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CTConfig
+from repro.core.fleet import FleetPredictor
+from repro.core.predictor import DriveFailurePredictor
+from repro.smart.dataset import SmartDataset
+from repro.smart.drive import DriveRecord
+
+
+@pytest.fixture(scope="module")
+def fitted(tiny_fleet):
+    factory = lambda: DriveFailurePredictor(CTConfig(minsplit=4, minbucket=2, cp=0.002))
+    return FleetPredictor(factory, split_seed=2).fit(tiny_fleet)
+
+
+class TestFit:
+    def test_one_model_per_family(self, fitted):
+        assert fitted.families() == ["Q", "W"]
+        assert fitted.model_for("W") is not fitted.model_for("Q")
+
+    def test_family_without_failures_skipped(self, tiny_fleet):
+        good_only_q = SmartDataset(
+            [d for d in tiny_fleet.drives if d.family == "W" or not d.failed]
+        )
+        predictor = FleetPredictor(
+            lambda: DriveFailurePredictor(CTConfig(minsplit=4, minbucket=2))
+        ).fit(good_only_q)
+        assert predictor.families() == ["W"]
+
+    def test_nothing_trainable_rejected(self, tiny_fleet):
+        good_only = SmartDataset([d for d in tiny_fleet.drives if not d.failed])
+        with pytest.raises(ValueError, match="nothing to fit"):
+            FleetPredictor(
+                lambda: DriveFailurePredictor(CTConfig(minsplit=4, minbucket=2))
+            ).fit(good_only)
+
+    def test_unknown_family_lookup(self, fitted):
+        with pytest.raises(ValueError, match="no model for family"):
+            fitted.model_for("Z")
+
+    def test_unfitted_raises(self, tiny_fleet):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            FleetPredictor().families()
+
+
+class TestRouting:
+    def test_partition_by_family(self, fitted, tiny_fleet):
+        routed, unroutable = fitted.partition_by_family(tiny_fleet.drives)
+        assert unroutable == []
+        assert len(routed["W"]) == 72 and len(routed["Q"]) == 38
+
+    def test_unroutable_families_reported(self, fitted, tiny_fleet):
+        donor = tiny_fleet.drives[0]
+        alien = DriveRecord(
+            serial="X-1", family="X", failed=False,
+            hours=donor.hours.copy(), values=donor.values.copy(),
+        )
+        series, unroutable = fitted.score_drives([donor, alien])
+        assert [d.serial for d in unroutable] == ["X-1"]
+        assert len(series) == 1 and series[0].serial == donor.serial
+
+    def test_scores_come_from_family_model(self, fitted, tiny_fleet):
+        drive = tiny_fleet.filter_family("Q").good_drives[0]
+        (series,), _ = fitted.score_drives([drive])
+        direct = fitted.model_for("Q").score_drive(drive)
+        np.testing.assert_array_equal(series.scores, direct.scores)
+
+
+class TestEvaluate:
+    def test_per_family_and_fleet_results(self, fitted):
+        results = fitted.evaluate(n_voters=3)
+        assert set(results) == {"W", "Q", "fleet"}
+        fleet = results["fleet"]
+        assert fleet.n_good == results["W"].n_good + results["Q"].n_good
+        assert fleet.n_failed == results["W"].n_failed + results["Q"].n_failed
+        for result in results.values():
+            assert 0.0 <= result.far <= 1.0 and 0.0 <= result.fdr <= 1.0

@@ -1,0 +1,79 @@
+"""Tests for the generic pipeline wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SamplingConfig
+from repro.core.predictor import GenericFailurePredictor
+from repro.tree.boosting import AdaBoostClassifier
+from repro.tree.classification import ClassificationTree
+from repro.tree.forest import RandomForestClassifier
+
+
+class TestGenericFailurePredictor:
+    def test_wraps_plain_tree_like_ct_pipeline(self, tiny_split):
+        predictor = GenericFailurePredictor(
+            lambda: ClassificationTree(minsplit=4, minbucket=2, cp=0.002),
+        ).fit(tiny_split)
+        result = predictor.evaluate(tiny_split, n_voters=3)
+        assert 0.0 <= result.far <= 1.0
+        assert result.fdr >= 0.5
+
+    def test_wraps_forest(self, tiny_split):
+        predictor = GenericFailurePredictor(
+            lambda: RandomForestClassifier(
+                n_trees=5, minsplit=4, minbucket=2, cp=0.0, seed=1
+            ),
+        ).fit(tiny_split)
+        result = predictor.evaluate(tiny_split, n_voters=3)
+        assert result.n_failed == len(tiny_split.test_failed)
+
+    def test_wraps_model_without_weight_support(self, tiny_split):
+        # AdaBoost.fit takes no sample_weight; the wrapper must fall back.
+        predictor = GenericFailurePredictor(
+            lambda: AdaBoostClassifier(n_rounds=3, max_depth=2, minsplit=4, minbucket=2),
+        ).fit(tiny_split)
+        series = predictor.score_drive(tiny_split.test_failed[0])
+        assert np.isfinite(series.scores).any()
+
+    def test_respects_sampling_and_share(self, tiny_split):
+        captured = {}
+
+        class Spy:
+            def fit(self, X, y, sample_weight=None):
+                captured["X"] = X
+                captured["weight"] = sample_weight
+                return self
+
+            def predict(self, X):
+                return np.ones(len(X))
+
+        GenericFailurePredictor(
+            Spy,
+            sampling=SamplingConfig(failed_window_hours=24.0),
+            failed_share=0.3,
+        ).fit(tiny_split)
+        weights = captured["weight"]
+        assert weights is not None
+        # The failed share must hold exactly under the re-weighting.
+        X = captured["X"]
+        assert weights.sum() == pytest.approx(X.shape[0])
+
+    def test_none_share_passes_none_weights(self, tiny_split):
+        captured = {}
+
+        class Spy:
+            def fit(self, X, y, sample_weight=None):
+                captured["weight"] = sample_weight
+                return self
+
+            def predict(self, X):
+                return np.ones(len(X))
+
+        GenericFailurePredictor(Spy, failed_share=None).fit(tiny_split)
+        assert captured["weight"] is None
+
+    def test_unfitted_raises(self, tiny_split):
+        predictor = GenericFailurePredictor(lambda: None)
+        with pytest.raises(RuntimeError, match="not fitted"):
+            predictor.evaluate(tiny_split)

@@ -1,0 +1,117 @@
+"""Tests for the end-to-end predictors (the public API)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import (
+    FAILED_LABEL,
+    AnnConfig,
+    CTConfig,
+    SamplingConfig,
+    resolve_features,
+)
+from repro.core.predictor import AnnFailurePredictor, DriveFailurePredictor
+from repro.features.vectorize import Feature
+
+
+class TestConfigs:
+    def test_resolve_named_set(self):
+        assert len(resolve_features("critical-13")) == 13
+
+    def test_resolve_explicit_list(self):
+        features = [Feature("POH")]
+        assert resolve_features(features) == features
+
+    def test_resolve_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            resolve_features([])
+
+    def test_ann_hidden_sizes_follow_paper(self):
+        config = AnnConfig()
+        assert config.resolve_hidden_size(19) == 30
+        assert config.resolve_hidden_size(13) == 13
+        assert config.resolve_hidden_size(12) == 20
+        assert config.resolve_hidden_size(7) == 7
+        assert AnnConfig(hidden_size=5).resolve_hidden_size(13) == 5
+
+    def test_ct_config_validation(self):
+        with pytest.raises(ValueError):
+            CTConfig(failed_share=0.0)
+        with pytest.raises(ValueError):
+            CTConfig(false_alarm_loss_weight=0.0)
+
+    def test_sampling_validation(self):
+        with pytest.raises(ValueError):
+            SamplingConfig(failed_window_hours=0.0)
+
+
+@pytest.fixture(scope="module")
+def fitted_ct(tiny_split):
+    config = CTConfig(minsplit=4, minbucket=2, cp=0.002)
+    return DriveFailurePredictor(config).fit(tiny_split)
+
+
+class TestDriveFailurePredictor:
+    def test_evaluate_produces_sane_metrics(self, fitted_ct, tiny_split):
+        result = fitted_ct.evaluate(tiny_split, n_voters=3)
+        assert 0.0 <= result.far <= 1.0
+        assert 0.0 <= result.fdr <= 1.0
+        assert result.n_good == len(tiny_split.test_good)
+        assert result.n_failed == len(tiny_split.test_failed)
+
+    def test_detects_most_failures(self, fitted_ct, tiny_split):
+        result = fitted_ct.evaluate(tiny_split, n_voters=1)
+        assert result.fdr >= 0.5
+
+    def test_score_drive_alignment(self, fitted_ct, tiny_split):
+        drive = tiny_split.test_good[0]
+        series = fitted_ct.score_drive(drive)
+        assert series.scores.shape == drive.hours.shape
+        valid = series.scores[np.isfinite(series.scores)]
+        assert set(np.unique(valid)) <= {-1.0, 1.0}
+
+    def test_roc_sweep_returns_one_point_per_n(self, fitted_ct, tiny_split):
+        points = fitted_ct.roc(tiny_split, [1, 3, 5])
+        assert [p.parameter for p in points] == [1.0, 3.0, 5.0]
+
+    def test_explain_mentions_features(self, fitted_ct):
+        text = fitted_ct.explain()
+        assert any(name in text for name in fitted_ct.extractor.names)
+
+    def test_failure_attributes_nonempty(self, fitted_ct):
+        assert fitted_ct.failure_attributes()
+
+    def test_feature_importances_keyed_by_name(self, fitted_ct):
+        importances = fitted_ct.feature_importances()
+        assert set(importances) == set(fitted_ct.extractor.names)
+        assert sum(importances.values()) == pytest.approx(1.0)
+
+    def test_unfitted_raises(self, tiny_split):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            DriveFailurePredictor().evaluate(tiny_split)
+
+    def test_loss_weight_lowers_far(self, tiny_split):
+        light = DriveFailurePredictor(
+            CTConfig(minsplit=4, minbucket=2, cp=0.0, false_alarm_loss_weight=1.0)
+        ).fit(tiny_split)
+        heavy = DriveFailurePredictor(
+            CTConfig(minsplit=4, minbucket=2, cp=0.0, false_alarm_loss_weight=50.0)
+        ).fit(tiny_split)
+        far_light = light.evaluate(tiny_split, n_voters=1).far
+        far_heavy = heavy.evaluate(tiny_split, n_voters=1).far
+        assert far_heavy <= far_light
+
+
+class TestAnnFailurePredictor:
+    def test_fit_evaluate(self, tiny_split):
+        config = AnnConfig(max_iter=60)
+        predictor = AnnFailurePredictor(config).fit(tiny_split)
+        result = predictor.evaluate(tiny_split, n_voters=3)
+        assert 0.0 <= result.far <= 1.0
+        assert result.n_failed == len(tiny_split.test_failed)
+
+    def test_scores_are_labels(self, tiny_split):
+        predictor = AnnFailurePredictor(AnnConfig(max_iter=30)).fit(tiny_split)
+        series = predictor.score_drive(tiny_split.test_good[0])
+        valid = series.scores[np.isfinite(series.scores)]
+        assert set(np.unique(valid)) <= {-1.0, 1.0}

@@ -1,0 +1,114 @@
+"""Tests for the operational cost model."""
+
+import pytest
+
+from repro.detection.cost import (
+    CostBreakdown,
+    OperationalCostModel,
+    choose_operating_point,
+    expected_annual_cost,
+)
+from repro.detection.metrics import RocPoint
+
+
+class TestModelValidation:
+    def test_defaults_valid(self):
+        OperationalCostModel()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"fleet_size": 0},
+            {"mttf_hours": 0.0},
+            {"raid_group_size": -1},
+            {"alarm_handling_cost": -1.0},
+            {"evaluation_weeks": 0.0},
+        ],
+    )
+    def test_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            OperationalCostModel(**kwargs)
+
+
+class TestExpectedCost:
+    def test_breakdown_totals(self):
+        breakdown = expected_annual_cost(
+            RocPoint(11, 0.001, 0.95), OperationalCostModel()
+        )
+        assert breakdown.total == pytest.approx(
+            breakdown.true_alarm_cost
+            + breakdown.false_alarm_cost
+            + breakdown.missed_failure_cost
+            + breakdown.data_loss_cost
+        )
+        assert breakdown.total > 0
+
+    def test_more_false_alarms_cost_more(self):
+        model = OperationalCostModel()
+        low = expected_annual_cost(RocPoint(1, 0.001, 0.9), model)
+        high = expected_annual_cost(RocPoint(1, 0.05, 0.9), model)
+        assert high.total > low.total
+
+    def test_better_detection_reduces_loss_and_miss_terms(self):
+        model = OperationalCostModel()
+        weak = expected_annual_cost(RocPoint(1, 0.001, 0.5), model)
+        strong = expected_annual_cost(RocPoint(1, 0.001, 0.95), model)
+        assert strong.missed_failure_cost < weak.missed_failure_cost
+        assert strong.data_loss_cost < weak.data_loss_cost
+
+    def test_raid_term_disabled_for_small_groups(self):
+        model = OperationalCostModel(raid_group_size=0)
+        breakdown = expected_annual_cost(RocPoint(1, 0.001, 0.9), model)
+        assert breakdown.data_loss_cost == 0.0
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            expected_annual_cost(RocPoint(1, 1.5, 0.9), OperationalCostModel())
+
+
+class TestChooseOperatingPoint:
+    def test_prefers_low_far_when_alarms_dominate(self):
+        # Expensive handling, cheap misses: the low-FAR point must win.
+        model = OperationalCostModel(
+            alarm_handling_cost=10_000.0,
+            missed_failure_cost=0.0,
+            data_loss_cost=0.0,
+        )
+        points = [RocPoint(1, 0.02, 0.97), RocPoint(27, 0.0001, 0.93)]
+        best, table = choose_operating_point(points, model)
+        assert best.operating_point.parameter == 27
+        assert len(table) == 2
+
+    def test_prefers_high_fdr_when_losses_dominate(self):
+        # Short-lived drives make data loss a live risk, so detection
+        # quality dominates the bill.
+        model = OperationalCostModel(
+            mttf_hours=10_000.0,
+            alarm_handling_cost=1.0,
+            missed_failure_cost=0.0,
+            data_loss_cost=1e9,
+        )
+        points = [RocPoint(1, 0.02, 0.99), RocPoint(27, 0.0001, 0.6)]
+        best, _ = choose_operating_point(points, model)
+        assert best.operating_point.parameter == 1
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(ValueError, match="points"):
+            choose_operating_point([])
+
+    def test_breakdowns_in_input_order(self):
+        points = [RocPoint(1, 0.01, 0.9), RocPoint(3, 0.005, 0.88)]
+        _, table = choose_operating_point(points)
+        assert [b.operating_point.parameter for b in table] == [1, 3]
+
+    def test_integration_with_real_roc(self, tiny_split):
+        from repro.core.config import CTConfig
+        from repro.core.predictor import DriveFailurePredictor
+
+        predictor = DriveFailurePredictor(
+            CTConfig(minsplit=4, minbucket=2, cp=0.002)
+        ).fit(tiny_split)
+        points = predictor.roc(tiny_split, [1, 3, 5])
+        best, table = choose_operating_point(points)
+        assert isinstance(best, CostBreakdown)
+        assert best.total == min(b.total for b in table)

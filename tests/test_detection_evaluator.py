@@ -1,0 +1,102 @@
+"""Tests for the drive-level evaluation harness."""
+
+import numpy as np
+import pytest
+
+from repro.detection.evaluator import (
+    DriveScoreSeries,
+    evaluate_detection,
+    roc_over_thresholds,
+    roc_over_voters,
+)
+
+
+def _good(serial="g", scores=(1.0, 1.0, 1.0)):
+    values = np.array(scores, dtype=float)
+    return DriveScoreSeries(
+        serial=serial, failed=False, hours=np.arange(len(values), dtype=float),
+        scores=values,
+    )
+
+
+def _failed(serial="f", scores=(-1.0, -1.0), failure_hour=10.0, start=0.0):
+    values = np.array(scores, dtype=float)
+    hours = np.arange(start, start + len(values))
+    return DriveScoreSeries(
+        serial=serial, failed=True, hours=hours, scores=values,
+        failure_hour=failure_hour,
+    )
+
+
+class TestDriveScoreSeries:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="must match"):
+            DriveScoreSeries("x", False, np.arange(3.0), np.arange(2.0))
+
+    def test_failed_requires_failure_hour(self):
+        with pytest.raises(ValueError, match="failure_hour"):
+            DriveScoreSeries("x", True, np.arange(2.0), np.arange(2.0))
+
+
+class TestEvaluateDetection:
+    def test_counts_and_tia(self):
+        from repro.detection.voting import MajorityVoteDetector
+
+        series = [
+            _good("g1"),
+            _good("g2", scores=(1.0, -1.0, 1.0)),  # one bad sample -> FA at N=1
+            _failed("f1", scores=(1.0, -1.0), failure_hour=5.0),
+            _failed("f2", scores=(1.0, 1.0), failure_hour=5.0),  # missed
+        ]
+        result = evaluate_detection(series, MajorityVoteDetector(n_voters=1))
+        assert result.n_good == 2 and result.n_false_alarms == 1
+        assert result.n_failed == 2 and result.n_detected == 1
+        assert result.tia_hours == (4.0,)  # alarm at hour 1, failure at 5
+
+    def test_alarm_after_failure_not_counted(self):
+        from repro.detection.voting import MajorityVoteDetector
+
+        # Alarm fires at hour 12 but failure was at hour 10.
+        series = [_failed("f", scores=(1.0, 1.0, -1.0), failure_hour=10.0, start=10.0)]
+        result = evaluate_detection(series, MajorityVoteDetector(n_voters=1))
+        assert result.n_detected == 0
+
+    def test_empty_scores_handled(self):
+        from repro.detection.voting import MajorityVoteDetector
+
+        series = [
+            DriveScoreSeries("e", False, np.array([]), np.array([])),
+        ]
+        result = evaluate_detection(series, MajorityVoteDetector())
+        assert result.n_good == 1 and result.n_false_alarms == 0
+
+
+class TestRocSweeps:
+    def test_roc_over_voters_far_non_increasing(self):
+        rng = np.random.default_rng(0)
+        series = []
+        for i in range(50):
+            scores = np.where(rng.random(40) < 0.05, -1.0, 1.0)
+            series.append(_good(f"g{i}", scores=tuple(scores)))
+        for i in range(10):
+            series.append(
+                _failed(f"f{i}", scores=tuple([-1.0] * 20), failure_hour=25.0)
+            )
+        points = roc_over_voters(series, [1, 3, 7, 13])
+        fars = [p.far for p in points]
+        assert fars == sorted(fars, reverse=True)
+        assert all(p.fdr == 1.0 for p in points)
+
+    def test_roc_over_thresholds_monotone(self):
+        rng = np.random.default_rng(1)
+        series = []
+        for i in range(30):
+            series.append(_good(f"g{i}", scores=tuple(rng.uniform(0.5, 1.0, 30))))
+        for i in range(10):
+            series.append(
+                _failed(f"f{i}", scores=tuple(rng.uniform(-1.0, -0.5, 20)),
+                        failure_hour=25.0)
+            )
+        points = roc_over_thresholds(series, [-0.9, -0.5, 0.0, 0.4], n_voters=5)
+        fdrs = [p.fdr for p in points]
+        assert fdrs == sorted(fdrs)  # looser threshold detects at least as much

@@ -1,0 +1,109 @@
+"""Tests for Wilson confidence intervals on detection rates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detection.intervals import (
+    RateInterval,
+    far_interval,
+    fdr_interval,
+    rates_compatible,
+    wilson_interval,
+)
+from repro.detection.metrics import DetectionResult
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        interval = wilson_interval(95, 133)
+        assert interval.contains(95 / 133)
+
+    def test_paper_scale_fdr_uncertainty(self):
+        # 127/133 detections: the 95% interval is several points wide —
+        # the reason interval-aware comparison matters at paper scale.
+        interval = wilson_interval(127, 133)
+        assert interval.width > 0.05
+
+    def test_zero_successes_nondegenerate(self):
+        interval = wilson_interval(0, 100)
+        assert interval.lower == 0.0
+        assert 0.0 < interval.upper < 0.1
+
+    def test_all_successes_nondegenerate(self):
+        interval = wilson_interval(100, 100)
+        assert interval.upper == 1.0
+        assert 0.9 < interval.lower < 1.0
+
+    def test_zero_trials_vacuous(self):
+        interval = wilson_interval(0, 0)
+        assert (interval.lower, interval.upper) == (0.0, 1.0)
+
+    def test_higher_confidence_wider(self):
+        narrow = wilson_interval(50, 100, confidence=0.8)
+        wide = wilson_interval(50, 100, confidence=0.99)
+        assert wide.width > narrow.width
+
+    def test_more_trials_narrower(self):
+        small = wilson_interval(9, 10)
+        large = wilson_interval(900, 1000)
+        assert large.width < small.width
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 3)
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 2, confidence=1.0)
+
+    @given(
+        st.integers(min_value=0, max_value=500),
+        st.integers(min_value=1, max_value=500),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_interval_properties(self, successes, trials):
+        if successes > trials:
+            successes, trials = trials, successes
+        interval = wilson_interval(successes, trials)
+        assert 0.0 <= interval.lower <= interval.point <= interval.upper <= 1.0
+
+    def test_str_rendering(self):
+        text = str(wilson_interval(95, 133))
+        assert "%" in text and "[" in text
+
+
+class TestResultIntervals:
+    @pytest.fixture
+    def result(self):
+        return DetectionResult(
+            n_good=2000, n_false_alarms=4, n_failed=27, n_detected=26
+        )
+
+    def test_fdr_interval(self, result):
+        interval = fdr_interval(result)
+        assert interval.contains(result.fdr)
+        assert interval.width > 0.05  # 27 drives = real uncertainty
+
+    def test_far_interval_much_tighter(self, result):
+        assert far_interval(result).width < fdr_interval(result).width
+
+    def test_rates_compatible_symmetric(self, result):
+        other = DetectionResult(
+            n_good=2000, n_false_alarms=10, n_failed=27, n_detected=24
+        )
+        assert rates_compatible(result, other, metric="fdr") == rates_compatible(
+            other, result, metric="fdr"
+        )
+
+    def test_clearly_different_rates_incompatible(self):
+        strong = DetectionResult(n_good=10, n_false_alarms=0, n_failed=500, n_detected=490)
+        weak = DetectionResult(n_good=10, n_false_alarms=0, n_failed=500, n_detected=250)
+        assert not rates_compatible(strong, weak, metric="fdr")
+
+    def test_unknown_metric(self, result):
+        with pytest.raises(ValueError, match="metric"):
+            rates_compatible(result, result, metric="tia")

@@ -1,0 +1,86 @@
+"""Tests for detection metrics (FDR/FAR/TIA/ROC)."""
+
+import numpy as np
+import pytest
+
+from repro.detection.metrics import (
+    TIA_BIN_LABELS,
+    TIA_BINS,
+    DetectionResult,
+    RocPoint,
+    partial_auc,
+    roc_dominates,
+)
+
+
+def _result(**kwargs):
+    defaults = dict(n_good=100, n_false_alarms=1, n_failed=20, n_detected=19)
+    defaults.update(kwargs)
+    return DetectionResult(**defaults)
+
+
+class TestDetectionResult:
+    def test_rates(self):
+        result = _result()
+        assert result.far == pytest.approx(0.01)
+        assert result.fdr == pytest.approx(0.95)
+
+    def test_zero_population_rates(self):
+        result = DetectionResult(n_good=0, n_false_alarms=0, n_failed=0, n_detected=0)
+        assert result.far == 0.0 and result.fdr == 0.0
+
+    def test_mean_tia(self):
+        result = _result(tia_hours=(10.0, 20.0))
+        assert result.mean_tia_hours == pytest.approx(15.0)
+        assert _result().mean_tia_hours == 0.0
+
+    def test_histogram_bins(self):
+        result = _result(tia_hours=(5.0, 30.0, 100.0, 200.0, 400.0))
+        assert result.tia_histogram() == [1, 1, 1, 1, 1]
+
+    def test_histogram_overflow_goes_to_last_bin(self):
+        result = _result(tia_hours=(999.0,))
+        assert result.tia_histogram() == [0, 0, 0, 0, 1]
+
+    def test_bin_labels_match_bins(self):
+        assert len(TIA_BIN_LABELS) == len(TIA_BINS)
+        assert TIA_BIN_LABELS[0] == "0-24"
+
+    def test_as_percentages(self):
+        metrics = _result().as_percentages()
+        assert metrics["FAR (%)"] == pytest.approx(1.0)
+        assert metrics["FDR (%)"] == pytest.approx(95.0)
+
+
+class TestRocDominates:
+    def test_clear_domination(self):
+        better = [RocPoint(1, 0.001, 0.95), RocPoint(2, 0.01, 0.99)]
+        worse = [RocPoint(1, 0.01, 0.90)]
+        assert roc_dominates(better, worse)
+        assert not roc_dominates(worse, better)
+
+    def test_curve_dominates_itself(self):
+        curve = [RocPoint(1, 0.01, 0.9), RocPoint(2, 0.05, 0.95)]
+        assert roc_dominates(curve, curve)
+
+    def test_empty_curves(self):
+        assert not roc_dominates([], [RocPoint(1, 0.1, 0.5)])
+
+
+class TestPartialAuc:
+    def test_perfect_detector(self):
+        points = [RocPoint(1, 0.0, 1.0)]
+        assert partial_auc(points, max_far=1.0) == pytest.approx(1.0)
+
+    def test_better_curve_has_larger_area(self):
+        good = [RocPoint(1, 0.01, 0.95), RocPoint(2, 0.1, 0.99)]
+        bad = [RocPoint(1, 0.05, 0.5), RocPoint(2, 0.2, 0.7)]
+        assert partial_auc(good) > partial_auc(bad)
+
+    def test_empty_curve_zero(self):
+        assert partial_auc([]) == 0.0
+
+    def test_max_far_truncation(self):
+        points = [RocPoint(1, 0.5, 1.0)]
+        small = partial_auc(points, max_far=0.1)
+        assert small == pytest.approx(0.0, abs=1e-9)

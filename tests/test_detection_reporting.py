@@ -1,0 +1,79 @@
+"""Tests for alert explanation reports."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CTConfig, RTConfig
+from repro.core.predictor import DriveFailurePredictor
+from repro.detection.reporting import explain_alert
+from repro.health.model import HealthDegreePredictor
+
+
+@pytest.fixture(scope="module")
+def fitted(tiny_split):
+    ct = DriveFailurePredictor(CTConfig(minsplit=4, minbucket=2, cp=0.002))
+    return ct.fit(tiny_split)
+
+
+@pytest.fixture(scope="module")
+def alarming_drive(fitted, tiny_split):
+    for drive in tiny_split.test_failed:
+        if explain_alert(fitted, drive, n_voters=3) is not None:
+            return drive
+    pytest.skip("no alarming failed drive on this tiny fleet")
+
+
+class TestExplainAlert:
+    def test_good_quiet_drive_returns_none(self, fitted, tiny_split):
+        quiet = [
+            d for d in tiny_split.test_good
+            if explain_alert(fitted, d, n_voters=3) is None
+        ]
+        assert quiet  # most good drives never alarm
+
+    def test_report_structure(self, fitted, alarming_drive):
+        report = explain_alert(
+            fitted, alarming_drive, n_voters=3, mean_tia_hours=300.0
+        )
+        assert report.serial == alarming_drive.serial
+        assert report.steps  # at least one condition on the path
+        assert 0.0 < report.leaf_confidence <= 1.0
+        assert report.lead_estimate_hours == 300.0
+
+    def test_steps_reference_real_features(self, fitted, alarming_drive):
+        report = explain_alert(fitted, alarming_drive, n_voters=3)
+        names = set(fitted.extractor.names)
+        for step in report.steps:
+            assert step.feature in names
+
+    def test_steps_consistent_with_thresholds(self, fitted, alarming_drive):
+        report = explain_alert(fitted, alarming_drive, n_voters=3)
+        for step in report.steps:
+            if np.isfinite(step.value):
+                assert step.went_left == (step.value < step.threshold)
+
+    def test_render_readable(self, fitted, alarming_drive):
+        report = explain_alert(fitted, alarming_drive, n_voters=3)
+        text = report.render()
+        assert "ALERT" in text and "Why the model decided" in text
+        assert "Recommended action" in text
+
+    def test_health_context_included(self, fitted, alarming_drive, tiny_split):
+        health = HealthDegreePredictor(
+            RTConfig(minsplit=4, minbucket=2, cp=0.002,
+                     ct=CTConfig(minsplit=4, minbucket=2, cp=0.002))
+        ).fit(tiny_split)
+        report = explain_alert(
+            fitted, alarming_drive, n_voters=3, health_model=health
+        )
+        assert report.health_degree is not None
+        assert -1.0 - 1e-9 <= report.health_degree <= 1.0 + 1e-9
+        assert "health degree" in report.render().lower()
+
+    def test_recommendation_scales_with_health(self, fitted, alarming_drive):
+        from repro.detection.reporting import _recommendation
+
+        assert "URGENT" in _recommendation(-0.9)
+        assert "maintenance window" in _recommendation(-0.3)
+        assert "monitor" in _recommendation(0.5)
+        assert "replacement" in _recommendation(None)

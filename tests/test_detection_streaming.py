@@ -1,0 +1,179 @@
+"""Tests for the streaming monitor, including offline equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import CTConfig
+from repro.core.predictor import DriveFailurePredictor
+from repro.detection.streaming import (
+    Alert,
+    FleetMonitor,
+    OnlineFeatureBuffer,
+    OnlineMajorityVote,
+    OnlineMeanThreshold,
+)
+from repro.detection.voting import MajorityVoteDetector, MeanThresholdDetector
+from repro.features.selection import critical_features
+from repro.features.vectorize import Feature
+from repro.smart.attributes import N_CHANNELS, channel_index
+
+
+class TestOnlineFeatureBuffer:
+    def test_value_features_pass_through(self):
+        buffer = OnlineFeatureBuffer([Feature("POH")])
+        values = np.ones(N_CHANNELS)
+        values[channel_index("POH")] = 42.0
+        row = buffer.push(0.0, values)
+        assert row[0] == 42.0
+
+    def test_change_rate_needs_lag_history(self):
+        buffer = OnlineFeatureBuffer([Feature("RRER", 2.0)])
+        base = np.zeros(N_CHANNELS)
+        for hour in (0.0, 1.0):
+            row = buffer.push(hour, base + hour)
+            assert np.isnan(row[0])
+        row = buffer.push(2.0, base + 4.0)  # (4 - 0) / 2
+        assert row[0] == pytest.approx(2.0)
+
+    def test_gap_in_history_yields_nan(self):
+        buffer = OnlineFeatureBuffer([Feature("RRER", 2.0)])
+        buffer.push(0.0, np.zeros(N_CHANNELS))
+        row = buffer.push(3.0, np.ones(N_CHANNELS))  # lag hour 1 never seen
+        assert np.isnan(row[0])
+
+    def test_non_increasing_hours_rejected(self):
+        buffer = OnlineFeatureBuffer([Feature("POH")])
+        buffer.push(5.0, np.zeros(N_CHANNELS))
+        with pytest.raises(ValueError, match="increasing"):
+            buffer.push(5.0, np.zeros(N_CHANNELS))
+
+    def test_wrong_shape_rejected(self):
+        buffer = OnlineFeatureBuffer([Feature("POH")])
+        with pytest.raises(ValueError, match="shape"):
+            buffer.push(0.0, np.zeros(3))
+
+    def test_matches_offline_extractor(self, tiny_fleet):
+        drive = tiny_fleet.good_drives[0]
+        features = critical_features()
+        from repro.features.vectorize import FeatureExtractor
+
+        offline = FeatureExtractor(features).extract(drive)
+        buffer = OnlineFeatureBuffer(features)
+        for index, (hour, values) in enumerate(zip(drive.hours, drive.values)):
+            online_row = buffer.push(hour, values)
+            np.testing.assert_allclose(
+                online_row, offline[index], equal_nan=True,
+                err_msg=f"divergence at sample {index}",
+            )
+
+
+class TestOnlineDetectors:
+    @given(
+        st.lists(st.sampled_from([1.0, -1.0, float("nan")]), min_size=1, max_size=60),
+        st.integers(min_value=1, max_value=13),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_majority_vote_matches_offline(self, scores, n_voters):
+        series = np.array(scores)
+        offline = MajorityVoteDetector(n_voters=n_voters).first_alarm(series)
+        online = OnlineMajorityVote(n_voters=n_voters)
+        online_alarm = None
+        for index, score in enumerate(series):
+            if online.push(score) and online_alarm is None:
+                online_alarm = index
+        if online_alarm is None and online.flush_short_history():
+            online_alarm = len(series) - 1
+        assert online_alarm == offline
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1, max_value=1, allow_nan=False),
+            min_size=1, max_size=60,
+        ),
+        st.integers(min_value=1, max_value=13),
+        st.floats(min_value=-0.9, max_value=0.9),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_mean_threshold_matches_offline(self, scores, n_voters, threshold):
+        series = np.array(scores)
+        offline = MeanThresholdDetector(
+            n_voters=n_voters, threshold=threshold
+        ).first_alarm(series)
+        online = OnlineMeanThreshold(n_voters=n_voters, threshold=threshold)
+        online_alarm = None
+        for index, score in enumerate(series):
+            if online.push(score) and online_alarm is None:
+                online_alarm = index
+        if online_alarm is None and online.flush_short_history():
+            online_alarm = len(series) - 1
+        assert online_alarm == offline
+
+
+class TestFleetMonitor:
+    def test_streaming_replay_matches_offline_pipeline(self, tiny_split):
+        """The headline equivalence: replaying drives sample-by-sample
+        through the FleetMonitor alarms on exactly the drives the offline
+        evaluation alarms on."""
+        ct = DriveFailurePredictor(CTConfig(minsplit=4, minbucket=2, cp=0.002))
+        ct.fit(tiny_split)
+        n_voters = 3
+        drives = list(tiny_split.test_good)[:20] + list(tiny_split.test_failed)
+
+        offline_detector = MajorityVoteDetector(n_voters=n_voters)
+        offline_alarmed = {
+            series.serial
+            for series in ct.score_drives(drives)
+            if offline_detector.first_alarm(series.scores) is not None
+        }
+
+        monitor = FleetMonitor(
+            ct.extractor.features,
+            score_sample=lambda row: float(ct.tree_.predict(row.reshape(1, -1))[0]),
+            detector_factory=lambda: OnlineMajorityVote(n_voters=n_voters),
+        )
+        for drive in drives:
+            for hour, values in zip(drive.hours, drive.values):
+                monitor.observe(drive.serial, hour, values)
+        monitor.finalize()
+        online_alarmed = {alert.serial for alert in monitor.alerts}
+        assert online_alarmed == offline_alarmed
+
+    def test_one_alert_per_drive(self):
+        monitor = FleetMonitor(
+            [Feature("POH")],
+            score_sample=lambda row: -1.0,
+            detector_factory=lambda: OnlineMajorityVote(1),
+        )
+        values = np.ones(N_CHANNELS)
+        first = monitor.observe("d", 0.0, values)
+        second = monitor.observe("d", 1.0, values)
+        assert isinstance(first, Alert)
+        assert second is None
+        assert len(monitor.alerts) == 1
+
+    def test_watched_drives(self):
+        monitor = FleetMonitor(
+            [Feature("POH")],
+            score_sample=lambda row: 1.0,
+            detector_factory=lambda: OnlineMajorityVote(1),
+        )
+        monitor.observe("b", 0.0, np.ones(N_CHANNELS))
+        monitor.observe("a", 0.0, np.ones(N_CHANNELS))
+        assert monitor.watched_drives() == ["a", "b"]
+
+    def test_all_nan_record_scored_without_model_call(self):
+        calls = []
+
+        def scorer(row):
+            calls.append(row)
+            return -1.0
+
+        monitor = FleetMonitor(
+            [Feature("POH")],
+            score_sample=scorer,
+            detector_factory=lambda: OnlineMajorityVote(1),
+        )
+        monitor.observe("d", 0.0, np.full(N_CHANNELS, np.nan))
+        assert calls == []

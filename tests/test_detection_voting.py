@@ -1,0 +1,114 @@
+"""Tests for the voting-based detectors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detection.voting import MajorityVoteDetector, MeanThresholdDetector
+
+
+class TestMajorityVote:
+    def test_single_voter_fires_on_first_failed(self):
+        detector = MajorityVoteDetector(n_voters=1)
+        scores = np.array([1.0, 1.0, -1.0, 1.0])
+        assert detector.first_alarm(scores) == 2
+
+    def test_no_failed_samples_no_alarm(self):
+        detector = MajorityVoteDetector(n_voters=3)
+        assert detector.first_alarm(np.ones(10)) is None
+
+    def test_majority_required(self):
+        detector = MajorityVoteDetector(n_voters=3)
+        # Windows of 3 with only one failed vote never alarm.
+        scores = np.array([1.0, -1.0, 1.0, 1.0, -1.0, 1.0])
+        assert detector.first_alarm(scores) is None
+
+    def test_strict_majority_on_even_windows(self):
+        detector = MajorityVoteDetector(n_voters=4)
+        # 2 of 4 failed is NOT more than N/2.
+        scores = np.array([-1.0, -1.0, 1.0, 1.0])
+        assert detector.first_alarm(scores) is None
+        # 3 of 4 is.
+        scores = np.array([-1.0, -1.0, -1.0, 1.0])
+        assert detector.first_alarm(scores) == 3
+
+    def test_alarm_index_is_first_qualifying_time_point(self):
+        detector = MajorityVoteDetector(n_voters=3)
+        scores = np.array([1.0, -1.0, -1.0, -1.0])
+        assert detector.first_alarm(scores) == 2  # window [1, 1, -1, -1] -> idx2
+
+    def test_short_series_judged_once(self):
+        detector = MajorityVoteDetector(n_voters=11)
+        assert detector.first_alarm(np.array([-1.0, -1.0])) == 1
+        assert detector.first_alarm(np.array([-1.0, 1.0])) is None
+
+    def test_missing_samples_count_against_alarm(self):
+        detector = MajorityVoteDetector(n_voters=3)
+        scores = np.array([1.0, np.nan, -1.0, np.nan, -1.0, -1.0])
+        # Window [1, nan, -1] has 1 failed of 3 (no); [nan, -1, nan] has 1
+        # (no); [-1, nan, -1] has 2 > 1.5 -> first alarm at index 4.
+        assert detector.first_alarm(scores) == 4
+
+    def test_empty_series(self):
+        assert MajorityVoteDetector().first_alarm(np.array([])) is None
+
+    def test_custom_failed_label(self):
+        detector = MajorityVoteDetector(n_voters=1, failed_label=0.0)
+        assert detector.first_alarm(np.array([1.0, 0.0])) == 1
+
+    def test_invalid_voters(self):
+        with pytest.raises(ValueError):
+            MajorityVoteDetector(n_voters=0)
+
+    @given(
+        st.lists(st.sampled_from([1.0, -1.0]), min_size=1, max_size=50),
+        st.integers(min_value=1, max_value=15),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_alarm_matches_naive_reference(self, labels, n_voters):
+        scores = np.array(labels)
+        detector = MajorityVoteDetector(n_voters=n_voters)
+        window = min(n_voters, len(scores))
+        expected = None
+        for t in range(window - 1, len(scores)):
+            chunk = scores[t - window + 1 : t + 1]
+            if np.sum(chunk == -1.0) > window / 2.0:
+                expected = t
+                break
+        assert detector.first_alarm(scores) == expected
+
+
+class TestMeanThreshold:
+    def test_alarm_when_mean_below_threshold(self):
+        detector = MeanThresholdDetector(n_voters=2, threshold=0.0)
+        scores = np.array([1.0, 1.0, -0.5, -0.9])
+        assert detector.first_alarm(scores) == 3
+
+    def test_no_alarm_for_healthy_series(self):
+        detector = MeanThresholdDetector(n_voters=3, threshold=-0.5)
+        assert detector.first_alarm(np.full(10, 0.9)) is None
+
+    def test_missing_samples_excluded_from_mean(self):
+        detector = MeanThresholdDetector(n_voters=3, threshold=0.0)
+        scores = np.array([1.0, np.nan, -0.5, -0.5])
+        # Window [nan, -0.5, -0.5]: mean of valid = -0.5 < 0 -> alarm at 3.
+        assert detector.first_alarm(scores) == 3
+
+    def test_all_missing_window_cannot_alarm(self):
+        detector = MeanThresholdDetector(n_voters=2, threshold=0.0)
+        assert detector.first_alarm(np.array([np.nan, np.nan])) is None
+
+    def test_threshold_monotonicity(self):
+        rng = np.random.default_rng(0)
+        scores = rng.uniform(-1, 1, size=60)
+        detector_strict = MeanThresholdDetector(n_voters=5, threshold=-0.8)
+        detector_loose = MeanThresholdDetector(n_voters=5, threshold=0.5)
+        strict = detector_strict.first_alarm(scores)
+        loose = detector_loose.first_alarm(scores)
+        if strict is not None:
+            assert loose is not None and loose <= strict
+
+    def test_short_series_judged_once(self):
+        detector = MeanThresholdDetector(n_voters=11, threshold=0.0)
+        assert detector.first_alarm(np.array([-1.0])) == 0

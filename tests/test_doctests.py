@@ -1,0 +1,28 @@
+"""Execute every docstring example in the package as a test.
+
+The public API's docstrings carry runnable examples; this module keeps
+them honest — a drifting signature or renamed argument fails the suite
+instead of silently rotting in the docs.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _module_names() -> list[str]:
+    names = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__, "repro."):
+        names.append(info.name)
+    return sorted(names)
+
+
+@pytest.mark.parametrize("name", _module_names())
+def test_module_doctests(name):
+    module = importlib.import_module(name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failure(s) in {name}"

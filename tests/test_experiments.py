@@ -1,0 +1,160 @@
+"""Tests for the experiment drivers (tiny scale) and the CLI runner.
+
+These run every driver end to end on test-sized fleets and assert the
+*structure* of each result (row counts, metric ranges, orderings that
+must hold by construction); EXPERIMENTS.md tracks the paper-shape
+comparisons at full scale.
+"""
+
+import pytest
+
+from repro.experiments.common import ExperimentScale, aging_fleet, main_fleet
+from repro.experiments.fig2 import render_fig2, run_fig2
+from repro.experiments.fig5 import render_fig5, run_fig5
+from repro.experiments.fig10 import render_fig10, run_fig10
+from repro.experiments.fig12 import render_fig12, run_fig12
+from repro.experiments.fig34 import render_fig34, run_fig34
+from repro.experiments.fig6to9 import render_fig6to9, run_fig6to9
+from repro.experiments.runner import CATALOGUE, main, run_experiment
+from repro.experiments.table3 import render_table3, run_table3
+from repro.experiments.table4 import render_table4, run_table4
+from repro.experiments.table5 import render_table5, run_table5
+from repro.experiments.table6 import render_table6, run_table6
+
+SCALE = ExperimentScale.tiny()
+
+
+class TestFleetCaches:
+    def test_main_fleet_cached(self):
+        assert main_fleet(SCALE) is main_fleet(SCALE)
+
+    def test_aging_fleet_distinct_from_main(self):
+        assert aging_fleet(SCALE) is not main_fleet(SCALE)
+
+
+class TestFig1:
+    def test_tree_rendered_with_rules(self):
+        from repro.experiments.fig1 import render_fig1, run_fig1
+
+        tree = run_fig1(SCALE, max_depth=3)
+        assert tree.depth <= 3
+        assert tree.failed_rules  # at least one failure rule
+        text = render_fig1(tree)
+        assert "Figure 1" in text and "IF " in text
+
+
+class TestTable3:
+    def test_rows_cover_grid(self):
+        rows = run_table3(SCALE)
+        assert len(rows) == 6
+        assert {row.model for row in rows} == {"BP ANN", "CT"}
+        assert {row.feature_set for row in rows} == {
+            "basic-12", "expert-19", "critical-13"
+        }
+        text = render_table3(rows)
+        assert "critical-13" in text and "FDR" in text
+
+
+class TestTable4:
+    def test_one_row_per_window(self):
+        rows = run_table4(SCALE, windows_hours=(12.0, 168.0))
+        assert [row.window_hours for row in rows] == [12.0, 168.0]
+        for row in rows:
+            assert 0.0 <= row.result.fdr <= 1.0
+        assert "Time Window" in render_table4(rows)
+
+
+class TestFig2:
+    def test_curves_structure(self):
+        curves = run_fig2(SCALE, voters=(1, 3, 11))
+        assert len(curves.ct) == 3 and len(curves.ann) == 3
+        # FAR must be non-increasing in N for both models.
+        for points in (curves.ct, curves.ann):
+            fars = [p.far for p in points]
+            assert fars == sorted(fars, reverse=True)
+        assert "CT" in render_fig2(curves)
+
+
+class TestFig34:
+    def test_histograms(self):
+        result = run_fig34(SCALE)
+        assert len(result.ct.tia_histogram()) == 5
+        text = render_fig34(result)
+        assert "Figure 3" in text and "Figure 4" in text
+
+
+class TestFig5:
+    def test_family_q_used(self):
+        curves = run_fig5(SCALE, voters=(1, 5))
+        assert len(curves.ct) == 2
+        assert curves.ct_failure_attributes
+        assert "family Q" in render_fig5(curves)
+
+
+class TestTable5:
+    def test_grid(self):
+        rows = run_table5(SCALE, fractions={"A": 0.5, "B": 0.75})
+        assert len(rows) == 4
+        labels = {(row.model, row.dataset) for row in rows}
+        assert ("CT", "A") in labels and ("BP ANN", "B") in labels
+        assert "Table V" in render_table5(rows)
+
+
+class TestFig6to9:
+    def test_single_panel(self):
+        panels = run_fig6to9(
+            SCALE, n_weeks=3, n_voters=5, panels=(("Figure 6", "CT", "W"),)
+        )
+        assert len(panels) == 1
+        assert len(panels[0].reports) == 5  # five strategies
+        assert "Figure 6" in render_fig6to9(panels)
+
+
+class TestFig10:
+    def test_both_curves(self):
+        curves = run_fig10(SCALE, health_thresholds=(-0.5, 0.0),
+                           classifier_thresholds=(-0.9, 0.0))
+        assert len(curves.health) == 2 and len(curves.classifier) == 2
+        assert "health degree" in render_fig10(curves)
+
+
+class TestTable6:
+    def test_paper_block_matches_paper(self):
+        result = run_table6(SCALE)
+        by_model = {row.model: row for row in result.paper}
+        assert by_model["CT"].increase_percent == pytest.approx(1411.84, abs=0.5)
+        assert set(result.measured_quality) == {"BP ANN", "CT", "RT"}
+        assert "Table VI" in render_table6(result)
+
+
+class TestFig12:
+    def test_orderings(self):
+        result = run_fig12(SCALE, fleet_sizes=(50, 500))
+        for point in result.points:
+            assert point.sata_raid6_ct_years > point.sas_raid6_years
+        assert "Figure 12" in render_fig12(result)
+
+
+class TestRunner:
+    def test_catalogue_covers_every_paper_artefact(self):
+        assert set(CATALOGUE) == {
+            "fig1", "table3", "table4", "fig2", "fig34", "fig5",
+            "table5", "fig6to9", "fig10", "table6", "fig12",
+        }
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            run_experiment("table99", SCALE)
+
+    def test_cli_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out and "fig12" in out
+
+    def test_cli_runs_selected_experiment(self, capsys):
+        assert main(["--tiny", "--experiments", "fig12"]) == 0
+        out = capsys.readouterr().out
+        assert "=== fig12" in out
+
+    def test_cli_reports_unknown(self, capsys):
+        assert main(["--tiny", "--experiments", "nope"]) == 2

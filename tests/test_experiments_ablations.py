@@ -1,0 +1,54 @@
+"""Tests for the ablation drivers (tiny scale, structure only)."""
+
+import pytest
+
+from repro.experiments import ablations as ab
+from repro.experiments.common import ExperimentScale
+
+SCALE = ExperimentScale.tiny()
+
+
+class TestSweeps:
+    def test_loss_weight_rows(self):
+        rows = ab.sweep_loss_weight(SCALE, weights=(1.0, 10.0))
+        assert [row.label for row in rows] == ["loss=1", "loss=10"]
+        for row in rows:
+            assert 0.0 <= row.result.far <= 1.0
+
+    def test_failed_share_rows(self):
+        rows = ab.sweep_failed_share(SCALE, shares=(0.1, 0.4))
+        assert len(rows) == 2
+
+    def test_cp_rows_report_tree_size(self):
+        rows = ab.sweep_cp(SCALE, cps=(0.0, 0.05))
+        sizes = [int(row.detail.split()[0]) for row in rows]
+        assert sizes[0] >= sizes[1] >= 1
+
+    def test_window_modes(self):
+        rows = ab.compare_window_modes(SCALE)
+        assert rows[0].label == "personalized windows"
+        assert "formula (5)" in rows[1].detail
+
+    def test_model_zoo(self):
+        rows = ab.compare_model_zoo(SCALE)
+        assert [row.label for row in rows][0] == "CT (paper)"
+        assert len(rows) == 3
+
+    def test_render_rows(self):
+        rows = ab.sweep_loss_weight(SCALE, weights=(10.0,))
+        text = ab.render_ablation_rows("T", rows)
+        assert "T" in text and "loss=10" in text
+
+
+class TestAdaptiveComparison:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return ab.compare_adaptive_updating(SCALE, n_weeks=3)
+
+    def test_structure(self, comparison):
+        assert len(comparison.calendar) == 2
+        assert len(comparison.adaptive.outcomes) == 2
+
+    def test_render(self, comparison):
+        text = ab.render_adaptive_comparison(comparison)
+        assert "drift-adaptive" in text and "retrains" in text

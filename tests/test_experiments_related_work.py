@@ -1,0 +1,26 @@
+"""Tests for the related-work comparison driver (tiny scale)."""
+
+from repro.experiments.common import ExperimentScale
+from repro.experiments.related_work import render_related_work, run_related_work
+
+
+class TestRelatedWork:
+    def test_all_models_evaluated(self):
+        rows = run_related_work(ExperimentScale.tiny(), n_voters=3)
+        assert [row.model for row in rows] == [
+            "vendor thresholds",
+            "rank-sum (Hughes)",
+            "naive Bayes (Hamerly)",
+            "Mahalanobis (Wang)",
+            "SVM (Murray)",
+            "HMM (Zhao)",
+            "CT (this paper)",
+        ]
+        for row in rows:
+            assert 0.0 <= row.result.far <= 1.0
+            assert 0.0 <= row.result.fdr <= 1.0
+
+    def test_render(self):
+        rows = run_related_work(ExperimentScale.tiny(), n_voters=3)
+        text = render_related_work(rows)
+        assert "Related work" in text and "CT (this paper)" in text

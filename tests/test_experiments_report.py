@@ -1,0 +1,75 @@
+"""Tests for JSON export of experiment results."""
+
+import json
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.detection.metrics import DetectionResult, RocPoint
+from repro.experiments.report import export_results, load_results, to_jsonable
+
+
+class TestToJsonable:
+    def test_scalars_pass_through(self):
+        assert to_jsonable(3) == 3
+        assert to_jsonable("x") == "x"
+        assert to_jsonable(None) is None
+
+    def test_numpy_types_converted(self):
+        assert to_jsonable(np.int64(5)) == 5
+        assert to_jsonable(np.float64(2.5)) == 2.5
+        assert to_jsonable(np.array([1.0, 2.0])) == [1.0, 2.0]
+
+    def test_detection_result_materialises_properties(self):
+        result = DetectionResult(
+            n_good=100, n_false_alarms=1, n_failed=10, n_detected=9,
+            tia_hours=(10.0,),
+        )
+        payload = to_jsonable(result)
+        assert payload["far"] == pytest.approx(0.01)
+        assert payload["fdr"] == pytest.approx(0.9)
+        assert payload["mean_tia_hours"] == pytest.approx(10.0)
+        assert payload["__type__"] == "DetectionResult"
+
+    def test_nested_structures(self):
+        points = [RocPoint(1, 0.01, 0.9), RocPoint(3, 0.005, 0.92)]
+        payload = to_jsonable({"curve": points})
+        assert payload["curve"][1]["fdr"] == 0.92
+
+    def test_unconvertible_rejected(self):
+        with pytest.raises(TypeError, match="cannot convert"):
+            to_jsonable(object())
+
+
+class TestExportLoad:
+    def test_round_trip(self, tmp_path):
+        result = DetectionResult(
+            n_good=10, n_false_alarms=0, n_failed=2, n_detected=2
+        )
+        path = tmp_path / "results.json"
+        export_results(path, {"fig2": [RocPoint(1, 0.0, 1.0)], "table4": result})
+        loaded = load_results(path)
+        assert set(loaded) == {"fig2", "table4"}
+        assert loaded["table4"]["fdr"] == 1.0
+
+    def test_real_experiment_result_exports(self, tmp_path):
+        from repro.experiments.common import ExperimentScale
+        from repro.experiments.fig12 import run_fig12
+
+        result = run_fig12(ExperimentScale.tiny(), fleet_sizes=(10, 50))
+        path = tmp_path / "fig12.json"
+        export_results(path, {"fig12": result})
+        loaded = load_results(path)
+        assert len(loaded["fig12"]["points"]) == 2
+        assert loaded["fig12"]["points"][0]["n_drives"] == 10
+
+    def test_cli_json_flag(self, tmp_path, capsys):
+        from repro.experiments.runner import main
+
+        path = tmp_path / "run.json"
+        code = main(["--tiny", "--experiments", "fig12", "--json", str(path)])
+        assert code == 0
+        assert path.exists()
+        loaded = json.loads(path.read_text())
+        assert "fig12" in loaded

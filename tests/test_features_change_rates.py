@@ -1,0 +1,79 @@
+"""Tests for change-rate computation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.features.change_rates import change_rate, change_rate_matrix
+
+
+class TestChangeRate:
+    def test_linear_series_has_constant_rate(self):
+        hours = np.arange(10.0)
+        series = 2.0 * hours
+        rate = change_rate(hours, series, 3.0)
+        assert np.all(np.isnan(rate[:3]))
+        np.testing.assert_allclose(rate[3:], 2.0)
+
+    def test_constant_series_has_zero_rate(self):
+        hours = np.arange(5.0)
+        rate = change_rate(hours, np.full(5, 7.0), 1.0)
+        np.testing.assert_allclose(rate[1:], 0.0)
+
+    def test_missing_endpoint_yields_nan(self):
+        hours = np.arange(5.0)
+        series = np.array([0.0, np.nan, 2.0, 3.0, 4.0])
+        rate = change_rate(hours, series, 1.0)
+        assert np.isnan(rate[1])  # current value missing
+        assert np.isnan(rate[2])  # lagged value missing
+        assert rate[3] == pytest.approx(1.0)
+
+    def test_irregular_grid_requires_exact_lag(self):
+        hours = np.array([0.0, 1.0, 2.5, 3.5])
+        series = np.array([0.0, 1.0, 2.5, 3.5])
+        rate = change_rate(hours, series, 1.0)
+        assert rate[1] == pytest.approx(1.0)
+        assert np.isnan(rate[2])  # no sample at exactly 1.5
+        assert rate[3] == pytest.approx(1.0)
+
+    def test_empty_series(self):
+        out = change_rate(np.array([]), np.array([]), 1.0)
+        assert out.shape == (0,)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            change_rate(np.arange(3.0), np.arange(4.0), 1.0)
+
+    def test_non_positive_interval_rejected(self):
+        with pytest.raises(ValueError):
+            change_rate(np.arange(3.0), np.arange(3.0), 0.0)
+
+    @given(
+        st.integers(min_value=2, max_value=40),
+        st.floats(min_value=-5, max_value=5, allow_nan=False),
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_linear_trend_identity(self, n, slope, intercept):
+        hours = np.arange(float(n))
+        series = slope * hours + intercept
+        for interval in (1.0, 2.0):
+            if n <= interval:
+                continue
+            rate = change_rate(hours, series, interval)
+            valid = rate[~np.isnan(rate)]
+            np.testing.assert_allclose(valid, slope, atol=1e-8)
+
+
+class TestChangeRateMatrix:
+    def test_columnwise_application(self):
+        hours = np.arange(4.0)
+        values = np.column_stack([hours, 3.0 * hours])
+        rates = change_rate_matrix(hours, values, 1.0)
+        np.testing.assert_allclose(rates[1:, 0], 1.0)
+        np.testing.assert_allclose(rates[1:, 1], 3.0)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            change_rate_matrix(np.arange(3.0), np.arange(3.0), 1.0)

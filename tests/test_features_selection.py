@@ -1,0 +1,97 @@
+"""Tests for feature sets and the statistical selection pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.features.selection import (
+    FEATURE_SETS,
+    basic_features,
+    critical_features,
+    expert_features,
+    get_feature_set,
+    score_candidates,
+    select_features,
+)
+from repro.features.vectorize import Feature
+
+
+class TestNamedSets:
+    def test_sizes_match_paper(self):
+        assert len(basic_features()) == 12
+        assert len(critical_features()) == 13
+        assert len(expert_features()) == 19
+
+    def test_critical_excludes_pending_sector_features(self):
+        shorts = [f.short for f in critical_features() if not f.is_change_rate]
+        assert "CPSC" not in shorts and "CPSC_RAW" not in shorts
+
+    def test_critical_contains_paper_change_rates(self):
+        rates = {(f.short, f.change_interval_hours) for f in critical_features() if f.is_change_rate}
+        assert rates == {("RRER", 6.0), ("HER", 6.0), ("RSC_RAW", 6.0)}
+
+    def test_get_feature_set(self):
+        for name in FEATURE_SETS:
+            assert get_feature_set(name)
+        with pytest.raises(ValueError, match="feature set"):
+            get_feature_set("huge-99")
+
+
+class TestScoreCandidates:
+    def test_signature_channels_score_high(self, tiny_fleet):
+        family = tiny_fleet.filter_family("W")
+        scores = score_candidates(
+            family.good_drives, family.failed_drives, basic_features(), seed=1
+        )
+        ranked = [score.feature.short for score in scores]
+        # The W degradation signature should beat the quiet channels.
+        assert ranked.index("RUE") < ranked.index("HFW")
+
+    def test_scores_sorted_descending(self, tiny_fleet):
+        family = tiny_fleet.filter_family("W")
+        scores = score_candidates(
+            family.good_drives, family.failed_drives, basic_features(), seed=1
+        )
+        combined = [score.combined for score in scores]
+        assert combined == sorted(combined, reverse=True)
+
+    def test_requires_failed_drives(self, tiny_fleet):
+        family = tiny_fleet.filter_family("W")
+        with pytest.raises(ValueError, match="failed drive"):
+            score_candidates(family.good_drives, [], basic_features())
+
+
+class TestSelectFeatures:
+    def test_counts_respected(self, tiny_fleet):
+        family = tiny_fleet.filter_family("W")
+        selected = select_features(
+            family.good_drives, family.failed_drives,
+            n_values=5, n_change_rates=2, change_intervals=(6.0,), seed=1,
+        )
+        values = [f for f in selected if not f.is_change_rate]
+        rates = [f for f in selected if f.is_change_rate]
+        assert len(values) == 5 and len(rates) == 2
+
+    def test_one_interval_per_attribute(self, tiny_fleet):
+        family = tiny_fleet.filter_family("W")
+        selected = select_features(
+            family.good_drives, family.failed_drives,
+            n_values=4, n_change_rates=3, change_intervals=(1.0, 6.0), seed=1,
+        )
+        rate_shorts = [f.short for f in selected if f.is_change_rate]
+        assert len(rate_shorts) == len(set(rate_shorts))
+
+
+class TestFeatureDataclass:
+    def test_value_feature_name(self):
+        assert Feature("POH").name == "POH"
+
+    def test_change_rate_name(self):
+        assert Feature("RRER", 6.0).name == "d6h(RRER)"
+
+    def test_unknown_short_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="unknown SMART attribute"):
+            Feature("NOPE")
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError, match="change_interval_hours"):
+            Feature("POH", -1.0)

@@ -1,0 +1,117 @@
+"""Tests for the non-parametric selection statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.features.statistics import (
+    count_inversions,
+    rank_sum_z,
+    reverse_arrangements_z,
+    z_score_separation,
+)
+
+
+class TestRankSum:
+    def test_separated_samples_give_large_z(self):
+        a = np.arange(50.0) + 100.0
+        b = np.arange(50.0)
+        assert rank_sum_z(a, b) > 5.0
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=30), rng.normal(size=40)
+        assert rank_sum_z(a, b) == pytest.approx(-rank_sum_z(b, a), abs=1e-9)
+
+    def test_identical_samples_near_zero(self):
+        a = np.arange(20.0)
+        assert abs(rank_sum_z(a, a.copy())) < 1e-9
+
+    def test_empty_sample_returns_zero(self):
+        assert rank_sum_z(np.array([]), np.arange(5.0)) == 0.0
+
+    def test_constant_pooled_data(self):
+        assert rank_sum_z(np.ones(5), np.ones(7)) == 0.0
+
+    def test_nan_values_dropped(self):
+        a = np.array([1.0, np.nan, 2.0])
+        b = np.array([10.0, 20.0])
+        value = rank_sum_z(a, b)
+        assert np.isfinite(value) and value < 0
+
+    @given(
+        arrays(float, st.integers(3, 30), elements=st.floats(-100, 100, allow_nan=False)),
+        arrays(float, st.integers(3, 30), elements=st.floats(-100, 100, allow_nan=False)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_antisymmetry_property(self, a, b):
+        assert rank_sum_z(a, b) == pytest.approx(-rank_sum_z(b, a), abs=1e-8)
+
+    def test_agrees_with_scipy(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        rng = np.random.default_rng(1)
+        a = rng.normal(0.5, 1, size=25)
+        b = rng.normal(0.0, 1, size=30)
+        ours = rank_sum_z(a, b)
+        theirs = scipy_stats.ranksums(a, b).statistic
+        assert ours == pytest.approx(theirs, rel=0.05)
+
+
+class TestInversions:
+    def test_sorted_has_zero(self):
+        assert count_inversions(np.arange(10.0)) == 0
+
+    def test_reversed_has_maximum(self):
+        n = 8
+        assert count_inversions(np.arange(n)[::-1].astype(float)) == n * (n - 1) // 2
+
+    def test_known_example(self):
+        assert count_inversions(np.array([2.0, 1.0, 3.0, 0.0])) == 4
+
+    @given(arrays(float, st.integers(0, 40), elements=st.floats(-50, 50, allow_nan=False)))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_quadratic_reference(self, values):
+        reference = sum(
+            1
+            for i in range(len(values))
+            for j in range(i + 1, len(values))
+            if values[i] > values[j]
+        )
+        assert count_inversions(values) == reference
+
+
+class TestReverseArrangements:
+    def test_decreasing_trend_positive_z(self):
+        series = -np.arange(50.0)
+        assert reverse_arrangements_z(series) > 3.0
+
+    def test_increasing_trend_negative_z(self):
+        assert reverse_arrangements_z(np.arange(50.0)) < -3.0
+
+    def test_random_series_small_z(self):
+        rng = np.random.default_rng(2)
+        values = [reverse_arrangements_z(rng.normal(size=60)) for _ in range(20)]
+        assert np.mean(np.abs(values)) < 2.0
+
+    def test_short_series_returns_zero(self):
+        assert reverse_arrangements_z(np.array([1.0, 2.0])) == 0.0
+
+    def test_long_series_decimated(self):
+        series = -np.arange(5000.0)
+        value = reverse_arrangements_z(series, max_points=128)
+        assert value > 3.0  # trend survives decimation
+
+
+class TestZScoreSeparation:
+    def test_failed_below_good_is_positive(self):
+        good = np.random.default_rng(3).normal(100, 5, size=200)
+        failed = good - 30
+        assert z_score_separation(failed, good) > 3.0
+
+    def test_constant_good_population(self):
+        assert z_score_separation(np.array([1.0]), np.ones(5)) == 0.0
+
+    def test_empty_inputs(self):
+        assert z_score_separation(np.array([]), np.arange(3.0)) == 0.0

@@ -1,0 +1,52 @@
+"""Tests for the feature extractor."""
+
+import numpy as np
+import pytest
+
+from repro.features.vectorize import Feature, FeatureExtractor
+from repro.smart.attributes import channel_index
+
+
+class TestFeatureExtractor:
+    def test_shape_and_alignment(self, tiny_fleet):
+        drive = tiny_fleet.good_drives[0]
+        extractor = FeatureExtractor([Feature("POH"), Feature("TC")])
+        matrix = extractor.extract(drive)
+        assert matrix.shape == (drive.n_samples, 2)
+        np.testing.assert_array_equal(
+            matrix[:, 0], drive.values[:, channel_index("POH")]
+        )
+
+    def test_change_rate_column_lags(self, tiny_fleet):
+        drive = tiny_fleet.good_drives[0]
+        extractor = FeatureExtractor([Feature("RRER", 6.0)])
+        matrix = extractor.extract(drive)
+        assert np.all(np.isnan(matrix[:6, 0]))
+
+    def test_missing_samples_propagate_nan(self, tiny_fleet):
+        drive = next(
+            d for d in tiny_fleet.good_drives if not d.observed_mask().all()
+        )
+        extractor = FeatureExtractor([Feature("POH")])
+        matrix = extractor.extract(drive)
+        missing_rows = ~drive.observed_mask()
+        assert np.all(np.isnan(matrix[missing_rows, 0]))
+
+    def test_extract_rows(self, tiny_fleet):
+        drive = tiny_fleet.good_drives[0]
+        extractor = FeatureExtractor([Feature("POH")])
+        rows = extractor.extract_rows(drive, np.array([0, 2]))
+        assert rows.shape == (2, 1)
+
+    def test_names_property(self):
+        extractor = FeatureExtractor([Feature("POH"), Feature("HER", 6.0)])
+        assert extractor.names == ["POH", "d6h(HER)"]
+        assert len(extractor) == 2
+
+    def test_empty_feature_list_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            FeatureExtractor([])
+
+    def test_duplicate_features_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            FeatureExtractor([Feature("POH"), Feature("POH")])

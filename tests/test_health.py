@@ -1,0 +1,149 @@
+"""Tests for health-degree targets and the RT pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CTConfig, RTConfig, SamplingConfig
+from repro.detection.evaluator import DriveScoreSeries
+from repro.health.degree import (
+    evenly_spaced_window_samples,
+    health_degree,
+    personalized_windows,
+)
+from repro.health.model import HealthDegreePredictor
+
+
+class TestHealthDegree:
+    def test_formula_endpoints(self):
+        np.testing.assert_allclose(
+            health_degree([0.0, 12.0, 24.0], 24.0), [-1.0, -0.5, 0.0]
+        )
+
+    def test_clipped_beyond_window(self):
+        assert health_degree([100.0], 24.0)[0] == 0.0
+
+    def test_negative_lead_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            health_degree([-1.0], 24.0)
+
+    def test_positive_window_required(self):
+        with pytest.raises(ValueError):
+            health_degree([1.0], 0.0)
+
+
+class TestPersonalizedWindows:
+    def _series(self, scores, failure_hour=100.0, serial="f"):
+        values = np.array(scores, dtype=float)
+        return DriveScoreSeries(
+            serial=serial, failed=True,
+            hours=np.arange(len(values), dtype=float) + 50.0,
+            scores=values, failure_hour=failure_hour,
+        )
+
+    def test_window_is_time_in_advance(self):
+        series = self._series([1.0, -1.0, -1.0])  # first alarm at hour 51
+        windows = personalized_windows([series], fallback_window_hours=24.0)
+        assert windows["f"] == pytest.approx(49.0)
+
+    def test_missed_drive_gets_fallback(self):
+        series = self._series([1.0, 1.0])
+        windows = personalized_windows([series], fallback_window_hours=24.0)
+        assert windows["f"] == 24.0
+
+    def test_window_floored_at_fallback(self):
+        series = self._series([1.0, 1.0, -1.0], failure_hour=52.5)
+        windows = personalized_windows([series], fallback_window_hours=24.0)
+        assert windows["f"] == 24.0  # actual lead 0.5h floors to fallback
+
+    def test_good_drive_rejected(self):
+        good = DriveScoreSeries("g", False, np.arange(2.0), np.ones(2))
+        with pytest.raises(ValueError, match="failed"):
+            personalized_windows([good])
+
+
+class TestEvenlySpacedWindowSamples:
+    def test_subsampling_even(self):
+        lead = np.arange(100.0)
+        chosen = evenly_spaced_window_samples(lead, 99.0, 5)
+        assert len(chosen) == 5
+        assert chosen[0] == 0 and chosen[-1] == 99
+
+    def test_fewer_samples_than_requested(self):
+        lead = np.array([1.0, 2.0, 500.0])
+        chosen = evenly_spaced_window_samples(lead, 10.0, 12)
+        np.testing.assert_array_equal(chosen, [0, 1])
+
+    def test_out_of_window_excluded(self):
+        lead = np.array([-5.0, 5.0, 50.0])
+        chosen = evenly_spaced_window_samples(lead, 10.0, 12)
+        np.testing.assert_array_equal(chosen, [1])
+
+
+@pytest.fixture(scope="module")
+def rt_config():
+    ct = CTConfig(minsplit=4, minbucket=2, cp=0.002)
+    return RTConfig(minsplit=4, minbucket=2, cp=0.002, ct=ct)
+
+
+@pytest.fixture(scope="module")
+def fitted_health(tiny_split, rt_config):
+    return HealthDegreePredictor(rt_config).fit(tiny_split)
+
+
+class TestHealthDegreePredictor:
+    def test_scores_bounded(self, fitted_health, tiny_split):
+        series = fitted_health.score_drive(tiny_split.test_good[0])
+        valid = series.scores[np.isfinite(series.scores)]
+        assert valid.min() >= -1.0 - 1e-9 and valid.max() <= 1.0 + 1e-9
+
+    def test_windows_fitted_for_training_failed(self, fitted_health, tiny_split):
+        serials = {d.serial for d in tiny_split.train_failed}
+        assert set(fitted_health.windows_) == serials
+        assert all(w >= fitted_health.config.fallback_window_hours - 1e-9
+                   for w in fitted_health.windows_.values())
+
+    def test_failed_drives_score_lower_than_good(self, fitted_health, tiny_split):
+        good_means, failed_means = [], []
+        for drive in tiny_split.test_good[:10]:
+            scores = fitted_health.score_drive(drive).scores
+            good_means.append(np.nanmean(scores))
+        for drive in tiny_split.test_failed:
+            scores = fitted_health.score_drive(drive).scores
+            failed_means.append(np.nanmean(scores[-24:]))
+        assert np.mean(failed_means) < np.mean(good_means)
+
+    def test_evaluate_and_roc(self, fitted_health, tiny_split):
+        result = fitted_health.evaluate(tiny_split, threshold=-0.2, n_voters=5)
+        assert 0.0 <= result.fdr <= 1.0
+        points = fitted_health.roc(tiny_split, [-0.5, 0.0], n_voters=5)
+        assert len(points) == 2
+        assert points[0].fdr <= points[1].fdr + 1e-9
+
+    def test_binary_control_variant(self, tiny_split, rt_config):
+        from dataclasses import replace
+
+        control = HealthDegreePredictor(replace(rt_config, targets="binary"))
+        control.fit(tiny_split)
+        assert control.windows_ == {}
+        series = control.score_drive(tiny_split.test_failed[0])
+        assert np.isfinite(series.scores).any()
+
+    def test_triage_orders_ascending(self, fitted_health, tiny_split):
+        drives = list(tiny_split.test_good[:5]) + list(tiny_split.test_failed[:3])
+        ranked = fitted_health.triage(drives)
+        healths = [h for _, h in ranked]
+        assert healths == sorted(healths)
+
+    def test_triage_puts_failed_first(self, fitted_health, tiny_split):
+        drives = list(tiny_split.test_good[:5]) + list(tiny_split.test_failed[:3])
+        ranked = fitted_health.triage(drives)
+        top_serial = ranked[0][0]
+        assert top_serial in {d.serial for d in tiny_split.test_failed}
+
+    def test_unfitted_raises(self, tiny_split):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            HealthDegreePredictor().score_drive(tiny_split.test_good[0])
+
+    def test_invalid_targets_rejected(self):
+        with pytest.raises(ValueError, match="targets"):
+            RTConfig(targets="fuzzy")

@@ -1,0 +1,121 @@
+"""End-to-end integration tests across the whole library."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CTConfig, RTConfig, SamplingConfig
+from repro.core.predictor import DriveFailurePredictor
+from repro.detection.metrics import roc_dominates
+from repro.health.model import HealthDegreePredictor
+from repro.reliability.single_drive import PredictionQuality, mttdl_predicted_drive
+from repro.smart.dataset import SmartDataset
+from repro.smart.generator import default_fleet_config
+from repro.smart.io import read_fleet_csv, write_fleet_csv
+
+
+class TestFullPipeline:
+    """Generate -> split -> fit -> detect -> reliability, end to end."""
+
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        fleet = SmartDataset.generate(
+            default_fleet_config(
+                w_good=150, w_failed=20, q_good=0, q_failed=0, seed=13
+            )
+        )
+        split = fleet.filter_family("W").split(seed=14)
+        ct = DriveFailurePredictor(
+            CTConfig(minsplit=6, minbucket=3, cp=0.003)
+        ).fit(split)
+        return fleet, split, ct
+
+    def test_detection_quality_on_held_out_drives(self, pipeline):
+        _, split, ct = pipeline
+        result = ct.evaluate(split, n_voters=3)
+        assert result.fdr >= 0.6
+        assert result.far <= 0.1
+
+    def test_detections_lead_failures(self, pipeline):
+        _, split, ct = pipeline
+        result = ct.evaluate(split, n_voters=3)
+        assert all(tia >= 0 for tia in result.tia_hours)
+
+    def test_measured_quality_feeds_reliability_model(self, pipeline):
+        _, split, ct = pipeline
+        result = ct.evaluate(split, n_voters=3)
+        quality = PredictionQuality(
+            fdr=max(result.fdr, 0.01),
+            tia_hours=max(result.mean_tia_hours, 1.0),
+        )
+        improved = mttdl_predicted_drive(1_390_000.0, 8.0, quality)
+        assert improved > 1_390_000.0
+
+    def test_interpretability_names_signature_channels(self, pipeline):
+        _, _, ct = pipeline
+        top = set(ct.failure_attributes(top=6))
+        # Family W degrades through RUE/TC/RSC (+old age); at least one
+        # signature channel must be implicated.
+        signature_features = {
+            "RUE", "TC", "RSC", "POH", "RSC_RAW", "d6h(RSC_RAW)", "HER",
+        }
+        assert top & signature_features
+
+    def test_csv_roundtrip_preserves_model_output(self, pipeline, tmp_path):
+        fleet, split, ct = pipeline
+        drives = list(split.test_failed)[:2]
+        path = tmp_path / "drives.csv"
+        write_fleet_csv(path, drives)
+        reloaded = read_fleet_csv(path)
+        for original, copy in zip(
+            sorted(drives, key=lambda d: d.serial), reloaded
+        ):
+            original_scores = ct.score_drive(original).scores
+            copy_scores = ct.score_drive(copy).scores
+            np.testing.assert_array_equal(original_scores, copy_scores)
+
+
+class TestHealthAgainstClassifier:
+    def test_health_degree_not_dominated(self, tiny_split):
+        """Figure 10's qualitative claim on the tiny fleet: the health-degree
+        RT is at least as good as the binary-target RT control."""
+        ct = CTConfig(minsplit=4, minbucket=2, cp=0.002)
+        health = HealthDegreePredictor(
+            RTConfig(minsplit=4, minbucket=2, cp=0.002, targets="health", ct=ct)
+        ).fit(tiny_split)
+        control = HealthDegreePredictor(
+            RTConfig(minsplit=4, minbucket=2, cp=0.002, targets="binary", ct=ct)
+        ).fit(tiny_split)
+        thresholds = [-0.9, -0.6, -0.3, -0.1, 0.0]
+        health_points = health.roc(tiny_split, thresholds, n_voters=5)
+        control_points = control.roc(tiny_split, thresholds, n_voters=5)
+        assert max(p.fdr for p in health_points) >= max(
+            p.fdr for p in control_points
+        ) - 1e-9
+
+
+class TestFailureInjection:
+    def test_drive_with_all_missing_samples_scored_nan(self, tiny_split):
+        ct = DriveFailurePredictor(
+            CTConfig(minsplit=4, minbucket=2, cp=0.002)
+        ).fit(tiny_split)
+        drive = tiny_split.test_good[0]
+        broken = type(drive)(
+            serial="broken", family=drive.family, failed=False,
+            hours=drive.hours.copy(),
+            values=np.full_like(drive.values, np.nan),
+        )
+        series = ct.score_drive(broken)
+        assert np.all(np.isnan(series.scores))
+
+    def test_short_history_failed_drive_evaluable(self, tiny_split):
+        ct = DriveFailurePredictor(
+            CTConfig(minsplit=4, minbucket=2, cp=0.002)
+        ).fit(tiny_split)
+        donor = tiny_split.test_failed[0]
+        stub = type(donor)(
+            serial="stub", family=donor.family, failed=True,
+            hours=donor.hours[-3:].copy(), values=donor.values[-3:].copy(),
+            failure_hour=donor.failure_hour,
+        )
+        result_series = ct.score_drives([stub])
+        assert result_series[0].scores.shape == (3,)

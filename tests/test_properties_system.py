@@ -1,0 +1,124 @@
+"""System-level property tests across substrates (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reliability.markov import MarkovChain
+from repro.reliability.raid import mttdl_raid6_formula, mttdl_raid6_with_prediction
+from repro.reliability.single_drive import PredictionQuality
+from repro.smart.dataset import SmartDataset
+from repro.smart.generator import (
+    FleetConfig,
+    FleetGenerator,
+    family_q,
+    family_w,
+)
+
+
+@st.composite
+def small_fleet_config(draw):
+    n_good = draw(st.integers(min_value=2, max_value=12))
+    n_failed = draw(st.integers(min_value=1, max_value=6))
+    days = draw(st.integers(min_value=2, max_value=10))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    family = draw(st.sampled_from(["W", "Q"]))
+    spec = family_w(n_good, n_failed) if family == "W" else family_q(n_good, n_failed)
+    return FleetConfig(families=(spec,), collection_days=days, seed=seed)
+
+
+class TestGeneratorProperties:
+    @given(small_fleet_config())
+    @settings(max_examples=25, deadline=None)
+    def test_generated_fleet_structurally_valid(self, config):
+        drives = FleetGenerator(config).generate()
+        assert len(drives) == config.families[0].n_good + config.families[0].n_failed
+        horizon = config.collection_days * 24.0
+        for drive in drives:
+            # DriveRecord validation already ran; check cross-field facts.
+            assert drive.n_samples >= 1
+            assert np.all(np.diff(drive.hours) > 0)
+            if drive.failed:
+                assert drive.hours[-1] < drive.failure_hour <= horizon
+                assert drive.failure_hour - drive.hours[0] <= (
+                    config.failed_history_days * 24.0 + 1.0
+                )
+            else:
+                assert drive.hours[0] >= 0.0
+                assert drive.hours[-1] < horizon
+
+    @given(small_fleet_config())
+    @settings(max_examples=15, deadline=None)
+    def test_raw_counters_monotone_across_observed_samples(self, config):
+        from repro.smart.attributes import channel_index
+
+        for drive in FleetGenerator(config).generate():
+            for short in ("RSC_RAW", "CPSC_RAW"):
+                series = drive.values[:, channel_index(short)]
+                observed = series[np.isfinite(series)]
+                assert np.all(np.diff(observed) >= 0)
+
+    @given(small_fleet_config(), st.floats(min_value=0.3, max_value=0.9))
+    @settings(max_examples=15, deadline=None)
+    def test_split_partitions_failed_drives(self, config, fraction):
+        dataset = SmartDataset(FleetGenerator(config).generate())
+        split = dataset.split(train_fraction=fraction, seed=1)
+        train = {d.serial for d in split.train_failed}
+        test = {d.serial for d in split.test_failed}
+        assert train.isdisjoint(test)
+        assert len(train) + len(test) == len(dataset.failed_drives)
+        # Time split: every test slice strictly follows its train slice.
+        train_by_serial = {d.serial: d for d in split.train_good}
+        for test_drive in split.test_good:
+            assert train_by_serial[test_drive.serial].hours[-1] < test_drive.hours[0]
+
+
+class TestReliabilityProperties:
+    @given(
+        st.integers(min_value=3, max_value=12),
+        st.floats(min_value=1e3, max_value=1e7),
+        st.floats(min_value=1.0, max_value=100.0),
+        st.floats(min_value=1e-3, max_value=0.999),
+        st.floats(min_value=10.0, max_value=1000.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_raid6_mttdl_monotone_in_fdr(self, n, mttf, mttr, fdr, tia):
+        better = mttdl_raid6_with_prediction(
+            n, mttf, mttr, PredictionQuality(fdr=fdr, tia_hours=tia)
+        )
+        worse = mttdl_raid6_with_prediction(
+            n, mttf, mttr, PredictionQuality(fdr=fdr / 2.0, tia_hours=tia)
+        )
+        # Tolerance covers the sparse solver's numerical noise when the
+        # two operating points are nearly identical.
+        assert better >= worse * (1 - 1e-7)
+
+    @given(
+        st.integers(min_value=3, max_value=10),
+        st.floats(min_value=1e4, max_value=1e7),
+        st.floats(min_value=1.0, max_value=50.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_formula8_tracks_chain_in_rare_failure_regime(self, n, mttf, mttr):
+        if mttf / mttr < 1e3:
+            return  # formula (8) assumes repairs are much faster than failures
+        closed = mttdl_raid6_formula(n, mttf, mttr)
+        chain = mttdl_raid6_with_prediction(
+            n, mttf, mttr, PredictionQuality(fdr=1e-12, tia_hours=100.0)
+        )
+        assert chain == pytest.approx(closed, rel=0.2)
+
+    @given(
+        st.lists(
+            st.floats(min_value=1e-4, max_value=1.0), min_size=2, max_size=6
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_birth_chain_mttdl_is_sum_of_stage_means(self, rates):
+        chain = MarkovChain()
+        for index, rate in enumerate(rates):
+            chain.add_transition(index, index + 1, rate)
+        expected = sum(1.0 / rate for rate in rates)
+        measured = chain.mean_time_to_absorption(0, {len(rates)})
+        assert measured == pytest.approx(expected, rel=1e-9)

@@ -1,0 +1,114 @@
+"""Tests for the generic CTMC solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reliability.markov import MarkovChain, exponential_rate
+
+
+class TestConstruction:
+    def test_states_registered_in_order(self):
+        chain = MarkovChain()
+        chain.add_transition("a", "b", 1.0)
+        chain.add_transition("b", "c", 2.0)
+        assert chain.states() == ["a", "b", "c"]
+        assert chain.n_states == 3
+
+    def test_rates_accumulate(self):
+        chain = MarkovChain()
+        chain.add_transition("a", "b", 1.0)
+        chain.add_transition("a", "b", 2.0)
+        q = chain.generator_matrix()
+        assert q[0, 1] == pytest.approx(3.0)
+
+    def test_zero_rate_is_noop(self):
+        chain = MarkovChain()
+        chain.add_transition("a", "b", 0.0)
+        assert chain.n_states == 0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError, match="rate"):
+            MarkovChain().add_transition("a", "b", -1.0)
+
+    def test_self_transition_rejected(self):
+        with pytest.raises(ValueError, match="self-transition"):
+            MarkovChain().add_transition("a", "a", 1.0)
+
+    def test_generator_rows_sum_to_zero(self):
+        chain = MarkovChain()
+        chain.add_transition("a", "b", 1.5)
+        chain.add_transition("b", "a", 0.5)
+        chain.add_transition("b", "c", 0.25)
+        q = chain.generator_matrix()
+        np.testing.assert_allclose(q.sum(axis=1), 0.0, atol=1e-12)
+
+
+class TestAbsorption:
+    def test_single_exponential(self):
+        chain = MarkovChain()
+        chain.add_transition("up", "down", 0.25)
+        assert chain.mean_time_to_absorption("up", {"down"}) == pytest.approx(4.0)
+
+    def test_two_stage_series(self):
+        chain = MarkovChain()
+        chain.add_transition("a", "b", 1.0)
+        chain.add_transition("b", "c", 0.5)
+        # E[T] = 1 + 2 = 3.
+        assert chain.mean_time_to_absorption("a", {"c"}) == pytest.approx(3.0)
+
+    def test_birth_death_with_repair(self):
+        # M/M/1-like repair chain: analytic MTTDL for 2-of-2 system.
+        lam, mu = 0.01, 1.0
+        chain = MarkovChain()
+        chain.add_transition(0, 1, 2 * lam)
+        chain.add_transition(1, 0, mu)
+        chain.add_transition(1, 2, lam)
+        expected = (3 * lam + mu) / (2 * lam**2)
+        assert chain.mean_time_to_absorption(0, {2}) == pytest.approx(expected, rel=1e-9)
+
+    def test_start_in_absorbing_state(self):
+        chain = MarkovChain()
+        chain.add_transition("a", "b", 1.0)
+        assert chain.mean_time_to_absorption("b", {"b"}) == 0.0
+
+    def test_unknown_state_rejected(self):
+        chain = MarkovChain()
+        chain.add_transition("a", "b", 1.0)
+        with pytest.raises(ValueError, match="unknown states"):
+            chain.mean_time_to_absorption("z", {"b"})
+
+    def test_unreachable_absorption_detected(self):
+        chain = MarkovChain()
+        chain.add_transition("a", "b", 1.0)
+        chain.add_transition("b", "a", 1.0)
+        chain.add_transition("c", "d", 1.0)
+        with pytest.raises(ValueError):
+            chain.mean_time_to_absorption("a", {"d"})
+
+    @given(
+        st.floats(min_value=1e-4, max_value=10.0),
+        st.floats(min_value=1e-4, max_value=10.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_repair_only_extends_lifetime(self, lam, mu):
+        no_repair = MarkovChain()
+        no_repair.add_transition(0, 1, lam)
+        no_repair.add_transition(1, 2, lam)
+        with_repair = MarkovChain()
+        with_repair.add_transition(0, 1, lam)
+        with_repair.add_transition(1, 0, mu)
+        with_repair.add_transition(1, 2, lam)
+        base = no_repair.mean_time_to_absorption(0, {2})
+        repaired = with_repair.mean_time_to_absorption(0, {2})
+        assert repaired >= base - 1e-9
+
+
+class TestExponentialRate:
+    def test_inverse(self):
+        assert exponential_rate(8.0) == pytest.approx(0.125)
+
+    def test_positive_required(self):
+        with pytest.raises(ValueError):
+            exponential_rate(0.0)

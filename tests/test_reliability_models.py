@@ -1,0 +1,166 @@
+"""Tests for the single-drive and RAID reliability models (Section VI)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reliability.analysis import (
+    MTTR_HOURS,
+    SAS_MTTF_HOURS,
+    SATA_MTTF_HOURS,
+    raid_comparison_curves,
+    single_drive_table,
+)
+from repro.reliability.raid import (
+    DATA_LOSS,
+    build_raid6_prediction_chain,
+    mttdl_raid5_formula,
+    mttdl_raid5_with_prediction,
+    mttdl_raid6_formula,
+    mttdl_raid6_with_prediction,
+)
+from repro.reliability.single_drive import (
+    PAPER_MODELS,
+    PredictionQuality,
+    hours_to_years,
+    improvement_percent,
+    mttdl_predicted_drive,
+    mttdl_predicted_drive_exact,
+    mttdl_unpredicted_drive,
+)
+
+
+class TestSingleDrive:
+    def test_table6_paper_numbers(self):
+        rows = single_drive_table(PAPER_MODELS)
+        by_model = {row.model: row for row in rows}
+        assert by_model["No prediction"].mttdl_years == pytest.approx(158.68, abs=0.05)
+        assert by_model["BP ANN"].increase_percent == pytest.approx(801.42, abs=0.5)
+        assert by_model["CT"].increase_percent == pytest.approx(1411.84, abs=0.5)
+        assert by_model["RT"].increase_percent == pytest.approx(1593.59, abs=0.5)
+
+    def test_superlinear_gap(self):
+        # A ~5-point FDR gap (ANN vs CT) yields a ~2x MTTDL gap (paper's
+        # "even a small improvement in prediction accuracy is worthwhile").
+        ann = mttdl_predicted_drive(SATA_MTTF_HOURS, MTTR_HOURS, PAPER_MODELS["BP ANN"])
+        ct = mttdl_predicted_drive(SATA_MTTF_HOURS, MTTR_HOURS, PAPER_MODELS["CT"])
+        assert ct / ann > 1.5
+
+    def test_exact_chain_close_to_formula(self):
+        quality = PAPER_MODELS["CT"]
+        approx = mttdl_predicted_drive(SATA_MTTF_HOURS, MTTR_HOURS, quality)
+        exact = mttdl_predicted_drive_exact(SATA_MTTF_HOURS, MTTR_HOURS, quality)
+        assert exact == pytest.approx(approx, rel=0.01)
+
+    @given(
+        st.floats(min_value=0.0, max_value=0.999),
+        st.floats(min_value=1.0, max_value=1000.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_mttdl_monotone_in_fdr(self, fdr, tia):
+        quality_low = PredictionQuality(fdr=fdr * 0.5, tia_hours=tia)
+        quality_high = PredictionQuality(fdr=fdr, tia_hours=tia)
+        low = mttdl_predicted_drive(1e6, 8.0, quality_low)
+        high = mttdl_predicted_drive(1e6, 8.0, quality_high)
+        assert high >= low - 1e-6
+
+    def test_zero_fdr_recovers_baseline(self):
+        quality = PredictionQuality(fdr=0.0, tia_hours=100.0)
+        assert mttdl_predicted_drive(1e6, 8.0, quality) == pytest.approx(
+            mttdl_unpredicted_drive(1e6)
+        )
+
+    def test_improvement_percent(self):
+        assert improvement_percent(100.0, 200.0) == pytest.approx(100.0)
+
+    def test_hours_to_years(self):
+        assert hours_to_years(8760.0) == pytest.approx(1.0)
+
+    def test_quality_validation(self):
+        with pytest.raises(ValueError):
+            PredictionQuality(fdr=1.5, tia_hours=10.0)
+        with pytest.raises(ValueError):
+            PredictionQuality(fdr=0.5, tia_hours=0.0)
+
+
+class TestRaidFormulas:
+    def test_raid6_formula_8(self):
+        value = mttdl_raid6_formula(10, 1e6, 10.0)
+        assert value == pytest.approx(1e18 / (10 * 9 * 8 * 100))
+
+    def test_raid5_formula(self):
+        value = mttdl_raid5_formula(10, 1e6, 10.0)
+        assert value == pytest.approx(1e12 / (10 * 9 * 10))
+
+    def test_minimum_sizes(self):
+        with pytest.raises(ValueError):
+            mttdl_raid6_formula(2, 1e6, 8.0)
+        with pytest.raises(ValueError):
+            mttdl_raid5_formula(1, 1e6, 8.0)
+
+    def test_mttdl_decreases_with_fleet_size(self):
+        values = [mttdl_raid6_formula(n, 1e6, 8.0) for n in (5, 50, 500)]
+        assert values[0] > values[1] > values[2]
+
+
+class TestRaidPredictionChains:
+    def test_raid6_chain_has_3n_plus_1_states(self):
+        n = 7
+        chain = build_raid6_prediction_chain(n, 1e6, 8.0, PAPER_MODELS["CT"])
+        assert chain.n_states == 3 * n + 1
+
+    def test_prediction_improves_raid6(self):
+        quality = PAPER_MODELS["CT"]
+        base = mttdl_raid6_formula(20, SATA_MTTF_HOURS, MTTR_HOURS)
+        predicted = mttdl_raid6_with_prediction(20, SATA_MTTF_HOURS, MTTR_HOURS, quality)
+        assert predicted > 10 * base
+
+    def test_zero_quality_matches_plain_raid6(self):
+        quality = PredictionQuality(fdr=1e-12, tia_hours=355.0)
+        markov = mttdl_raid6_with_prediction(12, 1e6, 8.0, quality)
+        closed_form = mttdl_raid6_formula(12, 1e6, 8.0)
+        # Formula (8) is itself an approximation of the plain Markov chain;
+        # they agree to within a few percent in the rare-failure regime.
+        assert markov == pytest.approx(closed_form, rel=0.05)
+
+    def test_raid6_beats_raid5_with_same_prediction(self):
+        quality = PAPER_MODELS["CT"]
+        raid6 = mttdl_raid6_with_prediction(15, SATA_MTTF_HOURS, MTTR_HOURS, quality)
+        raid5 = mttdl_raid5_with_prediction(15, SATA_MTTF_HOURS, MTTR_HOURS, quality)
+        assert raid6 > raid5
+
+    def test_mttdl_monotone_in_fdr_for_raid(self):
+        low = mttdl_raid6_with_prediction(
+            10, 1e6, 8.0, PredictionQuality(0.5, 355.0)
+        )
+        high = mttdl_raid6_with_prediction(
+            10, 1e6, 8.0, PredictionQuality(0.95, 355.0)
+        )
+        assert high > low
+
+    def test_data_loss_reachable_from_every_state(self):
+        chain = build_raid6_prediction_chain(5, 1e6, 8.0, PAPER_MODELS["CT"])
+        for state in chain.states():
+            if state == DATA_LOSS:
+                continue
+            value = chain.mean_time_to_absorption(state, {DATA_LOSS})
+            assert np.isfinite(value) and value > 0
+
+
+class TestFigure12Curves:
+    def test_paper_orderings_hold(self):
+        points = raid_comparison_curves([100, 1000, 2500])
+        for point in points:
+            # Predictive SATA RAID-6 dominates everything else.
+            assert point.sata_raid6_ct_years > point.sas_raid6_years
+            assert point.sas_raid6_years > point.sata_raid6_years
+            # Predictive RAID-5 lands in the vicinity of plain RAID-6
+            # (same order of magnitude at scale, per Figure 12).
+            if point.n_drives >= 1000:
+                ratio = point.sata_raid5_ct_years / point.sata_raid6_years
+                assert 0.1 < ratio < 10.0
+
+    def test_orders_of_magnitude_gap(self):
+        point = raid_comparison_curves([2500])[0]
+        assert point.sata_raid6_ct_years / point.sas_raid6_years > 100.0

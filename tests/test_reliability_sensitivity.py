@@ -1,0 +1,81 @@
+"""Tests for the MTTDL sensitivity analysis."""
+
+import numpy as np
+import pytest
+
+from repro.reliability.sensitivity import (
+    elasticity,
+    is_superlinear_in_fdr,
+    mttdl_vs_fdr,
+    raid6_sensitivity,
+)
+from repro.reliability.single_drive import PAPER_MODELS, PredictionQuality
+
+
+class TestSweep:
+    def test_sweep_monotone_in_fdr(self):
+        points = mttdl_vs_fdr(np.linspace(0.0, 0.99, 12))
+        single = [p.single_drive_hours for p in points]
+        raid = [p.raid6_hours for p in points]
+        assert all(a <= b + 1e-6 for a, b in zip(single, single[1:]))
+        assert all(a <= b * (1 + 1e-9) for a, b in zip(raid, raid[1:]))
+
+    def test_superlinearity_single_drive(self):
+        points = mttdl_vs_fdr(np.linspace(0.0, 0.99, 12))
+        assert is_superlinear_in_fdr(points, attr="single_drive_hours")
+
+    def test_superlinearity_raid6(self):
+        points = mttdl_vs_fdr(np.linspace(0.0, 0.99, 12))
+        assert is_superlinear_in_fdr(points, attr="raid6_hours")
+
+    def test_paper_anecdote_ann_vs_ct_gap(self):
+        # The paper: ~4.5 points of FDR (ANN->CT) nearly double MTTDL.
+        points = mttdl_vs_fdr([PAPER_MODELS["BP ANN"].fdr, PAPER_MODELS["CT"].fdr])
+        ratio = points[1].single_drive_hours / points[0].single_drive_hours
+        assert ratio > 1.5
+
+    def test_curvature_needs_three_points(self):
+        points = mttdl_vs_fdr([0.1, 0.9])
+        with pytest.raises(ValueError, match="3 sweep points"):
+            is_superlinear_in_fdr(points)
+
+    def test_duplicate_fdrs_rejected(self):
+        points = mttdl_vs_fdr([0.1, 0.1, 0.2])
+        with pytest.raises(ValueError, match="distinct"):
+            is_superlinear_in_fdr(points)
+
+
+class TestElasticity:
+    def test_power_law_recovered(self):
+        assert elasticity(lambda x: x**3, 2.0) == pytest.approx(3.0, rel=1e-4)
+
+    def test_constant_function_zero(self):
+        assert elasticity(lambda x: 5.0, 1.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_requires_positive_values(self):
+        with pytest.raises(ValueError, match="positive function"):
+            elasticity(lambda x: -1.0, 1.0)
+
+    def test_requires_positive_x(self):
+        with pytest.raises(ValueError):
+            elasticity(lambda x: x, 0.0)
+
+
+class TestRaid6Sensitivity:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return raid6_sensitivity(PAPER_MODELS["CT"])
+
+    def test_fdr_gain_positive_and_dominant(self, report):
+        assert report.fdr_elasticity > 0
+        # At the paper's operating point, detection-rate improvements
+        # buy more than equal relative TIA improvements.
+        assert report.fdr_elasticity > abs(report.tia_elasticity)
+
+    def test_tia_gain_positive(self, report):
+        # A longer lead time (smaller gamma) helps reliability.
+        assert report.tia_elasticity > 0
+
+    def test_faster_repair_helps(self, report):
+        # Larger MTTR hurts => negative elasticity.
+        assert report.mttr_elasticity < 0

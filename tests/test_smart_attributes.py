@@ -1,0 +1,52 @@
+"""Tests for the SMART attribute catalogue (Table II)."""
+
+import pytest
+
+from repro.smart.attributes import (
+    BY_SHORT,
+    CHANNELS,
+    N_CHANNELS,
+    NORMALIZED_MAX,
+    NORMALIZED_MIN,
+    Kind,
+    channel_index,
+    channel_shorts,
+)
+
+
+class TestCatalogue:
+    def test_twelve_channels_like_table2(self):
+        assert N_CHANNELS == 12
+        assert len(CHANNELS) == 12
+
+    def test_indices_are_contiguous(self):
+        assert [spec.index for spec in CHANNELS] == list(range(12))
+
+    def test_smart_ids_match_table2_numbering(self):
+        assert [spec.smart_id for spec in CHANNELS] == list(range(1, 13))
+
+    def test_two_raw_channels(self):
+        raw = [spec for spec in CHANNELS if spec.kind is Kind.RAW]
+        assert [spec.short for spec in raw] == ["RSC_RAW", "CPSC_RAW"]
+
+    def test_paper_abbreviations_present(self):
+        for short in ("POH", "RUE", "TC", "SUT", "SER"):
+            assert short in BY_SHORT
+
+    def test_normalized_range(self):
+        assert NORMALIZED_MIN == 1.0 and NORMALIZED_MAX == 253.0
+
+
+class TestLookup:
+    def test_channel_index(self):
+        assert channel_index("POH") == 4
+        assert channel_index("RSC_RAW") == 10
+
+    def test_unknown_attribute(self):
+        with pytest.raises(ValueError, match="unknown SMART attribute"):
+            channel_index("XYZ")
+
+    def test_channel_shorts_ordered(self):
+        shorts = channel_shorts()
+        assert shorts[0] == "RRER" and shorts[-1] == "CPSC_RAW"
+        assert len(shorts) == 12

@@ -1,0 +1,149 @@
+"""Tests for the Backblaze-schema adapter."""
+
+import csv
+from datetime import date
+
+import numpy as np
+import pytest
+
+from repro.smart.attributes import channel_index
+from repro.smart.backblaze import (
+    COLUMN_TO_CHANNEL,
+    read_backblaze_csv,
+    write_backblaze_csv,
+)
+from repro.smart.dataset import SmartDataset
+from repro.smart.generator import default_fleet_config
+
+
+def _write_sample(path, rows):
+    header = ["date", "serial_number", "model", "capacity_bytes", "failure"] + list(
+        COLUMN_TO_CHANNEL
+    )
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for row in rows:
+            writer.writerow(row)
+
+
+def _row(day, serial, model="ST4000", failure=0, poh=95.0):
+    smart = {column: "" for column in COLUMN_TO_CHANNEL}
+    smart["smart_9_normalized"] = str(poh)
+    smart["smart_194_normalized"] = "80.0"
+    smart["smart_5_raw"] = "3"
+    return [day, serial, model, "4000000000000", failure] + list(smart.values())
+
+
+class TestRead:
+    def test_basic_load(self, tmp_path):
+        path = tmp_path / "2024-01-01.csv"
+        _write_sample(
+            path,
+            [
+                _row("2024-01-01", "S1"),
+                _row("2024-01-01", "S2", failure=1),
+            ],
+        )
+        drives = read_backblaze_csv(path)
+        assert [d.serial for d in drives] == ["S1", "S2"]
+        assert not drives[0].failed and drives[1].failed
+        assert drives[1].failure_hour == pytest.approx(24.0)
+
+    def test_multi_day_merge_and_hour_axis(self, tmp_path):
+        day1 = tmp_path / "d1.csv"
+        day2 = tmp_path / "d2.csv"
+        _write_sample(day1, [_row("2024-01-01", "S1", poh=95.0)])
+        _write_sample(day2, [_row("2024-01-02", "S1", poh=94.0)])
+        (drive,) = read_backblaze_csv([day1, day2])
+        np.testing.assert_allclose(drive.hours, [0.0, 24.0])
+        poh = drive.values[:, channel_index("POH")]
+        np.testing.assert_allclose(poh, [95.0, 94.0])
+
+    def test_unmapped_columns_are_nan(self, tmp_path):
+        path = tmp_path / "d.csv"
+        _write_sample(path, [_row("2024-01-01", "S1")])
+        (drive,) = read_backblaze_csv(path)
+        assert np.isnan(drive.values[0, channel_index("RUE")])
+        assert drive.values[0, channel_index("RSC_RAW")] == 3.0
+
+    def test_model_becomes_family(self, tmp_path):
+        path = tmp_path / "d.csv"
+        _write_sample(path, [_row("2024-01-01", "S1", model="WDC-X")])
+        (drive,) = read_backblaze_csv(path)
+        assert drive.family == "WDC-X"
+        (flat,) = read_backblaze_csv(path, family_from_model=False)
+        assert flat.family == "BB"
+
+    def test_missing_required_columns(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("date,serial_number\n2024-01-01,S1\n")
+        with pytest.raises(ValueError, match="missing required columns"):
+            read_backblaze_csv(path)
+
+    def test_bad_date_reported_with_location(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        _write_sample(path, [_row("not-a-date", "S1")])
+        with pytest.raises(ValueError, match="bad.csv:2"):
+            read_backblaze_csv(path)
+
+    def test_empty_file_gives_empty_fleet(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        _write_sample(path, [])
+        assert read_backblaze_csv(path) == []
+
+
+class TestRoundTrip:
+    def test_synthetic_fleet_survives_daily_downsampling(self, tmp_path):
+        fleet = SmartDataset.generate(
+            default_fleet_config(
+                w_good=3, w_failed=2, q_good=0, q_failed=0,
+                collection_days=3, seed=21,
+            )
+        )
+        path = tmp_path / "export.csv"
+        rows = write_backblaze_csv(path, fleet.drives, start=date(2024, 6, 1))
+        assert rows > 0
+        reloaded = read_backblaze_csv(path)
+        assert len(reloaded) == len(fleet.drives)
+        by_serial = {d.serial: d for d in reloaded}
+        for original in fleet.drives:
+            copy = by_serial[original.serial]
+            assert copy.failed == original.failed
+            # Daily downsampling: one row per observed day.
+            assert copy.n_samples <= original.n_samples
+            assert copy.n_samples >= 1
+
+    def test_loaded_fleet_runs_through_the_pipeline(self, tmp_path):
+        fleet = SmartDataset.generate(
+            default_fleet_config(
+                w_good=40, w_failed=10, q_good=0, q_failed=0,
+                collection_days=7, seed=22,
+            )
+        )
+        path = tmp_path / "export.csv"
+        write_backblaze_csv(path, fleet.drives)
+        dataset = SmartDataset(read_backblaze_csv(path, family_from_model=False))
+        split = dataset.split(seed=1)
+
+        from repro.core.config import CTConfig, SamplingConfig
+        from repro.core.predictor import DriveFailurePredictor
+
+        # Daily cadence: use day-scale change rates and windows.
+        config = CTConfig(
+            features=[*_daily_features()],
+            sampling=SamplingConfig(failed_window_hours=168.0),
+            minsplit=4, minbucket=2, cp=0.002,
+        )
+        predictor = DriveFailurePredictor(config).fit(split)
+        result = predictor.evaluate(split, n_voters=1)
+        assert 0.0 <= result.fdr <= 1.0
+
+
+def _daily_features():
+    from repro.features.vectorize import Feature
+    from repro.smart.attributes import channel_shorts
+
+    features = [Feature(short) for short in channel_shorts()]
+    features.append(Feature("RRER", 24.0))
+    return features

@@ -1,0 +1,116 @@
+"""Tests for SmartDataset and the paper's split protocol."""
+
+import numpy as np
+import pytest
+
+from repro.smart.dataset import SmartDataset
+from repro.smart.generator import default_fleet_config
+
+
+class TestSelections:
+    def test_good_failed_partition(self, tiny_fleet):
+        total = len(tiny_fleet.drives)
+        assert len(tiny_fleet.good_drives) + len(tiny_fleet.failed_drives) == total
+
+    def test_families(self, tiny_fleet):
+        assert tiny_fleet.families() == ["Q", "W"]
+
+    def test_filter_family(self, tiny_fleet):
+        w = tiny_fleet.filter_family("W")
+        assert all(d.family == "W" for d in w.drives)
+
+    def test_filter_unknown_family(self, tiny_fleet):
+        with pytest.raises(ValueError, match="no drives of family"):
+            tiny_fleet.filter_family("Z")
+
+    def test_summary_shape(self, tiny_fleet):
+        summary = tiny_fleet.summary()
+        assert summary["W"]["good"] == 60 and summary["W"]["failed"] == 12
+        assert summary["Q"]["good"] == 30 and summary["Q"]["failed"] == 8
+
+
+class TestSubsample:
+    def test_fraction_respected(self, tiny_fleet):
+        w = tiny_fleet.filter_family("W")
+        half = w.subsample_drives(0.5, seed=1)
+        assert len(half.good_drives) == 30
+        assert len(half.failed_drives) == 6
+
+    def test_always_keeps_one_of_each(self, tiny_fleet):
+        w = tiny_fleet.filter_family("W")
+        tiny = w.subsample_drives(0.01, seed=1)
+        assert len(tiny.good_drives) >= 1 and len(tiny.failed_drives) >= 1
+
+    def test_deterministic_with_seed(self, tiny_fleet):
+        w = tiny_fleet.filter_family("W")
+        a = w.subsample_drives(0.3, seed=5)
+        b = w.subsample_drives(0.3, seed=5)
+        assert [d.serial for d in a.drives] == [d.serial for d in b.drives]
+
+    def test_zero_fraction_rejected(self, tiny_fleet):
+        with pytest.raises(ValueError):
+            tiny_fleet.subsample_drives(0.0)
+
+
+class TestSplit:
+    def test_good_drives_split_by_time(self, tiny_fleet):
+        split = tiny_fleet.filter_family("W").split(seed=2)
+        by_serial = {d.serial: d for d in split.train_good}
+        for test_drive in split.test_good:
+            train_drive = by_serial[test_drive.serial]
+            assert train_drive.hours[-1] < test_drive.hours[0]
+
+    def test_roughly_70_30_per_drive(self, tiny_fleet):
+        split = tiny_fleet.filter_family("W").split(seed=2)
+        drive = split.train_good[0]
+        partner = next(d for d in split.test_good if d.serial == drive.serial)
+        fraction = drive.n_samples / (drive.n_samples + partner.n_samples)
+        assert 0.6 < fraction < 0.8
+
+    def test_failed_drives_partitioned_whole(self, tiny_fleet):
+        family = tiny_fleet.filter_family("W")
+        split = family.split(seed=2)
+        train = {d.serial for d in split.train_failed}
+        test = {d.serial for d in split.test_failed}
+        assert train.isdisjoint(test)
+        assert len(train) + len(test) == len(family.failed_drives)
+
+    def test_failed_ratio_7_to_3(self, tiny_fleet):
+        split = tiny_fleet.filter_family("W").split(seed=2)
+        assert len(split.train_failed) == round(0.7 * 12)
+
+    def test_split_seed_controls_failed_assignment(self, tiny_fleet):
+        family = tiny_fleet.filter_family("W")
+        a = {d.serial for d in family.split(seed=1).train_failed}
+        b = {d.serial for d in family.split(seed=2).train_failed}
+        assert a != b
+
+    def test_invalid_fraction(self, tiny_fleet):
+        with pytest.raises(ValueError):
+            tiny_fleet.split(train_fraction=1.0)
+
+
+class TestRestrictGoodHours:
+    def test_good_drives_sliced(self, tiny_fleet):
+        sliced = tiny_fleet.restrict_good_hours(0.0, 24.0)
+        for drive in sliced.good_drives:
+            assert drive.hours[-1] < 24.0
+
+    def test_failed_drives_untouched(self, tiny_fleet):
+        sliced = tiny_fleet.restrict_good_hours(0.0, 24.0)
+        originals = {d.serial: d.n_samples for d in tiny_fleet.failed_drives}
+        for drive in sliced.failed_drives:
+            assert drive.n_samples == originals[drive.serial]
+
+    def test_empty_good_drives_dropped(self, tiny_fleet):
+        sliced = tiny_fleet.restrict_good_hours(1e6, 2e6)
+        assert sliced.good_drives == []
+
+
+class TestGenerate:
+    def test_generate_classmethod(self):
+        config = default_fleet_config(
+            w_good=3, w_failed=1, q_good=0, q_failed=0, seed=1
+        )
+        dataset = SmartDataset.generate(config)
+        assert len(dataset.drives) == 4

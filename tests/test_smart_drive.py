@@ -1,0 +1,109 @@
+"""Tests for DriveRecord."""
+
+import numpy as np
+import pytest
+
+from repro.smart.attributes import N_CHANNELS
+from repro.smart.drive import DriveRecord
+
+
+def _record(n=10, failed=False, start=0.0):
+    hours = np.arange(start, start + n, dtype=float)
+    values = np.ones((n, N_CHANNELS))
+    return DriveRecord(
+        serial="T-1",
+        family="W",
+        failed=failed,
+        hours=hours,
+        values=values,
+        failure_hour=float(start + n) if failed else None,
+    )
+
+
+class TestConstruction:
+    def test_valid_good_drive(self):
+        drive = _record()
+        assert drive.n_samples == 10 and not drive.failed
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="values must be"):
+            DriveRecord("x", "W", False, np.arange(3.0), np.ones((2, N_CHANNELS)))
+
+    def test_non_increasing_hours_rejected(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            DriveRecord(
+                "x", "W", False, np.array([1.0, 1.0]), np.ones((2, N_CHANNELS))
+            )
+
+    def test_failed_requires_failure_hour(self):
+        with pytest.raises(ValueError, match="needs a failure_hour"):
+            DriveRecord("x", "W", True, np.arange(2.0), np.ones((2, N_CHANNELS)))
+
+    def test_good_forbids_failure_hour(self):
+        with pytest.raises(ValueError, match="must not have"):
+            DriveRecord(
+                "x", "W", False, np.arange(2.0), np.ones((2, N_CHANNELS)),
+                failure_hour=5.0,
+            )
+
+
+class TestWindows:
+    def test_hours_before_failure(self):
+        drive = _record(n=5, failed=True)  # fails at hour 5
+        np.testing.assert_allclose(
+            drive.hours_before_failure(), [5.0, 4.0, 3.0, 2.0, 1.0]
+        )
+
+    def test_hours_before_failure_on_good_drive(self):
+        with pytest.raises(ValueError, match="good"):
+            _record().hours_before_failure()
+
+    def test_window_before_failure(self):
+        drive = _record(n=10, failed=True)  # fails at hour 10
+        window = drive.window_before_failure(3.0)
+        np.testing.assert_array_equal(window, [7, 8, 9])
+
+    def test_window_excludes_missing_samples(self):
+        drive = _record(n=10, failed=True)
+        drive.values[8] = np.nan
+        window = drive.window_before_failure(3.0)
+        np.testing.assert_array_equal(window, [7, 9])
+
+    def test_window_requires_positive_hours(self):
+        with pytest.raises(ValueError, match="window_hours"):
+            _record(failed=True).window_before_failure(0.0)
+
+
+class TestSlicing:
+    def test_slice_hours(self):
+        drive = _record(n=10)
+        cut = drive.slice_hours(2.0, 5.0)
+        np.testing.assert_allclose(cut.hours, [2.0, 3.0, 4.0])
+        assert cut.serial == drive.serial
+
+    def test_slice_keeps_failure_metadata(self):
+        drive = _record(n=10, failed=True)
+        cut = drive.slice_hours(0.0, 3.0)
+        assert cut.failed and cut.failure_hour == drive.failure_hour
+
+    def test_slice_returns_copies(self):
+        drive = _record(n=6)
+        cut = drive.slice_hours(0.0, 3.0)
+        cut.values[:] = 99.0
+        assert drive.values[0, 0] == 1.0
+
+    def test_empty_slice_allowed(self):
+        assert _record(n=4).slice_hours(100.0, 200.0).n_samples == 0
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError, match="end_hour"):
+            _record().slice_hours(5.0, 5.0)
+
+
+class TestObservedMask:
+    def test_nan_rows_flagged(self):
+        drive = _record(n=4)
+        drive.values[2] = np.nan
+        np.testing.assert_array_equal(
+            drive.observed_mask(), [True, True, False, True]
+        )

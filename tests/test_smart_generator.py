@@ -1,0 +1,144 @@
+"""Tests for the synthetic fleet generator."""
+
+import numpy as np
+import pytest
+
+from repro.smart.attributes import NORMALIZED_MAX, NORMALIZED_MIN, channel_index
+from repro.smart.generator import (
+    FleetConfig,
+    FleetGenerator,
+    default_fleet_config,
+    family_q,
+    family_w,
+)
+
+HOURS_PER_DAY = 24
+
+
+@pytest.fixture(scope="module")
+def small_fleet():
+    config = default_fleet_config(
+        w_good=30, w_failed=15, q_good=15, q_failed=8, collection_days=7, seed=11
+    )
+    return FleetGenerator(config).generate(), config
+
+
+class TestPopulationStructure:
+    def test_counts_per_family(self, small_fleet):
+        drives, _ = small_fleet
+        w = [d for d in drives if d.family == "W"]
+        q = [d for d in drives if d.family == "Q"]
+        assert sum(not d.failed for d in w) == 30
+        assert sum(d.failed for d in w) == 15
+        assert sum(not d.failed for d in q) == 15
+        assert sum(d.failed for d in q) == 8
+
+    def test_serials_unique(self, small_fleet):
+        drives, _ = small_fleet
+        serials = [d.serial for d in drives]
+        assert len(serials) == len(set(serials))
+
+    def test_good_drives_span_collection_period(self, small_fleet):
+        drives, config = small_fleet
+        horizon = config.collection_days * HOURS_PER_DAY
+        for drive in drives:
+            if not drive.failed:
+                assert drive.hours[0] == 0.0
+                assert drive.hours[-1] == horizon - 1
+
+    def test_failed_histories_end_before_failure(self, small_fleet):
+        drives, _ = small_fleet
+        for drive in drives:
+            if drive.failed:
+                assert drive.hours[-1] < drive.failure_hour
+                span = drive.failure_hour - drive.hours[0]
+                assert span <= 20 * HOURS_PER_DAY + 1
+
+
+class TestSignalRealism:
+    def test_normalized_channels_in_smart_range(self, small_fleet):
+        drives, _ = small_fleet
+        for drive in drives[:20]:
+            normalized = drive.values[:, :10]
+            finite = normalized[np.isfinite(normalized)]
+            assert finite.min() >= NORMALIZED_MIN
+            assert finite.max() <= NORMALIZED_MAX
+
+    def test_raw_counters_non_decreasing(self, small_fleet):
+        drives, _ = small_fleet
+        for drive in drives[:20]:
+            for short in ("RSC_RAW", "CPSC_RAW"):
+                series = drive.values[:, channel_index(short)]
+                series = series[np.isfinite(series)]
+                assert np.all(np.diff(series) >= 0)
+
+    def test_failed_drives_degrade_on_signature_channel(self, small_fleet):
+        drives, _ = small_fleet
+        rue = channel_index("RUE")
+        degraded = 0
+        failed_w = [d for d in drives if d.failed and d.family == "W"]
+        for drive in failed_w:
+            series = drive.values[:, rue]
+            early = np.nanmean(series[: max(len(series) // 4, 1)])
+            late = np.nanmean(series[-24:])
+            if late < early - 5:
+                degraded += 1
+        assert degraded >= len(failed_w) // 2
+
+    def test_missing_rate_roughly_respected(self, small_fleet):
+        drives, config = small_fleet
+        total = sum(d.n_samples for d in drives)
+        missing = sum(d.n_samples - d.observed_mask().sum() for d in drives)
+        rate = missing / total
+        assert 0.2 * config.missing_rate < rate < 5 * config.missing_rate
+
+    def test_poh_decreases_over_time(self, small_fleet):
+        drives, _ = small_fleet
+        poh = channel_index("POH")
+        drive = next(d for d in drives if not d.failed)
+        series = drive.values[:, poh]
+        series = series[np.isfinite(series)]
+        assert series[-1] <= series[0]
+
+
+class TestReproducibility:
+    def test_same_seed_same_fleet(self):
+        config = default_fleet_config(
+            w_good=5, w_failed=2, q_good=0, q_failed=0, seed=99
+        )
+        a = FleetGenerator(config).generate()
+        b = FleetGenerator(config).generate()
+        for drive_a, drive_b in zip(a, b):
+            assert drive_a.serial == drive_b.serial
+            np.testing.assert_array_equal(drive_a.values, drive_b.values)
+
+    def test_different_seeds_differ(self):
+        a = FleetGenerator(
+            default_fleet_config(w_good=3, w_failed=0, q_good=0, q_failed=0, seed=1)
+        ).generate()
+        b = FleetGenerator(
+            default_fleet_config(w_good=3, w_failed=0, q_good=0, q_failed=0, seed=2)
+        ).generate()
+        assert not np.array_equal(a[0].values, b[0].values)
+
+
+class TestConfiguration:
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            FleetGenerator(
+                FleetConfig(families=(family_w(1, 1),), collection_days=0)
+            )
+        with pytest.raises(ValueError):
+            FleetGenerator(
+                FleetConfig(families=(family_w(1, 1),), missing_rate=1.5)
+            )
+
+    def test_family_presets_have_distinct_signatures(self):
+        w, q = family_w(), family_q()
+        assert w.signature.normalized_drops["RUE"] > q.signature.normalized_drops["RUE"]
+        assert q.signature.normalized_drops["SER"] > w.signature.normalized_drops["SER"]
+
+    def test_zero_good_drives_allowed(self):
+        config = default_fleet_config(w_good=0, w_failed=2, q_good=0, q_failed=0, seed=1)
+        drives = FleetGenerator(config).generate()
+        assert len(drives) == 2 and all(d.failed for d in drives)

@@ -1,0 +1,88 @@
+"""Tests for fleet CSV round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.smart.attributes import N_CHANNELS
+from repro.smart.drive import DriveRecord
+from repro.smart.io import read_fleet_csv, write_fleet_csv
+
+
+@pytest.fixture
+def fleet():
+    good = DriveRecord(
+        serial="W-G1", family="W", failed=False,
+        hours=np.arange(5.0), values=np.arange(5.0 * N_CHANNELS).reshape(5, N_CHANNELS),
+    )
+    values = np.ones((3, N_CHANNELS))
+    values[1] = np.nan  # a missed sample
+    failed = DriveRecord(
+        serial="W-F1", family="W", failed=True,
+        hours=np.array([10.0, 11.0, 12.0]), values=values, failure_hour=13.5,
+    )
+    return [good, failed]
+
+
+class TestRoundTrip:
+    def test_values_and_metadata_preserved(self, fleet, tmp_path):
+        path = tmp_path / "fleet.csv"
+        rows = write_fleet_csv(path, fleet)
+        assert rows == 8
+        loaded = read_fleet_csv(path)
+        assert [d.serial for d in loaded] == ["W-F1", "W-G1"]
+        failed = loaded[0]
+        assert failed.failed and failed.failure_hour == 13.5
+        np.testing.assert_array_equal(failed.hours, [10.0, 11.0, 12.0])
+        assert np.all(np.isnan(failed.values[1]))
+        good = loaded[1]
+        np.testing.assert_array_equal(good.values, fleet[0].values)
+
+    def test_float_precision_exact(self, fleet, tmp_path):
+        fleet[0].values[0, 0] = 1.0 / 3.0
+        path = tmp_path / "fleet.csv"
+        write_fleet_csv(path, fleet)
+        loaded = read_fleet_csv(path)
+        good = next(d for d in loaded if d.serial == "W-G1")
+        assert good.values[0, 0] == 1.0 / 3.0
+
+    def test_synthetic_fleet_roundtrip(self, tiny_fleet, tmp_path):
+        subset = tiny_fleet.drives[:5]
+        path = tmp_path / "fleet.csv"
+        write_fleet_csv(path, subset)
+        loaded = read_fleet_csv(path)
+        assert len(loaded) == 5
+        by_serial = {d.serial: d for d in loaded}
+        for original in subset:
+            copy = by_serial[original.serial]
+            np.testing.assert_allclose(copy.hours, original.hours)
+            np.testing.assert_allclose(copy.values, original.values, equal_nan=True)
+
+
+class TestErrors:
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("nope,nope\n1,2\n")
+        with pytest.raises(ValueError, match="unexpected header"):
+            read_fleet_csv(path)
+
+    def test_short_row_rejected(self, fleet, tmp_path):
+        path = tmp_path / "fleet.csv"
+        write_fleet_csv(path, fleet)
+        lines = path.read_text().splitlines()
+        lines.append("W-G9,W,0,,3.0,1.0")  # too few cells
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="expected .* cells"):
+            read_fleet_csv(path)
+
+    def test_inconsistent_metadata_rejected(self, fleet, tmp_path):
+        path = tmp_path / "fleet.csv"
+        write_fleet_csv(path, fleet)
+        lines = path.read_text().splitlines()
+        # Re-emit the first data row with a different family label.
+        cells = lines[1].split(",")
+        cells[1] = "Q"
+        cells[4] = "999.0"
+        lines.append(",".join(cells))
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="inconsistent metadata"):
+            read_fleet_csv(path)

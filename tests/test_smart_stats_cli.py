@@ -1,0 +1,101 @@
+"""Tests for fleet statistics and the repro-fleet CLI."""
+
+import numpy as np
+import pytest
+
+from repro.smart.cli import main as fleet_main
+from repro.smart.stats import (
+    attribute_summary,
+    fleet_summary,
+    normality_evidence,
+    render_attribute_summary,
+    render_fleet_summary,
+)
+
+
+class TestFleetSummary:
+    def test_rows_cover_family_class_grid(self, tiny_fleet):
+        rows = fleet_summary(tiny_fleet)
+        keys = {(row.family, row.drive_class) for row in rows}
+        assert keys == {
+            ("W", "Good"), ("W", "Failed"), ("Q", "Good"), ("Q", "Failed"),
+        }
+
+    def test_counts_match_dataset(self, tiny_fleet):
+        rows = {(r.family, r.drive_class): r for r in fleet_summary(tiny_fleet)}
+        assert rows[("W", "Good")].n_drives == 60
+        assert rows[("W", "Failed")].n_drives == 12
+
+    def test_good_period_roughly_collection_days(self, tiny_fleet):
+        rows = {(r.family, r.drive_class): r for r in fleet_summary(tiny_fleet)}
+        assert rows[("W", "Good")].period_days == pytest.approx(7.0, abs=0.1)
+
+    def test_render(self, tiny_fleet):
+        text = render_fleet_summary(fleet_summary(tiny_fleet))
+        assert "Family" in text and "W" in text
+
+
+class TestAttributeSummary:
+    def test_signature_channels_lead_by_separation(self, tiny_fleet):
+        rows = attribute_summary(tiny_fleet.filter_family("W"), seed=1)
+        order = [row.short for row in rows]
+        # W's signature channel should rank above an inert channel.
+        assert order.index("RUE") < order.index("HFW")
+
+    def test_failed_means_below_good_on_signature(self, tiny_fleet):
+        rows = {r.short: r for r in attribute_summary(tiny_fleet.filter_family("W"))}
+        assert rows["RUE"].failed_mean < rows["RUE"].good_mean
+
+    def test_render(self, tiny_fleet):
+        text = render_attribute_summary(attribute_summary(tiny_fleet))
+        assert "Separation" in text
+
+
+class TestNormalityEvidence:
+    def test_structurally_non_gaussian_channels_flagged(self, tiny_fleet):
+        rows = {r.short: r for r in normality_evidence(tiny_fleet.filter_family("W"), seed=2)}
+        assert len(rows) == 12
+        # The synthetic fleet's AR(1) channels are near-Gaussian by
+        # construction, but the structurally non-parametric ones (age
+        # decay, clipped error counts, Poisson counters) must flag —
+        # the subset carrying the paper's non-parametric premise.
+        for short in ("POH", "RUE", "RSC_RAW", "CPSC_RAW"):
+            assert rows[short].non_normal, short
+
+    def test_constant_channel_flagged(self, tiny_fleet):
+        rows = {r.short: r for r in normality_evidence(tiny_fleet)}
+        # Raw counters are mostly constant-zero for good drives.
+        assert rows["RSC_RAW"].p_value < 0.01
+
+
+class TestCli:
+    def test_generate_native_and_describe(self, tmp_path, capsys):
+        out = tmp_path / "fleet.csv"
+        code = fleet_main(
+            [
+                "generate", "--w-good", "8", "--w-failed", "3",
+                "--days", "3", "--seed", "5", "--out", str(out),
+            ]
+        )
+        assert code == 0 and out.exists()
+        capsys.readouterr()
+        assert fleet_main(["describe", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "Fleet summary" in text and "Attribute statistics" in text
+
+    def test_generate_backblaze_format(self, tmp_path, capsys):
+        out = tmp_path / "daily.csv"
+        code = fleet_main(
+            [
+                "generate", "--w-good", "4", "--w-failed", "2",
+                "--days", "3", "--format", "backblaze", "--out", str(out),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert fleet_main(["describe", str(out), "--normality"]) == 0
+        assert "non-normal" in capsys.readouterr().out
+
+    def test_describe_missing_file(self, tmp_path, capsys):
+        assert fleet_main(["describe", str(tmp_path / "nope.csv")]) == 2
+        assert "no such file" in capsys.readouterr().err

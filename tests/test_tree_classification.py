@@ -1,0 +1,178 @@
+"""Tests for the Classification Tree (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.tree.classification import ClassificationTree, weights_for_priors
+
+
+class TestWeightsForPriors:
+    def test_paper_rebalancing(self):
+        y = np.array([-1] * 10 + [1] * 90)
+        weights = weights_for_priors(y, {-1: 0.2, 1: 0.8})
+        failed_mass = weights[y == -1].sum()
+        assert failed_mass / weights.sum() == pytest.approx(0.2)
+
+    def test_missing_prior_rejected(self):
+        with pytest.raises(ValueError, match="missing entries"):
+            weights_for_priors([0, 1], {0: 1.0})
+
+    def test_zero_total_prior_rejected(self):
+        with pytest.raises(ValueError, match="positive total"):
+            weights_for_priors([0, 1], {0: 0.0, 1: 0.0})
+
+    def test_total_mass_preserved(self):
+        y = np.array([0] * 3 + [1] * 7)
+        weights = weights_for_priors(y, {0: 0.5, 1: 0.5})
+        assert weights.sum() == pytest.approx(len(y))
+
+
+class TestFitPredict:
+    def test_simple_threshold(self):
+        tree = ClassificationTree(minsplit=2, minbucket=1, cp=0.0)
+        tree.fit([[0.0], [1.0], [2.0], [3.0]], [-1, -1, 1, 1])
+        np.testing.assert_array_equal(tree.predict([[0.5], [2.5]]), [-1, 1])
+
+    def test_xor_needs_depth_two(self, xor_like_data):
+        X, y = xor_like_data
+        tree = ClassificationTree(minsplit=2, minbucket=1, cp=0.0)
+        tree.fit(X, y)
+        assert (tree.predict(X) == y).all()
+        assert tree.depth_ >= 2
+
+    def test_single_class_training(self):
+        tree = ClassificationTree(minsplit=2, minbucket=1)
+        tree.fit([[0.0], [1.0]], [1, 1])
+        assert tree.root_.is_leaf
+        np.testing.assert_array_equal(tree.predict([[5.0]]), [1])
+
+    def test_predict_proba_rows_sum_to_one(self, xor_like_data):
+        X, y = xor_like_data
+        tree = ClassificationTree(minsplit=2, minbucket=1, cp=0.0).fit(X, y)
+        probabilities = tree.predict_proba(X)
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_max_depth_limits_tree(self, xor_like_data):
+        X, y = xor_like_data
+        tree = ClassificationTree(minsplit=2, minbucket=1, cp=0.0, max_depth=1)
+        tree.fit(X, y)
+        assert tree.depth_ <= 1
+
+    def test_nan_features_handled_end_to_end(self):
+        X = np.array([[0.0], [0.5], [np.nan], [2.0], [3.0], [np.nan]])
+        y = np.array([-1, -1, -1, 1, 1, 1])
+        tree = ClassificationTree(minsplit=2, minbucket=1, cp=0.0).fit(X, y)
+        out = tree.predict([[np.nan]])
+        assert out[0] in (-1, 1)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            ClassificationTree().predict([[0.0]])
+
+    def test_feature_count_checked(self):
+        tree = ClassificationTree(minsplit=2, minbucket=1).fit([[0.0], [1.0]], [0, 1])
+        with pytest.raises(ValueError, match="features"):
+            tree.predict([[0.0, 1.0]])
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            ClassificationTree().fit(np.empty((0, 2)), [])
+
+    def test_sample_weight_length_checked(self):
+        with pytest.raises(ValueError, match="length mismatch"):
+            ClassificationTree().fit([[0.0], [1.0]], [0, 1], sample_weight=[1.0])
+
+    def test_negative_sample_weight_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ClassificationTree().fit([[0.0], [1.0]], [0, 1], sample_weight=[-1.0, 1.0])
+
+
+class TestClassWeightAndLoss:
+    def test_balanced_class_weight(self):
+        X = np.array([[0.0], [0.4], [0.6], [1.0], [1.4], [1.6]])
+        y = np.array([0, 0, 0, 0, 0, 1])
+        tree = ClassificationTree(
+            minsplit=2, minbucket=1, cp=0.0, class_weight="balanced"
+        ).fit(X, y)
+        assert tree.predict([[1.8]])[0] == 1
+
+    def test_mapping_class_weight_unknown_label(self):
+        with pytest.raises(ValueError, match="unknown class"):
+            ClassificationTree(class_weight={9: 2.0}).fit([[0.0], [1.0]], [0, 1])
+
+    def test_invalid_class_weight_type(self):
+        with pytest.raises(ValueError, match="class_weight"):
+            ClassificationTree(class_weight=3.0).fit([[0.0], [1.0]], [0, 1])
+
+    def test_loss_matrix_moves_leaf_labels(self):
+        # A mixed node: 2 good vs 1 failed. Unweighted, majority says good;
+        # with a heavy miss-detection cost, the label flips to failed.
+        X = np.array([[0.0], [0.1], [0.2]])
+        y = np.array([-1, 1, 1])
+        plain = ClassificationTree(minsplit=10, minbucket=7).fit(X, y)
+        assert plain.predict([[0.0]])[0] == 1
+        lossy = ClassificationTree(
+            minsplit=10, minbucket=7, loss_matrix=[[0.0, 10.0], [1.0, 0.0]]
+        ).fit(X, y)
+        assert lossy.predict([[0.0]])[0] == -1
+
+    def test_loss_matrix_shape_checked(self):
+        with pytest.raises(ValueError, match="loss_matrix must be"):
+            ClassificationTree(loss_matrix=[[0.0]]).fit([[0.0], [1.0]], [0, 1])
+
+    def test_loss_matrix_diagonal_checked(self):
+        with pytest.raises(ValueError, match="zero diagonal"):
+            ClassificationTree(loss_matrix=[[1.0, 1.0], [1.0, 0.0]]).fit(
+                [[0.0], [1.0]], [0, 1]
+            )
+
+
+class TestHyperparameterValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"minsplit": 0}, {"minbucket": 0}, {"cp": -0.1},
+        {"max_depth": 0}, {"criterion": "nope"},
+    ])
+    def test_rejects_bad_params(self, kwargs):
+        with pytest.raises(ValueError):
+            ClassificationTree(**kwargs)
+
+
+class TestIntrospection:
+    def test_feature_importances_sum_to_one(self, xor_like_data):
+        X, y = xor_like_data
+        tree = ClassificationTree(minsplit=2, minbucket=1, cp=0.0).fit(X, y)
+        importances = tree.feature_importances()
+        assert importances.shape == (2,)
+        assert importances.sum() == pytest.approx(1.0)
+
+    def test_importances_favour_signal_feature(self):
+        rng = np.random.default_rng(1)
+        signal = np.repeat([0.0, 1.0], 30)
+        noise = rng.normal(size=60)
+        X = np.column_stack([noise, signal])
+        y = np.repeat([0, 1], 30)
+        tree = ClassificationTree(minsplit=2, minbucket=1, cp=0.0).fit(X, y)
+        importances = tree.feature_importances()
+        assert importances[1] > importances[0]
+
+    def test_decision_path_starts_at_root_ends_at_leaf(self, xor_like_data):
+        X, y = xor_like_data
+        tree = ClassificationTree(minsplit=2, minbucket=1, cp=0.0).fit(X, y)
+        path = tree.decision_path(X[0])
+        assert path[0] is tree.root_
+        assert path[-1].is_leaf
+
+    def test_decision_path_rejects_bad_shape(self, xor_like_data):
+        X, y = xor_like_data
+        tree = ClassificationTree(minsplit=2, minbucket=1, cp=0.0).fit(X, y)
+        with pytest.raises(ValueError, match="1-D"):
+            tree.decision_path(X)
+
+    def test_apply_returns_figure1_style_ids(self, xor_like_data):
+        X, y = xor_like_data
+        tree = ClassificationTree(minsplit=2, minbucket=1, cp=0.0).fit(X, y)
+        leaf_ids = set(tree.apply(X).tolist())
+        all_leaf_ids = {
+            node.node_id for node in tree.root_.iter_nodes() if node.is_leaf
+        }
+        assert leaf_ids <= all_leaf_ids

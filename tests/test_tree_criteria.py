@@ -1,0 +1,102 @@
+"""Tests for repro.tree.criteria (formulas 1-4)."""
+
+import numpy as np
+import pytest
+
+from repro.tree.criteria import (
+    entropy,
+    gini,
+    information_gain,
+    node_impurity,
+    sum_of_squares,
+)
+
+
+class TestEntropy:
+    def test_uniform_binary_is_one_bit(self):
+        assert entropy(np.array([5.0, 5.0])) == pytest.approx(1.0)
+
+    def test_pure_node_is_zero(self):
+        assert entropy(np.array([7.0, 0.0])) == 0.0
+
+    def test_empty_node_is_zero(self):
+        assert entropy(np.array([0.0, 0.0])) == 0.0
+
+    def test_scale_invariance(self):
+        a = entropy(np.array([2.0, 6.0]))
+        b = entropy(np.array([20.0, 60.0]))
+        assert a == pytest.approx(b)
+
+    def test_three_class_maximum(self):
+        assert entropy(np.array([1.0, 1.0, 1.0])) == pytest.approx(np.log2(3))
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            entropy(np.array([-1.0, 2.0]))
+
+
+class TestGini:
+    def test_uniform_binary(self):
+        assert gini(np.array([5.0, 5.0])) == pytest.approx(0.5)
+
+    def test_pure_is_zero(self):
+        assert gini(np.array([9.0, 0.0])) == 0.0
+
+    def test_bounded_below_entropy_shape(self):
+        weights = np.array([3.0, 7.0])
+        assert 0.0 <= gini(weights) <= entropy(weights)
+
+
+class TestInformationGain:
+    def test_perfect_split_recovers_parent_entropy(self):
+        parent = np.array([5.0, 5.0])
+        gain = information_gain(parent, np.array([5.0, 0.0]), np.array([0.0, 5.0]))
+        assert gain == pytest.approx(1.0)
+
+    def test_useless_split_has_zero_gain(self):
+        parent = np.array([4.0, 4.0])
+        gain = information_gain(parent, np.array([2.0, 2.0]), np.array([2.0, 2.0]))
+        assert gain == pytest.approx(0.0)
+
+    def test_gain_never_negative(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            left = rng.uniform(0, 10, size=2)
+            right = rng.uniform(0, 10, size=2)
+            gain = information_gain(left + right, left, right)
+            assert gain >= -1e-12
+
+    def test_empty_parent(self):
+        assert information_gain(np.zeros(2), np.zeros(2), np.zeros(2)) == 0.0
+
+
+class TestSumOfSquares:
+    def test_constant_targets(self):
+        assert sum_of_squares(np.array([2.0, 2.0, 2.0])) == 0.0
+
+    def test_known_value(self):
+        assert sum_of_squares(np.array([0.0, 2.0])) == pytest.approx(2.0)
+
+    def test_weighted_mean_used(self):
+        y = np.array([0.0, 1.0])
+        w = np.array([3.0, 1.0])
+        # weighted mean = 0.25; sq = 3*0.0625 + 1*0.5625 = 0.75
+        assert sum_of_squares(y, w) == pytest.approx(0.75)
+
+    def test_empty(self):
+        assert sum_of_squares(np.array([])) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="equal length"):
+            sum_of_squares(np.array([1.0]), np.array([1.0, 2.0]))
+
+
+class TestNodeImpurity:
+    def test_dispatch(self):
+        weights = np.array([1.0, 3.0])
+        assert node_impurity("entropy", weights) == pytest.approx(entropy(weights))
+        assert node_impurity("gini", weights) == pytest.approx(gini(weights))
+
+    def test_unknown_criterion(self):
+        with pytest.raises(ValueError, match="criterion must be one of"):
+            node_impurity("mse", np.array([1.0]))

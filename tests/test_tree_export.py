@@ -1,0 +1,79 @@
+"""Tests for tree interpretability exports (Figure 1 style)."""
+
+import numpy as np
+import pytest
+
+from repro.tree.classification import ClassificationTree
+from repro.tree.export import export_text, extract_rules, failure_signature
+from repro.tree.regression import RegressionTree
+
+
+@pytest.fixture
+def fitted_tree():
+    X = np.array([[0.0, 5.0], [1.0, 5.0], [2.0, 5.0], [3.0, 5.0]] * 5)
+    y = np.array([-1, -1, 1, 1] * 5)
+    return ClassificationTree(minsplit=2, minbucket=1, cp=0.0).fit(X, y)
+
+
+class TestExportText:
+    def test_contains_feature_names_and_distribution(self, fitted_tree):
+        text = export_text(fitted_tree, ["POH", "TC"])
+        assert "POH" in text
+        assert "leaf" in text
+        assert "%" in text
+
+    def test_default_names(self, fitted_tree):
+        assert "x[0]" in export_text(fitted_tree)
+
+    def test_regression_tree_shows_means(self):
+        tree = RegressionTree(minsplit=2, minbucket=1, cp=0.0).fit(
+            [[0.0], [1.0], [2.0], [3.0]], [0.0, 0.0, 1.0, 1.0]
+        )
+        assert "mean=" in export_text(tree)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            export_text(ClassificationTree())
+
+
+class TestExtractRules:
+    def test_every_leaf_yields_a_rule(self, fitted_tree):
+        rules = extract_rules(fitted_tree)
+        assert len(rules) == fitted_tree.n_leaves_
+
+    def test_supports_sum_to_one(self, fitted_tree):
+        total = sum(rule.support for rule in extract_rules(fitted_tree))
+        assert total == pytest.approx(1.0)
+
+    def test_target_class_filters(self, fitted_tree):
+        failed_rules = extract_rules(fitted_tree, target_class=-1)
+        assert failed_rules
+        assert all(rule.prediction == -1 for rule in failed_rules)
+
+    def test_rule_renders_readably(self, fitted_tree):
+        rule = extract_rules(fitted_tree, ["POH", "TC"])[0]
+        text = str(rule)
+        assert text.startswith("IF ") and "THEN predict" in text
+
+    def test_rules_sorted_by_support(self, fitted_tree):
+        supports = [rule.support for rule in extract_rules(fitted_tree)]
+        assert supports == sorted(supports, reverse=True)
+
+    def test_single_leaf_tree_gives_true_rule(self):
+        tree = ClassificationTree(minsplit=100).fit([[0.0], [1.0]], [1, 1])
+        rules = extract_rules(tree)
+        assert len(rules) == 1 and rules[0].conditions == ()
+        assert "TRUE" in str(rules[0])
+
+
+class TestFailureSignature:
+    def test_names_the_splitting_attribute(self, fitted_tree):
+        top = failure_signature(fitted_tree, ["POH", "TC"], failed_label=-1)
+        assert top and top[0] == "POH"
+
+    def test_respects_top_limit(self, fitted_tree):
+        assert len(failure_signature(fitted_tree, ["POH", "TC"], top=1)) <= 1
+
+    def test_no_failed_leaves_gives_empty(self):
+        tree = ClassificationTree(minsplit=100).fit([[0.0], [1.0]], [1, 1])
+        assert failure_signature(tree, ["POH"], failed_label=-1) == []

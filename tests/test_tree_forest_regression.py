@@ -1,0 +1,93 @@
+"""Tests for the bagged regression forest."""
+
+import numpy as np
+import pytest
+
+from repro.tree.forest_regression import RandomForestRegressor
+from repro.tree.regression import RegressionTree
+
+
+@pytest.fixture
+def noisy_step():
+    rng = np.random.default_rng(0)
+    X = rng.uniform(0, 1, size=(300, 3))
+    y = (X[:, 0] > 0.5).astype(float) + 0.2 * rng.normal(size=300)
+    return X, y
+
+
+class TestRandomForestRegressor:
+    def test_fits_and_predicts(self, noisy_step):
+        X, y = noisy_step
+        forest = RandomForestRegressor(
+            n_trees=10, minsplit=4, minbucket=2, cp=0.0, seed=1
+        ).fit(X, y)
+        mse = np.mean((forest.predict(X) - y) ** 2)
+        assert mse < np.var(y)
+
+    def test_variance_reduction_vs_single_tree(self, noisy_step):
+        """Bagging reduces held-out error versus one fully-grown tree."""
+        X, y = noisy_step
+        rng = np.random.default_rng(1)
+        X_test = rng.uniform(0, 1, size=(300, 3))
+        y_test = (X_test[:, 0] > 0.5).astype(float)
+        single = RegressionTree(minsplit=4, minbucket=2, cp=0.0).fit(X, y)
+        forest = RandomForestRegressor(
+            n_trees=20, minsplit=4, minbucket=2, cp=0.0, seed=2
+        ).fit(X, y)
+        mse_single = np.mean((single.predict(X_test) - y_test) ** 2)
+        mse_forest = np.mean((forest.predict(X_test) - y_test) ** 2)
+        assert mse_forest < mse_single
+
+    def test_predictions_within_target_hull(self, noisy_step):
+        X, y = noisy_step
+        forest = RandomForestRegressor(n_trees=5, minsplit=4, minbucket=2, seed=3)
+        predictions = forest.fit(X, y).predict(X)
+        assert predictions.min() >= y.min() - 1e-9
+        assert predictions.max() <= y.max() + 1e-9
+
+    def test_reproducible_with_seed(self, noisy_step):
+        X, y = noisy_step
+        a = RandomForestRegressor(n_trees=4, seed=5, minsplit=4, minbucket=2).fit(X, y)
+        b = RandomForestRegressor(n_trees=4, seed=5, minsplit=4, minbucket=2).fit(X, y)
+        np.testing.assert_array_equal(a.predict(X), b.predict(X))
+
+    def test_feature_subsampling_mode(self, noisy_step):
+        X, y = noisy_step
+        forest = RandomForestRegressor(
+            n_trees=5, max_features="sqrt", minsplit=4, minbucket=2, seed=6
+        ).fit(X, y)
+        assert np.all(np.isfinite(forest.predict(X)))
+
+    def test_validation(self, noisy_step):
+        X, y = noisy_step
+        with pytest.raises(ValueError, match="n_trees"):
+            RandomForestRegressor(n_trees=0)
+        with pytest.raises(ValueError, match="max_features"):
+            RandomForestRegressor(max_features=99).fit(X, y)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            RandomForestRegressor().predict([[0.0]])
+
+    def test_health_pipeline_hook(self, tiny_split):
+        from repro.core.config import CTConfig, RTConfig
+        from repro.health.model import HealthDegreePredictor
+
+        config = RTConfig(
+            minsplit=4, minbucket=2,
+            ct=CTConfig(minsplit=4, minbucket=2, cp=0.002),
+            regressor_factory=lambda: RandomForestRegressor(
+                n_trees=5, minsplit=4, minbucket=2, seed=7
+            ),
+        )
+        model = HealthDegreePredictor(config).fit(tiny_split)
+        series = model.score_drive(tiny_split.test_good[0])
+        valid = series.scores[np.isfinite(series.scores)]
+        assert valid.size > 0
+        assert valid.min() >= -1.0 - 1e-9 and valid.max() <= 1.0 + 1e-9
+
+    def test_factory_validation(self):
+        from repro.core.config import RTConfig
+
+        with pytest.raises(ValueError, match="callable"):
+            RTConfig(regressor_factory=42)

@@ -1,0 +1,62 @@
+"""Tests for the Node structure."""
+
+import numpy as np
+import pytest
+
+from repro.tree.node import Node
+
+
+def _leaf(node_id=1, depth=0, prediction=1.0):
+    return Node(
+        node_id=node_id, depth=depth, n_samples=5, weight=5.0,
+        prediction=prediction, impurity=0.0,
+    )
+
+
+def _internal():
+    root = _leaf(1, 0)
+    root.feature = 0
+    root.threshold = 0.5
+    root.gain = 0.3
+    root.left = _leaf(2, 1, prediction=-1.0)
+    root.right = _leaf(3, 1, prediction=1.0)
+    return root
+
+
+class TestNodeBasics:
+    def test_leaf_detection(self):
+        assert _leaf().is_leaf
+        assert not _internal().is_leaf
+
+    def test_route_by_threshold(self):
+        root = _internal()
+        assert root.route(np.array([0.2])) is root.left
+        assert root.route(np.array([0.9])) is root.right
+
+    def test_route_nan_follows_configuration(self):
+        root = _internal()
+        root.missing_goes_left = False
+        assert root.route(np.array([np.nan])) is root.right
+
+    def test_route_on_leaf_raises(self):
+        with pytest.raises(ValueError, match="leaf"):
+            _leaf().route(np.array([0.0]))
+
+    def test_make_leaf_collapses(self):
+        root = _internal()
+        root.make_leaf()
+        assert root.is_leaf and root.left is None and root.gain == 0.0
+
+
+class TestTraversal:
+    def test_iter_nodes_preorder(self):
+        root = _internal()
+        ids = [node.node_id for node in root.iter_nodes()]
+        assert ids == [1, 2, 3]
+
+    def test_count_leaves(self):
+        assert _leaf().count_leaves() == 1
+        assert _internal().count_leaves() == 2
+
+    def test_subtree_depth(self):
+        assert _internal().subtree_depth() == 1

@@ -1,0 +1,137 @@
+"""Property-based tests (hypothesis) for the CART substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.tree.classification import ClassificationTree
+from repro.tree.criteria import entropy, gini, information_gain, sum_of_squares
+from repro.tree.pruning import cost_complexity_path, prune_to_alpha
+from repro.tree.regression import RegressionTree
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestCriteriaProperties:
+    @given(arrays(float, st.integers(1, 6), elements=st.floats(0, 1e6)))
+    def test_entropy_bounded(self, weights):
+        value = entropy(weights)
+        n_classes = max((weights > 0).sum(), 1)
+        assert -1e-9 <= value <= np.log2(n_classes) + 1e-9
+
+    @given(arrays(float, st.integers(1, 6), elements=st.floats(0, 1e6)))
+    def test_gini_bounded(self, weights):
+        assert -1e-9 <= gini(weights) <= 1.0
+
+    @given(
+        arrays(float, 3, elements=st.floats(0, 1e3)),
+        arrays(float, 3, elements=st.floats(0, 1e3)),
+    )
+    def test_information_gain_non_negative(self, left, right):
+        gain = information_gain(left + right, left, right)
+        assert gain >= -1e-9
+
+    @given(arrays(float, st.integers(1, 30), elements=finite_floats))
+    def test_sum_of_squares_non_negative(self, targets):
+        assert sum_of_squares(targets) >= -1e-6
+
+    @given(
+        arrays(float, st.integers(2, 30), elements=st.floats(-100, 100)),
+        st.floats(min_value=0.1, max_value=10),
+    )
+    def test_sum_of_squares_shift_invariant(self, targets, shift):
+        base = sum_of_squares(targets)
+        shifted = sum_of_squares(targets + shift)
+        assert shifted == pytest.approx(base, rel=1e-6, abs=1e-6)
+
+
+@st.composite
+def classification_problem(draw):
+    n = draw(st.integers(10, 60))
+    d = draw(st.integers(1, 4))
+    X = draw(
+        arrays(float, (n, d), elements=st.floats(-100, 100, allow_nan=False))
+    )
+    y = draw(arrays(np.int64, n, elements=st.sampled_from([-1, 1])))
+    return X, y
+
+
+class TestTreeProperties:
+    @given(classification_problem())
+    @settings(max_examples=30, deadline=None)
+    def test_predictions_are_training_labels(self, problem):
+        X, y = problem
+        tree = ClassificationTree(minsplit=4, minbucket=2, cp=0.0).fit(X, y)
+        predictions = tree.predict(X)
+        assert set(np.unique(predictions)) <= set(np.unique(y))
+
+    @given(classification_problem())
+    @settings(max_examples=30, deadline=None)
+    def test_minbucket_invariant(self, problem):
+        X, y = problem
+        minbucket = 3
+        tree = ClassificationTree(minsplit=6, minbucket=minbucket, cp=0.0).fit(X, y)
+        for node in tree.root_.iter_nodes():
+            if node.is_leaf:
+                assert node.n_samples >= 1
+            else:
+                assert node.left.n_samples + node.right.n_samples == node.n_samples
+
+    @given(classification_problem())
+    @settings(max_examples=20, deadline=None)
+    def test_pruning_never_grows(self, problem):
+        X, y = problem
+        tree = ClassificationTree(minsplit=4, minbucket=2, cp=0.0).fit(X, y)
+        for alpha in (0.0, 0.01, 1.0):
+            assert prune_to_alpha(tree, alpha).n_leaves_ <= tree.n_leaves_
+
+    @given(classification_problem())
+    @settings(max_examples=20, deadline=None)
+    def test_cost_complexity_path_terminates_at_stump(self, problem):
+        X, y = problem
+        tree = ClassificationTree(minsplit=4, minbucket=2, cp=0.0).fit(X, y)
+        path = cost_complexity_path(tree)
+        assert path[-1].n_leaves == 1
+
+    @given(classification_problem())
+    @settings(max_examples=20, deadline=None)
+    def test_node_ids_follow_figure1_numbering(self, problem):
+        X, y = problem
+        tree = ClassificationTree(minsplit=4, minbucket=2, cp=0.0).fit(X, y)
+        for node in tree.root_.iter_nodes():
+            if not node.is_leaf:
+                assert node.left.node_id == 2 * node.node_id
+                assert node.right.node_id == 2 * node.node_id + 1
+
+
+@st.composite
+def regression_problem(draw):
+    n = draw(st.integers(10, 50))
+    X = draw(arrays(float, (n, 2), elements=st.floats(-50, 50, allow_nan=False)))
+    y = draw(arrays(float, n, elements=st.floats(-10, 10, allow_nan=False)))
+    return X, y
+
+
+class TestRegressionProperties:
+    @given(regression_problem())
+    @settings(max_examples=30, deadline=None)
+    def test_predictions_within_target_hull(self, problem):
+        X, y = problem
+        tree = RegressionTree(minsplit=4, minbucket=2, cp=0.0).fit(X, y)
+        predictions = tree.predict(X)
+        assert predictions.min() >= y.min() - 1e-9
+        assert predictions.max() <= y.max() + 1e-9
+
+    @given(regression_problem())
+    @settings(max_examples=20, deadline=None)
+    def test_deeper_trees_never_increase_training_sse(self, problem):
+        X, y = problem
+        shallow = RegressionTree(minsplit=4, minbucket=2, cp=0.0, max_depth=1).fit(X, y)
+        deep = RegressionTree(minsplit=4, minbucket=2, cp=0.0, max_depth=6).fit(X, y)
+        sse_shallow = float(np.sum((shallow.predict(X) - y) ** 2))
+        sse_deep = float(np.sum((deep.predict(X) - y) ** 2))
+        assert sse_deep <= sse_shallow + 1e-6

@@ -1,0 +1,90 @@
+"""Tests for cost-complexity pruning (and the CP prune inside growth)."""
+
+import numpy as np
+import pytest
+
+from repro.tree.classification import ClassificationTree
+from repro.tree.pruning import cost_complexity_path, prune_to_alpha
+from repro.tree.regression import RegressionTree
+
+
+@pytest.fixture
+def noisy_tree():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(300, 3))
+    y = np.where(X[:, 0] > 0, 1, -1)
+    flip = rng.random(300) < 0.15
+    y[flip] *= -1
+    return ClassificationTree(minsplit=4, minbucket=2, cp=0.0).fit(X, y)
+
+
+class TestCostComplexityPath:
+    def test_path_starts_at_full_tree(self, noisy_tree):
+        path = cost_complexity_path(noisy_tree)
+        assert path[0].alpha == 0.0
+        assert path[0].n_leaves == noisy_tree.n_leaves_
+
+    def test_alphas_non_decreasing(self, noisy_tree):
+        path = cost_complexity_path(noisy_tree)
+        alphas = [step.alpha for step in path]
+        assert alphas == sorted(alphas)
+
+    def test_leaf_counts_strictly_decreasing_to_one(self, noisy_tree):
+        path = cost_complexity_path(noisy_tree)
+        counts = [step.n_leaves for step in path]
+        assert all(a > b for a, b in zip(counts, counts[1:]))
+        assert counts[-1] == 1
+
+    def test_path_does_not_mutate_tree(self, noisy_tree):
+        before = noisy_tree.n_leaves_
+        cost_complexity_path(noisy_tree)
+        assert noisy_tree.n_leaves_ == before
+
+
+class TestPruneToAlpha:
+    def test_zero_alpha_keeps_everything_with_positive_links(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([-1, -1, 1, 1])
+        tree = ClassificationTree(minsplit=2, minbucket=1, cp=0.0).fit(X, y)
+        pruned = prune_to_alpha(tree, 0.0)
+        assert pruned.n_leaves_ == tree.n_leaves_
+
+    def test_huge_alpha_collapses_to_stump(self, noisy_tree):
+        pruned = prune_to_alpha(noisy_tree, 1e9)
+        assert pruned.root_.is_leaf
+
+    def test_monotone_in_alpha(self, noisy_tree):
+        path = cost_complexity_path(noisy_tree)
+        mid_alpha = path[len(path) // 2].alpha
+        small = prune_to_alpha(noisy_tree, mid_alpha / 2 if mid_alpha else 0.0)
+        large = prune_to_alpha(noisy_tree, mid_alpha * 2 + 1e-9)
+        assert large.n_leaves_ <= small.n_leaves_
+
+    def test_pruned_copy_still_predicts(self, noisy_tree):
+        pruned = prune_to_alpha(noisy_tree, 0.01)
+        out = pruned.predict(np.zeros((3, 3)))
+        assert set(np.unique(out)) <= {-1, 1}
+
+    def test_negative_alpha_rejected(self, noisy_tree):
+        with pytest.raises(ValueError, match="alpha"):
+            prune_to_alpha(noisy_tree, -0.1)
+
+
+class TestGrowthTimeCpPrune:
+    def test_larger_cp_never_grows_the_tree(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(400, 3))
+        y = np.where(X[:, 1] > 0.3, 1, -1)
+        y[rng.random(400) < 0.1] *= -1
+        leaf_counts = []
+        for cp in (0.0, 0.005, 0.05, 0.5):
+            tree = ClassificationTree(minsplit=4, minbucket=2, cp=cp).fit(X, y)
+            leaf_counts.append(tree.n_leaves_)
+        assert all(a >= b for a, b in zip(leaf_counts, leaf_counts[1:]))
+
+    def test_regression_cp_relative_to_root_sse(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0.0, 0.0, 10.0, 10.0])
+        # The only split removes 100% of the SSE; cp just below 1 keeps it.
+        kept = RegressionTree(minsplit=2, minbucket=1, cp=0.99).fit(X, y)
+        assert kept.n_leaves_ == 2

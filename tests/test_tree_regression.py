@@ -1,0 +1,80 @@
+"""Tests for the Regression Tree (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.tree.regression import RegressionTree
+
+
+class TestFitPredict:
+    def test_step_function(self):
+        tree = RegressionTree(minsplit=2, minbucket=1, cp=0.0)
+        tree.fit([[0.0], [1.0], [2.0], [3.0]], [0.0, 0.0, 1.0, 1.0])
+        np.testing.assert_allclose(tree.predict([[0.5], [2.5]]), [0.0, 1.0])
+
+    def test_leaf_predicts_weighted_mean(self):
+        tree = RegressionTree(minsplit=10, minbucket=7)  # forces a single leaf
+        tree.fit([[0.0], [1.0]], [0.0, 1.0], sample_weight=[3.0, 1.0])
+        assert tree.predict([[0.5]])[0] == pytest.approx(0.25)
+
+    def test_piecewise_linear_approximation_improves_with_depth(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(0, 1, size=(300, 1))
+        y = 3.0 * X[:, 0]
+        shallow = RegressionTree(minsplit=2, minbucket=1, cp=0.0, max_depth=1).fit(X, y)
+        deep = RegressionTree(minsplit=2, minbucket=1, cp=0.0, max_depth=5).fit(X, y)
+        err_shallow = np.mean((shallow.predict(X) - y) ** 2)
+        err_deep = np.mean((deep.predict(X) - y) ** 2)
+        assert err_deep < err_shallow
+
+    def test_constant_targets_yield_single_leaf(self):
+        tree = RegressionTree(minsplit=2, minbucket=1).fit(
+            [[0.0], [1.0], [2.0]], [4.0, 4.0, 4.0]
+        )
+        assert tree.root_.is_leaf
+        assert tree.predict([[9.0]])[0] == pytest.approx(4.0)
+
+    def test_health_degree_range_preserved(self):
+        # Targets within [-1, +1] must predict within [-1, +1]: leaf
+        # means cannot escape the convex hull of their targets.
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(100, 3))
+        y = rng.uniform(-1, 1, size=100)
+        tree = RegressionTree(minsplit=4, minbucket=2, cp=0.0).fit(X, y)
+        predictions = tree.predict(X)
+        assert predictions.min() >= -1.0 - 1e-12
+        assert predictions.max() <= 1.0 + 1e-12
+
+    def test_non_finite_targets_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            RegressionTree().fit([[0.0], [1.0]], [0.0, np.nan])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            RegressionTree().fit(np.empty((0, 1)), [])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            RegressionTree().predict([[0.0]])
+
+    def test_sse_impurity_recorded_at_root(self):
+        tree = RegressionTree(minsplit=100, minbucket=7).fit(
+            [[0.0], [1.0]], [0.0, 2.0]
+        )
+        assert tree.root_.impurity == pytest.approx(2.0)
+
+    def test_nan_feature_rows_routed(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0], [np.nan]])
+        y = np.array([0.0, 0.0, 1.0, 1.0, 0.0])
+        tree = RegressionTree(minsplit=2, minbucket=1, cp=0.0).fit(X, y)
+        out = tree.predict([[np.nan]])
+        assert np.isfinite(out[0])
+
+    def test_cp_pruning_shrinks_tree(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(200, 2))
+        y = (X[:, 0] > 0).astype(float) + 0.05 * rng.normal(size=200)
+        full = RegressionTree(minsplit=4, minbucket=2, cp=0.0).fit(X, y)
+        pruned = RegressionTree(minsplit=4, minbucket=2, cp=0.05).fit(X, y)
+        assert pruned.n_leaves_ < full.n_leaves_
+        assert pruned.n_leaves_ >= 2  # the real split survives

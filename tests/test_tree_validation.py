@@ -1,0 +1,147 @@
+"""Tests for cross-validation and grid search."""
+
+import numpy as np
+import pytest
+
+from repro.tree.classification import ClassificationTree
+from repro.tree.regression import RegressionTree
+from repro.tree.validation import (
+    CrossValidationResult,
+    accuracy_score,
+    cross_validate,
+    grid_search,
+    neg_mean_squared_error,
+    stratified_kfold_indices,
+    weighted_error_score,
+)
+
+
+@pytest.fixture
+def classification_data():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(120, 3))
+    y = np.where(X[:, 0] + 0.3 * rng.normal(size=120) > 0, 1, -1)
+    return X, y
+
+
+class TestStratifiedKFold:
+    def test_folds_partition_the_data(self):
+        y = np.array([0] * 20 + [1] * 10)
+        seen = []
+        for train, test in stratified_kfold_indices(y, 5, seed=1):
+            assert set(train) | set(test) == set(range(30))
+            assert set(train).isdisjoint(test)
+            seen.extend(test.tolist())
+        assert sorted(seen) == list(range(30))
+
+    def test_class_proportions_preserved(self):
+        y = np.array([0] * 40 + [1] * 10)
+        for _, test in stratified_kfold_indices(y, 5, seed=1):
+            minority = np.sum(y[test] == 1)
+            assert 1 <= minority <= 3
+
+    def test_rare_class_rotates(self):
+        y = np.array([0] * 18 + [1, 1])
+        test_folds_with_minority = 0
+        for _, test in stratified_kfold_indices(y, 5, seed=0):
+            if np.any(y[test] == 1):
+                test_folds_with_minority += 1
+        assert test_folds_with_minority == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_folds"):
+            list(stratified_kfold_indices([0, 1], 1))
+        with pytest.raises(ValueError, match="cannot make"):
+            list(stratified_kfold_indices([0, 1], 5))
+
+
+class TestCrossValidate:
+    def test_scores_reasonable_on_learnable_data(self, classification_data):
+        X, y = classification_data
+        result = cross_validate(
+            lambda: ClassificationTree(minsplit=4, minbucket=2, cp=0.0),
+            X, y, n_folds=4, seed=1,
+        )
+        assert isinstance(result, CrossValidationResult)
+        assert len(result.fold_scores) == 4
+        assert result.mean > 0.7
+        assert result.std >= 0.0
+
+    def test_deterministic_given_seed(self, classification_data):
+        X, y = classification_data
+        factory = lambda: ClassificationTree(minsplit=4, minbucket=2)
+        a = cross_validate(factory, X, y, n_folds=3, seed=9)
+        b = cross_validate(factory, X, y, n_folds=3, seed=9)
+        assert a.fold_scores == b.fold_scores
+
+    def test_sample_weight_threaded_through(self, classification_data):
+        X, y = classification_data
+        weights = np.ones(len(y))
+        result = cross_validate(
+            lambda: ClassificationTree(minsplit=4, minbucket=2),
+            X, y, n_folds=3, sample_weight=weights, seed=2,
+        )
+        assert len(result.fold_scores) == 3
+
+    def test_regression_scorer(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(0, 1, size=(80, 1))
+        y = (X[:, 0] > 0.5).astype(float)
+        result = cross_validate(
+            lambda: RegressionTree(minsplit=4, minbucket=2, cp=0.0),
+            X, y, n_folds=4, scorer=neg_mean_squared_error, seed=3,
+        )
+        assert result.mean > -0.1  # near-zero MSE
+
+
+class TestScorers:
+    def test_weighted_error_penalises_false_alarms(self):
+        class Always:
+            def __init__(self, label):
+                self.label = label
+
+            def predict(self, X):
+                return np.full(len(X), self.label)
+
+        X = np.zeros((10, 1))
+        y = np.array([1] * 9 + [-1])
+        scorer = weighted_error_score(false_alarm_cost=10.0)
+        alarmist = scorer(Always(-1), X, y)   # 9 false alarms
+        sleeper = scorer(Always(1), X, y)     # 1 miss
+        assert sleeper > alarmist
+
+    def test_accuracy_score(self):
+        class Echo:
+            def predict(self, X):
+                return X[:, 0]
+
+        X = np.array([[1.0], [0.0], [1.0]])
+        assert accuracy_score(Echo(), X, np.array([1.0, 0.0, 0.0])) == pytest.approx(2 / 3)
+
+
+class TestGridSearch:
+    def test_finds_better_configuration(self, classification_data):
+        X, y = classification_data
+        result = grid_search(
+            ClassificationTree,
+            {"minsplit": [4], "minbucket": [2], "max_depth": [1, 6]},
+            X, y, n_folds=3, seed=4,
+        )
+        assert result.best_params["max_depth"] in (1, 6)
+        assert len(result.table) == 2
+        assert result.best_score == max(r.mean for _, r in result.table)
+
+    def test_empty_grid_rejected(self, classification_data):
+        X, y = classification_data
+        with pytest.raises(ValueError, match="param_grid"):
+            grid_search(ClassificationTree, {}, X, y)
+
+    def test_tie_break_prefers_earlier_point(self):
+        X = np.array([[0.0], [1.0]] * 10)
+        y = np.array([0, 1] * 10)
+        result = grid_search(
+            ClassificationTree,
+            {"minsplit": [2], "minbucket": [1], "cp": [0.0, 0.0]},
+            X, y, n_folds=2, seed=5,
+        )
+        assert result.best_params == {"minsplit": 2, "minbucket": 1, "cp": 0.0}

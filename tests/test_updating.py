@@ -1,0 +1,102 @@
+"""Tests for updating strategies and the weekly simulation."""
+
+import pytest
+
+from repro.core.config import CTConfig, SamplingConfig
+from repro.core.predictor import DriveFailurePredictor
+from repro.updating.simulator import simulate_updating
+from repro.updating.strategies import (
+    AccumulationStrategy,
+    FixedStrategy,
+    ReplacingStrategy,
+    paper_strategies,
+)
+
+
+class TestStrategies:
+    def test_fixed_always_week_one(self):
+        strategy = FixedStrategy()
+        assert strategy.training_weeks(2) == (1, 1)
+        assert strategy.training_weeks(8) == (1, 1)
+
+    def test_accumulation_grows(self):
+        strategy = AccumulationStrategy()
+        assert strategy.training_weeks(2) == (1, 1)
+        assert strategy.training_weeks(5) == (1, 4)
+        assert strategy.training_weeks(8) == (1, 7)
+
+    def test_one_week_replacing_slides(self):
+        strategy = ReplacingStrategy(1)
+        assert strategy.training_weeks(2) == (1, 1)
+        assert strategy.training_weeks(7) == (6, 6)
+
+    def test_two_week_replacing_blocks(self):
+        strategy = ReplacingStrategy(2)
+        assert strategy.training_weeks(2) == (1, 1)  # no complete block yet
+        assert strategy.training_weeks(3) == (1, 2)
+        assert strategy.training_weeks(4) == (1, 2)
+        assert strategy.training_weeks(5) == (3, 4)
+        assert strategy.training_weeks(6) == (3, 4)
+        assert strategy.training_weeks(7) == (5, 6)
+
+    def test_three_week_replacing_blocks(self):
+        strategy = ReplacingStrategy(3)
+        assert strategy.training_weeks(2) == (1, 1)
+        assert strategy.training_weeks(4) == (1, 3)
+        assert strategy.training_weeks(6) == (1, 3)
+        assert strategy.training_weeks(7) == (4, 6)
+
+    def test_week_one_is_training_only(self):
+        with pytest.raises(ValueError, match="week 2"):
+            FixedStrategy().training_weeks(1)
+
+    def test_cycle_validation(self):
+        with pytest.raises(ValueError):
+            ReplacingStrategy(0)
+
+    def test_paper_strategies_catalogue(self):
+        names = [s.name for s in paper_strategies()]
+        assert names == [
+            "1-week replacing", "2-week replacing", "3-week replacing",
+            "fixed", "accumulation",
+        ]
+
+
+class TestSimulateUpdating:
+    @pytest.fixture(scope="class")
+    def reports(self, aging_fleet_small):
+        config = CTConfig(minsplit=4, minbucket=2, cp=0.002)
+        return simulate_updating(
+            aging_fleet_small,
+            lambda: DriveFailurePredictor(config),
+            [FixedStrategy(), ReplacingStrategy(1)],
+            n_weeks=4,
+            n_voters=5,
+            split_seed=2,
+        )
+
+    def test_one_report_per_strategy(self, reports):
+        assert [r.strategy for r in reports] == ["fixed", "1-week replacing"]
+
+    def test_weeks_covered(self, reports):
+        weeks = [week for week, _ in reports[0].far_percent_by_week()]
+        assert weeks == [2, 3, 4]
+
+    def test_far_and_fdr_percent_ranges(self, reports):
+        for report in reports:
+            for _, far in report.far_percent_by_week():
+                assert 0.0 <= far <= 100.0
+            for _, fdr in report.fdr_percent_by_week():
+                assert 0.0 <= fdr <= 100.0
+
+    def test_week2_models_identical_across_strategies(self, reports):
+        # Every strategy trains its week-2 model on week 1, and the fitted
+        # model is cached, so week-2 results must coincide exactly.
+        firsts = {report.outcomes[0].result.far for report in reports}
+        assert len(firsts) == 1
+
+    def test_n_weeks_validation(self, aging_fleet_small):
+        with pytest.raises(ValueError, match="n_weeks"):
+            simulate_updating(
+                aging_fleet_small, lambda: None, [FixedStrategy()], n_weeks=1
+            )

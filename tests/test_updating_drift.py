@@ -1,0 +1,101 @@
+"""Tests for drift detection and adaptive updating."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CTConfig
+from repro.core.predictor import DriveFailurePredictor
+from repro.features.selection import basic_features, critical_features
+from repro.updating.drift import (
+    DriftDetector,
+    simulate_adaptive_updating,
+)
+
+
+class TestDriftDetector:
+    def test_no_drift_on_same_population(self, tiny_fleet):
+        good = tiny_fleet.filter_family("W").good_drives
+        detector = DriftDetector(basic_features(), z_threshold=6.0, seed=1)
+        detector.fit_reference(good)
+        report = detector.check(good)
+        # Identical sample draws (same seed) => zero statistics.
+        assert report.statistic == pytest.approx(0.0, abs=1e-9)
+        assert not report.drifted
+
+    def test_detects_injected_shift(self, tiny_fleet):
+        from repro.smart.drive import DriveRecord
+
+        good = tiny_fleet.filter_family("W").good_drives
+        detector = DriftDetector(basic_features(), z_threshold=4.0, seed=1)
+        detector.fit_reference(good)
+        shifted = [
+            DriveRecord(
+                serial=d.serial, family=d.family, failed=False,
+                hours=d.hours.copy(), values=d.values - 25.0,
+            )
+            for d in good
+        ]
+        report = detector.check(shifted)
+        assert report.drifted
+        assert report.worst_feature() in {f.name for f in basic_features()}
+
+    def test_requires_reference(self, tiny_fleet):
+        detector = DriftDetector(basic_features())
+        with pytest.raises(RuntimeError, match="reference"):
+            detector.check(tiny_fleet.good_drives)
+
+    def test_empty_populations_rejected(self, tiny_fleet):
+        detector = DriftDetector(basic_features())
+        with pytest.raises(ValueError, match="reference"):
+            detector.fit_reference([])
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            DriftDetector(basic_features(), z_threshold=0.0)
+
+    def test_per_feature_statistics_cover_all_features(self, tiny_fleet):
+        good = tiny_fleet.filter_family("W").good_drives
+        detector = DriftDetector(critical_features(), seed=2)
+        detector.fit_reference(good[: len(good) // 2])
+        report = detector.check(good[len(good) // 2 :])
+        assert set(report.per_feature) == {f.name for f in critical_features()}
+
+
+class TestAdaptiveSimulation:
+    @pytest.fixture(scope="class")
+    def report(self, aging_fleet_small):
+        return simulate_adaptive_updating(
+            aging_fleet_small,
+            lambda: DriveFailurePredictor(CTConfig(minsplit=4, minbucket=2, cp=0.002)),
+            lambda: DriftDetector(critical_features(), z_threshold=5.0, seed=3),
+            n_weeks=4,
+            n_voters=5,
+            split_seed=2,
+        )
+
+    def test_covers_test_weeks(self, report):
+        assert [o.week for o in report.outcomes] == [2, 3, 4]
+
+    def test_retrain_count_consistent(self, report):
+        assert report.n_retrains == sum(o.retrained for o in report.outcomes)
+
+    def test_week2_never_retrains(self, report):
+        # Week 2 has no earlier complete week other than the training
+        # week itself, so the policy never retrains there.
+        assert not report.outcomes[0].retrained
+
+    def test_metrics_in_range(self, report):
+        for _, far in report.far_percent_by_week():
+            assert 0.0 <= far <= 100.0
+        for _, fdr in report.fdr_percent_by_week():
+            assert 0.0 <= fdr <= 100.0
+
+    def test_drift_reports_attached(self, report):
+        for outcome in report.outcomes:
+            assert outcome.drift.per_feature
+
+    def test_n_weeks_validation(self, aging_fleet_small):
+        with pytest.raises(ValueError, match="n_weeks"):
+            simulate_adaptive_updating(
+                aging_fleet_small, lambda: None, lambda: None, n_weeks=1
+            )

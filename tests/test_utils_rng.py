@@ -1,0 +1,50 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_rng, spawn_child
+
+
+class TestAsRng:
+    def test_none_returns_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_rng(42).integers(0, 1_000_000, size=5)
+        b = as_rng(42).integers(0, 1_000_000, size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_rng(1).integers(0, 1_000_000, size=8)
+        b = as_rng(2).integers(0, 1_000_000, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_rng(gen) is gen
+
+
+class TestSpawnChild:
+    def test_children_are_independent_of_parent_consumption(self):
+        parent_a = as_rng(7)
+        parent_b = as_rng(7)
+        parent_b.random(100)  # consume some of parent_b's stream
+        child_a = spawn_child(parent_a, 3).random(5)
+        child_b = spawn_child(parent_b, 3).random(5)
+        np.testing.assert_array_equal(child_a, child_b)
+
+    def test_different_keys_give_different_streams(self):
+        parent = as_rng(7)
+        a = spawn_child(parent, 0).random(5)
+        b = spawn_child(parent, 1).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_negative_key_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            spawn_child(as_rng(0), -1)
+
+    def test_nested_spawning_is_stable(self):
+        a = spawn_child(spawn_child(as_rng(9), 2), 5).random(3)
+        b = spawn_child(spawn_child(as_rng(9), 2), 5).random(3)
+        np.testing.assert_array_equal(a, b)

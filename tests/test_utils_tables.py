@@ -1,0 +1,62 @@
+"""Tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import AsciiTable, format_float, render_histogram
+
+
+class TestFormatFloat:
+    def test_plain_formatting(self):
+        assert format_float(3.14159) == "3.14"
+
+    def test_small_values_use_scientific(self):
+        assert "e" in format_float(0.00001)
+
+    def test_zero_stays_plain(self):
+        assert format_float(0.0) == "0.00"
+
+    def test_huge_values_use_scientific(self):
+        assert "e" in format_float(1e9)
+
+
+class TestAsciiTable:
+    def test_renders_header_and_rows(self):
+        table = AsciiTable(["Model", "FAR (%)"], title="T")
+        table.add_row(["CT", 0.09])
+        text = table.render()
+        assert "T" in text and "Model" in text and "CT" in text and "0.09" in text
+
+    def test_column_alignment(self):
+        table = AsciiTable(["a", "b"])
+        table.add_row(["xxxxxx", 1])
+        lines = table.render().splitlines()
+        assert len(lines[0]) == len(lines[1]) == len(lines[2])
+
+    def test_rejects_wrong_arity(self):
+        table = AsciiTable(["a", "b"])
+        with pytest.raises(ValueError, match="2 columns"):
+            table.add_row([1])
+
+    def test_bool_cells_render_as_words(self):
+        table = AsciiTable(["flag"])
+        table.add_row([True])
+        assert "True" in table.render()
+
+
+class TestRenderHistogram:
+    def test_bars_scale_with_counts(self):
+        text = render_histogram(["a", "b"], [1, 2], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_all_zero_counts(self):
+        text = render_histogram(["a"], [0])
+        assert "#" not in text
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            render_histogram(["a"], [1, 2])
+
+    def test_title_included(self):
+        assert render_histogram([], [], title="H").startswith("H")
