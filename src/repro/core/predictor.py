@@ -38,7 +38,13 @@ from repro.tree.export import export_text, failure_signature
 
 
 class _PipelineBase:
-    """Shared scoring/evaluation plumbing over a fitted sample model."""
+    """Shared scoring/evaluation plumbing over a fitted sample model.
+
+    Fleet scoring is batched end to end: ``score_drives`` stacks every
+    drive's usable samples into one matrix and ``_score_rows`` sees a
+    single call, which the compiled tree backend turns into one
+    vectorised routing pass over the whole fleet.
+    """
 
     def __init__(self) -> None:
         self.extractor: Optional[FeatureExtractor] = None
@@ -49,6 +55,7 @@ class _PipelineBase:
         return self.extractor
 
     def _score_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Score a stacked sample matrix (one call per fleet, not per drive)."""
         raise NotImplementedError
 
     def score_drive(self, drive: DriveRecord) -> DriveScoreSeries:
@@ -56,7 +63,11 @@ class _PipelineBase:
         return self.score_drives([drive])[0]
 
     def score_drives(self, drives: Sequence[DriveRecord]) -> list[DriveScoreSeries]:
-        """Chronological per-sample class labels for many drives."""
+        """Chronological per-sample class labels for many drives.
+
+        All drives are scored by one batched model call; see
+        :func:`repro.core.sampling.score_drives`.
+        """
         extractor = self._check_fitted()
         return score_drives(extractor, drives, self._score_rows)
 

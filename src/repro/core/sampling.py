@@ -133,19 +133,34 @@ def score_drives(
     drives: Sequence[DriveRecord],
     score_rows,
 ) -> list[DriveScoreSeries]:
-    """Per-drive chronological score series via a row-scoring callback.
+    """Per-drive chronological score series via a batched scoring callback.
 
-    ``score_rows(matrix) -> scores`` is called with each drive's usable
-    feature rows; rows with no finite feature (missed samples) surface
-    as NaN scores for the voting detectors to skip.
+    Every drive's usable feature rows are stacked into one fleet matrix
+    and ``score_rows(matrix) -> scores`` is invoked exactly once — the
+    compiled tree backend then routes the whole fleet in a single
+    vectorised pass instead of paying per-drive call overhead.  Rows
+    with no finite feature (missed samples) surface as NaN scores for
+    the voting detectors to skip.
     """
+    matrices = [extractor.extract(drive) for drive in drives]
+    usables = [_usable_rows(matrix) for matrix in matrices]
+    blocks = [
+        matrix[usable] for matrix, usable in zip(matrices, usables) if usable.size
+    ]
+    if blocks:
+        fleet_scores = np.asarray(score_rows(np.vstack(blocks)), dtype=float)
+        if fleet_scores.shape != (sum(block.shape[0] for block in blocks),):
+            raise ValueError(
+                f"score_rows returned shape {fleet_scores.shape} for "
+                f"{sum(block.shape[0] for block in blocks)} stacked rows"
+            )
+        bounds = np.cumsum([block.shape[0] for block in blocks])[:-1]
+        chunks = iter(np.split(fleet_scores, bounds))
     series = []
-    for drive in drives:
-        matrix = extractor.extract(drive)
+    for drive, matrix, usable in zip(drives, matrices, usables):
         scores = np.full(matrix.shape[0], np.nan)
-        usable = _usable_rows(matrix)
         if usable.size:
-            scores[usable] = np.asarray(score_rows(matrix[usable]), dtype=float)
+            scores[usable] = next(chunks)
         series.append(
             DriveScoreSeries(
                 serial=drive.serial,

@@ -1,6 +1,9 @@
 """Drive-level evaluation harness.
 
-Models emit per-sample scores; this module runs a detector over each
+Models emit per-sample scores — produced upstream by one batched
+scoring call over the whole fleet's stacked sample matrix (see
+:func:`repro.core.sampling.score_drives`) and split back into per-drive
+:class:`DriveScoreSeries`.  This module runs a detector over each
 drive's chronological score series and aggregates the paper's metrics:
 a good drive that ever alarms is a false alarm, a failed drive that
 alarms before its failure is a detection, and the alarm's lead time is

@@ -33,6 +33,9 @@ from repro.utils.validation import check_positive
 #: Scores one feature row; returns a class label or health degree.
 SampleScorer = Callable[[np.ndarray], float]
 
+#: Scores a stacked ``(n_rows, n_features)`` matrix in one call.
+BatchScorer = Callable[[np.ndarray], np.ndarray]
+
 
 class OnlineFeatureBuffer:
     """Incremental feature computation for one drive.
@@ -186,6 +189,11 @@ class FleetMonitor:
             scored NaN without calling it.
         detector_factory: Zero-argument callable building a fresh online
             detector per drive (majority vote or mean threshold).
+        score_batch: Optional callable scoring a stacked matrix in one
+            call (e.g. ``predictor.tree_.predict`` directly).  When set,
+            :meth:`observe_fleet` scores a whole collection tick through
+            it — one compiled-backend routing pass for the fleet —
+            instead of one ``score_sample`` call per drive.
 
     Example:
         >>> from repro.features.selection import critical_features
@@ -204,12 +212,37 @@ class FleetMonitor:
         features: Sequence[Feature],
         score_sample: SampleScorer,
         detector_factory: Callable[[], object],
+        *,
+        score_batch: Optional[BatchScorer] = None,
     ):
         self.features = tuple(features)
         self.score_sample = score_sample
         self.detector_factory = detector_factory
+        self.score_batch = score_batch
         self._drives: dict[str, _DriveState] = {}
         self.alerts: list[Alert] = []
+
+    def _state(self, serial: str) -> _DriveState:
+        state = self._drives.get(serial)
+        if state is None:
+            state = _DriveState(
+                buffer=OnlineFeatureBuffer(self.features),
+                detector=self.detector_factory(),
+            )
+            self._drives[serial] = state
+        return state
+
+    def _record_score(
+        self, serial: str, state: _DriveState, hour: float, score: float
+    ) -> Optional[Alert]:
+        """Feed one score to the drive's detector; latch and report alerts."""
+        alarmed = state.detector.push(score)
+        if alarmed and not state.alerted:
+            state.alerted = True
+            alert = Alert(serial=serial, hour=float(hour), score=score)
+            self.alerts.append(alert)
+            return alert
+        return None
 
     def observe(
         self, serial: str, hour: float, channel_values: Sequence[float]
@@ -219,25 +252,50 @@ class FleetMonitor:
         A drive raises at most one alert (further records are ignored for
         alerting but still tracked, so health queries stay current).
         """
-        state = self._drives.get(serial)
-        if state is None:
-            state = _DriveState(
-                buffer=OnlineFeatureBuffer(self.features),
-                detector=self.detector_factory(),
-            )
-            self._drives[serial] = state
+        state = self._state(serial)
         row = state.buffer.push(hour, channel_values)
         if np.any(np.isfinite(row)):
             score = float(self.score_sample(row))
         else:
             score = np.nan
-        alarmed = state.detector.push(score)
-        if alarmed and not state.alerted:
-            state.alerted = True
-            alert = Alert(serial=serial, hour=float(hour), score=score)
-            self.alerts.append(alert)
-            return alert
-        return None
+        return self._record_score(serial, state, hour, score)
+
+    def observe_fleet(
+        self, hour: float, records: dict[str, Sequence[float]]
+    ) -> list[Alert]:
+        """Ingest one collection tick for many drives at once.
+
+        ``records`` maps serials to that hour's channel readings.  With a
+        ``score_batch`` scorer the tick's usable feature rows are stacked
+        and scored in a single call (the fleet-scale fast path); without
+        one this is equivalent to calling :meth:`observe` per drive.
+        Returns the alerts raised by this tick, in ``records`` order.
+        """
+        if self.score_batch is None:
+            alerts = [
+                self.observe(serial, hour, values)
+                for serial, values in records.items()
+            ]
+            return [alert for alert in alerts if alert is not None]
+        ingested: list[tuple[str, _DriveState, np.ndarray]] = []
+        for serial, values in records.items():
+            state = self._state(serial)
+            ingested.append((serial, state, state.buffer.push(hour, values)))
+        usable = [
+            index
+            for index, (_, _, row) in enumerate(ingested)
+            if np.any(np.isfinite(row))
+        ]
+        scores = np.full(len(ingested), np.nan)
+        if usable:
+            stacked = np.vstack([ingested[index][2] for index in usable])
+            scores[usable] = np.asarray(self.score_batch(stacked), dtype=float)
+        alerts = []
+        for (serial, state, _), score in zip(ingested, scores):
+            alert = self._record_score(serial, state, hour, float(score))
+            if alert is not None:
+                alerts.append(alert)
+        return alerts
 
     def finalize(self) -> list[Alert]:
         """Apply the short-history rule to drives that never filled a window.

@@ -183,7 +183,11 @@ class HealthDegreePredictor:
         return self.score_drives([drive])[0]
 
     def score_drives(self, drives: Sequence[DriveRecord]) -> list[DriveScoreSeries]:
-        """Health-degree series for many drives."""
+        """Health-degree series for many drives.
+
+        The whole fleet's usable samples go through one batched
+        ``RegressionTree.predict`` call (compiled flat-array routing).
+        """
         extractor = self._check_fitted()
         return score_drives(extractor, drives, self.tree_.predict)
 

@@ -9,10 +9,15 @@ Public surface:
 * :mod:`~repro.tree.export` — Figure-1-style rendering and rule mining.
 * :class:`RandomForestClassifier` / :class:`AdaBoostClassifier` —
   ensemble extensions named by the paper's future/related work.
+* :class:`CompiledTree` / :class:`CompiledForest` — the flat-array
+  inference backend (fleet-scale batch scoring); every fitted tree
+  carries one, and ``backend="node"`` falls back to the Figure-1
+  object-graph walk.
 """
 
 from repro.tree.boosting import AdaBoostClassifier
 from repro.tree.classification import ClassificationTree, weights_for_priors
+from repro.tree.compiled import CompiledForest, CompiledTree, compile_tree
 from repro.tree.criteria import entropy, gini, information_gain, sum_of_squares
 from repro.tree.export import export_text, extract_rules, failure_signature
 from repro.tree.forest import RandomForestClassifier
@@ -48,6 +53,9 @@ __all__ = [
     "load_model",
     "save_model",
     "ClassificationTree",
+    "CompiledForest",
+    "CompiledTree",
+    "compile_tree",
     "Node",
     "RandomForestClassifier",
     "RandomForestRegressor",

@@ -15,10 +15,16 @@ from typing import Optional
 
 import numpy as np
 
+from repro.tree.compiled import CompiledTree, compile_tree
 from repro.tree.node import Node
 from repro.tree.splitter import SplitCandidate, partition
 from repro.tree.surrogates import find_surrogate_splits, route_left_with_surrogates
-from repro.utils.validation import check_2d, check_positive
+from repro.utils.validation import check_2d, check_in_choices, check_positive
+
+#: Inference backends: "compiled" routes through the flat-array
+#: :class:`~repro.tree.compiled.CompiledTree`; "node" walks the Figure-1
+#: object graph (the reference implementation / escape hatch).
+BACKENDS = ("compiled", "node")
 
 
 class BaseDecisionTree(ABC):
@@ -38,6 +44,10 @@ class BaseDecisionTree(ABC):
         n_surrogates: Surrogate splits kept per node for missing-value
             routing (0 = rpart surrogates disabled; NaNs then follow the
             heavier child).
+        backend: Inference backend — ``"compiled"`` (default) scores
+            through the flat-array :class:`CompiledTree`; ``"node"``
+            walks the Figure-1 object graph (reference implementation).
+            Both produce bit-identical outputs; fitting is unaffected.
     """
 
     def __init__(
@@ -47,6 +57,7 @@ class BaseDecisionTree(ABC):
         cp: float = 0.001,
         max_depth: Optional[int] = None,
         n_surrogates: int = 0,
+        backend: str = "compiled",
     ):
         self.minsplit = int(check_positive("minsplit", minsplit))
         self.minbucket = int(check_positive("minbucket", minbucket))
@@ -59,7 +70,9 @@ class BaseDecisionTree(ABC):
         if n_surrogates < 0:
             raise ValueError(f"n_surrogates must be >= 0, got {n_surrogates}")
         self.n_surrogates = int(n_surrogates)
+        self.backend = check_in_choices("backend", backend, BACKENDS)
         self.root_: Optional[Node] = None
+        self.compiled_: Optional[CompiledTree] = None
         self.n_features_: Optional[int] = None
 
     # -- subclass hooks -----------------------------------------------------
@@ -121,6 +134,16 @@ class BaseDecisionTree(ABC):
             stack.append((node.right, right_idx))
         self._prune(self.cp)
         del self._X, self._w
+        self.recompile()
+
+    def recompile(self) -> None:
+        """Rebuild the flat-array form from ``root_``.
+
+        Called automatically after fitting; call it manually after
+        mutating ``root_`` in place (e.g. custom pruning) so the
+        compiled backend stays in sync with the object graph.
+        """
+        self.compiled_ = compile_tree(self.root_)
 
     def _find_surrogates(self, indices: np.ndarray, candidate: SplitCandidate):
         """Rank surrogate splits on the node's primary-routable samples."""
@@ -217,39 +240,59 @@ class BaseDecisionTree(ABC):
             )
         return matrix
 
+    def _use_compiled(self) -> Optional[CompiledTree]:
+        """The compiled form when the compiled backend is active, else None."""
+        if self.backend != "compiled":
+            return None
+        if self.compiled_ is None:
+            self.recompile()
+        return self.compiled_
+
     def apply(self, X: object) -> np.ndarray:
         """Return the id of the leaf each row of ``X`` lands in."""
         root = self._check_fitted()
         matrix = self._validate_X(X)
-        leaf_ids = np.empty(matrix.shape[0], dtype=np.int64)
-        self._route_rows(root, matrix, np.arange(matrix.shape[0]), leaf_ids, attr="node_id")
-        return leaf_ids
+        compiled = self._use_compiled()
+        if compiled is not None:
+            return compiled.apply(matrix)
+        return self._route_rows_node_ids(root, matrix)
 
     def _leaf_predictions(self, X: np.ndarray) -> np.ndarray:
-        """Per-row leaf ``prediction`` values, routed vectorised per node."""
+        """Per-row leaf ``prediction`` values."""
         root = self._check_fitted()
         matrix = self._validate_X(X)
-        out = np.empty(matrix.shape[0], dtype=float)
-        self._route_rows(root, matrix, np.arange(matrix.shape[0]), out, attr="prediction")
+        compiled = self._use_compiled()
+        if compiled is not None:
+            return compiled.predict(matrix)
+        return self._route_rows_predictions(root, matrix)
+
+    # Reference (node-walk) routing.  Each leaf accessor is typed and
+    # explicit — no string-keyed getattr dispatch — and both share the
+    # same recursive partitioning so backend="node" remains the oracle
+    # the compiled arrays are validated against.
+
+    @classmethod
+    def _route_rows_node_ids(cls, root: Node, X: np.ndarray) -> np.ndarray:
+        out = np.empty(X.shape[0], dtype=np.int64)
+        cls._route_rows(root, X, out, lambda leaf: leaf.node_id)
+        return out
+
+    @classmethod
+    def _route_rows_predictions(cls, root: Node, X: np.ndarray) -> np.ndarray:
+        out = np.empty(X.shape[0], dtype=float)
+        cls._route_rows(root, X, out, lambda leaf: leaf.prediction)
         return out
 
     @staticmethod
-    def _route_rows(
-        root: Node,
-        X: np.ndarray,
-        row_indices: np.ndarray,
-        out: np.ndarray,
-        *,
-        attr: str,
-    ) -> None:
-        """Descend all rows through the tree, writing ``leaf.<attr>`` to ``out``."""
-        stack = [(root, row_indices)]
+    def _route_rows(root: Node, X: np.ndarray, out: np.ndarray, leaf_value) -> None:
+        """Descend all rows through the tree, writing ``leaf_value(leaf)`` to ``out``."""
+        stack = [(root, np.arange(X.shape[0]))]
         while stack:
             node, rows = stack.pop()
             if len(rows) == 0:
                 continue
             if node.is_leaf:
-                out[rows] = getattr(node, attr)
+                out[rows] = leaf_value(node)
                 continue
             left_mask, right_mask = BaseDecisionTree._partition_rows(
                 X[rows], node.feature, node.threshold,
@@ -295,6 +338,10 @@ class BaseDecisionTree(ABC):
             raise ValueError(
                 f"sample must be 1-D with {self.n_features_} features, got shape {row.shape}"
             )
+        compiled = self._use_compiled()
+        if compiled is not None:
+            by_id = {node.node_id: node for node in root.iter_nodes()}
+            return [by_id[nid] for nid in compiled.decision_path_ids(row)]
         path = [root]
         node = root
         while not node.is_leaf:

@@ -68,6 +68,9 @@ class ClassificationTree(BaseDecisionTree):
         max_depth: Optional depth cap.
         n_surrogates: Surrogate splits per node for missing-value
             routing (rpart behaviour; 0 disables).
+        backend: ``"compiled"`` (default, flat-array inference) or
+            ``"node"`` (reference object-graph walk); outputs are
+            bit-identical.
 
     Example:
         >>> tree = ClassificationTree(minsplit=2, minbucket=1, cp=0.0)
@@ -86,10 +89,11 @@ class ClassificationTree(BaseDecisionTree):
         loss_matrix: Optional[Sequence[Sequence[float]]] = None,
         max_depth: Optional[int] = None,
         n_surrogates: int = 0,
+        backend: str = "compiled",
     ):
         super().__init__(
             minsplit=minsplit, minbucket=minbucket, cp=cp,
-            max_depth=max_depth, n_surrogates=n_surrogates,
+            max_depth=max_depth, n_surrogates=n_surrogates, backend=backend,
         )
         if criterion not in ("entropy", "gini"):
             raise ValueError(f"criterion must be 'entropy' or 'gini', got {criterion!r}")
@@ -224,10 +228,18 @@ class ClassificationTree(BaseDecisionTree):
         return raw
 
     def predict_proba(self, X: object) -> np.ndarray:
-        """Per-class probability (leaf class distribution) for each row."""
+        """Per-class probability (leaf class distribution) for each row.
+
+        With the compiled backend this is one routing pass plus a single
+        fancy-index into the ``(n_nodes, n_classes)`` leaf-value matrix;
+        the node backend walks the object graph (reference path).
+        """
         root = self._check_fitted()
         matrix = self._validate_X(X)
-        leaf_ids = self.apply(matrix)
+        compiled = self._use_compiled()
+        if compiled is not None:
+            return compiled.predict_values(matrix)
+        leaf_ids = self._route_rows_node_ids(root, matrix)
         by_id = {
             node.node_id: node.class_distribution
             for node in root.iter_nodes()

@@ -15,6 +15,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.tree.compiled import CompiledForest
 from repro.tree.regression import RegressionTree
 from repro.utils.rng import RandomState, as_rng, spawn_child
 from repro.utils.validation import check_1d, check_2d, check_matching_length
@@ -30,6 +31,9 @@ class RandomForestRegressor:
         minsplit/minbucket/cp/max_depth: Forwarded to every member.
         bootstrap: Resample rows with replacement per tree.
         seed: Seed for reproducible resampling.
+        backend: ``"compiled"`` (default) scores the stacked
+            :class:`~repro.tree.compiled.CompiledForest` in one pass;
+            ``"node"`` loops the reference per-tree walk.
     """
 
     def __init__(
@@ -42,17 +46,21 @@ class RandomForestRegressor:
         max_depth: Optional[int] = None,
         bootstrap: bool = True,
         seed: RandomState = None,
+        backend: str = "compiled",
     ):
         if n_trees < 1:
             raise ValueError(f"n_trees must be >= 1, got {n_trees}")
         self.n_trees = int(n_trees)
         self.max_features = max_features
+        self.backend = backend
         self.tree_params = dict(
-            minsplit=minsplit, minbucket=minbucket, cp=cp, max_depth=max_depth
+            minsplit=minsplit, minbucket=minbucket, cp=cp, max_depth=max_depth,
+            backend=backend,
         )
         self.bootstrap = bool(bootstrap)
         self.seed = seed
         self.trees_: list[RegressionTree] = []
+        self._compiled_forest: Optional[CompiledForest] = None
 
     def _resolve_max_features(self, n_features: int) -> int:
         if self.max_features is None:
@@ -104,6 +112,7 @@ class RandomForestRegressor:
                 sample_weight=None if weights is None else weights[rows],
             )
             self.trees_.append(tree)
+        self._compiled_forest = None
         return self
 
     def predict(self, X: object) -> np.ndarray:
@@ -111,4 +120,10 @@ class RandomForestRegressor:
         if not self.trees_:
             raise RuntimeError("RandomForestRegressor is not fitted; call fit() first")
         matrix = check_2d("X", X)
+        if self.backend == "compiled":
+            if self._compiled_forest is None:
+                self._compiled_forest = CompiledForest(
+                    [tree.compiled_ for tree in self.trees_]
+                )
+            return np.mean(self._compiled_forest.predict_matrix(matrix), axis=0)
         return np.mean([tree.predict(matrix) for tree in self.trees_], axis=0)

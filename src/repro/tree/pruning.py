@@ -91,4 +91,7 @@ def prune_to_alpha(tree: BaseDecisionTree, alpha: float) -> BaseDecisionTree:
         if found is None or found[0] > alpha:
             break
         found[1].make_leaf()
+    # The deep copy carries the original's compiled arrays; rebuild them
+    # so the flat-array backend reflects the pruned graph.
+    pruned.recompile()
     return pruned

@@ -31,6 +31,9 @@ class RegressionTree(BaseDecisionTree):
         max_depth: Optional depth cap.
         n_surrogates: Surrogate splits per node for missing-value
             routing (rpart behaviour; 0 disables).
+        backend: ``"compiled"`` (default, flat-array inference) or
+            ``"node"`` (reference object-graph walk); outputs are
+            bit-identical.
 
     Example:
         >>> tree = RegressionTree(minsplit=2, minbucket=1, cp=0.0)

@@ -7,8 +7,11 @@ failed training pool, and then judged on week ``w``'s good samples and
 the held-out failed drives with the 11-voter detection rule.
 
 Identical training windows are fitted once and shared across strategies
-(the fixed model *is* every strategy's week-2 model), keeping the 5
-strategies x 7 weeks sweep affordable.
+(the fixed model *is* every strategy's week-2 model), and each
+(training window, test week) evaluation — itself one batched scoring
+pass over the week's fleet — is computed once and reused wherever
+strategies coincide, keeping the 5 strategies x 7 weeks sweep
+affordable.
 """
 
 from __future__ import annotations
@@ -86,6 +89,7 @@ def simulate_updating(
     train_failed, test_failed = base_split.train_failed, base_split.test_failed
 
     fitted_cache: dict[tuple[int, int], FleetModel] = {}
+    evaluated_cache: dict[tuple[tuple[int, int], int], DetectionResult] = {}
 
     def model_for_window(window: tuple[int, int]) -> FleetModel:
         if window not in fitted_cache:
@@ -99,11 +103,12 @@ def simulate_updating(
             fitted_cache[window] = model_factory().fit(split)
         return fitted_cache[window]
 
-    reports = []
-    for strategy in strategies:
-        outcomes = []
-        for week in range(2, n_weeks + 1):
-            model = model_for_window(strategy.training_weeks(week))
+    def evaluate_window(window: tuple[int, int], week: int) -> DetectionResult:
+        # Strategies frequently collide on (window, week) — e.g. every
+        # strategy's week-2 model is the fixed model — so each distinct
+        # cell's batched fleet scoring runs once.
+        key = (window, week)
+        if key not in evaluated_cache:
             test_slice = _week_slice(dataset, week, week)
             eval_split = TrainTestSplit(
                 train_good=(),
@@ -111,7 +116,16 @@ def simulate_updating(
                 train_failed=(),
                 test_failed=test_failed,
             )
-            result = model.evaluate(eval_split, n_voters=n_voters)
+            evaluated_cache[key] = model_for_window(window).evaluate(
+                eval_split, n_voters=n_voters
+            )
+        return evaluated_cache[key]
+
+    reports = []
+    for strategy in strategies:
+        outcomes = []
+        for week in range(2, n_weeks + 1):
+            result = evaluate_window(strategy.training_weeks(week), week)
             outcomes.append(
                 WeeklyOutcome(strategy=strategy.name, week=week, result=result)
             )
