@@ -11,7 +11,9 @@ touching a fleet pays its generation cost once for the session.
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
 import pytest
 
@@ -49,3 +51,20 @@ def run_once(benchmark):
                                   rounds=1, iterations=1, warmup_rounds=0)
 
     return _run
+
+
+@pytest.fixture(scope="session")
+def train_bench_results():
+    """Collector for the training benchmarks' machine-readable results.
+
+    Each training benchmark drops one ``name -> {timings, speedup,
+    floor, ...}`` record here; at session end the records are written to
+    ``BENCH_train.json`` (override the path with
+    ``REPRO_BENCH_TRAIN_JSON``) so CI can archive the numbers alongside
+    the pass/fail signal.
+    """
+    results: dict[str, dict] = {}
+    yield results
+    if results:
+        path = Path(os.environ.get("REPRO_BENCH_TRAIN_JSON", "BENCH_train.json"))
+        path.write_text(json.dumps(results, indent=1, sort_keys=True) + "\n")

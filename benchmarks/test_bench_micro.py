@@ -7,6 +7,7 @@ network training, fleet generation, feature extraction, the voting
 detector, and the Markov MTTDL solve.
 """
 
+import os
 import time
 
 import numpy as np
@@ -193,6 +194,103 @@ def test_micro_compiled_forest_fleet_speedup(benchmark, fleet_setup):
         f"({speedup:.1f}x)"
     )
     assert speedup >= 10.0
+
+
+# -- presorted training + parallel fit fan-out ------------------------------
+#
+# The training-side counterparts of the compiled-inference benchmarks.
+# The presorted columnar frontier argsorts every feature once per fit and
+# partitions the sorted order down the tree; the legacy path re-sorts
+# every feature at every node.  Both produce bit-identical trees (see
+# tests/test_tree_frontier.py), so the only question here is speed.
+# Results are also written to BENCH_train.json via train_bench_results.
+
+
+@pytest.fixture(scope="module")
+def train_matrix():
+    """A 20k x 13 fully-finite quantized matrix (SMART-attribute shaped).
+
+    Integer-valued columns mirror preprocessed SMART attributes and give
+    realistic tie density; fully-finite is the frontier's dense layout,
+    the deployment-common case.
+    """
+    rng = np.random.default_rng(17)
+    n, d = 20_000, 13
+    X = np.floor(rng.gamma(2.0, 20.0, size=(n, d)))
+    y = np.where(
+        X[:, 0] + 0.4 * X[:, 3] + 12.0 * rng.standard_normal(n) > 55.0, -1, 1
+    )
+    return X, y
+
+
+def _best_of(n_rounds, func):
+    best = np.inf
+    for _ in range(n_rounds):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best * 1e3
+
+
+def test_micro_train_presort_speedup(benchmark, train_matrix, train_bench_results):
+    """Presorted single-tree fit at n=20k: >= 3x the per-node re-sort."""
+    X, y = train_matrix
+    params = dict(minsplit=20, minbucket=7, cp=0.001)
+
+    tree = benchmark.pedantic(
+        lambda: ClassificationTree(presort=True, **params).fit(X, y),
+        rounds=3, iterations=1, warmup_rounds=0,
+    )
+    assert tree.n_leaves_ >= 2
+
+    presort_ms = benchmark.stats.stats.min * 1e3
+    legacy_ms = _best_of(
+        3, lambda: ClassificationTree(presort=False, **params).fit(X, y)
+    )
+    speedup = legacy_ms / presort_ms
+    train_bench_results["single_tree_presort"] = {
+        "n_rows": X.shape[0], "n_features": X.shape[1],
+        "legacy_ms": legacy_ms, "presort_ms": presort_ms,
+        "speedup": speedup, "floor": 3.0,
+    }
+    print(
+        f"\nsingle tree fit, n={X.shape[0]}: legacy {legacy_ms:.0f} ms, "
+        f"presorted {presort_ms:.0f} ms ({speedup:.2f}x)"
+    )
+    assert speedup >= 3.0
+
+
+def test_micro_train_forest_parallel_speedup(
+    benchmark, train_matrix, train_bench_results
+):
+    """50-tree forest fit with n_jobs=4: >= 2x the serial wall-clock."""
+    if (os.cpu_count() or 1) < 4:
+        pytest.skip("needs >= 4 cores for the n_jobs=4 floor")
+    X, y = train_matrix
+    subset = slice(0, 8_000)
+    params = dict(n_trees=50, minsplit=20, minbucket=7, cp=0.001, seed=5)
+
+    forest = benchmark.pedantic(
+        lambda: RandomForestClassifier(n_jobs=4, **params).fit(X[subset], y[subset]),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert len(forest.trees_) == 50
+
+    parallel_ms = benchmark.stats.stats.min * 1e3
+    serial_ms = _best_of(
+        1, lambda: RandomForestClassifier(n_jobs=1, **params).fit(X[subset], y[subset])
+    )
+    speedup = serial_ms / parallel_ms
+    train_bench_results["forest_fit_n_jobs_4"] = {
+        "n_rows": 8_000, "n_trees": 50,
+        "serial_ms": serial_ms, "parallel_ms": parallel_ms,
+        "speedup": speedup, "floor": 2.0,
+    }
+    print(
+        f"\n50-tree forest fit, n=8000: serial {serial_ms:.0f} ms, "
+        f"n_jobs=4 {parallel_ms:.0f} ms ({speedup:.2f}x)"
+    )
+    assert speedup >= 2.0
 
 
 def test_micro_markov_solve(benchmark):

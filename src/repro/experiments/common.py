@@ -15,9 +15,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
+from typing import Callable, Mapping, Optional
 
 from repro.smart.dataset import SmartDataset
 from repro.smart.generator import FleetConfig, default_fleet_config
+from repro.utils.parallel import run_tasks
 
 
 @dataclass(frozen=True)
@@ -50,6 +52,9 @@ class ExperimentScale:
 DEFAULT_SCALE = ExperimentScale()
 
 
+# Each (config, seed) fleet is a few hundred MB-equivalent of drive
+# histories; the explicit maxsize bounds how many a long benchmark
+# session can hold alive at once.
 @lru_cache(maxsize=8)
 def _cached_fleet(
     w_good: int, w_failed: int, q_good: int, q_failed: int,
@@ -75,3 +80,44 @@ def aging_fleet(scale: ExperimentScale = DEFAULT_SCALE) -> SmartDataset:
         scale.aging_w_good, scale.aging_w_failed,
         scale.aging_q_good, scale.aging_q_failed, 56, scale.seed,
     )
+
+
+def clear_fleet_cache() -> None:
+    """Drop every cached fleet.
+
+    Long benchmark sessions sweep several scales; clearing between
+    sweeps releases the fleets the LRU bound has not yet evicted.
+    """
+    _cached_fleet.cache_clear()
+
+
+def _run_one_experiment(scale: ExperimentScale, task):
+    """Run one experiment driver (module-level for worker processes)."""
+    _, run = task
+    return run(scale)
+
+
+def run_experiment_grid(
+    runs: Mapping[str, Callable[[ExperimentScale], object]],
+    scale: ExperimentScale = DEFAULT_SCALE,
+    *,
+    n_jobs: Optional[int] = None,
+) -> dict[str, object]:
+    """Run a grid of experiment drivers, optionally across processes.
+
+    ``runs`` maps experiment ids to their module-level ``run_*``
+    callables; results come back keyed and ordered like ``runs``.
+    ``n_jobs`` fans the drivers out across worker processes (``None``
+    defers to ``REPRO_N_JOBS``).  Every driver is deterministic given
+    ``scale``, so results are identical at any ``n_jobs``; note each
+    worker starts with an empty fleet cache and regenerates the fleets
+    it needs.
+    """
+    names = list(runs)
+    results = run_tasks(
+        _run_one_experiment,
+        [(name, runs[name]) for name in names],
+        n_jobs=n_jobs,
+        context=scale,
+    )
+    return dict(zip(names, results))

@@ -13,7 +13,12 @@ import sys
 import time
 from typing import Callable
 
-from repro.experiments.common import DEFAULT_SCALE, ExperimentScale
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    ExperimentScale,
+    run_experiment_grid,
+)
+from repro.utils.parallel import resolve_n_jobs
 from repro.experiments.fig1 import render_fig1, run_fig1
 from repro.experiments.fig2 import render_fig2, run_fig2
 from repro.experiments.fig5 import render_fig5, run_fig5
@@ -114,6 +119,11 @@ def main(argv: list[str] | None = None) -> int:
         "--json", type=str, default=None, metavar="PATH",
         help="also export the raw results of this run as a JSON document",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for running experiments "
+        "(default: REPRO_N_JOBS or serial; 0 = all cores)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -125,25 +135,41 @@ def main(argv: list[str] | None = None) -> int:
 
     scale = ExperimentScale.tiny() if args.tiny else DEFAULT_SCALE
     status = 0
-    collected: dict[str, object] = {}
+    known = {**CATALOGUE, **EXTRAS}
+    selected: dict[str, tuple[Callable, Callable]] = {}
     for name in args.experiments:
-        started = time.perf_counter()
         try:
-            run, render = {**CATALOGUE, **EXTRAS}[name]
+            selected[name] = known[name]
         except KeyError:
             print(
                 f"error: unknown experiment {name!r}; known: "
-                f"{', '.join([*CATALOGUE, *EXTRAS])}",
+                f"{', '.join(known)}",
                 file=sys.stderr,
             )
             status = 2
-            continue
-        result = run(scale)
-        collected[name] = result
+
+    collected: dict[str, object] = {}
+    if resolve_n_jobs(args.jobs) > 1:
+        started = time.perf_counter()
+        collected = run_experiment_grid(
+            {name: run for name, (run, _) in selected.items()},
+            scale, n_jobs=args.jobs,
+        )
         elapsed = time.perf_counter() - started
-        print(f"=== {name} ({elapsed:.1f}s) ===")
-        print(render(result))
-        print()
+        print(f"=== {len(collected)} experiments ({elapsed:.1f}s total) ===")
+        for name, (_, render) in selected.items():
+            print(f"=== {name} ===")
+            print(render(collected[name]))
+            print()
+    else:
+        for name, (run, render) in selected.items():
+            started = time.perf_counter()
+            result = run(scale)
+            collected[name] = result
+            elapsed = time.perf_counter() - started
+            print(f"=== {name} ({elapsed:.1f}s) ===")
+            print(render(result))
+            print()
 
     if args.json is not None and collected:
         from repro.experiments.report import export_results

@@ -15,6 +15,7 @@ Public surface:
   object-graph walk.
 """
 
+from repro.tree.bagging import subsample_member_inputs
 from repro.tree.boosting import AdaBoostClassifier
 from repro.tree.classification import ClassificationTree, weights_for_priors
 from repro.tree.compiled import CompiledForest, CompiledTree, compile_tree
@@ -22,8 +23,14 @@ from repro.tree.criteria import entropy, gini, information_gain, sum_of_squares
 from repro.tree.export import export_text, extract_rules, failure_signature
 from repro.tree.forest import RandomForestClassifier
 from repro.tree.forest_regression import RandomForestRegressor
+from repro.tree.frontier import TrainingFrontier
 from repro.tree.node import Node
-from repro.tree.pruning import cost_complexity_path, prune_to_alpha
+from repro.tree.pruning import (
+    AlphaSearchResult,
+    cost_complexity_path,
+    cross_validated_alpha,
+    prune_to_alpha,
+)
 from repro.tree.regression import RegressionTree
 from repro.tree.serialization import load_model, save_model
 from repro.tree.surrogates import SurrogateSplit, find_surrogate_splits
@@ -40,6 +47,7 @@ from repro.tree.validation import (
 
 __all__ = [
     "AdaBoostClassifier",
+    "AlphaSearchResult",
     "CrossValidationResult",
     "GridSearchResult",
     "accuracy_score",
@@ -60,7 +68,9 @@ __all__ = [
     "RandomForestClassifier",
     "RandomForestRegressor",
     "RegressionTree",
+    "TrainingFrontier",
     "cost_complexity_path",
+    "cross_validated_alpha",
     "entropy",
     "export_text",
     "extract_rules",
@@ -68,6 +78,7 @@ __all__ = [
     "gini",
     "information_gain",
     "prune_to_alpha",
+    "subsample_member_inputs",
     "sum_of_squares",
     "weights_for_priors",
 ]

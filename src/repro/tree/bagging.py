@@ -1,0 +1,49 @@
+"""Shared per-member resampling for the bagged ensembles.
+
+:class:`~repro.tree.forest.RandomForestClassifier` and
+:class:`~repro.tree.forest_regression.RandomForestRegressor` draw each
+member's training view the same way: a bootstrap row resample followed
+by an optional per-tree feature mask (inactive columns NaN-ed out, so
+member trees stay byte-identical to the paper's CT/RT implementation —
+they simply never see a splittable value there).  This module holds that
+block once; both forests and their process-parallel fit workers call it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def subsample_member_inputs(
+    tree_rng: np.random.Generator,
+    matrix: np.ndarray,
+    *,
+    n_active: int,
+    bootstrap: bool,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Draw one ensemble member's training view of ``matrix``.
+
+    Consumes ``tree_rng`` in a fixed order — bootstrap rows first, then
+    the feature subset — so a member's draw depends only on its own
+    generator, never on sibling members or scheduling.  Returns
+    ``(inputs, rows, active)``: the member's (masked) feature matrix,
+    the sampled row indices (for slicing targets/weights), and the
+    sorted active-feature indices.  When every feature is active no mask
+    is built (and no feature draw is consumed; nothing later reads the
+    generator, so fitted members are unchanged either way).
+    """
+    n_rows, n_features = matrix.shape
+    rows = (
+        tree_rng.integers(0, n_rows, size=n_rows)
+        if bootstrap
+        else np.arange(n_rows)
+    )
+    inputs = matrix[rows]
+    if n_active < n_features:
+        active = np.sort(tree_rng.choice(n_features, size=n_active, replace=False))
+        masked = np.full_like(inputs, np.nan)
+        masked[:, active] = inputs[:, active]
+        inputs = masked
+    else:
+        active = np.arange(n_features)
+    return inputs, rows, active

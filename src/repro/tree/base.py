@@ -16,9 +16,14 @@ from typing import Optional
 import numpy as np
 
 from repro.tree.compiled import CompiledTree, compile_tree
+from repro.tree.frontier import FrontierNode, TrainingFrontier
 from repro.tree.node import Node
 from repro.tree.splitter import SplitCandidate, partition
-from repro.tree.surrogates import find_surrogate_splits, route_left_with_surrogates
+from repro.tree.surrogates import (
+    find_surrogate_splits,
+    find_surrogate_splits_presorted,
+    route_left_with_surrogates,
+)
 from repro.utils.validation import check_2d, check_in_choices, check_positive
 
 #: Inference backends: "compiled" routes through the flat-array
@@ -48,6 +53,14 @@ class BaseDecisionTree(ABC):
             through the flat-array :class:`CompiledTree`; ``"node"``
             walks the Figure-1 object graph (reference implementation).
             Both produce bit-identical outputs; fitting is unaffected.
+        presort: Training-side twin of ``backend``.  ``True`` (default)
+            argsorts every feature column once per fit and maintains
+            per-node sorted index partitions down the tree
+            (:class:`~repro.tree.frontier.TrainingFrontier`), making
+            node-level split and surrogate search linear scans;
+            ``False`` re-sorts at every node (the Algorithm 1/2
+            transcription, kept as the reference).  Both produce
+            node-for-node identical trees.
     """
 
     def __init__(
@@ -58,6 +71,7 @@ class BaseDecisionTree(ABC):
         max_depth: Optional[int] = None,
         n_surrogates: int = 0,
         backend: str = "compiled",
+        presort: bool = True,
     ):
         self.minsplit = int(check_positive("minsplit", minsplit))
         self.minbucket = int(check_positive("minbucket", minbucket))
@@ -71,6 +85,7 @@ class BaseDecisionTree(ABC):
             raise ValueError(f"n_surrogates must be >= 0, got {n_surrogates}")
         self.n_surrogates = int(n_surrogates)
         self.backend = check_in_choices("backend", backend, BACKENDS)
+        self.presort = bool(presort)
         self.root_: Optional[Node] = None
         self.compiled_: Optional[CompiledTree] = None
         self.n_features_: Optional[int] = None
@@ -86,8 +101,15 @@ class BaseDecisionTree(ABC):
         """True when the node's samples all share one target value."""
 
     @abstractmethod
-    def _search_split(self, indices: np.ndarray) -> Optional[SplitCandidate]:
-        """Best split over the node's samples, or None."""
+    def _search_split(
+        self, indices: np.ndarray, frontier_node: Optional[FrontierNode] = None
+    ) -> Optional[SplitCandidate]:
+        """Best split over the node's samples, or None.
+
+        ``frontier_node`` is the node's presorted partition when the
+        tree was constructed with ``presort=True``; ``None`` selects the
+        per-node re-sorting reference path.
+        """
 
     @abstractmethod
     def _relative_gain(self, node: Node, root: Node) -> float:
@@ -101,21 +123,20 @@ class BaseDecisionTree(ABC):
         self._w = sample_weight
         all_indices = np.arange(X.shape[0])
         self.root_ = self._create_node(node_id=1, depth=0, indices=all_indices)
-        stack: list[tuple[Node, np.ndarray]] = [(self.root_, all_indices)]
+        root_frontier = TrainingFrontier(X).root if self.presort else None
+        stack: list[tuple[Node, np.ndarray, Optional[FrontierNode]]] = [
+            (self.root_, all_indices, root_frontier)
+        ]
         while stack:
-            node, indices = stack.pop()
+            node, indices, frontier_node = stack.pop()
             if not self._may_split(node, indices):
                 continue
-            candidate = self._search_split(indices)
+            candidate = self._search_split(indices, frontier_node)
             if candidate is None:
                 continue
-            surrogates = self._find_surrogates(indices, candidate)
-            left_mask, right_mask = self._partition_rows(
-                X[indices],
-                candidate.feature,
-                candidate.threshold,
-                surrogates,
-                candidate.missing_goes_left,
+            surrogates = self._find_surrogates(indices, candidate, frontier_node)
+            left_mask, right_mask = self._partition_training_rows(
+                indices, candidate, surrogates
             )
             left_idx = indices[left_mask]
             right_idx = indices[right_mask]
@@ -130,8 +151,18 @@ class BaseDecisionTree(ABC):
             node.gain = candidate.gain
             node.left = self._create_node(2 * node.node_id, node.depth + 1, left_idx)
             node.right = self._create_node(2 * node.node_id + 1, node.depth + 1, right_idx)
-            stack.append((node.left, left_idx))
-            stack.append((node.right, right_idx))
+            if frontier_node is not None:
+                # Skip materialising a child's partition when Minsplit or
+                # the depth cap already rules out splitting it.
+                left_frontier, right_frontier = frontier_node.split(
+                    left_idx,
+                    keep_left=self._child_may_split(len(left_idx), node.depth + 1),
+                    keep_right=self._child_may_split(len(right_idx), node.depth + 1),
+                )
+            else:
+                left_frontier = right_frontier = None
+            stack.append((node.left, left_idx, left_frontier))
+            stack.append((node.right, right_idx, right_frontier))
         self._prune(self.cp)
         del self._X, self._w
         self.recompile()
@@ -145,10 +176,61 @@ class BaseDecisionTree(ABC):
         """
         self.compiled_ = compile_tree(self.root_)
 
-    def _find_surrogates(self, indices: np.ndarray, candidate: SplitCandidate):
+    def _child_may_split(self, n_samples: int, depth: int) -> bool:
+        """The cheap half of :meth:`_may_split` (no target access)."""
+        if n_samples < self.minsplit:
+            return False
+        return self.max_depth is None or depth < self.max_depth
+
+    def _partition_training_rows(
+        self,
+        indices: np.ndarray,
+        candidate: SplitCandidate,
+        surrogates,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Left/right masks for a training node, without copying X[indices].
+
+        Same routing as :meth:`_partition_rows` (primary split, then
+        surrogates, then the majority fallback for missing values), but
+        gathers only the split column plus the individual missing-value
+        rows instead of the node's full feature matrix.
+        """
+        column = self._X[indices, candidate.feature]
+        left, right = partition(
+            column, candidate.threshold, candidate.missing_goes_left
+        )
+        if surrogates:
+            for position in np.nonzero(~np.isfinite(column))[0]:
+                goes_left = route_left_with_surrogates(
+                    self._X[indices[position]],
+                    candidate.feature,
+                    candidate.threshold,
+                    surrogates,
+                    candidate.missing_goes_left,
+                )
+                left[position] = goes_left
+                right[position] = not goes_left
+        return left, right
+
+    def _find_surrogates(
+        self,
+        indices: np.ndarray,
+        candidate: SplitCandidate,
+        frontier_node: Optional[FrontierNode] = None,
+    ):
         """Rank surrogate splits on the node's primary-routable samples."""
         if self.n_surrogates <= 0:
             return ()
+        if frontier_node is not None:
+            return find_surrogate_splits_presorted(
+                frontier_node,
+                self._X,
+                self._w,
+                indices,
+                primary_feature=candidate.feature,
+                primary_threshold=candidate.threshold,
+                max_surrogates=self.n_surrogates,
+            )
         rows = self._X[indices]
         column = rows[:, candidate.feature]
         finite = np.isfinite(column)

@@ -21,7 +21,11 @@ import numpy as np
 from repro.tree.base import BaseDecisionTree
 from repro.tree.criteria import node_impurity
 from repro.tree.node import Node
-from repro.tree.splitter import SplitCandidate, find_best_split
+from repro.tree.splitter import (
+    SplitCandidate,
+    find_best_split,
+    find_best_split_presorted,
+)
 from repro.utils.validation import check_1d, check_2d, check_matching_length
 
 ClassWeight = Union[None, str, Mapping[object, float]]
@@ -71,6 +75,9 @@ class ClassificationTree(BaseDecisionTree):
         backend: ``"compiled"`` (default, flat-array inference) or
             ``"node"`` (reference object-graph walk); outputs are
             bit-identical.
+        presort: ``True`` (default) trains through the presorted
+            columnar frontier; ``False`` re-sorts per node (reference).
+            Fitted trees are node-for-node identical either way.
 
     Example:
         >>> tree = ClassificationTree(minsplit=2, minbucket=1, cp=0.0)
@@ -90,10 +97,12 @@ class ClassificationTree(BaseDecisionTree):
         max_depth: Optional[int] = None,
         n_surrogates: int = 0,
         backend: str = "compiled",
+        presort: bool = True,
     ):
         super().__init__(
             minsplit=minsplit, minbucket=minbucket, cp=cp,
             max_depth=max_depth, n_surrogates=n_surrogates, backend=backend,
+            presort=presort,
         )
         if criterion not in ("entropy", "gini"):
             raise ValueError(f"criterion must be 'entropy' or 'gini', got {criterion!r}")
@@ -142,9 +151,20 @@ class ClassificationTree(BaseDecisionTree):
         self._class_indices = class_indices
         self._n_classes = n_classes
         self._loss = loss
+        # Fit-wide per-class weight columns for the presorted two-class
+        # fast path; products commute with row gathering, so hoisting
+        # them out of the node loop changes no scored float.
+        self._binary_class_weights = (
+            (
+                np.where(class_indices == 0, weights, 0.0),
+                np.where(class_indices == 1, weights, 0.0),
+            )
+            if self.presort and n_classes == 2
+            else None
+        )
         self.n_features_ = matrix.shape[1]
         self._grow(matrix, weights)
-        del self._class_indices
+        del self._class_indices, self._binary_class_weights
         return self
 
     def _validated_loss(self, n_classes: int) -> Optional[np.ndarray]:
@@ -202,7 +222,20 @@ class ClassificationTree(BaseDecisionTree):
         node_classes = self._class_indices[indices]
         return bool(np.all(node_classes == node_classes[0]))
 
-    def _search_split(self, indices: np.ndarray) -> Optional[SplitCandidate]:
+    def _search_split(self, indices, frontier_node=None) -> Optional[SplitCandidate]:
+        if frontier_node is not None:
+            return find_best_split_presorted(
+                frontier_node,
+                self._X,
+                indices,
+                task="classification",
+                weights=self._w,
+                minbucket=self.minbucket,
+                class_indices=self._class_indices,
+                n_classes=self._n_classes,
+                criterion=self.criterion,
+                binary_class_weights=self._binary_class_weights,
+            )
         return find_best_split(
             self._X[indices],
             task="classification",

@@ -12,10 +12,28 @@ from typing import Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro.tree.bagging import subsample_member_inputs
 from repro.tree.classification import ClassificationTree, ClassWeight
 from repro.tree.compiled import CompiledForest
+from repro.utils.parallel import run_tasks
 from repro.utils.rng import RandomState, as_rng, spawn_child
 from repro.utils.validation import check_2d, check_matching_length
+
+
+def _fit_member(context, task):
+    """Fit one forest member (module-level so worker processes can call it)."""
+    matrix, labels, weights, tree_params, bootstrap, n_active = context
+    index, tree_rng = task
+    inputs, rows, active = subsample_member_inputs(
+        tree_rng, matrix, n_active=n_active, bootstrap=bootstrap
+    )
+    tree = ClassificationTree(**tree_params)
+    tree.fit(
+        inputs,
+        labels[rows],
+        sample_weight=None if weights is None else weights[rows],
+    )
+    return tree, active
 
 
 class RandomForestClassifier:
@@ -33,6 +51,10 @@ class RandomForestClassifier:
             :class:`~repro.tree.compiled.CompiledForest` and scores every
             (tree, row) lane in a single vectorised pass; ``"node"``
             loops the reference per-tree object-graph walk.
+        n_jobs: Worker processes for fitting members (``None`` defers to
+            ``REPRO_N_JOBS``, default serial; ``0``/negative = all
+            cores).  Fitted members are identical at any ``n_jobs`` —
+            each member's randomness is spawned per-task from ``seed``.
     """
 
     def __init__(
@@ -49,6 +71,7 @@ class RandomForestClassifier:
         bootstrap: bool = True,
         seed: RandomState = None,
         backend: str = "compiled",
+        n_jobs: Optional[int] = None,
     ):
         if n_trees < 1:
             raise ValueError(f"n_trees must be >= 1, got {n_trees}")
@@ -67,6 +90,7 @@ class RandomForestClassifier:
         )
         self.bootstrap = bool(bootstrap)
         self.seed = seed
+        self.n_jobs = n_jobs
         self.trees_: list[ClassificationTree] = []
         self.classes_: Optional[np.ndarray] = None
         self._compiled_forest: Optional[CompiledForest] = None
@@ -100,30 +124,17 @@ class RandomForestClassifier:
         labels = np.asarray(y)
         check_matching_length(("X", matrix), ("y", labels))
         rng = as_rng(self.seed)
-        n_rows, n_features = matrix.shape
-        n_active = self._resolve_max_features(n_features)
+        n_active = self._resolve_max_features(matrix.shape[1])
         weights = None if sample_weight is None else np.asarray(sample_weight, dtype=float)
 
-        self.trees_ = []
-        self._feature_masks: list[np.ndarray] = []
-        for index in range(self.n_trees):
-            tree_rng = spawn_child(rng, index)
-            rows = (
-                tree_rng.integers(0, n_rows, size=n_rows)
-                if self.bootstrap
-                else np.arange(n_rows)
-            )
-            active = np.sort(tree_rng.choice(n_features, size=n_active, replace=False))
-            masked = np.full_like(matrix, np.nan)
-            masked[:, active] = matrix[:, active]
-            tree = ClassificationTree(**self.tree_params)
-            tree.fit(
-                masked[rows],
-                labels[rows],
-                sample_weight=None if weights is None else weights[rows],
-            )
-            self.trees_.append(tree)
-            self._feature_masks.append(active)
+        # Each member's randomness is spawned per-task from the forest
+        # seed (consumption-independent), so members are identical
+        # whether fitted serially or across worker processes.
+        context = (matrix, labels, weights, self.tree_params, self.bootstrap, n_active)
+        tasks = [(index, spawn_child(rng, index)) for index in range(self.n_trees)]
+        members = run_tasks(_fit_member, tasks, n_jobs=self.n_jobs, context=context)
+        self.trees_ = [tree for tree, _ in members]
+        self._feature_masks = [active for _, active in members]
         self.classes_ = np.unique(labels)
         self._compiled_forest = None
         return self

@@ -15,10 +15,28 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.tree.bagging import subsample_member_inputs
 from repro.tree.compiled import CompiledForest
 from repro.tree.regression import RegressionTree
+from repro.utils.parallel import run_tasks
 from repro.utils.rng import RandomState, as_rng, spawn_child
 from repro.utils.validation import check_1d, check_2d, check_matching_length
+
+
+def _fit_member(context, task):
+    """Fit one forest member (module-level so worker processes can call it)."""
+    matrix, targets, weights, tree_params, bootstrap, n_active = context
+    index, tree_rng = task
+    inputs, rows, _ = subsample_member_inputs(
+        tree_rng, matrix, n_active=n_active, bootstrap=bootstrap
+    )
+    tree = RegressionTree(**tree_params)
+    tree.fit(
+        inputs,
+        targets[rows],
+        sample_weight=None if weights is None else weights[rows],
+    )
+    return tree
 
 
 class RandomForestRegressor:
@@ -34,6 +52,9 @@ class RandomForestRegressor:
         backend: ``"compiled"`` (default) scores the stacked
             :class:`~repro.tree.compiled.CompiledForest` in one pass;
             ``"node"`` loops the reference per-tree walk.
+        n_jobs: Worker processes for fitting members (``None`` defers to
+            ``REPRO_N_JOBS``, default serial; ``0``/negative = all
+            cores).  Fitted members are identical at any ``n_jobs``.
     """
 
     def __init__(
@@ -47,6 +68,7 @@ class RandomForestRegressor:
         bootstrap: bool = True,
         seed: RandomState = None,
         backend: str = "compiled",
+        n_jobs: Optional[int] = None,
     ):
         if n_trees < 1:
             raise ValueError(f"n_trees must be >= 1, got {n_trees}")
@@ -59,6 +81,7 @@ class RandomForestRegressor:
         )
         self.bootstrap = bool(bootstrap)
         self.seed = seed
+        self.n_jobs = n_jobs
         self.trees_: list[RegressionTree] = []
         self._compiled_forest: Optional[CompiledForest] = None
 
@@ -86,32 +109,14 @@ class RandomForestRegressor:
         check_matching_length(("X", matrix), ("y", targets))
         weights = None if sample_weight is None else np.asarray(sample_weight, dtype=float)
         rng = as_rng(self.seed)
-        n_rows, n_features = matrix.shape
-        n_active = self._resolve_max_features(n_features)
+        n_active = self._resolve_max_features(matrix.shape[1])
 
-        self.trees_ = []
-        for index in range(self.n_trees):
-            tree_rng = spawn_child(rng, index)
-            rows = (
-                tree_rng.integers(0, n_rows, size=n_rows)
-                if self.bootstrap
-                else np.arange(n_rows)
-            )
-            inputs = matrix[rows]
-            if n_active < n_features:
-                active = np.sort(
-                    tree_rng.choice(n_features, size=n_active, replace=False)
-                )
-                masked = np.full_like(inputs, np.nan)
-                masked[:, active] = inputs[:, active]
-                inputs = masked
-            tree = RegressionTree(**self.tree_params)
-            tree.fit(
-                inputs,
-                targets[rows],
-                sample_weight=None if weights is None else weights[rows],
-            )
-            self.trees_.append(tree)
+        # Per-task spawned generators keep members identical at any n_jobs.
+        context = (matrix, targets, weights, self.tree_params, self.bootstrap, n_active)
+        tasks = [(index, spawn_child(rng, index)) for index in range(self.n_trees)]
+        self.trees_ = run_tasks(
+            _fit_member, tasks, n_jobs=self.n_jobs, context=context
+        )
         self._compiled_forest = None
         return self
 

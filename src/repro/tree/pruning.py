@@ -12,11 +12,15 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
 from repro.tree.base import BaseDecisionTree
 from repro.tree.node import Node
+from repro.tree.validation import Scorer, accuracy_score, stratified_kfold_indices
+from repro.utils.parallel import run_tasks
+from repro.utils.rng import RandomState
 
 
 def _node_risk(node: Node) -> float:
@@ -95,3 +99,95 @@ def prune_to_alpha(tree: BaseDecisionTree, alpha: float) -> BaseDecisionTree:
     # so the flat-array backend reflects the pruned graph.
     pruned.recompile()
     return pruned
+
+
+@dataclass(frozen=True)
+class AlphaSearchResult:
+    """Cross-validated alpha selection over a cost-complexity path.
+
+    ``fold_scores[i][j]`` is fold ``i``'s score at ``alphas[j]``;
+    ``mean_scores`` averages over folds; ``best_alpha`` is the winner
+    (ties break toward the larger alpha, i.e. the smaller tree —
+    rpart's preference).
+    """
+
+    best_alpha: float
+    alphas: tuple[float, ...]
+    mean_scores: tuple[float, ...]
+    fold_scores: tuple[tuple[float, ...], ...]
+
+
+def _score_fold_path(context, task):
+    """Score one CV fold along every candidate alpha (module-level so
+    worker processes can call it)."""
+    model_factory, matrix, labels, weights, alphas, scorer = context
+    train_idx, test_idx = task
+    model = model_factory()
+    if weights is None:
+        model.fit(matrix[train_idx], labels[train_idx])
+    else:
+        model.fit(
+            matrix[train_idx], labels[train_idx],
+            sample_weight=weights[train_idx],
+        )
+    return tuple(
+        scorer(prune_to_alpha(model, alpha), matrix[test_idx], labels[test_idx])
+        for alpha in alphas
+    )
+
+
+def cross_validated_alpha(
+    model_factory: Callable[[], BaseDecisionTree],
+    X: object,
+    y: Sequence[object],
+    *,
+    n_folds: int = 5,
+    scorer: Scorer = accuracy_score,
+    sample_weight: Optional[Sequence[float]] = None,
+    seed: RandomState = 0,
+    n_jobs: Optional[int] = None,
+) -> AlphaSearchResult:
+    """Select the pruning penalty by k-fold cross-validation.
+
+    The rpart ``xval`` analogue for the cost-complexity path: the
+    candidate alphas come from the path of a tree fitted on the full
+    data, then each fold fits its own tree, prunes it at every
+    candidate, and scores on the held-out fold.  The alpha with the best
+    mean score wins; exact ties go to the larger alpha (smaller tree).
+
+    Folds are independent, so ``n_jobs`` fans them out across worker
+    processes (``None`` defers to ``REPRO_N_JOBS``).  The selected
+    alpha is identical at any setting — each fold's rows are fixed up
+    front, and unpicklable factories fall back to the serial loop.
+    """
+    matrix = np.asarray(X, dtype=float)
+    labels = np.asarray(y)
+    weights = None if sample_weight is None else np.asarray(sample_weight, dtype=float)
+
+    master = model_factory()
+    if weights is None:
+        master.fit(matrix, labels)
+    else:
+        master.fit(matrix, labels, sample_weight=weights)
+    alphas = tuple(dict.fromkeys(step.alpha for step in cost_complexity_path(master)))
+
+    folds = list(stratified_kfold_indices(labels, n_folds, seed))
+    if not folds:
+        raise ValueError("cross-validation produced no usable folds")
+    fold_scores = run_tasks(
+        _score_fold_path,
+        folds,
+        n_jobs=n_jobs,
+        context=(model_factory, matrix, labels, weights, alphas, scorer),
+    )
+    mean_scores = tuple(float(np.mean(column)) for column in zip(*fold_scores))
+    best_index = 0
+    for index, mean in enumerate(mean_scores):
+        if mean >= mean_scores[best_index]:
+            best_index = index
+    return AlphaSearchResult(
+        best_alpha=alphas[best_index],
+        alphas=alphas,
+        mean_scores=mean_scores,
+        fold_scores=tuple(fold_scores),
+    )

@@ -124,6 +124,7 @@ def classification_tree_to_dict(tree: ClassificationTree) -> dict:
             "max_depth": tree.max_depth,
             "n_surrogates": tree.n_surrogates,
             "backend": tree.backend,
+            "presort": tree.presort,
         },
         "classes": np.asarray(tree.classes_).tolist(),
         "n_features": tree.n_features_,
@@ -146,6 +147,7 @@ def classification_tree_from_dict(payload: dict) -> ClassificationTree:
         max_depth=params["max_depth"],
         n_surrogates=params.get("n_surrogates", 0),
         backend=params.get("backend", "compiled"),
+        presort=params.get("presort", True),
     )
     tree.classes_ = np.asarray(payload["classes"])
     tree.n_features_ = int(payload["n_features"])
@@ -167,6 +169,7 @@ def regression_tree_to_dict(tree: RegressionTree) -> dict:
             "max_depth": tree.max_depth,
             "n_surrogates": tree.n_surrogates,
             "backend": tree.backend,
+            "presort": tree.presort,
         },
         "n_features": tree.n_features_,
         "root": _node_to_dict(root),
@@ -185,6 +188,7 @@ def regression_tree_from_dict(payload: dict) -> RegressionTree:
         max_depth=params["max_depth"],
         n_surrogates=params.get("n_surrogates", 0),
         backend=params.get("backend", "compiled"),
+        presort=params.get("presort", True),
     )
     tree.n_features_ = int(payload["n_features"])
     tree.root_ = _node_from_dict(payload["root"])

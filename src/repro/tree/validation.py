@@ -11,11 +11,13 @@ which the ablation benchmark uses to justify the pipeline defaults.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from itertools import product
 from typing import Callable, Iterator, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro.utils.parallel import run_tasks
 from repro.utils.rng import RandomState, as_rng
 from repro.utils.validation import check_2d, check_matching_length, check_positive
 
@@ -98,6 +100,21 @@ class CrossValidationResult:
         return float(np.std(self.fold_scores))
 
 
+def _fit_and_score_fold(context, task):
+    """Fit one CV fold and score it (module-level for worker processes)."""
+    model_factory, matrix, labels, weights, scorer = context
+    train_idx, test_idx = task
+    model = model_factory()
+    if weights is None:
+        model.fit(matrix[train_idx], labels[train_idx])
+    else:
+        model.fit(
+            matrix[train_idx], labels[train_idx],
+            sample_weight=weights[train_idx],
+        )
+    return scorer(model, matrix[test_idx], labels[test_idx])
+
+
 def cross_validate(
     model_factory: Callable[[], object],
     X: object,
@@ -107,25 +124,29 @@ def cross_validate(
     scorer: Scorer = accuracy_score,
     sample_weight: Optional[Sequence[float]] = None,
     seed: RandomState = 0,
+    n_jobs: Optional[int] = None,
 ) -> CrossValidationResult:
-    """Stratified k-fold cross-validation of a fit/predict model."""
+    """Stratified k-fold cross-validation of a fit/predict model.
+
+    Folds are independent, so ``n_jobs`` fans them out across worker
+    processes (``None`` defers to ``REPRO_N_JOBS``; fold scores are
+    identical at any setting — each fold's data is fixed up front, and a
+    ``model_factory`` that cannot cross a process boundary, e.g. a
+    lambda, silently falls back to the serial loop).
+    """
     matrix = check_2d("X", X)
     labels = np.asarray(y)
     check_matching_length(("X", matrix), ("y", labels))
     weights = None if sample_weight is None else np.asarray(sample_weight, dtype=float)
-    scores = []
-    for train_idx, test_idx in stratified_kfold_indices(labels, n_folds, seed):
-        model = model_factory()
-        if weights is None:
-            model.fit(matrix[train_idx], labels[train_idx])
-        else:
-            model.fit(
-                matrix[train_idx], labels[train_idx],
-                sample_weight=weights[train_idx],
-            )
-        scores.append(scorer(model, matrix[test_idx], labels[test_idx]))
-    if not scores:
+    folds = list(stratified_kfold_indices(labels, n_folds, seed))
+    if not folds:
         raise ValueError("cross-validation produced no usable folds")
+    scores = run_tasks(
+        _fit_and_score_fold,
+        folds,
+        n_jobs=n_jobs,
+        context=(model_factory, matrix, labels, weights, scorer),
+    )
     return CrossValidationResult(tuple(scores))
 
 
@@ -148,13 +169,15 @@ def grid_search(
     scorer: Scorer = accuracy_score,
     sample_weight: Optional[Sequence[float]] = None,
     seed: RandomState = 0,
+    n_jobs: Optional[int] = None,
 ) -> GridSearchResult:
     """Exhaustive grid search with stratified k-fold CV.
 
     ``param_grid`` maps constructor-argument names to candidate values;
     the Cartesian product is evaluated and the mean-score winner
     returned (ties break toward the earlier grid point, so order the
-    grid from simplest to most complex).
+    grid from simplest to most complex).  ``n_jobs`` parallelises the
+    folds of each grid point (see :func:`cross_validate`).
     """
     if not param_grid:
         raise ValueError("param_grid must name at least one parameter")
@@ -163,11 +186,13 @@ def grid_search(
     best: Optional[tuple[Mapping[str, object], CrossValidationResult]] = None
     for values in product(*(param_grid[name] for name in names)):
         params = dict(zip(names, values))
+        # functools.partial (unlike a lambda) crosses process boundaries,
+        # keeping the fold fan-out available to worker pools.
         result = cross_validate(
-            lambda params=params: model_class(**params),
+            partial(model_class, **params),
             X, y,
             n_folds=n_folds, scorer=scorer,
-            sample_weight=sample_weight, seed=seed,
+            sample_weight=sample_weight, seed=seed, n_jobs=n_jobs,
         )
         table.append((params, result))
         if best is None or result.mean > best[1].mean:

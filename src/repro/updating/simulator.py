@@ -17,11 +17,12 @@ affordable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Protocol, Sequence
+from typing import Callable, Optional, Protocol, Sequence
 
 from repro.detection.metrics import DetectionResult
 from repro.smart.dataset import SmartDataset, TrainTestSplit
 from repro.updating.strategies import UpdatingStrategy
+from repro.utils.parallel import run_tasks
 from repro.utils.rng import RandomState
 
 HOURS_PER_WEEK = 168.0
@@ -67,6 +68,11 @@ def _week_slice(dataset: SmartDataset, first_week: int, last_week: int) -> Smart
     )
 
 
+def _fit_window_model(model_factory, split):
+    """Fit one training window (module-level for worker processes)."""
+    return model_factory().fit(split)
+
+
 def simulate_updating(
     dataset: SmartDataset,
     model_factory: Callable[[], FleetModel],
@@ -75,6 +81,7 @@ def simulate_updating(
     n_weeks: int = 8,
     n_voters: int = 11,
     split_seed: RandomState = 11,
+    n_jobs: Optional[int] = None,
 ) -> list[UpdatingReport]:
     """Run the Figures 6-9 protocol and return one report per strategy.
 
@@ -82,25 +89,51 @@ def simulate_updating(
     shares the same failed training pool and every weekly evaluation the
     same held-out failed drives, so week-over-week FAR movements are
     attributable to good-population drift alone (the paper's focus).
+
+    The distinct training windows the strategies request are fitted as a
+    batch; ``n_jobs`` fans those independent retrains out across worker
+    processes (``None`` defers to ``REPRO_N_JOBS``).  Window data is
+    sliced before dispatch and windows are collected in a deterministic
+    order, so every fitted model — and the whole report — is identical
+    at any ``n_jobs``; factories that cannot cross a process boundary
+    (lambdas) fall back to the serial loop.
     """
     if n_weeks < 2:
         raise ValueError(f"n_weeks must be >= 2, got {n_weeks}")
     base_split = dataset.split(seed=split_seed)
     train_failed, test_failed = base_split.train_failed, base_split.test_failed
 
-    fitted_cache: dict[tuple[int, int], FleetModel] = {}
+    def window_split(window: tuple[int, int]) -> TrainTestSplit:
+        train_slice = _week_slice(dataset, *window)
+        return TrainTestSplit(
+            train_good=tuple(train_slice.good_drives),
+            test_good=(),
+            train_failed=train_failed,
+            test_failed=(),
+        )
+
+    # Distinct windows in first-use order (identical training windows
+    # are fitted once and shared across strategies — the fixed model
+    # *is* every strategy's week-2 model).
+    windows = list(dict.fromkeys(
+        strategy.training_weeks(week)
+        for strategy in strategies
+        for week in range(2, n_weeks + 1)
+    ))
+    fitted = run_tasks(
+        _fit_window_model,
+        [window_split(window) for window in windows],
+        n_jobs=n_jobs,
+        context=model_factory,
+    )
+    fitted_cache: dict[tuple[int, int], FleetModel] = dict(zip(windows, fitted))
     evaluated_cache: dict[tuple[tuple[int, int], int], DetectionResult] = {}
 
     def model_for_window(window: tuple[int, int]) -> FleetModel:
         if window not in fitted_cache:
-            train_slice = _week_slice(dataset, *window)
-            split = TrainTestSplit(
-                train_good=tuple(train_slice.good_drives),
-                test_good=(),
-                train_failed=train_failed,
-                test_failed=(),
+            fitted_cache[window] = _fit_window_model(
+                model_factory, window_split(window)
             )
-            fitted_cache[window] = model_factory().fit(split)
         return fitted_cache[window]
 
     def evaluate_window(window: tuple[int, int], week: int) -> DetectionResult:

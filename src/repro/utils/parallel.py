@@ -1,0 +1,120 @@
+"""Deterministic process-based fan-out for embarrassingly parallel fits.
+
+Forest members, cross-validation folds, and the updating simulator's
+per-window retrains are independent computations over shared read-only
+inputs.  :func:`run_tasks` maps a module-level function over a task list
+with ``concurrent.futures.ProcessPoolExecutor``, preserving task order
+in the results, so callers get exactly the serial answer faster.
+
+Determinism is a protocol, not an accident:
+
+* **Seed per task.**  Every task carries its own random state, derived
+  from the caller's seed by a consumption-independent spawn
+  (:func:`repro.utils.rng.spawn_child`).  No task reads another task's
+  stream, so the fitted artefacts cannot depend on scheduling order.
+* **Order by submission.**  Results are collected in task order, never
+  completion order.
+* **Serial fallback.**  ``n_jobs=1`` (the default), a single task, or a
+  task that cannot cross a process boundary (closures, lambdas, broken
+  pools) all run the plain serial loop — same floats, no processes.
+
+The knob: pass ``n_jobs`` explicitly, or set ``REPRO_N_JOBS`` to give
+every fan-out site a default (``0`` or a negative value means "all
+cores").  Worker processes are pinned to ``n_jobs=1`` so nested
+fan-outs (a forest inside a cross-validated fold) cannot oversubscribe.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from functools import partial
+from typing import Callable, Optional, Sequence
+
+#: Set inside worker processes; forces nested ``resolve_n_jobs`` to 1.
+_IN_WORKER = False
+
+#: Per-worker shared context installed by the pool initializer, so large
+#: read-only inputs (the training matrix) are shipped once per worker
+#: instead of once per task.
+_SHARED_CONTEXT = None
+
+
+def resolve_n_jobs(n_jobs: Optional[int] = None) -> int:
+    """Worker-process count for a fan-out site.
+
+    ``None`` defers to the ``REPRO_N_JOBS`` environment variable
+    (default 1 — serial); ``0`` or negative values mean "all cores".
+    Inside a worker process the answer is always 1, so nested fan-outs
+    stay serial.
+    """
+    if _IN_WORKER:
+        return 1
+    if n_jobs is None:
+        try:
+            n_jobs = int(os.environ.get("REPRO_N_JOBS", "1"))
+        except ValueError:
+            n_jobs = 1
+    n_jobs = int(n_jobs)
+    if n_jobs <= 0:
+        n_jobs = os.cpu_count() or 1
+    return max(1, n_jobs)
+
+
+def _worker_init(context: object) -> None:
+    global _IN_WORKER, _SHARED_CONTEXT
+    _IN_WORKER = True
+    _SHARED_CONTEXT = context
+
+
+def _call_with_shared_context(func: Callable, task: object) -> object:
+    return func(_SHARED_CONTEXT, task)
+
+
+def run_tasks(
+    func: Callable,
+    tasks: Sequence[object],
+    *,
+    n_jobs: Optional[int] = None,
+    context: object = None,
+) -> list:
+    """``[func(context, task) for task in tasks]``, optionally in processes.
+
+    ``func`` must be a module-level callable of ``(context, task)``;
+    ``context`` holds the read-only inputs every task shares and is
+    shipped once per worker via the pool initializer.  Results come back
+    in task order.  Runs serially when ``n_jobs`` resolves to 1 or there
+    are fewer than two tasks, and falls back to the serial loop when the
+    function, context, or tasks cannot cross a process boundary
+    (lambdas/closures raise pickling errors) or the pool itself breaks —
+    the fallback recomputes from the original inputs, so the answer is
+    identical either way.
+    """
+    tasks = list(tasks)
+    jobs = min(resolve_n_jobs(n_jobs), len(tasks))
+    if jobs <= 1:
+        return [func(context, task) for task in tasks]
+    start_method = os.environ.get("REPRO_PARALLEL_START_METHOD") or None
+    try:
+        mp_context = multiprocessing.get_context(start_method)
+        with ProcessPoolExecutor(
+            max_workers=jobs,
+            mp_context=mp_context,
+            initializer=_worker_init,
+            initargs=(context,),
+        ) as pool:
+            return list(pool.map(partial(_call_with_shared_context, func), tasks))
+    except (
+        pickle.PicklingError,
+        AttributeError,
+        TypeError,
+        BrokenProcessPool,
+        OSError,
+        ValueError,
+    ):
+        # Unpicklable payloads, a broken/forbidden pool, or an unknown
+        # start method: recompute serially from the same inputs.
+        return [func(context, task) for task in tasks]

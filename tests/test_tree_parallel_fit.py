@@ -1,0 +1,110 @@
+"""Parallel fits are bit-identical to serial fits.
+
+The seed-per-task protocol (``spawn_child`` keyed by task index, results
+collected in submission order) promises that every fan-out site —
+forests, cross-validated pruning, fold scoring, updating retrains —
+produces the same artefacts at any ``n_jobs``.  These tests hold that
+promise against real process pools.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import CTConfig
+from repro.core.predictor import DriveFailurePredictor
+from repro.tree.classification import ClassificationTree
+from repro.tree.forest import RandomForestClassifier
+from repro.tree.forest_regression import RandomForestRegressor
+from repro.tree.pruning import cross_validated_alpha
+from repro.tree.validation import cross_validate
+from repro.updating.simulator import simulate_updating
+from repro.updating.strategies import FixedStrategy, ReplacingStrategy
+
+from tests.test_tree_frontier import make_data, tree_signature
+
+
+def _forest_signature(forest):
+    return [tree_signature(tree.root_) for tree in forest.trees_]
+
+
+class TestForestParallelDeterminism:
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_classifier_identical_at_any_n_jobs(self, seed):
+        X, y, _, _ = make_data(0, n=120, d=4, nan_frac=0.05, inf_frac=0.0)
+        params = dict(
+            n_trees=4, minsplit=8, minbucket=3, cp=0.001, max_features=2
+        )
+        serial = RandomForestClassifier(seed=seed, n_jobs=1, **params).fit(X, y)
+        fanned = RandomForestClassifier(seed=seed, n_jobs=4, **params).fit(X, y)
+        assert _forest_signature(serial) == _forest_signature(fanned)
+        for a, b in zip(serial._feature_masks, fanned._feature_masks):
+            np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_regressor_identical_at_any_n_jobs(self, seed):
+        X, _, y, _ = make_data(1, n=120, d=4, nan_frac=0.05, inf_frac=0.0)
+        params = dict(n_trees=4, minsplit=8, minbucket=3, cp=0.0)
+        serial = RandomForestRegressor(seed=seed, n_jobs=1, **params).fit(X, y)
+        fanned = RandomForestRegressor(seed=seed, n_jobs=4, **params).fit(X, y)
+        assert _forest_signature(serial) == _forest_signature(fanned)
+
+
+class TestCrossValidationParallelDeterminism:
+    def test_cross_validate_identical_at_any_n_jobs(self):
+        X, y, _, _ = make_data(2, n=150, d=4, nan_frac=0.0, inf_frac=0.0)
+        factory = partial(ClassificationTree, minsplit=8, minbucket=3, cp=0.001)
+        serial = cross_validate(factory, X, y, n_folds=3, seed=0, n_jobs=1)
+        fanned = cross_validate(factory, X, y, n_folds=3, seed=0, n_jobs=3)
+        assert serial.fold_scores == fanned.fold_scores
+        assert serial.mean == fanned.mean
+
+    def test_cv_pruning_identical_at_any_n_jobs(self):
+        X, y, _, _ = make_data(3, n=150, d=4, nan_frac=0.0, inf_frac=0.0)
+        factory = partial(ClassificationTree, minsplit=6, minbucket=2, cp=0.0)
+        serial = cross_validated_alpha(factory, X, y, n_folds=3, seed=0, n_jobs=1)
+        fanned = cross_validated_alpha(factory, X, y, n_folds=3, seed=0, n_jobs=3)
+        assert serial == fanned
+
+    def test_lambda_factory_still_matches(self):
+        # Lambdas cannot cross process boundaries; the serial fallback
+        # must land on the same result bit-for-bit.
+        X, y, _, _ = make_data(4, n=150, d=4, nan_frac=0.0, inf_frac=0.0)
+        reference = cross_validated_alpha(
+            partial(ClassificationTree, minsplit=6, minbucket=2, cp=0.0),
+            X, y, n_folds=3, seed=0, n_jobs=1,
+        )
+        fallback = cross_validated_alpha(
+            lambda: ClassificationTree(minsplit=6, minbucket=2, cp=0.0),
+            X, y, n_folds=3, seed=0, n_jobs=3,
+        )
+        assert reference == fallback
+
+
+class TestUpdatingParallelDeterminism:
+    def test_simulate_updating_identical_at_any_n_jobs(self, aging_fleet_small):
+        config = CTConfig(minsplit=4, minbucket=2, cp=0.002)
+        factory = partial(DriveFailurePredictor, config)
+        strategies = [FixedStrategy(), ReplacingStrategy(1)]
+        kwargs = dict(n_weeks=4, n_voters=5, split_seed=2)
+
+        def flatten(reports):
+            return [
+                (r.strategy, o.week, o.result.far, o.result.fdr)
+                for r in reports
+                for o in r.outcomes
+            ]
+
+        serial = simulate_updating(
+            aging_fleet_small, factory, strategies, n_jobs=1, **kwargs
+        )
+        fanned = simulate_updating(
+            aging_fleet_small, factory, strategies, n_jobs=3, **kwargs
+        )
+        assert flatten(serial) == flatten(fanned)

@@ -1,0 +1,130 @@
+"""The deterministic fan-out layer: knob resolution, ordering, fallback."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.tree.bagging import subsample_member_inputs
+from repro.utils import parallel
+from repro.utils.parallel import resolve_n_jobs, run_tasks
+from repro.utils.rng import as_rng
+
+
+def _square_plus_context(context, task):
+    return task * task + (context or 0)
+
+
+def _pid_task(context, task):
+    return os.getpid()
+
+
+class TestResolveNJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_N_JOBS", raising=False)
+        assert resolve_n_jobs() == 1
+
+    def test_explicit_wins(self):
+        assert resolve_n_jobs(3) == 3
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_N_JOBS", "5")
+        assert resolve_n_jobs() == 5
+
+    def test_env_garbage_falls_back_to_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_N_JOBS", "many")
+        assert resolve_n_jobs() == 1
+
+    def test_zero_means_all_cores(self):
+        assert resolve_n_jobs(0) == (os.cpu_count() or 1)
+        assert resolve_n_jobs(-1) == (os.cpu_count() or 1)
+
+    def test_worker_processes_pin_to_serial(self, monkeypatch):
+        monkeypatch.setattr(parallel, "_IN_WORKER", True)
+        assert resolve_n_jobs(8) == 1
+
+
+class TestRunTasks:
+    def test_serial_results_in_order(self):
+        assert run_tasks(_square_plus_context, [3, 1, 2]) == [9, 1, 4]
+
+    def test_context_is_passed(self):
+        assert run_tasks(_square_plus_context, [1, 2], context=10) == [11, 14]
+
+    def test_parallel_matches_serial_in_order(self):
+        tasks = list(range(20))
+        assert run_tasks(_square_plus_context, tasks, n_jobs=4, context=1) == [
+            t * t + 1 for t in tasks
+        ]
+
+    def test_parallel_actually_uses_processes(self):
+        pids = set(run_tasks(_pid_task, list(range(8)), n_jobs=2))
+        assert os.getpid() not in pids
+
+    def test_lambda_falls_back_to_serial(self):
+        # Lambdas cannot cross a process boundary; the fallback must
+        # still produce the serial answer.
+        result = run_tasks(lambda context, task: task + 1, [1, 2, 3], n_jobs=4)
+        assert result == [2, 3, 4]
+
+    def test_single_task_stays_serial(self):
+        assert run_tasks(_pid_task, [0], n_jobs=4) == [os.getpid()]
+
+    def test_spawn_start_method(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_START_METHOD", "spawn")
+        tasks = [4, 5]
+        assert run_tasks(_square_plus_context, tasks, n_jobs=2) == [16, 25]
+
+    def test_unknown_start_method_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_START_METHOD", "not-a-method")
+        assert run_tasks(_square_plus_context, [1, 2], n_jobs=2) == [1, 4]
+
+
+class TestSubsampleMemberInputs:
+    def _matrix(self):
+        return np.arange(40.0).reshape(10, 4)
+
+    def test_reproducible_given_rng_seed(self):
+        matrix = self._matrix()
+        a = subsample_member_inputs(as_rng(5), matrix, n_active=2, bootstrap=True)
+        b = subsample_member_inputs(as_rng(5), matrix, n_active=2, bootstrap=True)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+        np.testing.assert_array_equal(a[2], b[2])
+
+    def test_bootstrap_rows_are_resampled_with_replacement(self):
+        matrix = self._matrix()
+        inputs, rows, _ = subsample_member_inputs(
+            as_rng(1), matrix, n_active=4, bootstrap=True
+        )
+        assert rows.shape == (10,)
+        np.testing.assert_array_equal(inputs, matrix[rows])
+
+    def test_no_bootstrap_keeps_all_rows(self):
+        matrix = self._matrix()
+        inputs, rows, active = subsample_member_inputs(
+            as_rng(1), matrix, n_active=4, bootstrap=False
+        )
+        np.testing.assert_array_equal(rows, np.arange(10))
+        np.testing.assert_array_equal(inputs, matrix)
+        np.testing.assert_array_equal(active, np.arange(4))
+
+    def test_feature_subsampling_masks_inactive_columns_with_nan(self):
+        matrix = self._matrix()
+        inputs, rows, active = subsample_member_inputs(
+            as_rng(2), matrix, n_active=2, bootstrap=False
+        )
+        assert active.shape == (2,)
+        assert (np.diff(active) > 0).all(), "active features must stay sorted"
+        inactive = np.setdiff1d(np.arange(4), active)
+        assert np.isnan(inputs[:, inactive]).all()
+        np.testing.assert_array_equal(inputs[:, active], matrix[:, active])
+
+    def test_full_feature_set_skips_masking(self):
+        matrix = self._matrix()
+        inputs, _, active = subsample_member_inputs(
+            as_rng(3), matrix, n_active=4, bootstrap=False
+        )
+        assert not np.isnan(inputs).any()
+        np.testing.assert_array_equal(active, np.arange(4))
