@@ -31,10 +31,12 @@ from repro.detection.metrics import (
 )
 from repro.detection.streaming import (
     Alert,
+    DriveStatus,
     FleetMonitor,
     OnlineFeatureBuffer,
     OnlineMajorityVote,
     OnlineMeanThreshold,
+    QuarantinePolicy,
 )
 from repro.detection.voting import MajorityVoteDetector, MeanThresholdDetector
 
@@ -53,7 +55,9 @@ __all__ = [
     "rates_compatible",
     "wilson_interval",
     "DetectionResult",
+    "DriveStatus",
     "FleetMonitor",
+    "QuarantinePolicy",
     "OnlineFeatureBuffer",
     "OnlineMajorityVote",
     "OnlineMeanThreshold",

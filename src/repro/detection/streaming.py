@@ -16,18 +16,35 @@ surface with *exactly* the offline semantics:
 
 Equivalence with the offline path (score_drives + first_alarm) is
 guaranteed by construction and enforced by the test suite.
+
+**Degraded-mode serving.**  A production feed is dirty: ticks arrive
+out of order, repeat, carry the wrong shape or a non-finite timestamp.
+The monitor therefore runs every observation through a validation gate
+before it touches a drive's feature buffer: malformed ticks are counted
+and excluded (never scored, never a voting slot) and recorded as
+structured :class:`~repro.utils.errors.SampleFault` events.  A drive
+whose fault count passes the :class:`QuarantinePolicy` threshold is
+flagged ``DEGRADED`` — its alerts are suppressed and it is reported via
+:meth:`FleetMonitor.degraded_drives` instead of being silently
+mis-scored on garbage input.  Missing *values* (NaN/inf cells injected
+by flaky sensors) are not faults: they flow through unchanged and the
+tree's surrogate/``missing_goes_left`` machinery routes them, exactly
+as at fit time; voting treats unscorable samples as NaN gaps without
+resetting its window.
 """
 
 from __future__ import annotations
 
+import enum
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.features.vectorize import Feature, FeatureExtractor
 from repro.smart.attributes import N_CHANNELS, channel_index
+from repro.utils.errors import FaultKind, SampleFault
 from repro.utils.validation import check_positive
 
 #: Scores one feature row; returns a class label or health degree.
@@ -172,11 +189,48 @@ class Alert:
     score: float
 
 
+class DriveStatus(enum.Enum):
+    """Serving status of one monitored drive."""
+
+    #: Feed is healthy; the drive is scored and may alert.
+    OK = "ok"
+    #: Too many malformed ticks; alerts suppressed, drive reported.
+    DEGRADED = "degraded"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class QuarantinePolicy:
+    """When does a dirty feed degrade a drive?
+
+    A malformed tick (wrong shape, non-finite/out-of-order/duplicate
+    timestamp) is always excluded from scoring; once a drive has
+    accumulated more than ``fault_limit`` of them it is flagged
+    :attr:`DriveStatus.DEGRADED` — its alerts stop (an operator page
+    driven by garbage telemetry is worse than none) and it surfaces in
+    :meth:`FleetMonitor.degraded_drives` for operator attention.
+    """
+
+    fault_limit: int = 10
+
+    def __post_init__(self) -> None:
+        if self.fault_limit < 0:
+            raise ValueError(f"fault_limit must be >= 0, got {self.fault_limit}")
+
+    def degrades(self, fault_count: int) -> bool:
+        """True when ``fault_count`` malformed ticks exceed the budget."""
+        return fault_count > self.fault_limit
+
+
 @dataclass
 class _DriveState:
     buffer: OnlineFeatureBuffer
     detector: object
     alerted: bool = False
+    fault_count: int = 0
+    status: DriveStatus = DriveStatus.OK
 
 
 class FleetMonitor:
@@ -194,6 +248,12 @@ class FleetMonitor:
             :meth:`observe_fleet` scores a whole collection tick through
             it — one compiled-backend routing pass for the fleet —
             instead of one ``score_sample`` call per drive.
+        quarantine: The degraded-mode policy (see
+            :class:`QuarantinePolicy`; a default policy is installed when
+            omitted).  Pass ``quarantine=None`` for strict mode, where a
+            malformed tick raises ``ValueError`` instead of being
+            quarantined (the pre-degraded-mode behaviour; useful when
+            the feed is trusted and corruption means a caller bug).
 
     Example:
         >>> from repro.features.selection import critical_features
@@ -207,6 +267,8 @@ class FleetMonitor:
         True
     """
 
+    _DEFAULT_QUARANTINE = QuarantinePolicy()
+
     def __init__(
         self,
         features: Sequence[Feature],
@@ -214,13 +276,16 @@ class FleetMonitor:
         detector_factory: Callable[[], object],
         *,
         score_batch: Optional[BatchScorer] = None,
+        quarantine: Optional[QuarantinePolicy] = _DEFAULT_QUARANTINE,
     ):
         self.features = tuple(features)
         self.score_sample = score_sample
         self.detector_factory = detector_factory
         self.score_batch = score_batch
+        self.quarantine = quarantine
         self._drives: dict[str, _DriveState] = {}
         self.alerts: list[Alert] = []
+        self.faults: list[SampleFault] = []
 
     def _state(self, serial: str) -> _DriveState:
         state = self._drives.get(serial)
@@ -232,12 +297,61 @@ class FleetMonitor:
             self._drives[serial] = state
         return state
 
+    # -- the validation gate -------------------------------------------------
+
+    def _gate(
+        self, serial: str, state: _DriveState, hour: float, values: Sequence[float]
+    ) -> Union[np.ndarray, SampleFault]:
+        """Validate one tick; a clean tick comes back as its channel array.
+
+        A malformed tick is returned as a :class:`SampleFault` (strict
+        mode raises instead), already counted against the drive's
+        quarantine budget and appended to :attr:`faults`.
+        """
+        fault: Optional[SampleFault] = None
+        array = np.asarray(values, dtype=float)
+        last = state.buffer._last_hour
+        if array.shape != (N_CHANNELS,):
+            fault = SampleFault(
+                serial, float(hour) if np.isfinite(hour) else np.nan,
+                FaultKind.WRONG_SHAPE,
+                f"expected ({N_CHANNELS},) channel values, got {array.shape}",
+            )
+        elif not np.isfinite(hour):
+            fault = SampleFault(
+                serial, np.nan, FaultKind.NON_FINITE_TIME,
+                f"timestamp {hour!r} is not a finite hour",
+            )
+        elif last is not None and hour == last:
+            fault = SampleFault(
+                serial, float(hour), FaultKind.DUPLICATE_TIME,
+                f"hour {hour} already ingested",
+            )
+        elif last is not None and hour < last:
+            fault = SampleFault(
+                serial, float(hour), FaultKind.OUT_OF_ORDER,
+                f"hour {hour} arrived after {last}",
+            )
+        if fault is None:
+            return array
+        if self.quarantine is None:
+            raise ValueError(f"drive {serial}: {fault.kind}: {fault.detail}")
+        self.faults.append(fault)
+        state.fault_count += 1
+        if self.quarantine.degrades(state.fault_count):
+            state.status = DriveStatus.DEGRADED
+        return fault
+
     def _record_score(
         self, serial: str, state: _DriveState, hour: float, score: float
     ) -> Optional[Alert]:
-        """Feed one score to the drive's detector; latch and report alerts."""
+        """Feed one score to the drive's detector; latch and report alerts.
+
+        Degraded drives keep their detector state current but never
+        alert — a page driven by a quarantined feed would be noise.
+        """
         alarmed = state.detector.push(score)
-        if alarmed and not state.alerted:
+        if alarmed and not state.alerted and state.status is DriveStatus.OK:
             state.alerted = True
             alert = Alert(serial=serial, hour=float(hour), score=score)
             self.alerts.append(alert)
@@ -251,9 +365,16 @@ class FleetMonitor:
 
         A drive raises at most one alert (further records are ignored for
         alerting but still tracked, so health queries stay current).
+        Malformed ticks are quarantined — counted, excluded from scoring
+        and voting — rather than raised (see the class docs); missing
+        values inside a well-formed tick flow through to the model's
+        surrogate routing unchanged.
         """
         state = self._state(serial)
-        row = state.buffer.push(hour, channel_values)
+        gated = self._gate(serial, state, hour, channel_values)
+        if isinstance(gated, SampleFault):
+            return None
+        row = state.buffer.push(hour, gated)
         if np.any(np.isfinite(row)):
             score = float(self.score_sample(row))
         else:
@@ -280,7 +401,10 @@ class FleetMonitor:
         ingested: list[tuple[str, _DriveState, np.ndarray]] = []
         for serial, values in records.items():
             state = self._state(serial)
-            ingested.append((serial, state, state.buffer.push(hour, values)))
+            gated = self._gate(serial, state, hour, values)
+            if isinstance(gated, SampleFault):
+                continue
+            ingested.append((serial, state, state.buffer.push(hour, gated)))
         usable = [
             index
             for index, (_, _, row) in enumerate(ingested)
@@ -305,7 +429,7 @@ class FleetMonitor:
         """
         extra = []
         for serial, state in self._drives.items():
-            if state.alerted:
+            if state.alerted or state.status is not DriveStatus.OK:
                 continue
             flush = getattr(state.detector, "flush_short_history", None)
             if flush is not None and flush():
@@ -318,3 +442,39 @@ class FleetMonitor:
     def watched_drives(self) -> list[str]:
         """Serials currently tracked."""
         return sorted(self._drives)
+
+    # -- degraded-mode reporting ----------------------------------------------
+
+    def drive_status(self, serial: str) -> DriveStatus:
+        """Serving status of one drive (unknown serials are ``OK``)."""
+        state = self._drives.get(serial)
+        return state.status if state is not None else DriveStatus.OK
+
+    def degraded_drives(self) -> list[str]:
+        """Serials currently quarantined (reported, never mis-scored)."""
+        return sorted(
+            serial
+            for serial, state in self._drives.items()
+            if state.status is DriveStatus.DEGRADED
+        )
+
+    def fault_counts(self) -> dict[str, int]:
+        """Per-drive count of quarantined (malformed, excluded) ticks."""
+        return {
+            serial: state.fault_count
+            for serial, state in sorted(self._drives.items())
+            if state.fault_count
+        }
+
+    def health_report(self) -> dict[str, object]:
+        """One-call summary for operators: faults, quarantine, alerts."""
+        kinds: dict[str, int] = {}
+        for fault in self.faults:
+            kinds[fault.kind.value] = kinds.get(fault.kind.value, 0) + 1
+        return {
+            "watched_drives": len(self._drives),
+            "alerts": len(self.alerts),
+            "faults_total": len(self.faults),
+            "faults_by_kind": kinds,
+            "degraded_drives": self.degraded_drives(),
+        }

@@ -15,10 +15,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Callable, Mapping, Optional
+from pathlib import Path
+from typing import Callable, Mapping, Optional, Union
 
 from repro.smart.dataset import SmartDataset
 from repro.smart.generator import FleetConfig, default_fleet_config
+from repro.utils.checkpoint import JsonCheckpoint, decode_object, encode_object
 from repro.utils.parallel import run_tasks
 
 
@@ -102,6 +104,9 @@ def run_experiment_grid(
     scale: ExperimentScale = DEFAULT_SCALE,
     *,
     n_jobs: Optional[int] = None,
+    checkpoint_path: Optional[Union[str, Path]] = None,
+    retries: int = 0,
+    timeout: Optional[float] = None,
 ) -> dict[str, object]:
     """Run a grid of experiment drivers, optionally across processes.
 
@@ -112,12 +117,37 @@ def run_experiment_grid(
     ``scale``, so results are identical at any ``n_jobs``; note each
     worker starts with an empty fleet cache and regenerates the fleets
     it needs.
+
+    ``checkpoint_path`` makes the grid crash-safe: every finished cell
+    is persisted to the JSON checkpoint as it completes, and a rerun
+    with the same path loads finished cells instead of recomputing them
+    — a grid killed at cell k resumes at cell k, bit-identical to an
+    uninterrupted run.  ``retries``/``timeout`` pass through to
+    :func:`repro.utils.parallel.run_tasks`.
     """
     names = list(runs)
-    results = run_tasks(
+    checkpoint = None
+    done: dict[str, object] = {}
+    if checkpoint_path is not None:
+        checkpoint = JsonCheckpoint(checkpoint_path, kind="experiment-grid")
+        done = {
+            name: decode_object(checkpoint.get(name))
+            for name in names
+            if name in checkpoint
+        }
+    pending = [name for name in names if name not in done]
+
+    def record(index: int, result: object) -> None:
+        checkpoint.set(pending[index], encode_object(result))
+
+    fresh = run_tasks(
         _run_one_experiment,
-        [(name, runs[name]) for name in names],
+        [(name, runs[name]) for name in pending],
         n_jobs=n_jobs,
         context=scale,
+        retries=retries,
+        timeout=timeout,
+        on_result=record if checkpoint is not None else None,
     )
-    return dict(zip(names, results))
+    done.update(zip(pending, fresh))
+    return {name: done[name] for name in names}

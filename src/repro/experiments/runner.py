@@ -124,6 +124,11 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes for running experiments "
         "(default: REPRO_N_JOBS or serial; 0 = all cores)",
     )
+    parser.add_argument(
+        "--checkpoint", type=str, default=None, metavar="PATH",
+        help="persist each finished experiment to this JSON checkpoint "
+        "and resume from it on rerun (finished cells are not recomputed)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -149,11 +154,13 @@ def main(argv: list[str] | None = None) -> int:
             status = 2
 
     collected: dict[str, object] = {}
-    if resolve_n_jobs(args.jobs) > 1:
+    if args.checkpoint is not None or resolve_n_jobs(args.jobs) > 1:
+        # The grid path owns checkpoint/resume, so a --checkpoint run is
+        # crash-safe even when it executes serially.
         started = time.perf_counter()
         collected = run_experiment_grid(
             {name: run for name, (run, _) in selected.items()},
-            scale, n_jobs=args.jobs,
+            scale, n_jobs=args.jobs, checkpoint_path=args.checkpoint,
         )
         elapsed = time.perf_counter() - started
         print(f"=== {len(collected)} experiments ({elapsed:.1f}s total) ===")

@@ -20,6 +20,52 @@ from scipy.sparse.linalg import MatrixRankWarning, spsolve
 
 from repro.utils.validation import check_positive
 
+#: Chains up to this many transient states solve via GTH elimination
+#: (dense, O(n^3) but cancellation-free); larger chains use the sparse
+#: LU path, whose speed they need and whose conditioning they tolerate.
+_GTH_MAX_DENSE_STATES = 600
+
+
+def _unreachable_error() -> ValueError:
+    return ValueError(
+        "mean time to absorption is not finite; is the absorbing set "
+        "reachable from the start state?"
+    )
+
+
+def _gth_absorption_times(off: np.ndarray, absorb: np.ndarray) -> np.ndarray:
+    """Expected absorption times via GTH-style cancellation-free elimination.
+
+    Solves ``(-Q_TT) t = 1`` where ``off[i, j]`` is the i->j rate between
+    transient states and ``absorb[i]`` the total rate from i straight
+    into the absorbing set.  Eliminating a state censors it out of the
+    chain, and the Schur complement of a generator is again a generator,
+    so every pivot is recoverable as a *positive row sum* and every
+    update is a sum/product of non-negatives.  No subtraction ever
+    happens, which keeps componentwise relative accuracy even when rates
+    span many orders of magnitude (MTTF vs MTTR ratios of 1e7 make the
+    assembled matrix numerically singular for plain LU).
+    """
+    n = off.shape[0]
+    off = off.copy()
+    absorb = absorb.copy()
+    demand = np.ones(n)
+    for k in range(n - 1, 0, -1):
+        pivot = off[k, :k].sum() + absorb[k]
+        if pivot <= 0.0:
+            raise _unreachable_error()
+        weight = off[:k, k] / pivot
+        off[:k, :k] += np.outer(weight, off[k, :k])
+        absorb[:k] += weight * absorb[k]
+        demand[:k] += weight * demand[k]
+    times = np.zeros(n)
+    for k in range(n):
+        pivot = off[k, :k].sum() + absorb[k]
+        if pivot <= 0.0:
+            raise _unreachable_error()
+        times[k] = (demand[k] + off[k, :k] @ times[:k]) / pivot
+    return times
+
 
 class MarkovChain:
     """An absorbing CTMC built from named states and rate transitions.
@@ -89,6 +135,18 @@ class MarkovChain:
         transient = [s for s in self._index if s not in absorbing_set]
         position = {self._index[s]: row for row, s in enumerate(transient)}
         n = len(transient)
+        if n <= _GTH_MAX_DENSE_STATES:
+            off = np.zeros((n, n))
+            absorb = np.zeros(n)
+            for (i, j), rate in self._rates.items():
+                if i not in position:
+                    continue
+                if j in position:
+                    off[position[i], position[j]] += rate
+                else:
+                    absorb[position[i]] += rate
+            times = _gth_absorption_times(off, absorb)
+            return float(times[transient.index(start)])
         rows, cols, data = [], [], []
         diagonal = np.zeros(n)
         for (i, j), rate in self._rates.items():
@@ -118,10 +176,7 @@ class MarkovChain:
         start_row = transient.index(start)
         value = float(times[start_row])
         if not np.isfinite(value) or value < 0:
-            raise ValueError(
-                "mean time to absorption is not finite; is the absorbing set "
-                "reachable from the start state?"
-            )
+            raise _unreachable_error()
         return value
 
 

@@ -1,0 +1,54 @@
+"""Fault injection and chaos tooling for the prediction pipeline.
+
+The paper's deployment story — score every drive every hour, page an
+operator on a majority vote — only works if the pipeline survives what
+real fleets throw at it.  This package provides deterministic,
+seed-driven corruptors for SMART telemetry (:mod:`repro.robustness.faults`),
+profile application at both the dataset and streaming layers
+(:mod:`repro.robustness.inject`), and the helpers the chaos test suite
+builds on.
+"""
+
+from repro.robustness.faults import (
+    BUILTIN_PROFILES,
+    DuplicateTicks,
+    Fault,
+    FaultProfile,
+    NaNInjection,
+    OutOfOrderTicks,
+    SampleDrop,
+    Spike,
+    StreamEvent,
+    StuckValue,
+    TruncateHistory,
+    builtin_profiles,
+)
+from repro.robustness.inject import (
+    corrupted_cell_fraction,
+    dataset_events,
+    inject_dataset,
+    inject_stream,
+    replay_stream,
+    resolve_profile,
+)
+
+__all__ = [
+    "BUILTIN_PROFILES",
+    "DuplicateTicks",
+    "Fault",
+    "FaultProfile",
+    "NaNInjection",
+    "OutOfOrderTicks",
+    "SampleDrop",
+    "Spike",
+    "StreamEvent",
+    "StuckValue",
+    "TruncateHistory",
+    "builtin_profiles",
+    "corrupted_cell_fraction",
+    "dataset_events",
+    "inject_dataset",
+    "inject_stream",
+    "replay_stream",
+    "resolve_profile",
+]

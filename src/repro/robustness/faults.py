@@ -1,0 +1,426 @@
+"""Deterministic, seed-driven corruptors for SMART telemetry.
+
+Real fleets feed the predictor dirty data: collection daemons miss
+samples, sensors stick or spike, NaN/inf values leak out of firmware,
+collectors replay or reorder ticks, and drives drop out of the feed
+mid-history (the paper itself notes "some samples were missed because
+of sampling or storing errors", and CART's surrogate splits exist
+precisely because SMART values go missing in the field).  Each
+:class:`Fault` here reproduces one of those corruptions *reproducibly*:
+the same seed and the same fleet always yield the same corruption, so
+chaos tests can assert exact behaviour.
+
+Every fault can be applied at two layers:
+
+* **dataset level** (:meth:`Fault.apply_drive`) — corrupt a
+  :class:`~repro.smart.drive.DriveRecord`'s value matrix in place of a
+  copy.  Timestamps stay strictly increasing (a ``DriveRecord``
+  invariant), so ordering faults are identity here.
+* **stream level** (:meth:`Fault.apply_stream`) — corrupt a replayed
+  event list (``(serial, hour, values)`` ticks) as a collector would
+  see it, including dropping, duplicating and reordering ticks.
+
+Determinism protocol: randomness is derived per ``(fault, drive
+serial)`` via :func:`repro.utils.rng.spawn_child` keyed by a CRC of the
+serial, so corruption of one drive never depends on how many other
+drives were corrupted before it.
+"""
+
+from __future__ import annotations
+
+import zlib
+from abc import ABC
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.smart.drive import DriveRecord
+from repro.utils.rng import spawn_child
+from repro.utils.validation import check_fraction
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """One collector tick: a drive reported its channel vector at ``hour``."""
+
+    serial: str
+    hour: float
+    values: tuple[float, ...]
+
+    @classmethod
+    def from_arrays(cls, serial: str, hour: float, values: np.ndarray) -> "StreamEvent":
+        return cls(serial=serial, hour=float(hour), values=tuple(float(v) for v in values))
+
+    def values_array(self) -> np.ndarray:
+        return np.asarray(self.values, dtype=float)
+
+
+def _serial_key(serial: str) -> int:
+    """A stable non-negative key for per-drive child streams."""
+    return zlib.crc32(serial.encode("utf-8")) & 0x7FFFFFFF
+
+
+def _drive_rng(rng: np.random.Generator, serial: str) -> np.random.Generator:
+    return spawn_child(rng, _serial_key(serial))
+
+
+def _group_by_serial(events: Sequence[StreamEvent]) -> dict[str, list[int]]:
+    groups: dict[str, list[int]] = {}
+    for index, event in enumerate(events):
+        groups.setdefault(event.serial, []).append(index)
+    return groups
+
+
+class Fault(ABC):
+    """One corruption mechanism, applicable per drive or per stream.
+
+    Subclasses override whichever layers the fault exists at; the
+    defaults are identity, so e.g. ordering faults (meaningless inside a
+    ``DriveRecord``) are no-ops at dataset level.
+    """
+
+    def apply_drive(self, drive: DriveRecord, rng: np.random.Generator) -> DriveRecord:
+        return drive
+
+    def apply_stream(
+        self, events: list[StreamEvent], rng: np.random.Generator
+    ) -> list[StreamEvent]:
+        return events
+
+    # -- shared helpers ------------------------------------------------------
+
+    @staticmethod
+    def _with_values(drive: DriveRecord, values: np.ndarray) -> DriveRecord:
+        return replace(drive, hours=drive.hours.copy(), values=values)
+
+
+@dataclass(frozen=True)
+class SampleDrop(Fault):
+    """Collection misses: whole samples vanish.
+
+    At dataset level a dropped sample becomes an all-NaN row (the
+    library's encoding of a missed sample); at stream level the tick
+    never arrives at all.
+    """
+
+    rate: float = 0.05
+
+    def __post_init__(self) -> None:
+        check_fraction("rate", self.rate)
+
+    def apply_drive(self, drive: DriveRecord, rng: np.random.Generator) -> DriveRecord:
+        dropped = rng.random(drive.n_samples) < self.rate
+        if not dropped.any():
+            return drive
+        values = drive.values.copy()
+        values[dropped] = np.nan
+        return self._with_values(drive, values)
+
+    def apply_stream(
+        self, events: list[StreamEvent], rng: np.random.Generator
+    ) -> list[StreamEvent]:
+        keep = rng.random(len(events)) >= self.rate
+        return [event for event, kept in zip(events, keep) if kept]
+
+
+@dataclass(frozen=True)
+class NaNInjection(Fault):
+    """Firmware glitches: individual cells read back NaN (or inf).
+
+    ``inf_fraction`` of the corrupted cells become ``+/-inf`` instead of
+    NaN — both are "missing" to the tree's routing, but inf additionally
+    stresses any code that only checks ``isnan``.
+    """
+
+    rate: float = 0.02
+    inf_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_fraction("rate", self.rate)
+        check_fraction("inf_fraction", self.inf_fraction)
+
+    def _corrupt_matrix(self, values: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        hit = rng.random(values.shape) < self.rate
+        if not hit.any():
+            return values
+        out = values.copy()
+        out[hit] = np.nan
+        if self.inf_fraction > 0.0:
+            as_inf = hit & (rng.random(values.shape) < self.inf_fraction)
+            signs = np.where(rng.random(values.shape) < 0.5, -np.inf, np.inf)
+            out[as_inf] = signs[as_inf]
+        return out
+
+    def apply_drive(self, drive: DriveRecord, rng: np.random.Generator) -> DriveRecord:
+        corrupted = self._corrupt_matrix(drive.values, rng)
+        if corrupted is drive.values:
+            return drive
+        return self._with_values(drive, corrupted)
+
+    def apply_stream(
+        self, events: list[StreamEvent], rng: np.random.Generator
+    ) -> list[StreamEvent]:
+        out = []
+        for event in events:
+            row = event.values_array().reshape(1, -1)
+            corrupted = self._corrupt_matrix(row, rng)
+            if corrupted is row:
+                out.append(event)
+            else:
+                out.append(StreamEvent.from_arrays(event.serial, event.hour, corrupted[0]))
+        return out
+
+
+@dataclass(frozen=True)
+class StuckValue(Fault):
+    """A stuck sensor: one channel freezes at its current reading.
+
+    Each drive is affected with probability ``drive_rate``; an affected
+    drive picks one channel and a random onset, after which the channel
+    repeats the onset reading forever.
+    """
+
+    drive_rate: float = 0.1
+
+    def __post_init__(self) -> None:
+        check_fraction("drive_rate", self.drive_rate)
+
+    def _pick(self, rng: np.random.Generator, n_samples: int, n_channels: int):
+        if n_samples < 2 or rng.random() >= self.drive_rate:
+            return None
+        channel = int(rng.integers(n_channels))
+        onset = int(rng.integers(n_samples - 1))
+        return channel, onset
+
+    def apply_drive(self, drive: DriveRecord, rng: np.random.Generator) -> DriveRecord:
+        picked = self._pick(rng, drive.n_samples, drive.values.shape[1])
+        if picked is None:
+            return drive
+        channel, onset = picked
+        values = drive.values.copy()
+        stuck_at = values[onset, channel]
+        if not np.isfinite(stuck_at):
+            stuck_at = 0.0
+        values[onset:, channel] = stuck_at
+        return self._with_values(drive, values)
+
+    def apply_stream(
+        self, events: list[StreamEvent], rng: np.random.Generator
+    ) -> list[StreamEvent]:
+        out = list(events)
+        for serial, indices in _group_by_serial(events).items():
+            n_channels = len(events[indices[0]].values)
+            picked = self._pick(_drive_rng(rng, serial), len(indices), n_channels)
+            if picked is None:
+                continue
+            channel, onset = picked
+            stuck_at = events[indices[onset]].values[channel]
+            if not np.isfinite(stuck_at):
+                stuck_at = 0.0
+            for index in indices[onset:]:
+                row = out[index].values_array()
+                row[channel] = stuck_at
+                out[index] = StreamEvent.from_arrays(out[index].serial, out[index].hour, row)
+        return out
+
+
+@dataclass(frozen=True)
+class Spike(Fault):
+    """Transient sensor spikes: a cell jumps by ``magnitude`` sigmas."""
+
+    rate: float = 0.01
+    magnitude: float = 8.0
+
+    def __post_init__(self) -> None:
+        check_fraction("rate", self.rate)
+
+    def _spike_matrix(self, values: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        hit = rng.random(values.shape) < self.rate
+        hit &= np.isfinite(values)
+        if not hit.any():
+            return values
+        finite = np.where(np.isfinite(values), values, np.nan)
+        scale = np.nanstd(finite, axis=0)
+        scale = np.where(np.isfinite(scale) & (scale > 0), scale, 1.0)
+        signs = np.where(rng.random(values.shape) < 0.5, -1.0, 1.0)
+        out = values.copy()
+        out[hit] += (signs * self.magnitude * scale[np.newaxis, :])[hit]
+        return out
+
+    def apply_drive(self, drive: DriveRecord, rng: np.random.Generator) -> DriveRecord:
+        spiked = self._spike_matrix(drive.values, rng)
+        if spiked is drive.values:
+            return drive
+        return self._with_values(drive, spiked)
+
+    def apply_stream(
+        self, events: list[StreamEvent], rng: np.random.Generator
+    ) -> list[StreamEvent]:
+        out = []
+        for event in events:
+            row = event.values_array().reshape(1, -1)
+            hit = (rng.random(row.shape) < self.rate) & np.isfinite(row)
+            if not hit.any():
+                out.append(event)
+                continue
+            row[hit] += self.magnitude * np.maximum(np.abs(row[hit]), 1.0)
+            out.append(StreamEvent.from_arrays(event.serial, event.hour, row[0]))
+        return out
+
+
+@dataclass(frozen=True)
+class TruncateHistory(Fault):
+    """Drives fall out of the feed: the tail of a history vanishes.
+
+    Each drive is truncated with probability ``drive_rate``, losing a
+    random tail of up to ``max_fraction`` of its samples (always keeping
+    at least one sample).
+    """
+
+    drive_rate: float = 0.1
+    max_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        check_fraction("drive_rate", self.drive_rate)
+        check_fraction("max_fraction", self.max_fraction)
+
+    def _kept(self, rng: np.random.Generator, n_samples: int):
+        if n_samples < 2 or rng.random() >= self.drive_rate:
+            return None
+        lost = int(np.ceil(rng.random() * self.max_fraction * n_samples))
+        return max(1, n_samples - lost)
+
+    def apply_drive(self, drive: DriveRecord, rng: np.random.Generator) -> DriveRecord:
+        kept = self._kept(rng, drive.n_samples)
+        if kept is None or kept >= drive.n_samples:
+            return drive
+        return replace(
+            drive,
+            hours=drive.hours[:kept].copy(),
+            values=drive.values[:kept].copy(),
+        )
+
+    def apply_stream(
+        self, events: list[StreamEvent], rng: np.random.Generator
+    ) -> list[StreamEvent]:
+        drop: set[int] = set()
+        for serial, indices in _group_by_serial(events).items():
+            kept = self._kept(_drive_rng(rng, serial), len(indices))
+            if kept is not None and kept < len(indices):
+                drop.update(indices[kept:])
+        if not drop:
+            return list(events)
+        return [event for index, event in enumerate(events) if index not in drop]
+
+
+@dataclass(frozen=True)
+class OutOfOrderTicks(Fault):
+    """Collector reordering: adjacent ticks swap places (stream only)."""
+
+    rate: float = 0.05
+
+    def __post_init__(self) -> None:
+        check_fraction("rate", self.rate)
+
+    def apply_stream(
+        self, events: list[StreamEvent], rng: np.random.Generator
+    ) -> list[StreamEvent]:
+        out = list(events)
+        index = 0
+        while index < len(out) - 1:
+            if rng.random() < self.rate:
+                out[index], out[index + 1] = out[index + 1], out[index]
+                index += 2
+            else:
+                index += 1
+        return out
+
+
+@dataclass(frozen=True)
+class DuplicateTicks(Fault):
+    """Collector replay: a tick arrives twice (stream only)."""
+
+    rate: float = 0.05
+
+    def __post_init__(self) -> None:
+        check_fraction("rate", self.rate)
+
+    def apply_stream(
+        self, events: list[StreamEvent], rng: np.random.Generator
+    ) -> list[StreamEvent]:
+        out: list[StreamEvent] = []
+        for event in events:
+            out.append(event)
+            if rng.random() < self.rate:
+                out.append(event)
+        return out
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """A named, ordered composition of faults.
+
+    Profiles are what the chaos harness iterates over: each models one
+    class of production incident (see :data:`BUILTIN_PROFILES`).
+    """
+
+    name: str
+    faults: tuple[Fault, ...] = field(default=())
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+
+def builtin_profiles() -> dict[str, FaultProfile]:
+    """The built-in fault profiles, keyed by name.
+
+    Rates are chosen so total sample corruption stays at or below ~10%,
+    the regime the chaos suite asserts bounded metric degradation for.
+    """
+    return {p.name: p for p in (
+        FaultProfile("clean", (), "no corruption (control)"),
+        FaultProfile(
+            "dropout",
+            (SampleDrop(rate=0.08),),
+            "collection misses: ~8% of samples vanish",
+        ),
+        FaultProfile(
+            "sensor-noise",
+            (NaNInjection(rate=0.04, inf_fraction=0.25), Spike(rate=0.02)),
+            "firmware glitches: NaN/inf cells plus transient spikes",
+        ),
+        FaultProfile(
+            "stuck-sensor",
+            (StuckValue(drive_rate=0.15),),
+            "one channel freezes on ~15% of drives",
+        ),
+        FaultProfile(
+            "dirty-feed",
+            (OutOfOrderTicks(rate=0.05), DuplicateTicks(rate=0.05)),
+            "collector reordering and replay (stream only)",
+        ),
+        FaultProfile(
+            "truncated",
+            (TruncateHistory(drive_rate=0.15, max_fraction=0.3),),
+            "drives drop out of the feed mid-history",
+        ),
+        FaultProfile(
+            "everything",
+            (
+                SampleDrop(rate=0.03),
+                NaNInjection(rate=0.02, inf_fraction=0.2),
+                StuckValue(drive_rate=0.05),
+                Spike(rate=0.01),
+                TruncateHistory(drive_rate=0.05, max_fraction=0.2),
+                OutOfOrderTicks(rate=0.02),
+                DuplicateTicks(rate=0.02),
+            ),
+            "all fault classes at once, each at low rate",
+        ),
+    )}
+
+
+#: Name -> profile for the chaos harness and the CLI surfaces.
+BUILTIN_PROFILES: dict[str, FaultProfile] = builtin_profiles()

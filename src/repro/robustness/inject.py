@@ -1,0 +1,141 @@
+"""Apply fault profiles to fleets and to streaming replays.
+
+The two entry points mirror the two layers a real deployment ingests
+data at:
+
+* :func:`inject_dataset` corrupts a :class:`~repro.smart.dataset.SmartDataset`
+  before training/evaluation (dirty historical telemetry);
+* :func:`inject_stream` corrupts a replayed tick list before it reaches
+  a :class:`~repro.detection.streaming.FleetMonitor` (dirty live feed),
+  including the ordering faults a ``DriveRecord`` cannot represent.
+
+Both are deterministic: corruption depends only on ``(profile, seed)``
+and each drive's serial, never on fleet iteration order, so the chaos
+suite can assert exact downstream behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.robustness.faults import (
+    BUILTIN_PROFILES,
+    FaultProfile,
+    StreamEvent,
+    _serial_key,
+)
+from repro.smart.dataset import SmartDataset
+from repro.smart.drive import DriveRecord
+from repro.utils.rng import RandomState, as_rng, spawn_child
+
+
+def resolve_profile(profile: Union[str, FaultProfile]) -> FaultProfile:
+    """Accept a profile or the name of a built-in one."""
+    if isinstance(profile, FaultProfile):
+        return profile
+    try:
+        return BUILTIN_PROFILES[profile]
+    except KeyError:
+        raise ValueError(
+            f"unknown fault profile {profile!r}; built-ins: "
+            f"{', '.join(sorted(BUILTIN_PROFILES))}"
+        ) from None
+
+
+def inject_dataset(
+    dataset: SmartDataset,
+    profile: Union[str, FaultProfile],
+    *,
+    seed: RandomState = 0,
+) -> SmartDataset:
+    """A corrupted copy of ``dataset`` (the input is never mutated).
+
+    Faults apply in profile order; each ``(fault, drive)`` pair draws
+    from its own child stream keyed by the drive's serial, so corruption
+    is stable under reordering or subsetting of the fleet.
+    """
+    profile = resolve_profile(profile)
+    root = as_rng(seed)
+    drives: list[DriveRecord] = list(dataset.drives)
+    for fault_index, fault in enumerate(profile.faults):
+        fault_rng = spawn_child(root, fault_index)
+        drives = [
+            fault.apply_drive(drive, spawn_child(fault_rng, _serial_key(drive.serial)))
+            for drive in drives
+        ]
+    return SmartDataset(drives)
+
+
+def inject_stream(
+    events: Sequence[StreamEvent],
+    profile: Union[str, FaultProfile],
+    *,
+    seed: RandomState = 0,
+) -> list[StreamEvent]:
+    """A corrupted copy of a replayed tick list.
+
+    Ordering faults (out-of-order, duplicate ticks) only exist at this
+    layer; value faults apply exactly as they do at dataset level.
+    """
+    profile = resolve_profile(profile)
+    root = as_rng(seed)
+    out = list(events)
+    for fault_index, fault in enumerate(profile.faults):
+        out = fault.apply_stream(out, spawn_child(root, fault_index))
+    return out
+
+
+def dataset_events(
+    dataset: SmartDataset, *, drives: Optional[Sequence[DriveRecord]] = None
+) -> list[StreamEvent]:
+    """Replay a fleet as the tick stream a collector would emit.
+
+    Ticks are ordered by hour (ties broken by serial), one per recorded
+    sample, exactly what :meth:`FleetMonitor.observe` expects to ingest.
+    """
+    ticks: list[StreamEvent] = []
+    for drive in (dataset.drives if drives is None else drives):
+        for hour, values in zip(drive.hours, drive.values):
+            ticks.append(StreamEvent.from_arrays(drive.serial, hour, values))
+    ticks.sort(key=lambda tick: (tick.hour, tick.serial))
+    return ticks
+
+
+def replay_stream(monitor, events: Sequence[StreamEvent]) -> list:
+    """Feed ticks through a :class:`FleetMonitor` and finalize.
+
+    Returns every alert the replay raised (streaming plus the
+    short-history flush).  The monitor's quarantine gate absorbs
+    malformed ticks; inspect ``monitor.faults`` and
+    ``monitor.degraded_drives()`` afterwards for what was excluded.
+    """
+    alerts = []
+    for event in events:
+        alert = monitor.observe(event.serial, event.hour, event.values_array())
+        if alert is not None:
+            alerts.append(alert)
+    alerts.extend(monitor.finalize())
+    return alerts
+
+
+def corrupted_cell_fraction(clean: SmartDataset, dirty: SmartDataset) -> float:
+    """Fraction of value cells that differ between two aligned fleets.
+
+    Truncated histories count every removed cell as corrupted.  Used by
+    the chaos suite to check a profile stays within its corruption
+    budget.
+    """
+    clean_by_serial = {drive.serial: drive for drive in clean.drives}
+    total = changed = 0
+    for dirty_drive in dirty.drives:
+        clean_drive = clean_by_serial[dirty_drive.serial]
+        total += clean_drive.values.size
+        kept = dirty_drive.values.shape[0]
+        a = clean_drive.values[:kept]
+        b = dirty_drive.values
+        same = (a == b) | (np.isnan(a) & np.isnan(b))
+        changed += int((~same).sum())
+        changed += (clean_drive.values.shape[0] - kept) * clean_drive.values.shape[1]
+    return changed / total if total else 0.0

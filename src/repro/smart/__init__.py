@@ -20,7 +20,11 @@ from repro.smart.generator import (
     family_q,
     family_w,
 )
-from repro.smart.backblaze import read_backblaze_csv, write_backblaze_csv
+from repro.smart.backblaze import (
+    DriveLoadResult,
+    read_backblaze_csv,
+    write_backblaze_csv,
+)
 from repro.smart.io import read_fleet_csv, write_fleet_csv
 
 __all__ = [
@@ -29,6 +33,7 @@ __all__ = [
     "N_CHANNELS",
     "AttributeSpec",
     "DegradationSignature",
+    "DriveLoadResult",
     "DriveRecord",
     "FamilySpec",
     "FleetConfig",

@@ -40,6 +40,7 @@ import numpy as np
 
 from repro.smart.attributes import N_CHANNELS, channel_index
 from repro.smart.drive import DriveRecord
+from repro.utils.errors import IngestError
 
 HOURS_PER_DAY = 24.0
 
@@ -62,17 +63,60 @@ COLUMN_TO_CHANNEL: dict[str, str] = {
 _REQUIRED_COLUMNS = ("date", "serial_number", "model", "failure")
 
 
-def _parse_date(text: str, where: str) -> date:
+def _parse_date(text: str, *, source: str, line: int) -> date:
     try:
         return date.fromisoformat(text)
     except ValueError as error:
-        raise ValueError(f"{where}: bad date {text!r}: {error}") from None
+        raise IngestError(
+            f"bad date {text!r}: {error}",
+            source=source, line=line, column="date",
+        ) from None
+
+
+def _parse_row(row: dict, *, source: str, line: int) -> tuple[date, np.ndarray]:
+    """One snapshot row -> (day, channel vector); IngestError on bad cells."""
+    day = _parse_date(row["date"], source=source, line=line)
+    reading = np.full(N_CHANNELS, np.nan)
+    for column, short in COLUMN_TO_CHANNEL.items():
+        cell = row.get(column, "")
+        if cell in ("", None):
+            continue
+        try:
+            reading[channel_index(short)] = float(cell)
+        except ValueError:
+            raise IngestError(
+                f"bad SMART value {cell!r}",
+                source=source, line=line, column=column,
+            ) from None
+    return day, reading
+
+
+class DriveLoadResult(list):
+    """The drives loaded by a lenient ingest, plus what was skipped.
+
+    Behaves exactly like ``list[DriveRecord]`` (all call sites keep
+    working), with the skip ledger attached:
+
+    Attributes:
+        errors: One :class:`~repro.utils.errors.IngestError` per skipped
+            row, each carrying ``source``/``line``/``column``.
+    """
+
+    def __init__(self, drives: Iterable[DriveRecord], errors: Sequence[IngestError]):
+        super().__init__(drives)
+        self.errors = tuple(errors)
+
+    @property
+    def n_skipped_rows(self) -> int:
+        """How many malformed rows were skipped during the load."""
+        return len(self.errors)
 
 
 def read_backblaze_csv(
     paths: Union[str, Path, Sequence[Union[str, Path]]],
     *,
     family_from_model: bool = True,
+    lenient: bool = False,
 ) -> list[DriveRecord]:
     """Load one or more Backblaze daily-snapshot CSVs into drive records.
 
@@ -82,6 +126,15 @@ def read_backblaze_csv(
         family_from_model: Use the ``model`` column as the drive family
             (the paper separates models per family); if False, every
             drive gets family ``"BB"``.
+        lenient: Skip malformed rows (bad dates, unparseable SMART
+            cells) instead of raising, and return a
+            :class:`DriveLoadResult` whose ``errors`` attribute records
+            every skipped row's location.  Missing required *columns*
+            still raise — that is a wrong file, not a dirty row.
+
+    A malformed cell raises :class:`~repro.utils.errors.IngestError`
+    carrying the file, 1-based line number and offending column (it is
+    a ``ValueError`` subclass, so existing handlers keep working).
 
     Failed drives take their failure time as the end of their last
     reported day; SMART columns outside the mapping are ignored, and
@@ -90,32 +143,38 @@ def read_backblaze_csv(
     if isinstance(paths, (str, Path)):
         paths = [paths]
     per_drive: dict[str, dict] = {}
+    skipped: list[IngestError] = []
     for path in paths:
         path = Path(path)
         with path.open(newline="") as handle:
             reader = csv.DictReader(handle)
             missing = [c for c in _REQUIRED_COLUMNS if c not in (reader.fieldnames or [])]
             if missing:
-                raise ValueError(f"{path}: missing required columns {missing}")
+                raise IngestError(
+                    f"missing required columns {missing}",
+                    source=str(path), line=1,
+                )
             for line_number, row in enumerate(reader, start=2):
-                where = f"{path}:{line_number}"
-                day = _parse_date(row["date"], where)
+                try:
+                    day, reading = _parse_row(
+                        row, source=str(path), line=line_number
+                    )
+                except IngestError as error:
+                    if not lenient:
+                        raise
+                    skipped.append(error)
+                    continue
                 serial = row["serial_number"]
                 entry = per_drive.setdefault(
                     serial,
                     {"model": row["model"], "days": {}, "failed": False},
                 )
-                reading = np.full(N_CHANNELS, np.nan)
-                for column, short in COLUMN_TO_CHANNEL.items():
-                    cell = row.get(column, "")
-                    if cell not in ("", None):
-                        reading[channel_index(short)] = float(cell)
                 entry["days"][day] = reading
                 if row["failure"] == "1":
                     entry["failed"] = True
 
     if not per_drive:
-        return []
+        return DriveLoadResult([], skipped) if lenient else []
     epoch = min(min(entry["days"]) for entry in per_drive.values())
 
     drives = []
@@ -139,7 +198,7 @@ def read_backblaze_csv(
                 failure_hour=failure_hour,
             )
         )
-    return drives
+    return DriveLoadResult(drives, skipped) if lenient else drives
 
 
 def write_backblaze_csv(

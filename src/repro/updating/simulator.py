@@ -17,11 +17,13 @@ affordable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Protocol, Sequence
+from pathlib import Path
+from typing import Callable, Optional, Protocol, Sequence, Union
 
 from repro.detection.metrics import DetectionResult
 from repro.smart.dataset import SmartDataset, TrainTestSplit
 from repro.updating.strategies import UpdatingStrategy
+from repro.utils.checkpoint import JsonCheckpoint
 from repro.utils.parallel import run_tasks
 from repro.utils.rng import RandomState
 
@@ -73,6 +75,30 @@ def _fit_window_model(model_factory, split):
     return model_factory().fit(split)
 
 
+def _cell_key(window: tuple[int, int], week: int) -> str:
+    return f"{window[0]}-{window[1]}@{week}"
+
+
+def _result_to_payload(result: DetectionResult) -> dict:
+    return {
+        "n_good": result.n_good,
+        "n_false_alarms": result.n_false_alarms,
+        "n_failed": result.n_failed,
+        "n_detected": result.n_detected,
+        "tia_hours": list(result.tia_hours),
+    }
+
+
+def _result_from_payload(payload: dict) -> DetectionResult:
+    return DetectionResult(
+        n_good=payload["n_good"],
+        n_false_alarms=payload["n_false_alarms"],
+        n_failed=payload["n_failed"],
+        n_detected=payload["n_detected"],
+        tia_hours=tuple(payload["tia_hours"]),
+    )
+
+
 def simulate_updating(
     dataset: SmartDataset,
     model_factory: Callable[[], FleetModel],
@@ -82,6 +108,7 @@ def simulate_updating(
     n_voters: int = 11,
     split_seed: RandomState = 11,
     n_jobs: Optional[int] = None,
+    checkpoint_path: Optional[Union[str, Path]] = None,
 ) -> list[UpdatingReport]:
     """Run the Figures 6-9 protocol and return one report per strategy.
 
@@ -97,6 +124,13 @@ def simulate_updating(
     order, so every fitted model — and the whole report — is identical
     at any ``n_jobs``; factories that cannot cross a process boundary
     (lambdas) fall back to the serial loop.
+
+    ``checkpoint_path`` persists every evaluated (window, week) cell —
+    a plain-JSON :class:`DetectionResult` — as it completes.  A rerun
+    with the same path reloads finished cells, skips refitting windows
+    whose every needed cell is already on disk, and reproduces the
+    uninterrupted reports bit-identically (JSON round-trips the floats
+    exactly).
     """
     if n_weeks < 2:
         raise ValueError(f"n_weeks must be >= 2, got {n_weeks}")
@@ -112,13 +146,29 @@ def simulate_updating(
             test_failed=(),
         )
 
-    # Distinct windows in first-use order (identical training windows
-    # are fitted once and shared across strategies — the fixed model
-    # *is* every strategy's week-2 model).
-    windows = list(dict.fromkeys(
-        strategy.training_weeks(week)
+    checkpoint = None
+    evaluated_cache: dict[tuple[tuple[int, int], int], DetectionResult] = {}
+    if checkpoint_path is not None:
+        checkpoint = JsonCheckpoint(checkpoint_path, kind="updating-sim")
+
+    # Every (window, week) cell the sweep needs, in first-use order.
+    cells = list(dict.fromkeys(
+        (strategy.training_weeks(week), week)
         for strategy in strategies
         for week in range(2, n_weeks + 1)
+    ))
+    if checkpoint is not None:
+        for window, week in cells:
+            payload = checkpoint.get(_cell_key(window, week))
+            if payload is not None:
+                evaluated_cache[(window, week)] = _result_from_payload(payload)
+
+    # Distinct training windows with at least one cell still to compute
+    # (identical training windows are fitted once and shared across
+    # strategies — the fixed model *is* every strategy's week-2 model;
+    # a window whose every cell was checkpointed is not refitted).
+    windows = list(dict.fromkeys(
+        window for window, week in cells if (window, week) not in evaluated_cache
     ))
     fitted = run_tasks(
         _fit_window_model,
@@ -127,7 +177,6 @@ def simulate_updating(
         context=model_factory,
     )
     fitted_cache: dict[tuple[int, int], FleetModel] = dict(zip(windows, fitted))
-    evaluated_cache: dict[tuple[tuple[int, int], int], DetectionResult] = {}
 
     def model_for_window(window: tuple[int, int]) -> FleetModel:
         if window not in fitted_cache:
@@ -152,6 +201,11 @@ def simulate_updating(
             evaluated_cache[key] = model_for_window(window).evaluate(
                 eval_split, n_voters=n_voters
             )
+            if checkpoint is not None:
+                checkpoint.set(
+                    _cell_key(window, week),
+                    _result_to_payload(evaluated_cache[key]),
+                )
         return evaluated_cache[key]
 
     reports = []

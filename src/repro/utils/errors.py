@@ -1,0 +1,103 @@
+"""Structured error taxonomy for dirty telemetry and degraded infrastructure.
+
+Datacenter-scale prediction lives or dies on tolerating dirty input: a
+bad cell in a 100-million-row ingest, a stuck sensor in a streaming
+feed, a worker process OOM-killed mid-retrain.  This module gives every
+layer that survives such faults a *named* vocabulary for them, so
+callers can count, filter and alert on fault categories instead of
+pattern-matching exception strings:
+
+* :class:`IngestError` — a parse failure with its exact location
+  (file, row, column) attached, raised by the CSV adapters;
+* :class:`FaultKind` / :class:`SampleFault` — the streaming validation
+  taxonomy: what was wrong with one observed sample, recorded by the
+  :class:`~repro.detection.streaming.FleetMonitor` quarantine gate;
+* the :class:`SerialFallbackWarning` family — emitted (never silently
+  swallowed) when the parallel fan-out degrades to serial execution,
+  with the cause carried in the warning *category* so test suites and
+  operators can filter on it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class ReproError(Exception):
+    """Base class for the library's structured errors."""
+
+
+class IngestError(ReproError, ValueError):
+    """A parse failure during bulk data ingest, with its location.
+
+    Attributes:
+        source: The file (or stream label) being parsed.
+        line: 1-based line number of the offending row (header = 1).
+        column: The offending column name, when one can be blamed.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        source: str = "<unknown>",
+        line: Optional[int] = None,
+        column: Optional[str] = None,
+    ):
+        location = str(source)
+        if line is not None:
+            location += f":{line}"
+        if column is not None:
+            location += f": column {column!r}"
+        super().__init__(f"{location}: {message}")
+        self.source = str(source)
+        self.line = line
+        self.column = column
+
+
+class FaultKind(enum.Enum):
+    """What was malformed about one streamed SMART sample."""
+
+    #: Channel vector had the wrong shape.
+    WRONG_SHAPE = "wrong-shape"
+    #: Sample timestamp is not a finite number.
+    NON_FINITE_TIME = "non-finite-time"
+    #: Sample arrived with an hour earlier than one already ingested.
+    OUT_OF_ORDER = "out-of-order"
+    #: Sample repeated an hour already ingested for the drive.
+    DUPLICATE_TIME = "duplicate-time"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class SampleFault:
+    """One malformed sample a validation gate excluded.
+
+    ``hour`` is the claimed timestamp (NaN when unparseable); ``detail``
+    is a human-readable elaboration for logs.
+    """
+
+    serial: str
+    hour: float
+    kind: FaultKind
+    detail: str = ""
+
+
+class SerialFallbackWarning(RuntimeWarning):
+    """The parallel fan-out degraded to serial execution."""
+
+
+class UnpicklableTaskWarning(SerialFallbackWarning):
+    """Fallback cause: the payload could not cross a process boundary."""
+
+
+class BrokenPoolWarning(SerialFallbackWarning):
+    """Fallback cause: the worker pool died (crashed/killed workers)."""
+
+
+class TaskRetryWarning(RuntimeWarning):
+    """A crashed or timed-out task is being retried."""

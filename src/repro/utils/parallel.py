@@ -22,6 +22,27 @@ The knob: pass ``n_jobs`` explicitly, or set ``REPRO_N_JOBS`` to give
 every fan-out site a default (``0`` or a negative value means "all
 cores").  Worker processes are pinned to ``n_jobs=1`` so nested
 fan-outs (a forest inside a cross-validated fold) cannot oversubscribe.
+
+Fault tolerance is layered on top of the determinism protocol:
+
+* **Salvage.**  Tasks are submitted individually, so when the pool
+  breaks mid-batch (a worker OOM-killed or segfaulted) every already-
+  completed result is kept and only the crashed/pending tasks are
+  recomputed serially — a 100-cell grid does not restart because cell
+  73 took down a worker.
+* **Retry with backoff.**  ``retries=k`` grants every failing task up
+  to ``k`` extra serial attempts with capped exponential backoff
+  (transient faults — full disks, flaky NFS — often clear on retry).
+* **Timeout.**  ``timeout=s`` bounds the wait for each task's result;
+  tasks that blow the budget are recomputed serially.  After the first
+  timeout the remaining futures are polled rather than awaited, so a
+  wedged pool costs one timeout, not one per task.
+* **No silent degradation.**  Every fall-back to serial execution emits
+  a structured warning whose *category* carries the cause —
+  :class:`~repro.utils.errors.UnpicklableTaskWarning` for payloads that
+  cannot cross a process boundary,
+  :class:`~repro.utils.errors.BrokenPoolWarning` for dead pools — so
+  callers (and CI) can assert on, or filter, each failure mode.
 """
 
 from __future__ import annotations
@@ -29,10 +50,18 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
-from functools import partial
 from typing import Callable, Optional, Sequence
+
+from repro.utils.errors import (
+    BrokenPoolWarning,
+    SerialFallbackWarning,
+    TaskRetryWarning,
+    UnpicklableTaskWarning,
+)
 
 #: Set inside worker processes; forces nested ``resolve_n_jobs`` to 1.
 _IN_WORKER = False
@@ -74,12 +103,79 @@ def _call_with_shared_context(func: Callable, task: object) -> object:
     return func(_SHARED_CONTEXT, task)
 
 
+#: Sleep hook between retry attempts (module-level so tests can observe
+#: the backoff schedule without actually waiting).
+_sleep = time.sleep
+
+#: Exceptions that mean "the infrastructure failed", not "the task is
+#: wrong": the task is recomputed serially even with no retry budget.
+_INFRA_ERRORS = (
+    BrokenProcessPool,
+    pickle.PicklingError,
+    AttributeError,
+    TypeError,
+    OSError,
+)
+
+
+def _backoff_delay(attempt: int, backoff: float, max_backoff: float) -> float:
+    return min(backoff * (2.0 ** attempt), max_backoff)
+
+
+def _run_with_retries(
+    func: Callable,
+    context: object,
+    task: object,
+    *,
+    retries: int,
+    backoff: float,
+    max_backoff: float,
+    attempts_used: int = 0,
+) -> object:
+    """Serial execution of one task honouring the retry budget.
+
+    ``attempts_used`` accounts for attempts already spent in the pool
+    (a crashed worker consumed one), so the backoff schedule continues
+    rather than restarting.
+    """
+    attempt = attempts_used
+    while True:
+        try:
+            return func(context, task)
+        except Exception as error:
+            if attempt >= retries:
+                raise
+            delay = _backoff_delay(attempt, backoff, max_backoff)
+            warnings.warn(
+                f"task failed with {error!r}; retrying in {delay:.2f}s "
+                f"(attempt {attempt + 1}/{retries})",
+                TaskRetryWarning,
+                stacklevel=2,
+            )
+            _sleep(delay)
+            attempt += 1
+
+
+def _warn_fallback(category: type, cause: str, n_tasks: int) -> None:
+    warnings.warn(
+        f"parallel fan-out degraded to serial execution for {n_tasks} "
+        f"task(s): {cause}",
+        category,
+        stacklevel=3,
+    )
+
+
 def run_tasks(
     func: Callable,
     tasks: Sequence[object],
     *,
     n_jobs: Optional[int] = None,
     context: object = None,
+    retries: int = 0,
+    backoff: float = 0.1,
+    max_backoff: float = 5.0,
+    timeout: Optional[float] = None,
+    on_result: Optional[Callable[[int, object], None]] = None,
 ) -> list:
     """``[func(context, task) for task in tasks]``, optionally in processes.
 
@@ -87,34 +183,121 @@ def run_tasks(
     ``context`` holds the read-only inputs every task shares and is
     shipped once per worker via the pool initializer.  Results come back
     in task order.  Runs serially when ``n_jobs`` resolves to 1 or there
-    are fewer than two tasks, and falls back to the serial loop when the
-    function, context, or tasks cannot cross a process boundary
-    (lambdas/closures raise pickling errors) or the pool itself breaks —
-    the fallback recomputes from the original inputs, so the answer is
-    identical either way.
+    are fewer than two tasks.
+
+    Fault tolerance (see the module docs): completed results are always
+    salvaged; tasks lost to infrastructure faults — an unpicklable
+    payload, a broken pool, a blown ``timeout`` — are recomputed
+    serially under a structured :class:`SerialFallbackWarning`; a task
+    that *itself* raises is retried up to ``retries`` extra times with
+    capped exponential backoff (``backoff * 2**attempt``, capped at
+    ``max_backoff`` seconds) before its exception propagates.  With the
+    default ``retries=0`` a deterministic task error surfaces on first
+    occurrence, exactly like the serial loop.
+
+    ``on_result(index, result)`` is invoked once per task as its result
+    becomes final (checkpoint writers hook in here); invocation order
+    may differ from task order when tasks are salvaged, but the returned
+    list is always in task order.
     """
     tasks = list(tasks)
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
     jobs = min(resolve_n_jobs(n_jobs), len(tasks))
+
+    def serial(task: object, attempts_used: int = 0) -> object:
+        return _run_with_retries(
+            func, context, task,
+            retries=retries, backoff=backoff, max_backoff=max_backoff,
+            attempts_used=attempts_used,
+        )
+
+    def finish(index: int, value: object) -> object:
+        if on_result is not None:
+            on_result(index, value)
+        return value
+
     if jobs <= 1:
-        return [func(context, task) for task in tasks]
+        return [finish(i, serial(task)) for i, task in enumerate(tasks)]
+
     start_method = os.environ.get("REPRO_PARALLEL_START_METHOD") or None
     try:
         mp_context = multiprocessing.get_context(start_method)
-        with ProcessPoolExecutor(
+        pool = ProcessPoolExecutor(
             max_workers=jobs,
             mp_context=mp_context,
             initializer=_worker_init,
             initargs=(context,),
-        ) as pool:
-            return list(pool.map(partial(_call_with_shared_context, func), tasks))
-    except (
-        pickle.PicklingError,
-        AttributeError,
-        TypeError,
-        BrokenProcessPool,
-        OSError,
-        ValueError,
-    ):
-        # Unpicklable payloads, a broken/forbidden pool, or an unknown
-        # start method: recompute serially from the same inputs.
-        return [func(context, task) for task in tasks]
+        )
+    except (ValueError, OSError) as error:
+        # Unknown start method or a forbidden pool: everything serial.
+        _warn_fallback(SerialFallbackWarning, repr(error), len(tasks))
+        return [finish(i, serial(task)) for i, task in enumerate(tasks)]
+
+    results: list = [None] * len(tasks)
+    salvage: list[int] = []
+    timed_out = False
+    try:
+        try:
+            futures = [
+                pool.submit(_call_with_shared_context, func, task) for task in tasks
+            ]
+        except _INFRA_ERRORS as error:
+            _warn_fallback(UnpicklableTaskWarning, repr(error), len(tasks))
+            return [finish(i, serial(task)) for i, task in enumerate(tasks)]
+        for index, future in enumerate(futures):
+            try:
+                # After the first timeout the pool is suspect: poll the
+                # rest instead of waiting another full budget per task.
+                results[index] = finish(
+                    index, future.result(timeout=0 if timed_out else timeout)
+                )
+            except BrokenProcessPool as error:
+                _warn_fallback(BrokenPoolWarning, repr(error), 1)
+                salvage.append(index)
+            except (pickle.PicklingError, AttributeError, TypeError) as error:
+                _warn_fallback(UnpicklableTaskWarning, repr(error), 1)
+                salvage.append(index)
+            except FuturesTimeoutError:
+                if not timed_out:
+                    warnings.warn(
+                        f"task {index} exceeded its {timeout}s budget; it and "
+                        "any unfinished tasks will be recomputed serially",
+                        TaskRetryWarning,
+                        stacklevel=2,
+                    )
+                timed_out = True
+                future.cancel()
+                salvage.append(index)
+            except OSError as error:
+                _warn_fallback(BrokenPoolWarning, repr(error), 1)
+                salvage.append(index)
+            except Exception:
+                if retries <= 0:
+                    raise
+                # The task function itself raised in the worker; that
+                # consumed one attempt of its retry budget.
+                salvage.append(index)
+    finally:
+        # A wedged worker must not block the salvage pass; an orphaned
+        # process finishing a hung task is discarded harmlessly.
+        pool.shutdown(wait=not timed_out, cancel_futures=True)
+
+    for index in salvage:
+        attempts_used = 0
+        if retries > 0:
+            # The lost pool attempt consumed the task's first try; back
+            # off before the serial retry like any other failure.
+            delay = _backoff_delay(0, backoff, max_backoff)
+            warnings.warn(
+                f"task {index} was lost to a worker failure; retrying in "
+                f"{delay:.2f}s (attempt 1/{retries})",
+                TaskRetryWarning,
+                stacklevel=2,
+            )
+            _sleep(delay)
+            attempts_used = 1
+        results[index] = finish(
+            index, serial(tasks[index], attempts_used=attempts_used)
+        )
+    return results

@@ -5,14 +5,18 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.utils.errors import FaultKind
+
 from repro.core.config import CTConfig
 from repro.core.predictor import DriveFailurePredictor
 from repro.detection.streaming import (
     Alert,
+    DriveStatus,
     FleetMonitor,
     OnlineFeatureBuffer,
     OnlineMajorityVote,
     OnlineMeanThreshold,
+    QuarantinePolicy,
 )
 from repro.detection.voting import MajorityVoteDetector, MeanThresholdDetector
 from repro.features.selection import critical_features
@@ -110,6 +114,115 @@ class TestOnlineDetectors:
             online_alarm = len(series) - 1
         assert online_alarm == offline
 
+    @given(
+        st.lists(
+            st.one_of(
+                st.floats(min_value=-1, max_value=1, allow_nan=False),
+                st.just(float("nan")),
+            ),
+            min_size=1, max_size=60,
+        ),
+        st.integers(min_value=1, max_value=13),
+        st.floats(min_value=-0.9, max_value=0.9),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_mean_threshold_matches_offline_with_gaps(
+        self, scores, n_voters, threshold
+    ):
+        # Gap-ridden health streams: NaN samples occupy window slots but
+        # are excluded from the mean, exactly like the offline rule.
+        series = np.array(scores)
+        offline = MeanThresholdDetector(
+            n_voters=n_voters, threshold=threshold
+        ).first_alarm(series)
+        online = OnlineMeanThreshold(n_voters=n_voters, threshold=threshold)
+        online_alarm = None
+        for index, score in enumerate(series):
+            if online.push(score) and online_alarm is None:
+                online_alarm = index
+        if online_alarm is None and online.flush_short_history():
+            online_alarm = len(series) - 1
+        assert online_alarm == offline
+
+
+class TestShortHistoryProperties:
+    """flush_short_history on shorter-than-window, gap-ridden streams."""
+
+    short_majority_streams = st.lists(
+        st.sampled_from([1.0, -1.0, float("nan")]), min_size=1, max_size=12
+    )
+
+    @given(short_majority_streams, st.integers(min_value=1, max_value=10))
+    @settings(max_examples=80, deadline=None)
+    def test_majority_flush_is_strict_majority_of_failed(self, scores, extra):
+        n_voters = len(scores) + extra  # guaranteed shorter than the window
+        online = OnlineMajorityVote(n_voters=n_voters)
+        for score in scores:
+            assert online.push(score) is False  # window can never fill
+        failed = sum(1 for s in scores if np.isfinite(s) and s == -1.0)
+        assert online.flush_short_history() == (failed > len(scores) / 2.0)
+
+    @given(short_majority_streams, st.integers(min_value=1, max_value=10))
+    @settings(max_examples=80, deadline=None)
+    def test_majority_gaps_never_create_flush_alarms(self, scores, extra):
+        # A NaN occupies a slot without voting, so inserting gaps can
+        # only make the strict-majority bar harder to clear.
+        n_voters = len(scores) + extra + len(scores) + 1
+        with_gaps = OnlineMajorityVote(n_voters=n_voters)
+        for score in scores:
+            with_gaps.push(score)
+            with_gaps.push(float("nan"))
+        without_gaps = OnlineMajorityVote(n_voters=n_voters)
+        for score in scores:
+            without_gaps.push(score)
+        if with_gaps.flush_short_history():
+            assert without_gaps.flush_short_history()
+
+    @given(
+        st.lists(
+            st.one_of(
+                st.floats(min_value=-1, max_value=1, allow_nan=False),
+                st.just(float("nan")),
+            ),
+            min_size=1, max_size=12,
+        ),
+        st.integers(min_value=1, max_value=10),
+        st.floats(min_value=-0.9, max_value=0.9),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_mean_flush_is_nanmean_rule(self, scores, extra, threshold):
+        n_voters = len(scores) + extra
+        online = OnlineMeanThreshold(n_voters=n_voters, threshold=threshold)
+        for score in scores:
+            assert online.push(score) is False
+        finite = [s for s in scores if np.isfinite(s)]
+        expected = bool(finite) and float(np.mean(finite)) < threshold
+        assert online.flush_short_history() == expected
+
+    @given(st.integers(min_value=1, max_value=12), st.integers(min_value=1, max_value=13))
+    @settings(max_examples=40, deadline=None)
+    def test_all_gap_stream_never_alarms(self, n_samples, n_voters):
+        majority = OnlineMajorityVote(n_voters=n_voters)
+        mean = OnlineMeanThreshold(n_voters=n_voters, threshold=0.5)
+        for _ in range(n_samples):
+            assert majority.push(float("nan")) is False
+            assert mean.push(float("nan")) is False
+        assert majority.flush_short_history() is False
+        assert mean.flush_short_history() is False
+
+    @given(short_majority_streams, st.integers(min_value=1, max_value=10))
+    @settings(max_examples=40, deadline=None)
+    def test_flush_disabled_once_window_fills(self, scores, n_voters):
+        # flush_short_history judges *only* short histories; a filled
+        # window must never re-judge the tail.
+        majority = OnlineMajorityVote(n_voters=n_voters)
+        mean = OnlineMeanThreshold(n_voters=n_voters, threshold=0.5)
+        for score in list(scores) + [-1.0] * n_voters:
+            majority.push(score)
+            mean.push(score)
+        assert majority.flush_short_history() is False
+        assert mean.flush_short_history() is False
+
 
 class TestFleetMonitor:
     def test_streaming_replay_matches_offline_pipeline(self, tiny_split):
@@ -177,3 +290,105 @@ class TestFleetMonitor:
         )
         monitor.observe("d", 0.0, np.full(N_CHANNELS, np.nan))
         assert calls == []
+
+
+class TestQuarantine:
+    def _monitor(self, **kwargs):
+        return FleetMonitor(
+            [Feature("POH")],
+            score_sample=lambda row: -1.0,
+            detector_factory=lambda: OnlineMajorityVote(1),
+            **kwargs,
+        )
+
+    def test_malformed_ticks_counted_and_excluded(self):
+        monitor = self._monitor()
+        values = np.ones(N_CHANNELS)
+        monitor.observe("d", 2.0, values)
+        assert monitor.observe("d", 2.0, values) is None  # duplicate
+        assert monitor.observe("d", 1.0, values) is None  # out of order
+        assert monitor.observe("d", np.nan, values) is None  # bad timestamp
+        assert monitor.observe("d", 3.0, np.ones(3)) is None  # wrong shape
+        assert monitor.fault_counts() == {"d": 4}
+        kinds = [fault.kind for fault in monitor.faults]
+        assert kinds == [
+            FaultKind.DUPLICATE_TIME,
+            FaultKind.OUT_OF_ORDER,
+            FaultKind.NON_FINITE_TIME,
+            FaultKind.WRONG_SHAPE,
+        ]
+
+    def test_drive_degrades_past_fault_limit_and_stops_alerting(self):
+        monitor = FleetMonitor(
+            [Feature("POH")],
+            score_sample=lambda row: 1.0,  # healthy until we flip it
+            detector_factory=lambda: OnlineMajorityVote(1),
+            quarantine=QuarantinePolicy(fault_limit=2),
+        )
+        values = np.ones(N_CHANNELS)
+        monitor.observe("d", 0.0, values)
+        for _ in range(3):  # three duplicates > fault_limit=2
+            monitor.observe("d", 0.0, values)
+        assert monitor.drive_status("d") is DriveStatus.DEGRADED
+        assert monitor.degraded_drives() == ["d"]
+        # A clean, would-be-alarming tick must not page for a
+        # quarantined drive.
+        monitor.score_sample = lambda row: -1.0
+        assert monitor.observe("d", 1.0, values) is None
+        assert monitor.alerts == []
+
+    def test_ok_drives_unaffected_by_neighbour_quarantine(self):
+        monitor = self._monitor(quarantine=QuarantinePolicy(fault_limit=0))
+        values = np.ones(N_CHANNELS)
+        monitor.observe("bad", 1.0, values)
+        monitor.observe("bad", 1.0, values)  # degrades immediately
+        alert = monitor.observe("good", 1.0, values)
+        assert monitor.degraded_drives() == ["bad"]
+        assert isinstance(alert, Alert)
+        assert monitor.drive_status("good") is DriveStatus.OK
+
+    def test_strict_mode_raises_on_malformed_tick(self):
+        monitor = self._monitor(quarantine=None)
+        values = np.ones(N_CHANNELS)
+        monitor.observe("d", 1.0, values)
+        with pytest.raises(ValueError, match="out-of-order"):
+            monitor.observe("d", 0.5, values)
+
+    def test_finalize_skips_degraded_drives(self):
+        monitor = FleetMonitor(
+            [Feature("POH")],
+            score_sample=lambda row: -1.0,
+            detector_factory=lambda: OnlineMajorityVote(5),
+            quarantine=QuarantinePolicy(fault_limit=0),
+        )
+        values = np.ones(N_CHANNELS)
+        monitor.observe("d", 1.0, values)
+        monitor.observe("d", 1.0, values)  # degrade
+        assert monitor.finalize() == []
+
+    def test_health_report_summarises_faults(self):
+        monitor = self._monitor(quarantine=QuarantinePolicy(fault_limit=1))
+        values = np.ones(N_CHANNELS)
+        monitor.observe("d", 1.0, values)
+        monitor.observe("d", 1.0, values)
+        monitor.observe("d", 0.5, values)
+        report = monitor.health_report()
+        assert report["watched_drives"] == 1
+        assert report["faults_total"] == 2
+        assert report["faults_by_kind"] == {
+            "duplicate-time": 1, "out-of-order": 1,
+        }
+        assert report["degraded_drives"] == ["d"]
+
+    def test_observe_fleet_routes_through_the_gate(self):
+        monitor = FleetMonitor(
+            [Feature("POH")],
+            score_sample=lambda row: -1.0,
+            detector_factory=lambda: OnlineMajorityVote(1),
+            score_batch=lambda rows: -np.ones(rows.shape[0]),
+        )
+        values = np.ones(N_CHANNELS)
+        monitor.observe_fleet(1.0, {"a": values, "b": values})
+        alerts = monitor.observe_fleet(1.0, {"a": values, "b": np.ones(3)})
+        assert alerts == []  # a: duplicate hour; b: wrong shape
+        assert monitor.fault_counts() == {"a": 1, "b": 1}

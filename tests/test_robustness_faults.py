@@ -1,0 +1,207 @@
+"""Unit tests for the fault injectors: determinism, budgets, invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.robustness import (
+    BUILTIN_PROFILES,
+    DuplicateTicks,
+    FaultProfile,
+    NaNInjection,
+    OutOfOrderTicks,
+    SampleDrop,
+    Spike,
+    StreamEvent,
+    StuckValue,
+    TruncateHistory,
+    corrupted_cell_fraction,
+    dataset_events,
+    inject_dataset,
+    inject_stream,
+    resolve_profile,
+)
+from repro.smart.dataset import SmartDataset
+
+
+def _values_by_serial(dataset):
+    return {d.serial: d.values.copy() for d in dataset.drives}
+
+
+class TestResolveProfile:
+    def test_name_resolves_to_builtin(self):
+        assert resolve_profile("dropout") is BUILTIN_PROFILES["dropout"]
+
+    def test_profile_passes_through(self):
+        profile = FaultProfile("mine", (SampleDrop(0.1),))
+        assert resolve_profile(profile) is profile
+
+    def test_unknown_name_lists_builtins(self):
+        with pytest.raises(ValueError, match="dropout"):
+            resolve_profile("no-such-profile")
+
+    def test_builtin_catalogue(self):
+        assert set(BUILTIN_PROFILES) == {
+            "clean", "dropout", "sensor-noise", "stuck-sensor",
+            "dirty-feed", "truncated", "everything",
+        }
+
+
+class TestInjectDataset:
+    def test_input_never_mutated(self, tiny_fleet):
+        before = _values_by_serial(tiny_fleet)
+        inject_dataset(tiny_fleet, "everything", seed=1)
+        after = _values_by_serial(tiny_fleet)
+        for serial, values in before.items():
+            np.testing.assert_array_equal(values, after[serial])
+
+    def test_same_seed_is_bit_identical(self, tiny_fleet):
+        first = inject_dataset(tiny_fleet, "sensor-noise", seed=7)
+        second = inject_dataset(tiny_fleet, "sensor-noise", seed=7)
+        for a, b in zip(first.drives, second.drives):
+            np.testing.assert_array_equal(a.values, b.values)
+            np.testing.assert_array_equal(a.hours, b.hours)
+
+    def test_different_seeds_differ(self, tiny_fleet):
+        first = inject_dataset(tiny_fleet, "sensor-noise", seed=7)
+        second = inject_dataset(tiny_fleet, "sensor-noise", seed=8)
+        assert corrupted_cell_fraction(first, second) > 0.0
+
+    def test_corruption_independent_of_fleet_ordering(self, tiny_fleet):
+        # Per-(fault, serial) child streams: drive X's corruption must
+        # not depend on which other drives are in the fleet.
+        subset = SmartDataset(list(tiny_fleet.drives[:5]))
+        full_dirty = inject_dataset(tiny_fleet, "sensor-noise", seed=3)
+        subset_dirty = inject_dataset(subset, "sensor-noise", seed=3)
+        full_by_serial = {d.serial: d for d in full_dirty.drives}
+        for drive in subset_dirty.drives:
+            np.testing.assert_array_equal(
+                drive.values, full_by_serial[drive.serial].values
+            )
+
+    def test_clean_profile_is_identity(self, tiny_fleet):
+        dirty = inject_dataset(tiny_fleet, "clean", seed=1)
+        assert corrupted_cell_fraction(tiny_fleet, dirty) == 0.0
+
+    @pytest.mark.parametrize(
+        "profile", [p for p in BUILTIN_PROFILES if p != "clean"]
+    )
+    def test_profiles_stay_within_corruption_budget(self, tiny_fleet, profile):
+        dirty = inject_dataset(tiny_fleet, profile, seed=0)
+        fraction = corrupted_cell_fraction(tiny_fleet, dirty)
+        if profile != "dirty-feed":  # stream-only faults: identity here
+            assert fraction > 0.0
+        assert fraction <= 0.10
+
+    def test_hours_stay_strictly_increasing(self, tiny_fleet):
+        dirty = inject_dataset(tiny_fleet, "everything", seed=5)
+        for drive in dirty.drives:
+            assert np.all(np.diff(drive.hours) > 0)
+
+    def test_sample_drop_leaves_all_nan_rows(self, tiny_fleet):
+        profile = FaultProfile("drop", (SampleDrop(rate=0.5),))
+        dirty = inject_dataset(tiny_fleet, profile, seed=2)
+        n_blank = sum(
+            int(np.all(np.isnan(d.values), axis=1).sum()) for d in dirty.drives
+        )
+        assert n_blank > 0
+
+    def test_nan_injection_inf_fraction(self, tiny_fleet):
+        profile = FaultProfile(
+            "inf", (NaNInjection(rate=0.3, inf_fraction=0.5),)
+        )
+        dirty = inject_dataset(tiny_fleet, profile, seed=2)
+        stacked = np.vstack([d.values for d in dirty.drives])
+        assert np.isnan(stacked).any()
+        assert np.isinf(stacked).any()
+
+    def test_stuck_value_freezes_a_channel(self, tiny_fleet):
+        profile = FaultProfile("stuck", (StuckValue(drive_rate=1.0),))
+        dirty = inject_dataset(tiny_fleet, profile, seed=2)
+        frozen = 0
+        for clean, bad in zip(tiny_fleet.drives, dirty.drives):
+            changed = ~(
+                (clean.values == bad.values)
+                | (np.isnan(clean.values) & np.isnan(bad.values))
+            )
+            columns = np.nonzero(changed.any(axis=0))[0]
+            if columns.size:
+                assert columns.size == 1  # exactly one stuck channel
+                (channel,) = columns
+                tail = bad.values[changed[:, channel].argmax():, channel]
+                assert np.all(tail == tail[0])
+                frozen += 1
+        assert frozen > 0
+
+    def test_truncate_keeps_at_least_one_sample(self, tiny_fleet):
+        profile = FaultProfile(
+            "cut", (TruncateHistory(drive_rate=1.0, max_fraction=1.0),)
+        )
+        dirty = inject_dataset(tiny_fleet, profile, seed=2)
+        assert all(d.n_samples >= 1 for d in dirty.drives)
+        assert any(
+            bad.n_samples < clean.n_samples
+            for clean, bad in zip(tiny_fleet.drives, dirty.drives)
+        )
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            SampleDrop(rate=1.5)
+        with pytest.raises(ValueError):
+            NaNInjection(rate=-0.1)
+
+
+class TestInjectStream:
+    @pytest.fixture()
+    def ticks(self, tiny_fleet):
+        return dataset_events(
+            SmartDataset(list(tiny_fleet.drives[:6]))
+        )
+
+    def test_replay_order_is_by_hour_then_serial(self, ticks):
+        keys = [(t.hour, t.serial) for t in ticks]
+        assert keys == sorted(keys)
+
+    def test_same_seed_is_identical(self, ticks):
+        first = inject_stream(ticks, "everything", seed=3)
+        second = inject_stream(ticks, "everything", seed=3)
+        assert [(t.serial, t.hour) for t in first] == [
+            (t.serial, t.hour) for t in second
+        ]
+        np.testing.assert_array_equal(  # NaN-aware cell comparison
+            np.vstack([t.values_array() for t in first]),
+            np.vstack([t.values_array() for t in second]),
+        )
+
+    def test_sample_drop_removes_ticks(self, ticks):
+        profile = FaultProfile("drop", (SampleDrop(rate=0.3),))
+        assert len(inject_stream(ticks, profile, seed=1)) < len(ticks)
+
+    def test_duplicates_add_identical_ticks(self, ticks):
+        profile = FaultProfile("dup", (DuplicateTicks(rate=0.5),))
+        dirty = inject_stream(ticks, profile, seed=1)
+        assert len(dirty) > len(ticks)
+        pairs = sum(
+            1 for a, b in zip(dirty, dirty[1:]) if a == b
+        )
+        assert pairs > 0
+
+    def test_out_of_order_swaps_preserve_multiset(self, ticks):
+        profile = FaultProfile("ooo", (OutOfOrderTicks(rate=0.5),))
+        dirty = inject_stream(ticks, profile, seed=1)
+        assert sorted(dirty, key=lambda t: (t.hour, t.serial)) == ticks
+        assert dirty != ticks
+
+    def test_spike_changes_finite_cells_only(self, ticks):
+        profile = FaultProfile("spike", (Spike(rate=0.5, magnitude=100.0),))
+        dirty = inject_stream(ticks, profile, seed=1)
+        for clean, bad in zip(ticks, dirty):
+            for before, after in zip(clean.values, bad.values):
+                if not np.isfinite(before):
+                    assert (np.isnan(before) and np.isnan(after)) or before == after
+
+    def test_stream_event_array_round_trip(self):
+        event = StreamEvent.from_arrays("s", 3.0, np.array([1.0, np.nan]))
+        array = event.values_array()
+        assert array[0] == 1.0 and np.isnan(array[1])

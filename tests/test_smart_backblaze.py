@@ -9,9 +9,11 @@ import pytest
 from repro.smart.attributes import channel_index
 from repro.smart.backblaze import (
     COLUMN_TO_CHANNEL,
+    DriveLoadResult,
     read_backblaze_csv,
     write_backblaze_csv,
 )
+from repro.utils.errors import IngestError
 from repro.smart.dataset import SmartDataset
 from repro.smart.generator import default_fleet_config
 
@@ -91,6 +93,72 @@ class TestRead:
         path = tmp_path / "empty.csv"
         _write_sample(path, [])
         assert read_backblaze_csv(path) == []
+
+    def test_bad_date_error_carries_structured_location(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        _write_sample(path, [_row("2024-01-32", "S1")])
+        with pytest.raises(IngestError) as excinfo:
+            read_backblaze_csv(path)
+        assert excinfo.value.source == str(path)
+        assert excinfo.value.line == 2
+        assert excinfo.value.column == "date"
+
+    def test_bad_smart_cell_blames_row_and_column(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        good = _row("2024-01-01", "S1")
+        bad = _row("2024-01-02", "S1")
+        bad[5 + list(COLUMN_TO_CHANNEL).index("smart_9_normalized")] = "ninety"
+        _write_sample(path, [good, bad])
+        with pytest.raises(IngestError, match="bad.csv:3") as excinfo:
+            read_backblaze_csv(path)
+        assert excinfo.value.line == 3
+        assert excinfo.value.column == "smart_9_normalized"
+        assert "ninety" in str(excinfo.value)
+
+
+class TestLenientRead:
+    def test_bad_rows_skipped_and_counted(self, tmp_path):
+        path = tmp_path / "dirty.csv"
+        bad_cell = _row("2024-01-02", "S1")
+        bad_cell[5 + list(COLUMN_TO_CHANNEL).index("smart_9_normalized")] = "?"
+        _write_sample(
+            path,
+            [
+                _row("2024-01-01", "S1", poh=95.0),
+                bad_cell,
+                _row("not-a-date", "S2"),
+                _row("2024-01-03", "S1", poh=93.0),
+            ],
+        )
+        result = read_backblaze_csv(path, lenient=True)
+        assert isinstance(result, DriveLoadResult)
+        assert [d.serial for d in result] == ["S1"]
+        assert result[0].n_samples == 2  # the bad middle day is gone
+        assert result.n_skipped_rows == 2
+        assert [(e.line, e.column) for e in result.errors] == [
+            (3, "smart_9_normalized"),
+            (4, "date"),
+        ]
+
+    def test_clean_file_has_empty_ledger(self, tmp_path):
+        path = tmp_path / "clean.csv"
+        _write_sample(path, [_row("2024-01-01", "S1")])
+        result = read_backblaze_csv(path, lenient=True)
+        assert result.n_skipped_rows == 0
+        assert result.errors == ()
+
+    def test_lenient_empty_fleet_still_reports_skips(self, tmp_path):
+        path = tmp_path / "all-bad.csv"
+        _write_sample(path, [_row("nope", "S1"), _row("also-nope", "S2")])
+        result = read_backblaze_csv(path, lenient=True)
+        assert list(result) == []
+        assert result.n_skipped_rows == 2
+
+    def test_missing_columns_raise_even_when_lenient(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("date,serial_number\n2024-01-01,S1\n")
+        with pytest.raises(IngestError, match="missing required columns"):
+            read_backblaze_csv(path, lenient=True)
 
 
 class TestRoundTrip:

@@ -278,6 +278,75 @@ class TestPipelineBatching:
             assert series.serial == single.serial == drive.serial
 
 
+class TestScoreTimeFaultInjection:
+    """Golden check: fault-injected fleets route identically per backend.
+
+    Trees are fitted on the *clean* fleet; the corruption arrives only at
+    score time (the degraded-serving scenario), so every injected NaN/inf
+    must flow through surrogate order and the ``missing_goes_left``
+    fallback the same way in the compiled arrays and the node walk.
+    """
+
+    @pytest.mark.parametrize("profile", ["sensor-noise", "dropout", "everything"])
+    def test_corrupted_fleet_scores_identically(self, tiny_split, profile):
+        from repro.robustness import corrupted_cell_fraction, inject_dataset
+        from repro.smart.dataset import SmartDataset
+
+        extractor = FeatureExtractor(critical_features())
+        training = build_training_set(
+            extractor,
+            tiny_split.train_good,
+            tiny_split.train_failed,
+            SamplingConfig(good_samples_per_drive=3),
+            failed_share=0.2,
+        )
+        compiled, node = fit_pair(
+            training.X, training.y, minsplit=4, minbucket=2, cp=0.001, n_surrogates=2
+        )
+
+        clean = SmartDataset(
+            list(tiny_split.test_good[:12]) + list(tiny_split.test_failed)
+        )
+        dirty = inject_dataset(clean, profile, seed=13)
+        assert corrupted_cell_fraction(clean, dirty) > 0.0
+        rows = np.vstack([extractor.extract(drive) for drive in dirty.drives])
+        usable = rows[np.any(np.isfinite(rows), axis=1)]
+        assert usable.size > 0
+
+        assert np.array_equal(compiled.apply(usable), node.apply(usable))
+        assert np.array_equal(compiled.predict(usable), node.predict(usable))
+        assert np.array_equal(
+            compiled.predict_proba(usable), node.predict_proba(usable)
+        )
+
+    def test_injected_rows_fall_back_without_surrogates(self, tiny_split):
+        # n_surrogates=0 exercises the pure missing_goes_left fallback.
+        from repro.robustness import NaNInjection, FaultProfile, inject_dataset
+        from repro.smart.dataset import SmartDataset
+
+        extractor = FeatureExtractor(critical_features())
+        training = build_training_set(
+            extractor,
+            tiny_split.train_good,
+            tiny_split.train_failed,
+            SamplingConfig(good_samples_per_drive=3),
+            failed_share=0.2,
+        )
+        compiled, node = fit_pair(
+            training.X, training.y, minsplit=4, minbucket=2, cp=0.001, n_surrogates=0
+        )
+        heavy = FaultProfile(
+            "heavy-nan", (NaNInjection(rate=0.5, inf_fraction=0.2),)
+        )
+        dirty = inject_dataset(
+            SmartDataset(list(tiny_split.test_failed)), heavy, seed=29
+        )
+        rows = np.vstack([extractor.extract(drive) for drive in dirty.drives])
+        usable = rows[np.any(np.isfinite(rows), axis=1)]
+        assert np.array_equal(compiled.apply(usable), node.apply(usable))
+        assert np.array_equal(compiled.predict(usable), node.predict(usable))
+
+
 @st.composite
 def matrix_with_missing(draw):
     n_rows = draw(st.integers(30, 120))

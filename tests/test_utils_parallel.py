@@ -3,12 +3,21 @@
 from __future__ import annotations
 
 import os
+import signal
+import time
+import warnings
 
 import numpy as np
+import pytest
 
 from repro.tree.bagging import subsample_member_inputs
 from repro.utils import parallel
-from repro.utils.parallel import resolve_n_jobs, run_tasks
+from repro.utils.errors import (
+    BrokenPoolWarning,
+    SerialFallbackWarning,
+    TaskRetryWarning,
+)
+from repro.utils.parallel import _backoff_delay, resolve_n_jobs, run_tasks
 from repro.utils.rng import as_rng
 
 
@@ -18,6 +27,49 @@ def _square_plus_context(context, task):
 
 def _pid_task(context, task):
     return os.getpid()
+
+
+def _kill_worker_once(context, task):
+    """SIGKILL the hosting process on first sight of a marked task.
+
+    The marker file is created *before* the kill, so the serial retry in
+    the parent process sees it and completes normally — the transient
+    infrastructure fault every retry policy exists for.
+    """
+    marker, value = task
+    if marker is not None and not os.path.exists(marker):
+        with open(marker, "w"):
+            pass
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value * 10
+
+
+def _fail_n_times(context, task):
+    """Raise on the first ``n_failures`` attempts, tallied on disk."""
+    counter, n_failures, value = task
+    attempts = 0
+    if os.path.exists(counter):
+        with open(counter) as handle:
+            attempts = int(handle.read())
+    with open(counter, "w") as handle:
+        handle.write(str(attempts + 1))
+    if attempts < n_failures:
+        raise RuntimeError(f"transient fault #{attempts + 1}")
+    return value
+
+
+def _always_fail(context, task):
+    raise RuntimeError("deterministic bug")
+
+
+def _hang_unless_marked(context, task):
+    """Sleep well past any test timeout on first attempt, then be quick."""
+    marker, value = task
+    if marker is not None and not os.path.exists(marker):
+        with open(marker, "w"):
+            pass
+        time.sleep(2.0)
+    return value + 1
 
 
 class TestResolveNJobs:
@@ -79,6 +131,135 @@ class TestRunTasks:
     def test_unknown_start_method_falls_back(self, monkeypatch):
         monkeypatch.setenv("REPRO_PARALLEL_START_METHOD", "not-a-method")
         assert run_tasks(_square_plus_context, [1, 2], n_jobs=2) == [1, 4]
+
+    def test_unknown_start_method_warning_category(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_START_METHOD", "not-a-method")
+        with pytest.warns(SerialFallbackWarning):
+            run_tasks(_square_plus_context, [1, 2], n_jobs=2)
+
+    def test_on_result_hook_serial(self):
+        seen = []
+        run_tasks(
+            _square_plus_context, [3, 1, 2],
+            on_result=lambda index, result: seen.append((index, result)),
+        )
+        assert seen == [(0, 9), (1, 1), (2, 4)]
+
+    def test_on_result_hook_parallel(self):
+        seen = []
+        run_tasks(
+            _square_plus_context, list(range(6)), n_jobs=2,
+            on_result=lambda index, result: seen.append((index, result)),
+        )
+        assert sorted(seen) == [(t, t * t) for t in range(6)]
+
+
+class TestBackoffSchedule:
+    def test_exponential_growth(self):
+        assert _backoff_delay(0, 0.1, 5.0) == pytest.approx(0.1)
+        assert _backoff_delay(1, 0.1, 5.0) == pytest.approx(0.2)
+        assert _backoff_delay(3, 0.1, 5.0) == pytest.approx(0.8)
+
+    def test_cap(self):
+        assert _backoff_delay(10, 0.1, 5.0) == 5.0
+
+
+class TestRetries:
+    @pytest.fixture(autouse=True)
+    def record_sleeps(self, monkeypatch):
+        self.sleeps = []
+        monkeypatch.setattr(parallel, "_sleep", self.sleeps.append)
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError, match="retries"):
+            run_tasks(_square_plus_context, [1], retries=-1)
+
+    def test_transient_failure_retried_serially(self, tmp_path):
+        counter = str(tmp_path / "attempts")
+        with pytest.warns(TaskRetryWarning):
+            result = run_tasks(
+                _fail_n_times, [(counter, 2, "ok")], retries=2, backoff=0.05
+            )
+        assert result == ["ok"]
+        # Two failures, so two backoff sleeps: 0.05s then 0.10s.
+        assert self.sleeps == pytest.approx([0.05, 0.1])
+
+    def test_budget_exhausted_raises(self, tmp_path):
+        counter = str(tmp_path / "attempts")
+        with pytest.raises(RuntimeError, match="transient fault"):
+            with pytest.warns(TaskRetryWarning):
+                run_tasks(_fail_n_times, [(counter, 5, "ok")], retries=2)
+        with open(counter) as handle:
+            assert handle.read() == "3"  # 1 first try + 2 retries
+
+    def test_retries_zero_propagates_immediately_serial(self):
+        with pytest.raises(RuntimeError, match="deterministic bug"):
+            run_tasks(_always_fail, [1, 2])
+        assert self.sleeps == []
+
+    def test_retries_zero_propagates_immediately_parallel(self):
+        with pytest.raises(RuntimeError, match="deterministic bug"):
+            run_tasks(_always_fail, [1, 2], n_jobs=2)
+
+    def test_task_error_in_worker_uses_retry_budget(self, tmp_path):
+        # The failing attempt happened in the pool; the serial salvage
+        # continues the budget rather than restarting it.
+        counter = str(tmp_path / "attempts")
+        tasks = [(str(tmp_path / f"t{i}"), 0, i) for i in range(3)]
+        tasks.append((counter, 1, "recovered"))
+        with pytest.warns(TaskRetryWarning):
+            result = run_tasks(_fail_n_times, tasks, n_jobs=2, retries=1)
+        assert result == [0, 1, 2, "recovered"]
+
+
+class TestWorkerCrashSalvage:
+    @pytest.fixture(autouse=True)
+    def record_sleeps(self, monkeypatch):
+        self.sleeps = []
+        monkeypatch.setattr(parallel, "_sleep", self.sleeps.append)
+
+    def test_killed_worker_results_salvaged_and_retried(self, tmp_path):
+        # Task 1 SIGKILLs the worker that picks it up — a real process
+        # death, not an exception.  Completed results must be kept and
+        # only the lost tasks recomputed, the killed one with backoff.
+        marker = str(tmp_path / "killed-once")
+        tasks = [(None, 0), (marker, 1), (None, 2), (None, 3)]
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = run_tasks(
+                _kill_worker_once, tasks, n_jobs=2, retries=1, backoff=0.05
+            )
+        assert result == [0, 10, 20, 30]
+        categories = {type(w.message) for w in caught}
+        assert BrokenPoolWarning in categories
+        assert TaskRetryWarning in categories
+        # Every lost task backed off before its serial retry.
+        assert self.sleeps
+        assert all(delay == pytest.approx(0.05) for delay in self.sleeps)
+
+    def test_killed_worker_without_retries_still_salvages(self, tmp_path):
+        # retries=0 still recovers from *infrastructure* faults — only
+        # task-raised exceptions are treated as deterministic bugs.
+        marker = str(tmp_path / "killed-once")
+        tasks = [(None, 0), (marker, 1), (None, 2)]
+        with pytest.warns(BrokenPoolWarning):
+            result = run_tasks(_kill_worker_once, tasks, n_jobs=2)
+        assert result == [0, 10, 20]
+        assert self.sleeps == []
+
+
+class TestTimeout:
+    def test_hung_task_recomputed_serially(self, tmp_path):
+        marker = str(tmp_path / "hung-once")
+        tasks = [(None, 0), (marker, 10), (None, 20)]
+        started = time.perf_counter()
+        with pytest.warns(TaskRetryWarning, match="budget"):
+            result = run_tasks(
+                _hang_unless_marked, tasks, n_jobs=2, timeout=0.3
+            )
+        assert result == [1, 11, 21]
+        # The wedged worker was abandoned, not awaited to completion.
+        assert time.perf_counter() - started < 10.0
 
 
 class TestSubsampleMemberInputs:
