@@ -26,6 +26,7 @@ from repro.detection.evaluator import (
 )
 from repro.detection.metrics import DetectionResult
 from repro.detection.voting import MajorityVoteDetector
+from repro.observability import get_registry
 from repro.smart.dataset import SmartDataset, TrainTestSplit
 from repro.smart.drive import DriveRecord
 from repro.utils.rng import RandomState
@@ -81,6 +82,9 @@ class FleetPredictor:
             split = subset.split(seed=self.split_seed)
             self.models_[family] = self.model_factory().fit(split)
             self.splits_[family] = split
+            get_registry().counter(
+                "fleet.families_fitted", help="family models fitted"
+            ).inc()
         if not self.models_:
             raise ValueError(
                 "no family had both good and failed drives; nothing to fit"
@@ -135,6 +139,13 @@ class FleetPredictor:
         for family, family_drives in routed.items():
             if family_drives:
                 series.extend(self.models_[family].score_drives(family_drives))
+        registry = get_registry()
+        registry.counter(
+            "fleet.drives_scored", help="drives routed to a family model"
+        ).inc(len(series))
+        registry.counter(
+            "fleet.unroutable_drives", help="drives of unseen families"
+        ).inc(len(unroutable))
         return series, unroutable
 
     # -- evaluation ------------------------------------------------------------------

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.core.config import FAILED_LABEL, GOOD_LABEL, SamplingConfig
 from repro.detection.evaluator import DriveScoreSeries
+from repro.observability import get_registry
 from repro.features.vectorize import FeatureExtractor
 from repro.smart.drive import DriveRecord
 from repro.tree.classification import weights_for_priors
@@ -147,6 +148,12 @@ def score_drives(
     blocks = [
         matrix[usable] for matrix, usable in zip(matrices, usables) if usable.size
     ]
+    registry = get_registry()
+    registry.counter("score.fleet_calls", help="stacked-fleet scoring passes").inc()
+    registry.counter("score.fleet_drives", help="drives scored").inc(len(drives))
+    registry.counter("score.fleet_rows", help="usable rows stacked").inc(
+        sum(block.shape[0] for block in blocks)
+    )
     if blocks:
         fleet_scores = np.asarray(score_rows(np.vstack(blocks)), dtype=float)
         if fleet_scores.shape != (sum(block.shape[0] for block in blocks),):

@@ -1,4 +1,26 @@
-"""Drive-level detection: voting rules, metrics and evaluation."""
+"""Drive-level detection: voting rules, metrics, evaluation and serving.
+
+The paper evaluates at the *drive* level, not the sample level: a drive
+is flagged when its recent per-sample scores vote failed (Section V-A3),
+and the reported numbers are FDR/FAR/TIA over drives (Section V-A1).
+This package owns that layer end to end:
+
+* :mod:`~repro.detection.voting` — the N-voter majority and
+  mean-threshold rules over a score series;
+* :mod:`~repro.detection.evaluator` — offline harness turning per-drive
+  score series into :class:`DetectionResult` and ROC sweeps;
+* :mod:`~repro.detection.metrics` — FDR/FAR/TIA containers, TIA
+  histogram bins (Figures 3-4), ROC utilities;
+* :mod:`~repro.detection.intervals` — Wilson confidence intervals for
+  the reported rates;
+* :mod:`~repro.detection.cost` — pricing an operating point
+  (alarm/miss/data-loss costs) to choose voters or thresholds;
+* :mod:`~repro.detection.streaming` — the online
+  :class:`FleetMonitor` with per-drive buffers, fault gating and
+  quarantine (the deployment surface);
+* :mod:`~repro.detection.reporting` — operator-readable explanations
+  of raised alerts.
+"""
 
 from repro.detection.evaluator import (
     Detector,

@@ -80,6 +80,7 @@ class CostBreakdown:
 
     @property
     def total(self) -> float:
+        """Sum of the four cost components (the quantity minimised)."""
         return (
             self.true_alarm_cost
             + self.false_alarm_cost

@@ -19,12 +19,16 @@ import numpy as np
 
 from repro.detection.metrics import DetectionResult, RocPoint
 from repro.detection.voting import MajorityVoteDetector, MeanThresholdDetector
+from repro.observability import get_registry, get_tracer
+from repro.observability.metrics import LEAD_TIME_BUCKETS_H
 
 
 class Detector(Protocol):
     """Anything that maps a score series to a first-alarm index."""
 
-    def first_alarm(self, scores: object) -> Optional[int]: ...
+    def first_alarm(self, scores: object) -> Optional[int]:
+        """Index of the first alarming sample, or ``None`` if never."""
+        ...
 
 
 @dataclass(frozen=True)
@@ -63,19 +67,35 @@ def evaluate_detection(
     """Run ``detector`` over every drive and aggregate FDR/FAR/TIA."""
     n_good = n_false = n_failed = n_detected = 0
     tia: list[float] = []
-    for drive in series:
-        alarm = detector.first_alarm(drive.scores) if drive.scores.size else None
-        if drive.failed:
-            n_failed += 1
-            if alarm is not None:
-                lead = float(drive.failure_hour - drive.hours[alarm])
-                if lead >= 0:
-                    n_detected += 1
-                    tia.append(lead)
-        else:
-            n_good += 1
-            if alarm is not None:
-                n_false += 1
+    series = list(series)
+    with get_tracer().span(
+        "detect.evaluate", category="detect", n_series=len(series)
+    ):
+        for drive in series:
+            alarm = detector.first_alarm(drive.scores) if drive.scores.size else None
+            if drive.failed:
+                n_failed += 1
+                if alarm is not None:
+                    lead = float(drive.failure_hour - drive.hours[alarm])
+                    if lead >= 0:
+                        n_detected += 1
+                        tia.append(lead)
+            else:
+                n_good += 1
+                if alarm is not None:
+                    n_false += 1
+    registry = get_registry()
+    registry.counter("detect.evaluations", help="detector evaluations").inc()
+    registry.counter("detect.drives", help="score series evaluated").inc(len(series))
+    registry.counter("detect.detected", help="failures alarmed in time").inc(n_detected)
+    registry.counter("detect.false_alarms", help="good drives alarmed").inc(n_false)
+    if registry.enabled:
+        lead_hist = registry.histogram(
+            "detect.lead_time_hours", LEAD_TIME_BUCKETS_H, unit="hours",
+            help="alert lead time (TIA) per detected failure",
+        )
+        for lead in tia:
+            lead_hist.observe(lead)
     return DetectionResult(
         n_good=n_good,
         n_false_alarms=n_false,

@@ -29,6 +29,7 @@ class RateInterval:
 
     @property
     def width(self) -> float:
+        """Interval width — the resolution of the reported rate."""
         return self.upper - self.lower
 
     def contains(self, value: float) -> bool:

@@ -38,14 +38,19 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.features.vectorize import Feature, FeatureExtractor
+from repro.observability import get_registry, get_tracer
 from repro.smart.attributes import N_CHANNELS, channel_index
 from repro.utils.errors import FaultKind, SampleFault
 from repro.utils.validation import check_positive
+
+#: Schema tag on :meth:`FleetMonitor.health_report` (bump on breaking change).
+HEALTH_REPORT_SCHEMA = "repro.health-report/v1"
 
 #: Scores one feature row; returns a class label or health degree.
 SampleScorer = Callable[[np.ndarray], float]
@@ -231,6 +236,9 @@ class _DriveState:
     alerted: bool = False
     fault_count: int = 0
     status: DriveStatus = DriveStatus.OK
+    #: Last instantaneous alarm signal (``serve.vote_flips`` tracks its
+    #: transitions; ``None`` until the first scored tick).
+    last_signal: Optional[bool] = None
 
 
 class FleetMonitor:
@@ -308,6 +316,8 @@ class FleetMonitor:
         mode raises instead), already counted against the drive's
         quarantine budget and appended to :attr:`faults`.
         """
+        registry = get_registry()
+        registry.counter("serve.ticks", help="observations offered").inc()
         fault: Optional[SampleFault] = None
         array = np.asarray(values, dtype=float)
         last = state.buffer._last_hour
@@ -338,7 +348,15 @@ class FleetMonitor:
             raise ValueError(f"drive {serial}: {fault.kind}: {fault.detail}")
         self.faults.append(fault)
         state.fault_count += 1
+        registry.counter(
+            "serve.faults", help="malformed ticks excluded by the gate",
+            kind=fault.kind.value,
+        ).inc()
         if self.quarantine.degrades(state.fault_count):
+            if state.status is not DriveStatus.DEGRADED:
+                registry.counter(
+                    "serve.quarantined", help="drives transitioned to DEGRADED"
+                ).inc()
             state.status = DriveStatus.DEGRADED
         return fault
 
@@ -351,10 +369,16 @@ class FleetMonitor:
         alert — a page driven by a quarantined feed would be noise.
         """
         alarmed = state.detector.push(score)
+        if state.last_signal is not None and alarmed != state.last_signal:
+            get_registry().counter(
+                "serve.vote_flips", help="alarm-signal transitions"
+            ).inc()
+        state.last_signal = alarmed
         if alarmed and not state.alerted and state.status is DriveStatus.OK:
             state.alerted = True
             alert = Alert(serial=serial, hour=float(hour), score=score)
             self.alerts.append(alert)
+            get_registry().counter("serve.alerts", help="alerts raised").inc()
             return alert
         return None
 
@@ -377,6 +401,7 @@ class FleetMonitor:
         row = state.buffer.push(hour, gated)
         if np.any(np.isfinite(row)):
             score = float(self.score_sample(row))
+            get_registry().counter("serve.scored", help="ticks scored").inc()
         else:
             score = np.nan
         return self._record_score(serial, state, hour, score)
@@ -392,6 +417,23 @@ class FleetMonitor:
         one this is equivalent to calling :meth:`observe` per drive.
         Returns the alerts raised by this tick, in ``records`` order.
         """
+        registry = get_registry()
+        start = perf_counter() if registry.enabled else 0.0
+        with get_tracer().span(
+            "serve.tick", category="serve", n_drives=len(records)
+        ):
+            alerts = self._observe_fleet_impl(hour, records)
+        registry.counter("serve.fleet_ticks", help="collection ticks").inc()
+        if registry.enabled:
+            registry.histogram(
+                "serve.tick_seconds", unit="seconds",
+                help="collection tick wall time",
+            ).observe(perf_counter() - start)
+        return alerts
+
+    def _observe_fleet_impl(
+        self, hour: float, records: dict[str, Sequence[float]]
+    ) -> list[Alert]:
         if self.score_batch is None:
             alerts = [
                 self.observe(serial, hour, values)
@@ -414,6 +456,9 @@ class FleetMonitor:
         if usable:
             stacked = np.vstack([ingested[index][2] for index in usable])
             scores[usable] = np.asarray(self.score_batch(stacked), dtype=float)
+            get_registry().counter(
+                "serve.scored", help="ticks scored"
+            ).inc(len(usable))
         alerts = []
         for (serial, state, _), score in zip(ingested, scores):
             alert = self._record_score(serial, state, hour, float(score))
@@ -436,6 +481,7 @@ class FleetMonitor:
                 state.alerted = True
                 alert = Alert(serial=serial, hour=np.nan, score=np.nan)
                 self.alerts.append(alert)
+                get_registry().counter("serve.alerts", help="alerts raised").inc()
                 extra.append(alert)
         return extra
 
@@ -467,14 +513,29 @@ class FleetMonitor:
         }
 
     def health_report(self) -> dict[str, object]:
-        """One-call summary for operators: faults, quarantine, alerts."""
+        """One-call summary for operators: faults, quarantine, alerts.
+
+        The dict is schema-tagged (``"schema"``, see
+        ``docs/observability.md``) so downstream tooling can detect
+        format changes.  When a recording metrics registry is installed
+        the ``"metrics"`` section carries the serving-family
+        (``serve.*``) series from the live snapshot; with the default
+        no-op registry it is empty.
+        """
         kinds: dict[str, int] = {}
         for fault in self.faults:
             kinds[fault.kind.value] = kinds.get(fault.kind.value, 0) + 1
+        snapshot = get_registry().snapshot()
         return {
+            "schema": HEALTH_REPORT_SCHEMA,
             "watched_drives": len(self._drives),
             "alerts": len(self.alerts),
             "faults_total": len(self.faults),
             "faults_by_kind": kinds,
             "degraded_drives": self.degraded_drives(),
+            "metrics": {
+                name: entry
+                for name, entry in snapshot["metrics"].items()
+                if name.startswith("serve.")
+            },
         }

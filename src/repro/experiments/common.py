@@ -16,8 +16,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from functools import lru_cache
 from pathlib import Path
+from time import perf_counter
 from typing import Callable, Mapping, Optional, Union
 
+from repro.observability import get_registry, get_tracer
 from repro.smart.dataset import SmartDataset
 from repro.smart.generator import FleetConfig, default_fleet_config
 from repro.utils.checkpoint import JsonCheckpoint, decode_object, encode_object
@@ -95,8 +97,17 @@ def clear_fleet_cache() -> None:
 
 def _run_one_experiment(scale: ExperimentScale, task):
     """Run one experiment driver (module-level for worker processes)."""
-    _, run = task
-    return run(scale)
+    name, run = task
+    registry = get_registry()
+    start = perf_counter() if registry.enabled else 0.0
+    with get_tracer().span("grid.cell", category="grid", experiment=name):
+        result = run(scale)
+    registry.counter("grid.cells", help="experiment cells computed").inc()
+    if registry.enabled:
+        registry.histogram(
+            "grid.cell_seconds", unit="seconds", help="experiment cell wall time"
+        ).observe(perf_counter() - start)
+    return result
 
 
 def run_experiment_grid(
@@ -135,6 +146,9 @@ def run_experiment_grid(
             for name in names
             if name in checkpoint
         }
+        get_registry().counter(
+            "grid.checkpoint_hits", help="cells reloaded from checkpoint"
+        ).inc(len(done))
     pending = [name for name in names if name not in done]
 
     def record(index: int, result: object) -> None:

@@ -4,6 +4,13 @@
 the requested experiments at the requested scale and prints paper-style
 tables.  ``--list`` shows the catalogue; ``--experiments table3 fig2``
 selects a subset; ``--tiny`` uses the test-sized fleets.
+
+Observability (see ``docs/observability.md``): ``--metrics-out PATH``
+runs the selection under a recording metrics registry and writes the
+snapshot (JSON, or Prometheus text for ``.prom``/``.txt`` paths);
+``--trace-out PATH`` records spans and writes a Chrome-trace JSON
+loadable in ``chrome://tracing``.  Without these flags the no-op
+instruments stay installed and instrumentation costs nothing.
 """
 
 from __future__ import annotations
@@ -13,9 +20,11 @@ import sys
 import time
 from typing import Callable
 
+from repro import observability as obs
 from repro.experiments.common import (
     DEFAULT_SCALE,
     ExperimentScale,
+    _run_one_experiment,
     run_experiment_grid,
 )
 from repro.utils.parallel import resolve_n_jobs
@@ -129,6 +138,16 @@ def main(argv: list[str] | None = None) -> int:
         help="persist each finished experiment to this JSON checkpoint "
         "and resume from it on rerun (finished cells are not recomputed)",
     )
+    parser.add_argument(
+        "--metrics-out", type=str, default=None, metavar="PATH",
+        help="record metrics during the run and write the snapshot here "
+        "(.prom/.txt = Prometheus text exposition, else JSON)",
+    )
+    parser.add_argument(
+        "--trace-out", type=str, default=None, metavar="PATH",
+        help="record spans during the run and write a Chrome-trace JSON "
+        "(load in chrome://tracing or Perfetto)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -153,36 +172,54 @@ def main(argv: list[str] | None = None) -> int:
             )
             status = 2
 
-    collected: dict[str, object] = {}
-    if args.checkpoint is not None or resolve_n_jobs(args.jobs) > 1:
-        # The grid path owns checkpoint/resume, so a --checkpoint run is
-        # crash-safe even when it executes serially.
-        started = time.perf_counter()
-        collected = run_experiment_grid(
-            {name: run for name, (run, _) in selected.items()},
-            scale, n_jobs=args.jobs, checkpoint_path=args.checkpoint,
-        )
-        elapsed = time.perf_counter() - started
-        print(f"=== {len(collected)} experiments ({elapsed:.1f}s total) ===")
-        for name, (_, render) in selected.items():
-            print(f"=== {name} ===")
-            print(render(collected[name]))
-            print()
-    else:
-        for name, (run, render) in selected.items():
+    previous_registry = (
+        obs.set_registry(obs.MetricsRegistry()) if args.metrics_out else None
+    )
+    previous_tracer = obs.set_tracer(obs.Tracer()) if args.trace_out else None
+    try:
+        collected: dict[str, object] = {}
+        if args.checkpoint is not None or resolve_n_jobs(args.jobs) > 1:
+            # The grid path owns checkpoint/resume, so a --checkpoint run is
+            # crash-safe even when it executes serially.
             started = time.perf_counter()
-            result = run(scale)
-            collected[name] = result
+            collected = run_experiment_grid(
+                {name: run for name, (run, _) in selected.items()},
+                scale, n_jobs=args.jobs, checkpoint_path=args.checkpoint,
+            )
             elapsed = time.perf_counter() - started
-            print(f"=== {name} ({elapsed:.1f}s) ===")
-            print(render(result))
-            print()
+            print(f"=== {len(collected)} experiments ({elapsed:.1f}s total) ===")
+            for name, (_, render) in selected.items():
+                print(f"=== {name} ===")
+                print(render(collected[name]))
+                print()
+        else:
+            for name, (run, render) in selected.items():
+                started = time.perf_counter()
+                # Routed through the grid's cell wrapper so the serial
+                # path emits the same grid.* metrics and spans.
+                result = _run_one_experiment(scale, (name, run))
+                collected[name] = result
+                elapsed = time.perf_counter() - started
+                print(f"=== {name} ({elapsed:.1f}s) ===")
+                print(render(result))
+                print()
 
-    if args.json is not None and collected:
-        from repro.experiments.report import export_results
+        if args.json is not None and collected:
+            from repro.experiments.report import export_results
 
-        export_results(args.json, collected)
-        print(f"raw results written to {args.json}")
+            export_results(args.json, collected)
+            print(f"raw results written to {args.json}")
+        if args.metrics_out is not None:
+            obs.write_metrics(args.metrics_out)
+            print(f"metrics written to {args.metrics_out}")
+        if args.trace_out is not None:
+            obs.write_trace(args.trace_out)
+            print(f"trace written to {args.trace_out}")
+    finally:
+        if args.metrics_out:
+            obs.set_registry(previous_registry)
+        if args.trace_out:
+            obs.set_tracer(previous_tracer)
     return status
 
 

@@ -1,0 +1,188 @@
+"""Fleet observability: metrics, tracing, profiling hooks, exporters.
+
+The measurement substrate for the production-scale north star.  Three
+pillars, all zero-dependency and all free when disabled:
+
+* :mod:`repro.observability.metrics` — counters / gauges / histograms
+  with fixed bucket boundaries (deterministic snapshots);
+* :mod:`repro.observability.tracing` — span-based wall/CPU tracing with
+  nested-context propagation across ``run_tasks`` worker boundaries;
+* :mod:`repro.observability.export` — JSON snapshot, Prometheus text
+  exposition, Chrome-trace dumps.
+
+Typical operator session::
+
+    from repro import observability as obs
+
+    obs.enable()                       # recording registry + tracer
+    ...run experiments...
+    obs.write_metrics("metrics.json")  # or metrics.prom
+    obs.write_trace("trace.json")      # load in chrome://tracing
+    obs.disable()
+
+The metric/span name catalog (and the tables rendered into
+``docs/observability.md``) lives in :mod:`repro.observability.catalog`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.observability.export import (
+    prometheus_name,
+    snapshot_document,
+    to_chrome_trace,
+    to_prometheus_text,
+    write_metrics,
+    write_trace,
+)
+from repro.observability.metrics import (
+    LEAD_TIME_BUCKETS_H,
+    METRICS_SCHEMA,
+    ROW_BUCKETS,
+    TIME_BUCKETS_S,
+    MetricsRegistry,
+    NullRegistry,
+    disable_metrics,
+    enable_metrics,
+    get_registry,
+    set_registry,
+)
+from repro.observability.tracing import (
+    TRACE_SCHEMA,
+    NullTracer,
+    SpanRecord,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    set_tracer,
+)
+
+__all__ = [
+    "LEAD_TIME_BUCKETS_H",
+    "METRICS_SCHEMA",
+    "ROW_BUCKETS",
+    "TIME_BUCKETS_S",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NullTracer",
+    "RemoteObservation",
+    "SpanRecord",
+    "TRACE_SCHEMA",
+    "Tracer",
+    "absorb_remote",
+    "capture_remote",
+    "disable",
+    "disable_metrics",
+    "disable_tracing",
+    "enable",
+    "enable_metrics",
+    "enable_tracing",
+    "get_registry",
+    "get_tracer",
+    "prometheus_name",
+    "set_registry",
+    "set_tracer",
+    "snapshot_document",
+    "to_chrome_trace",
+    "to_prometheus_text",
+    "worker_config",
+    "write_metrics",
+    "write_trace",
+]
+
+
+def enable(*, metrics: bool = True, tracing: bool = True):
+    """Install fresh recording instruments; returns ``(registry, tracer)``.
+
+    Either pillar can be enabled alone; the other keeps its no-op
+    default (pass ``tracing=False`` to collect metrics without paying
+    for span records).
+    """
+    registry = enable_metrics() if metrics else get_registry()
+    tracer = enable_tracing() if tracing else get_tracer()
+    return registry, tracer
+
+
+def disable() -> None:
+    """Restore both no-op defaults (recorded data is discarded)."""
+    disable_metrics()
+    disable_tracing()
+
+
+# -- cross-worker propagation --------------------------------------------------
+#
+# ``repro.utils.parallel.run_tasks`` workers are separate processes with
+# their own module globals, so the parent's registry/tracer are invisible
+# there.  The protocol: the parent ships ``worker_config()`` through the
+# pool initializer, each task runs under ``capture_remote`` (a fresh
+# per-task registry/tracer, so the shipped snapshot is exactly that
+# task's delta), and the result travels home inside a
+# :class:`RemoteObservation` envelope that the parent unwraps with
+# ``absorb_remote`` — merging in task-submission order keeps the parent
+# registry deterministic.
+
+
+@dataclass
+class RemoteObservation:
+    """Envelope carrying a worker task's result plus its observations."""
+
+    result: object
+    metrics: Optional[dict] = None
+    spans: list = field(default_factory=list)
+
+
+def worker_config() -> Optional[dict]:
+    """What the parent ships to pool workers (``None`` when disabled)."""
+    registry, tracer = get_registry(), get_tracer()
+    if not registry.enabled and not tracer.enabled:
+        return None
+    return {"metrics": registry.enabled, "tracing": tracer.enabled}
+
+
+def capture_remote(
+    config: Optional[dict], func: Callable, *args
+) -> object:
+    """Run ``func(*args)`` under fresh per-task instruments.
+
+    Returns the bare result when ``config`` is ``None`` (observability
+    disabled at the parent), otherwise a :class:`RemoteObservation`
+    whose snapshot/spans are exactly this task's contribution.
+    Instruments are restored even when the task raises, so a retried
+    task never double-counts.
+    """
+    if not config:
+        return func(*args)
+    registry = MetricsRegistry() if config.get("metrics") else None
+    tracer = Tracer() if config.get("tracing") else None
+    previous_registry = set_registry(registry) if registry else None
+    previous_tracer = set_tracer(tracer) if tracer else None
+    try:
+        result = func(*args)
+    finally:
+        if registry is not None:
+            set_registry(previous_registry)
+        if tracer is not None:
+            set_tracer(previous_tracer)
+    return RemoteObservation(
+        result=result,
+        metrics=registry.snapshot() if registry else None,
+        spans=tracer.drain() if tracer else [],
+    )
+
+
+def absorb_remote(value: object, *, parent_path: str = "") -> object:
+    """Unwrap a worker result, folding any observations into the parent.
+
+    Passes non-envelope values straight through, so call sites can apply
+    it unconditionally to everything a pool hands back.
+    """
+    if not isinstance(value, RemoteObservation):
+        return value
+    if value.metrics is not None:
+        get_registry().merge_snapshot(value.metrics)
+    if value.spans:
+        get_tracer().absorb(value.spans, parent_path=parent_path)
+    return value.result

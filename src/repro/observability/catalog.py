@@ -1,0 +1,252 @@
+"""The metric and span catalog: every name the instrumentation emits.
+
+One spec per metric/span, used three ways:
+
+* ``docs/observability.md`` documents exactly these names (a test diffs
+  the doc tables against this module);
+* ``tests/test_observability_integration.py`` runs a live end-to-end
+  scenario and diffs the emitted snapshot against this catalog in both
+  directions — an undocumented emission or a documented-but-dead name
+  fails CI;
+* :func:`render_metric_table` / :func:`render_span_table` regenerate
+  the doc tables so the catalog cannot drift from its documentation.
+
+Naming convention: ``family.quantity`` with dotted lowercase families
+(``fit``, ``score``, ``serve``, ``detect``, ``fleet``, ``updating``,
+``parallel``, ``grid``); the Prometheus exporter flattens dots to
+underscores and prefixes ``repro_``.  Timers carry unit ``seconds`` and
+are excluded from determinism comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.observability.metrics import (
+    LEAD_TIME_BUCKETS_H,
+    ROW_BUCKETS,
+    TIME_BUCKETS_S,
+)
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """Catalog entry for one metric name."""
+
+    name: str
+    kind: str  # counter | gauge | histogram
+    unit: str  # "" | seconds | hours | rows ...
+    labels: tuple[str, ...]
+    emitted_by: str
+    when: str
+    buckets: tuple[float, ...] = ()
+
+
+@dataclass(frozen=True)
+class SpanSpec:
+    """Catalog entry for one span name."""
+
+    name: str
+    category: str
+    emitted_by: str
+    when: str
+    args: tuple[str, ...] = field(default_factory=tuple)
+
+
+METRICS: tuple[MetricSpec, ...] = (
+    # -- fit: tree induction (repro/tree/base.py) ---------------------------
+    MetricSpec("fit.trees", "counter", "", (), "repro.tree.base",
+               "once per tree growth (every CT/RT/ensemble-member fit)"),
+    MetricSpec("fit.rows", "counter", "", (), "repro.tree.base",
+               "training rows seen, added once per fit"),
+    MetricSpec("fit.nodes_split", "counter", "", (), "repro.tree.base",
+               "once per internal node created during growth"),
+    MetricSpec("fit.seconds", "histogram", "seconds", (), "repro.tree.base",
+               "wall time of one whole tree growth (incl. pruning)",
+               TIME_BUCKETS_S),
+    MetricSpec("fit.split_search_seconds", "histogram", "seconds", (),
+               "repro.tree.base",
+               "wall time of each node-level split search (the frontier scan)",
+               TIME_BUCKETS_S),
+    # -- score: compiled batch inference (repro/tree/compiled.py,
+    #    repro/core/sampling.py) -------------------------------------------
+    MetricSpec("score.batches", "counter", "", (), "repro.tree.compiled",
+               "once per compiled batch routing call (tree or forest)"),
+    MetricSpec("score.rows", "counter", "", (), "repro.tree.compiled",
+               "rows routed, added once per batch (forest batches add "
+               "rows x members)"),
+    MetricSpec("score.batch_seconds", "histogram", "seconds", (),
+               "repro.tree.compiled",
+               "wall time of each compiled batch routing call",
+               TIME_BUCKETS_S),
+    MetricSpec("score.batch_rows", "histogram", "rows", (),
+               "repro.tree.compiled",
+               "rows per compiled batch routing call", ROW_BUCKETS),
+    MetricSpec("score.fleet_calls", "counter", "", (), "repro.core.sampling",
+               "once per stacked-fleet scoring pass (score_drives)"),
+    MetricSpec("score.fleet_drives", "counter", "", (), "repro.core.sampling",
+               "drives scored, added once per stacked-fleet pass"),
+    MetricSpec("score.fleet_rows", "counter", "", (), "repro.core.sampling",
+               "usable feature rows stacked, added once per pass"),
+    # -- serve: streaming monitor (repro/detection/streaming.py) ------------
+    MetricSpec("serve.ticks", "counter", "", (), "repro.detection.streaming",
+               "once per observation offered to the monitor (incl. faulted)"),
+    MetricSpec("serve.scored", "counter", "", (), "repro.detection.streaming",
+               "once per tick that produced a scoreable feature row"),
+    MetricSpec("serve.faults", "counter", "", ("kind",),
+               "repro.detection.streaming",
+               "once per malformed tick the validation gate excluded, "
+               "labelled by fault kind"),
+    MetricSpec("serve.quarantined", "counter", "", (),
+               "repro.detection.streaming",
+               "once per drive transitioning OK -> DEGRADED"),
+    MetricSpec("serve.alerts", "counter", "", (), "repro.detection.streaming",
+               "once per raised alert (incl. short-history finalize)"),
+    MetricSpec("serve.vote_flips", "counter", "", (),
+               "repro.detection.streaming",
+               "once per change of a drive detector's instantaneous "
+               "alarm signal"),
+    MetricSpec("serve.fleet_ticks", "counter", "", (),
+               "repro.detection.streaming",
+               "once per observe_fleet collection tick"),
+    MetricSpec("serve.tick_seconds", "histogram", "seconds", (),
+               "repro.detection.streaming",
+               "wall time of each observe_fleet collection tick",
+               TIME_BUCKETS_S),
+    # -- detect: offline evaluation (repro/detection/evaluator.py) ----------
+    MetricSpec("detect.evaluations", "counter", "", (),
+               "repro.detection.evaluator",
+               "once per evaluate_detection call"),
+    MetricSpec("detect.drives", "counter", "", (),
+               "repro.detection.evaluator",
+               "score series evaluated, added once per call"),
+    MetricSpec("detect.detected", "counter", "", (),
+               "repro.detection.evaluator",
+               "failed drives alarmed in time, added once per call"),
+    MetricSpec("detect.false_alarms", "counter", "", (),
+               "repro.detection.evaluator",
+               "good drives alarmed, added once per call"),
+    MetricSpec("detect.lead_time_hours", "histogram", "hours", (),
+               "repro.detection.evaluator",
+               "alert lead time (TIA) of each detected failure, in the "
+               "Figure 3/4 bin edges", LEAD_TIME_BUCKETS_H),
+    # -- fleet: per-family routing (repro/core/fleet.py) --------------------
+    MetricSpec("fleet.families_fitted", "counter", "", (), "repro.core.fleet",
+               "once per family model fitted by FleetPredictor.fit"),
+    MetricSpec("fleet.drives_scored", "counter", "", (), "repro.core.fleet",
+               "drives routed to a family model, added per score_drives"),
+    MetricSpec("fleet.unroutable_drives", "counter", "", (),
+               "repro.core.fleet",
+               "drives of families unseen at fit time, added per "
+               "score_drives"),
+    # -- updating: retrain cadence and drift (repro/updating/) --------------
+    MetricSpec("updating.retrains", "counter", "", (),
+               "repro.updating.simulator",
+               "once per training-window model fitted"),
+    MetricSpec("updating.cells_evaluated", "counter", "", (),
+               "repro.updating.simulator",
+               "once per (window, week) cell evaluated fresh"),
+    MetricSpec("updating.cache_hits", "counter", "", (),
+               "repro.updating.simulator",
+               "once per cell served from the in-run evaluation cache"),
+    MetricSpec("updating.checkpoint_hits", "counter", "", (),
+               "repro.updating.simulator",
+               "once per cell reloaded from an on-disk checkpoint"),
+    MetricSpec("updating.drift_checks", "counter", "", (),
+               "repro.updating.drift",
+               "once per DriftDetector.check call"),
+    MetricSpec("updating.drift_alarms", "counter", "", (),
+               "repro.updating.drift",
+               "once per drift check whose statistic crossed the threshold"),
+    MetricSpec("updating.drift_statistic", "gauge", "", (),
+               "repro.updating.drift",
+               "last measured max |rank-sum z| across features"),
+    # -- parallel: the fan-out pool (repro/utils/parallel.py) ---------------
+    MetricSpec("parallel.tasks", "counter", "", ("mode",),
+               "repro.utils.parallel",
+               "once per task completed, labelled serial or pool"),
+    MetricSpec("parallel.retries", "counter", "", (), "repro.utils.parallel",
+               "once per retry attempt granted to a failing task"),
+    MetricSpec("parallel.salvaged", "counter", "", (), "repro.utils.parallel",
+               "once per task recomputed serially after a pool failure"),
+    MetricSpec("parallel.serial_fallbacks", "counter", "", (),
+               "repro.utils.parallel",
+               "once per fan-out degraded to serial execution"),
+    MetricSpec("parallel.task_wait_seconds", "histogram", "seconds", (),
+               "repro.utils.parallel",
+               "wall time from pool submission to collected result, per "
+               "pooled task (queue wait + execution)", TIME_BUCKETS_S),
+    # -- grid: the experiment runner (repro/experiments/common.py) ----------
+    MetricSpec("grid.cells", "counter", "", (), "repro.experiments.common",
+               "once per experiment cell computed by run_experiment_grid"),
+    MetricSpec("grid.checkpoint_hits", "counter", "", (),
+               "repro.experiments.common",
+               "once per cell reloaded from the grid checkpoint"),
+    MetricSpec("grid.cell_seconds", "histogram", "seconds", (),
+               "repro.experiments.common",
+               "wall time of each experiment cell", TIME_BUCKETS_S),
+)
+
+
+SPANS: tuple[SpanSpec, ...] = (
+    SpanSpec("fit.grow", "fit", "repro.tree.base",
+             "one tree growth (root to pruned tree)",
+             ("n_rows", "n_features")),
+    SpanSpec("score.batch", "score", "repro.tree.compiled",
+             "one compiled batch routing call", ("n_rows", "n_trees")),
+    SpanSpec("serve.tick", "serve", "repro.detection.streaming",
+             "one observe_fleet collection tick", ("n_drives",)),
+    SpanSpec("detect.evaluate", "detect", "repro.detection.evaluator",
+             "one detector evaluation over a fleet of score series",
+             ("n_series",)),
+    SpanSpec("updating.window_fit", "updating", "repro.updating.simulator",
+             "one training-window model fit", ("window",)),
+    SpanSpec("updating.cell_eval", "updating", "repro.updating.simulator",
+             "one (window, week) cell evaluation", ("window", "week")),
+    SpanSpec("parallel.task", "parallel", "repro.utils.parallel",
+             "one task execution (worker spans are absorbed under the "
+             "fan-out site's path)", ("index",)),
+    SpanSpec("grid.cell", "grid", "repro.experiments.common",
+             "one experiment cell", ("experiment",)),
+)
+
+
+def metric_names() -> set[str]:
+    """Every documented metric name."""
+    return {spec.name for spec in METRICS}
+
+
+def span_names() -> set[str]:
+    """Every documented span name."""
+    return {spec.name for spec in SPANS}
+
+
+def render_metric_table() -> str:
+    """The docs/observability.md metric table, regenerated from the specs."""
+    lines = [
+        "| Metric | Type | Unit | Labels | Emitted by | When |",
+        "|---|---|---|---|---|---|",
+    ]
+    for spec in METRICS:
+        labels = ", ".join(spec.labels) if spec.labels else "—"
+        unit = spec.unit or "—"
+        lines.append(
+            f"| `{spec.name}` | {spec.kind} | {unit} | {labels} "
+            f"| `{spec.emitted_by}` | {spec.when} |"
+        )
+    return "\n".join(lines)
+
+
+def render_span_table() -> str:
+    """The docs/observability.md span table, regenerated from the specs."""
+    lines = [
+        "| Span | Category | Args | Emitted by | When |",
+        "|---|---|---|---|---|",
+    ]
+    for spec in SPANS:
+        args = ", ".join(spec.args) if spec.args else "—"
+        lines.append(
+            f"| `{spec.name}` | {spec.category} | {args} "
+            f"| `{spec.emitted_by}` | {spec.when} |"
+        )
+    return "\n".join(lines)

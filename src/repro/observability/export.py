@@ -1,0 +1,154 @@
+"""Exporters: JSON snapshot, Prometheus text exposition, Chrome trace.
+
+Three consumers, three formats, all rendered from the same in-memory
+registry/tracer state:
+
+* :func:`snapshot_document` — the canonical plain-JSON dump (schema-
+  tagged; what ``repro-experiments --metrics-out`` writes);
+* :func:`to_prometheus_text` — the text exposition format scrapeable by
+  Prometheus and checkable with ``promtool check metrics`` (names are
+  sanitised ``a.b-c`` → ``a_b_c``, counters get the ``_total`` suffix,
+  histograms render cumulative ``_bucket{le=...}`` rows plus ``_sum``
+  and ``_count``);
+* :func:`to_chrome_trace` — the ``chrome://tracing`` / Perfetto JSON
+  array of complete (``"ph": "X"``) events, microsecond timestamps,
+  with CPU time and the nesting path attached as event args.
+
+Writers (:func:`write_metrics`, :func:`write_trace`) pick the format
+from the file suffix so the CLI stays one flag per artefact.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.observability.metrics import MetricsRegistry, get_registry
+from repro.observability.tracing import TRACE_SCHEMA, Tracer, get_tracer
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prometheus_name(name: str, *, prefix: str = "repro") -> str:
+    """Sanitise a dotted metric name into a legal Prometheus name."""
+    flat = _SANITIZE.sub("_", f"{prefix}_{name}" if prefix else name)
+    if not _NAME_OK.match(flat):
+        flat = "_" + flat
+    return flat
+
+
+def _prometheus_labels(label_key: str, extra: str = "") -> str:
+    """Render a snapshot series key (``k=v,k2=v2``) as a label block."""
+    parts = []
+    if label_key:
+        for pair in label_key.split(","):
+            key, value = pair.split("=", 1)
+            escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+            parts.append(f'{_SANITIZE.sub("_", key)}="{escaped}"')
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value the way promtool expects (no float noise)."""
+    as_float = float(value)
+    if as_float == int(as_float) and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def to_prometheus_text(registry: Optional[MetricsRegistry] = None) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    registry = registry if registry is not None else get_registry()
+    snapshot = registry.snapshot()
+    lines: list[str] = []
+    for name, entry in snapshot["metrics"].items():
+        kind = entry["kind"]
+        flat = prometheus_name(name)
+        if kind == "counter":
+            flat += "_total"
+        help_text = entry.get("help", "") or name
+        unit = entry.get("unit", "")
+        if unit:
+            help_text += f" ({unit})"
+        lines.append(f"# HELP {flat} {help_text}")
+        lines.append(f"# TYPE {flat} {kind}")
+        for label_key, value in entry["series"].items():
+            if kind == "histogram":
+                cumulative = 0
+                for bound, count in zip(value["buckets"], value["counts"]):
+                    cumulative += count
+                    block = _prometheus_labels(label_key, f'le="{bound}"')
+                    lines.append(f"{flat}_bucket{block} {cumulative}")
+                cumulative += value["counts"][-1]
+                block = _prometheus_labels(label_key, 'le="+Inf"')
+                lines.append(f"{flat}_bucket{block} {cumulative}")
+                block = _prometheus_labels(label_key)
+                lines.append(f"{flat}_sum{block} {repr(float(value['sum']))}")
+                lines.append(f"{flat}_count{block} {value['count']}")
+            else:
+                block = _prometheus_labels(label_key)
+                lines.append(f"{flat}{block} {_format_value(value)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def to_chrome_trace(tracer: Optional[Tracer] = None) -> dict:
+    """Render the tracer's spans as a ``chrome://tracing`` JSON document.
+
+    Complete events (``"ph": "X"``) with microsecond ``ts``/``dur``;
+    CPU seconds and the nesting path ride along in ``args``.  The
+    document loads directly in ``chrome://tracing`` and Perfetto.
+    """
+    tracer = tracer if tracer is not None else get_tracer()
+    events = []
+    for span in sorted(tracer.spans, key=lambda s: (s.pid, s.tid, s.start_s)):
+        args = {"path": span.path, "cpu_s": round(span.cpu_s, 9)}
+        args.update(span.args)
+        events.append({
+            "name": span.name,
+            "cat": span.category or "repro",
+            "ph": "X",
+            "ts": round(span.start_s * 1e6, 3),
+            "dur": round(span.dur_s * 1e6, 3),
+            "pid": span.pid,
+            "tid": span.tid,
+            "args": args,
+        })
+    return {
+        "schema": TRACE_SCHEMA,
+        "displayTimeUnit": "ms",
+        "traceEvents": events,
+    }
+
+
+def snapshot_document(
+    registry: Optional[MetricsRegistry] = None, *, include_timers: bool = True
+) -> dict:
+    """The canonical JSON metrics document (already schema-tagged)."""
+    registry = registry if registry is not None else get_registry()
+    return registry.snapshot(include_timers=include_timers)
+
+
+def write_metrics(
+    path: Union[str, Path], registry: Optional[MetricsRegistry] = None
+) -> Path:
+    """Write the registry to ``path``; ``.prom``/``.txt`` selects the
+    Prometheus text format, anything else the JSON snapshot."""
+    target = Path(path)
+    if target.suffix in (".prom", ".txt"):
+        target.write_text(to_prometheus_text(registry))
+    else:
+        document = snapshot_document(registry)
+        target.write_text(json.dumps(document, indent=1, sort_keys=True) + "\n")
+    return target
+
+
+def write_trace(path: Union[str, Path], tracer: Optional[Tracer] = None) -> Path:
+    """Write the tracer's spans to ``path`` as Chrome-trace JSON."""
+    target = Path(path)
+    target.write_text(json.dumps(to_chrome_trace(tracer), indent=1) + "\n")
+    return target

@@ -1,0 +1,338 @@
+"""Zero-dependency metrics registry: counters, gauges, histograms.
+
+The ROADMAP's production north star needs the runtime to be *measurable*
+before it can be made faster: how long a retrain takes, how many rows a
+batch scored, how often the serving gate quarantined a tick.  This
+module provides the substrate every instrumented hot path records into:
+
+* :class:`Counter` — monotone event totals (``serve.ticks``);
+* :class:`Gauge` — last-written level (``updating.drift_statistic``);
+* :class:`Histogram` — distributions over **fixed bucket boundaries**,
+  chosen at creation and never rebalanced, so two identical runs emit
+  byte-identical snapshots (the determinism test relies on this).
+
+Instrumentation must cost nothing when nobody is looking, so the module
+global defaults to a :class:`NullRegistry` whose metric handles are
+shared no-op singletons: a disabled call site pays one attribute read
+and one no-op method call (guarded by a micro-benchmark floor in
+``benchmarks/test_bench_micro.py``).  :func:`enable_metrics` swaps in a
+recording :class:`MetricsRegistry`; hot loops additionally check
+``registry.enabled`` so they never even read a clock while disabled.
+
+Label sets create independent series under one metric name
+(``serve.faults`` labelled by fault ``kind``); a metric's kind, unit
+and bucket boundaries are fixed by its first registration and a
+conflicting re-registration raises.  Metrics whose unit is ``seconds``
+are *timers*: :meth:`MetricsRegistry.snapshot` can exclude them so
+deterministic quantities can be compared across runs while wall-clock
+noise is left out.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Optional, Sequence
+
+#: Schema tag stamped on every JSON snapshot (bump on breaking change).
+METRICS_SCHEMA = "repro.metrics/v1"
+
+#: Wall-time histogram boundaries (seconds).  Fixed and shared by every
+#: timer so snapshots are structurally identical across runs.
+TIME_BUCKETS_S = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 300.0,
+)
+
+#: Batch-size histogram boundaries (rows per scoring call).
+ROW_BUCKETS = (1.0, 10.0, 100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0)
+
+#: Alert lead-time boundaries (hours) — the Figure 3/4 TIA bin edges.
+LEAD_TIME_BUCKETS_H = (24.0, 72.0, 168.0, 336.0, 450.0)
+
+
+def _label_key(labels: dict) -> str:
+    """Canonical series key for a label set (sorted ``k=v`` pairs)."""
+    if not labels:
+        return ""
+    return ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+
+
+class Counter:
+    """A monotonically increasing event total."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: dict):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the total."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease ({amount})")
+        self.value += amount
+
+
+class Gauge:
+    """A level that can move both ways; reports the last written value."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: dict):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """A distribution over fixed, ascending bucket boundaries.
+
+    ``buckets`` are inclusive upper bounds; one implicit overflow bucket
+    (+Inf) is always appended, so ``counts`` has ``len(buckets) + 1``
+    slots.  Boundaries are fixed at creation — deterministic output is
+    the whole point — and exported cumulatively in the Prometheus style.
+    """
+
+    __slots__ = ("name", "labels", "buckets", "counts", "sum", "count")
+
+    def __init__(self, name: str, labels: dict, buckets: Sequence[float]):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError(f"histogram {name} needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"histogram {name} bounds must strictly ascend")
+        self.name = name
+        self.labels = labels
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+
+class _NullMetric:
+    """Shared no-op handle returned by the :class:`NullRegistry`.
+
+    Implements the union of the metric surfaces so disabled call sites
+    need no branching; every method is a constant-time no-op.
+    """
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_METRIC = _NullMetric()
+
+_KINDS = ("counter", "gauge", "histogram")
+
+
+class MetricsRegistry:
+    """Owns every metric series and renders deterministic snapshots.
+
+    Handles are get-or-create: the first call fixes a metric's kind,
+    unit, help text and (for histograms) bucket boundaries; later calls
+    with the same name must agree or raise, so a name can never mean
+    two different things in one snapshot.
+    """
+
+    enabled = True
+
+    def __init__(self):
+        # name -> (kind, unit, help, buckets-or-None)
+        self._specs: dict[str, tuple[str, str, str, Optional[tuple]]] = {}
+        # (name, label_key) -> metric instance
+        self._series: dict[tuple[str, str], object] = {}
+
+    # -- handle creation ------------------------------------------------------
+
+    def _get(self, kind: str, name: str, unit: str, help: str,
+             buckets: Optional[Sequence[float]], labels: dict):
+        spec = self._specs.get(name)
+        bounds = tuple(buckets) if buckets is not None else None
+        if spec is None:
+            self._specs[name] = (kind, unit, help, bounds)
+        elif spec[0] != kind or (spec[3] != bounds and bounds is not None):
+            raise ValueError(
+                f"metric {name!r} already registered as {spec[0]}; "
+                f"cannot re-register as {kind} with different shape"
+            )
+        key = (name, _label_key(labels))
+        series = self._series.get(key)
+        if series is None:
+            if kind == "counter":
+                series = Counter(name, labels)
+            elif kind == "gauge":
+                series = Gauge(name, labels)
+            else:
+                series = Histogram(name, labels, self._specs[name][3])
+            self._series[key] = series
+        return series
+
+    def counter(self, name: str, *, unit: str = "", help: str = "", **labels) -> Counter:
+        """Get-or-create the counter series for ``(name, labels)``."""
+        return self._get("counter", name, unit, help, None, labels)
+
+    def gauge(self, name: str, *, unit: str = "", help: str = "", **labels) -> Gauge:
+        """Get-or-create the gauge series for ``(name, labels)``."""
+        return self._get("gauge", name, unit, help, None, labels)
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = TIME_BUCKETS_S,
+        *, unit: str = "", help: str = "", **labels,
+    ) -> Histogram:
+        """Get-or-create the histogram series for ``(name, labels)``."""
+        return self._get("histogram", name, unit, help, buckets, labels)
+
+    # -- introspection --------------------------------------------------------
+
+    def names(self) -> list[str]:
+        """Registered metric names, sorted."""
+        return sorted(self._specs)
+
+    def spec(self, name: str) -> tuple[str, str, str, Optional[tuple]]:
+        """(kind, unit, help, buckets) for one registered name."""
+        return self._specs[name]
+
+    def snapshot(self, *, include_timers: bool = True) -> dict:
+        """A plain-JSON view of every series.
+
+        ``include_timers=False`` drops metrics whose unit is
+        ``"seconds"`` — the wall-clock quantities that legitimately vary
+        between otherwise identical runs — leaving a snapshot two
+        deterministic runs must agree on byte for byte.
+        """
+        metrics: dict[str, dict] = {}
+        for name in sorted(self._specs):
+            kind, unit, help_text, buckets = self._specs[name]
+            if not include_timers and unit == "seconds":
+                continue
+            series: dict[str, object] = {}
+            for (series_name, label_key), metric in sorted(self._series.items()):
+                if series_name != name:
+                    continue
+                if kind == "histogram":
+                    series[label_key] = {
+                        "buckets": list(metric.buckets),
+                        "counts": list(metric.counts),
+                        "sum": metric.sum,
+                        "count": metric.count,
+                    }
+                else:
+                    series[label_key] = metric.value
+            entry: dict[str, object] = {"kind": kind, "series": series}
+            if unit:
+                entry["unit"] = unit
+            if help_text:
+                entry["help"] = help_text
+            metrics[name] = entry
+        return {"schema": METRICS_SCHEMA, "metrics": metrics}
+
+    # -- cross-process merge --------------------------------------------------
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a worker's snapshot into this registry.
+
+        Counters and histograms add; gauges take the incoming value
+        (merges happen in task-submission order, so the result is
+        deterministic).  Used by :func:`repro.utils.parallel.run_tasks`
+        to propagate metrics recorded inside worker processes.
+        """
+        for name, entry in snapshot.get("metrics", {}).items():
+            kind = entry["kind"]
+            unit = entry.get("unit", "")
+            help_text = entry.get("help", "")
+            for label_key, value in entry["series"].items():
+                labels = dict(
+                    pair.split("=", 1) for pair in label_key.split(",") if pair
+                )
+                if kind == "counter":
+                    self.counter(name, unit=unit, help=help_text, **labels).inc(value)
+                elif kind == "gauge":
+                    self.gauge(name, unit=unit, help=help_text, **labels).set(value)
+                else:
+                    local = self.histogram(
+                        name, value["buckets"], unit=unit, help=help_text, **labels
+                    )
+                    for slot, n in enumerate(value["counts"]):
+                        local.counts[slot] += n
+                    local.sum += value["sum"]
+                    local.count += value["count"]
+
+
+class NullRegistry(MetricsRegistry):
+    """The default registry: accepts everything, records nothing.
+
+    Every handle accessor returns the shared no-op singleton, so an
+    instrumented call site costs one method call and no allocation when
+    observability is off.
+    """
+
+    enabled = False
+
+    def counter(self, name: str, **kwargs) -> _NullMetric:  # type: ignore[override]
+        return _NULL_METRIC
+
+    def gauge(self, name: str, **kwargs) -> _NullMetric:  # type: ignore[override]
+        return _NULL_METRIC
+
+    def histogram(self, name: str, buckets=TIME_BUCKETS_S, **kwargs) -> _NullMetric:  # type: ignore[override]
+        return _NULL_METRIC
+
+    def snapshot(self, *, include_timers: bool = True) -> dict:
+        return {"schema": METRICS_SCHEMA, "metrics": {}}
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        pass
+
+
+#: Process-wide registry; the null default makes instrumentation free.
+_NULL_REGISTRY = NullRegistry()
+_registry: MetricsRegistry = _NULL_REGISTRY
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry every instrumented site records into."""
+    return _registry
+
+
+def set_registry(registry: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """Install ``registry`` globally (``None`` restores the no-op default).
+
+    Returns the previously installed registry so callers can restore it.
+    """
+    global _registry
+    previous = _registry
+    _registry = registry if registry is not None else _NULL_REGISTRY
+    return previous
+
+
+def enable_metrics() -> MetricsRegistry:
+    """Install and return a fresh recording registry."""
+    registry = MetricsRegistry()
+    set_registry(registry)
+    return registry
+
+
+def disable_metrics() -> None:
+    """Restore the no-op default registry."""
+    set_registry(None)

@@ -1,0 +1,222 @@
+"""Span-based structured tracing with wall and CPU timing.
+
+A metric answers "how many / how long in aggregate"; a trace answers
+"where did *this run* spend its time".  :class:`Tracer` records
+:class:`SpanRecord` entries — name, category, wall start/duration, CPU
+time, nesting path, process/thread ids, JSON-able args — via a context
+manager that maintains an explicit span stack, so nested spans know
+their parents without any global interpreter hooks:
+
+    with tracer.span("fit.grow", category="fit", n_rows=8000):
+        ...
+        with tracer.span("fit.split_search", category="fit"):
+            ...
+
+Nesting propagates across :func:`repro.utils.parallel.run_tasks` worker
+boundaries: a worker runs each task under a fresh tracer, ships the
+finished spans back with the result, and the parent *absorbs* them
+under the path that was active at the fan-out call site (re-based onto
+the parent clock, stamped with the worker pid), so a Chrome-trace dump
+of a parallel fit still reads as one coherent tree.
+
+Like the metrics registry, the module-global tracer defaults to a
+:class:`NullTracer` whose ``span`` yields a shared no-op context —
+disabled call sites never read a clock.  Export to the
+``chrome://tracing`` / Perfetto JSON format lives in
+:mod:`repro.observability.export`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+#: Schema tag stamped on Chrome-trace dumps (bump on breaking change).
+TRACE_SCHEMA = "repro.trace/v1"
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span.
+
+    ``start_s``/``dur_s`` are wall seconds on the recording tracer's
+    clock; ``cpu_s`` is process CPU time consumed between enter and
+    exit.  ``path`` is the slash-joined ancestry (including this span's
+    own name) that encodes nesting without object references — picklable
+    by construction so spans can cross process boundaries.
+    """
+
+    name: str
+    category: str
+    start_s: float
+    dur_s: float
+    cpu_s: float
+    path: str
+    pid: int
+    tid: int
+    args: dict = field(default_factory=dict)
+
+
+class _SpanContext:
+    """Context manager produced by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_name", "_category", "_args", "_start", "_cpu")
+
+    def __init__(self, tracer: "Tracer", name: str, category: str, args: dict):
+        self._tracer = tracer
+        self._name = name
+        self._category = category
+        self._args = args
+
+    def __enter__(self) -> "_SpanContext":
+        self._tracer._stack.append(self._name)
+        self._start = self._tracer._wall()
+        self._cpu = self._tracer._cpu()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        tracer = self._tracer
+        end = tracer._wall()
+        cpu_end = tracer._cpu()
+        path = "/".join(tracer._stack)
+        tracer._stack.pop()
+        tracer.spans.append(SpanRecord(
+            name=self._name,
+            category=self._category,
+            start_s=self._start,
+            dur_s=end - self._start,
+            cpu_s=cpu_end - self._cpu,
+            path=path,
+            pid=os.getpid(),
+            tid=threading.get_ident(),
+            args=self._args,
+        ))
+
+
+class _NullSpanContext:
+    """Reusable no-op context; the disabled path allocates nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpanContext":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpanContext()
+
+
+class Tracer:
+    """Collects finished spans; one per process (workers get their own).
+
+    The wall/CPU clocks are injectable so exporter tests can produce
+    golden output from a deterministic clock.
+    """
+
+    enabled = True
+
+    def __init__(self, *, wall=time.perf_counter, cpu=time.process_time):
+        self._wall = wall
+        self._cpu = cpu
+        self._stack: list[str] = []
+        self.spans: list[SpanRecord] = []
+
+    def span(self, name: str, *, category: str = "", **args) -> _SpanContext:
+        """Open a span; finishes (and records) when the context exits."""
+        return _SpanContext(self, name, category, args)
+
+    def current_path(self) -> str:
+        """Slash-joined names of the currently open spans ("" at top level)."""
+        return "/".join(self._stack)
+
+    def drain(self) -> list[SpanRecord]:
+        """Return and clear the finished spans (cross-worker shipping)."""
+        spans, self.spans = self.spans, []
+        return spans
+
+    def absorb(
+        self, spans: Iterable[SpanRecord], *, parent_path: str = ""
+    ) -> None:
+        """Merge spans recorded by another tracer (typically a worker).
+
+        Worker clocks share no epoch with the parent, so the batch is
+        re-based: its earliest start lands at the parent's current
+        clock, preserving every relative offset inside the batch.
+        ``parent_path`` (the fan-out site's :meth:`current_path`) is
+        prefixed onto each span's path so nesting survives the process
+        boundary.
+        """
+        spans = list(spans)
+        if not spans:
+            return
+        shift = self._wall() - min(span.start_s for span in spans)
+        for span in spans:
+            path = f"{parent_path}/{span.path}" if parent_path else span.path
+            self.spans.append(SpanRecord(
+                name=span.name,
+                category=span.category,
+                start_s=span.start_s + shift,
+                dur_s=span.dur_s,
+                cpu_s=span.cpu_s,
+                path=path,
+                pid=span.pid,
+                tid=span.tid,
+                args=span.args,
+            ))
+
+    def span_names(self) -> set[str]:
+        """Distinct names among the recorded spans."""
+        return {span.name for span in self.spans}
+
+
+class NullTracer(Tracer):
+    """The default tracer: yields a shared no-op context, records nothing."""
+
+    enabled = False
+
+    def __init__(self):
+        super().__init__()
+
+    def span(self, name: str, *, category: str = "", **args) -> _NullSpanContext:  # type: ignore[override]
+        return _NULL_SPAN
+
+    def absorb(self, spans, *, parent_path: str = "") -> None:
+        pass
+
+
+#: Process-wide tracer; the null default makes span sites free.
+_NULL_TRACER = NullTracer()
+_tracer: Tracer = _NULL_TRACER
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer every instrumented site records into."""
+    return _tracer
+
+
+def set_tracer(tracer: Optional[Tracer]) -> Tracer:
+    """Install ``tracer`` globally (``None`` restores the no-op default).
+
+    Returns the previously installed tracer so callers can restore it.
+    """
+    global _tracer
+    previous = _tracer
+    _tracer = tracer if tracer is not None else _NULL_TRACER
+    return previous
+
+
+def enable_tracing() -> Tracer:
+    """Install and return a fresh recording tracer."""
+    tracer = Tracer()
+    set_tracer(tracer)
+    return tracer
+
+
+def disable_tracing() -> None:
+    """Restore the no-op default tracer."""
+    set_tracer(None)

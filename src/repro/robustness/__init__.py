@@ -32,8 +32,13 @@ from repro.robustness.inject import (
     resolve_profile,
 )
 
+#: Schema tag on the CHAOS_report.json CI artifact (see
+#: ``docs/observability.md``; bump on breaking change).
+CHAOS_REPORT_SCHEMA = "repro.chaos-report/v1"
+
 __all__ = [
     "BUILTIN_PROFILES",
+    "CHAOS_REPORT_SCHEMA",
     "DuplicateTicks",
     "Fault",
     "FaultProfile",

@@ -50,9 +50,11 @@ class StreamEvent:
 
     @classmethod
     def from_arrays(cls, serial: str, hour: float, values: np.ndarray) -> "StreamEvent":
+        """Build an event from a ``DriveRecord``-style row (values copied)."""
         return cls(serial=serial, hour=float(hour), values=tuple(float(v) for v in values))
 
     def values_array(self) -> np.ndarray:
+        """The channel vector as a float array (what a monitor ingests)."""
         return np.asarray(self.values, dtype=float)
 
 
@@ -81,11 +83,13 @@ class Fault(ABC):
     """
 
     def apply_drive(self, drive: DriveRecord, rng: np.random.Generator) -> DriveRecord:
+        """Corrupt one drive's recorded history (identity by default)."""
         return drive
 
     def apply_stream(
         self, events: list[StreamEvent], rng: np.random.Generator
     ) -> list[StreamEvent]:
+        """Corrupt one drive's replayed tick list (identity by default)."""
         return events
 
     # -- shared helpers ------------------------------------------------------

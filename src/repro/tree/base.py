@@ -11,10 +11,12 @@ Parameter are pruned back (lines 18-22 of both algorithms).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from time import perf_counter
 from typing import Optional
 
 import numpy as np
 
+from repro.observability import get_registry, get_tracer
 from repro.tree.compiled import CompiledTree, compile_tree
 from repro.tree.frontier import FrontierNode, TrainingFrontier
 from repro.tree.node import Node
@@ -119,53 +121,79 @@ class BaseDecisionTree(ABC):
 
     def _grow(self, X: np.ndarray, sample_weight: np.ndarray) -> None:
         """Grow the full tree (Algorithm 1/2 lines 2-17), then CP-prune."""
-        self._X = X
-        self._w = sample_weight
-        all_indices = np.arange(X.shape[0])
-        self.root_ = self._create_node(node_id=1, depth=0, indices=all_indices)
-        root_frontier = TrainingFrontier(X).root if self.presort else None
-        stack: list[tuple[Node, np.ndarray, Optional[FrontierNode]]] = [
-            (self.root_, all_indices, root_frontier)
-        ]
-        while stack:
-            node, indices, frontier_node = stack.pop()
-            if not self._may_split(node, indices):
-                continue
-            candidate = self._search_split(indices, frontier_node)
-            if candidate is None:
-                continue
-            surrogates = self._find_surrogates(indices, candidate, frontier_node)
-            left_mask, right_mask = self._partition_training_rows(
-                indices, candidate, surrogates
-            )
-            left_idx = indices[left_mask]
-            right_idx = indices[right_mask]
-            if len(left_idx) == 0 or len(right_idx) == 0:
-                # NaN routing can empty a side even though the finite-value
-                # split was admissible; treat the node as unsplittable.
-                continue
-            node.feature = candidate.feature
-            node.threshold = candidate.threshold
-            node.missing_goes_left = candidate.missing_goes_left
-            node.surrogates = surrogates
-            node.gain = candidate.gain
-            node.left = self._create_node(2 * node.node_id, node.depth + 1, left_idx)
-            node.right = self._create_node(2 * node.node_id + 1, node.depth + 1, right_idx)
-            if frontier_node is not None:
-                # Skip materialising a child's partition when Minsplit or
-                # the depth cap already rules out splitting it.
-                left_frontier, right_frontier = frontier_node.split(
-                    left_idx,
-                    keep_left=self._child_may_split(len(left_idx), node.depth + 1),
-                    keep_right=self._child_may_split(len(right_idx), node.depth + 1),
+        registry = get_registry()
+        # Clock reads only happen on the enabled path; the null registry
+        # turns every record below into a constant-time no-op.
+        split_hist = registry.histogram(
+            "fit.split_search_seconds", unit="seconds",
+            help="node-level split search wall time",
+        ) if registry.enabled else None
+        fit_start = perf_counter() if registry.enabled else 0.0
+        n_splits = 0
+        with get_tracer().span(
+            "fit.grow", category="fit",
+            n_rows=int(X.shape[0]), n_features=int(X.shape[1]),
+        ):
+            self._X = X
+            self._w = sample_weight
+            all_indices = np.arange(X.shape[0])
+            self.root_ = self._create_node(node_id=1, depth=0, indices=all_indices)
+            root_frontier = TrainingFrontier(X).root if self.presort else None
+            stack: list[tuple[Node, np.ndarray, Optional[FrontierNode]]] = [
+                (self.root_, all_indices, root_frontier)
+            ]
+            while stack:
+                node, indices, frontier_node = stack.pop()
+                if not self._may_split(node, indices):
+                    continue
+                if split_hist is not None:
+                    search_start = perf_counter()
+                    candidate = self._search_split(indices, frontier_node)
+                    split_hist.observe(perf_counter() - search_start)
+                else:
+                    candidate = self._search_split(indices, frontier_node)
+                if candidate is None:
+                    continue
+                surrogates = self._find_surrogates(indices, candidate, frontier_node)
+                left_mask, right_mask = self._partition_training_rows(
+                    indices, candidate, surrogates
                 )
-            else:
-                left_frontier = right_frontier = None
-            stack.append((node.left, left_idx, left_frontier))
-            stack.append((node.right, right_idx, right_frontier))
-        self._prune(self.cp)
-        del self._X, self._w
-        self.recompile()
+                left_idx = indices[left_mask]
+                right_idx = indices[right_mask]
+                if len(left_idx) == 0 or len(right_idx) == 0:
+                    # NaN routing can empty a side even though the finite-value
+                    # split was admissible; treat the node as unsplittable.
+                    continue
+                node.feature = candidate.feature
+                node.threshold = candidate.threshold
+                node.missing_goes_left = candidate.missing_goes_left
+                node.surrogates = surrogates
+                node.gain = candidate.gain
+                node.left = self._create_node(2 * node.node_id, node.depth + 1, left_idx)
+                node.right = self._create_node(2 * node.node_id + 1, node.depth + 1, right_idx)
+                n_splits += 1
+                if frontier_node is not None:
+                    # Skip materialising a child's partition when Minsplit or
+                    # the depth cap already rules out splitting it.
+                    left_frontier, right_frontier = frontier_node.split(
+                        left_idx,
+                        keep_left=self._child_may_split(len(left_idx), node.depth + 1),
+                        keep_right=self._child_may_split(len(right_idx), node.depth + 1),
+                    )
+                else:
+                    left_frontier = right_frontier = None
+                stack.append((node.left, left_idx, left_frontier))
+                stack.append((node.right, right_idx, right_frontier))
+            self._prune(self.cp)
+            del self._X, self._w
+            self.recompile()
+        registry.counter("fit.trees", help="trees grown").inc()
+        registry.counter("fit.rows", help="training rows seen").inc(X.shape[0])
+        registry.counter("fit.nodes_split", help="internal nodes created").inc(n_splits)
+        if registry.enabled:
+            registry.histogram(
+                "fit.seconds", unit="seconds", help="whole-tree growth wall time"
+            ).observe(perf_counter() - fit_start)
 
     def recompile(self) -> None:
         """Rebuild the flat-array form from ``root_``.

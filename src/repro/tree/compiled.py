@@ -40,15 +40,30 @@ matrix one call.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.observability import get_registry, get_tracer
+from repro.observability.metrics import ROW_BUCKETS
 from repro.tree.node import Node
 from repro.tree.surrogates import SurrogateSplit
 
 #: Sentinel used in ``feature``/``children_*`` arrays at leaf slots.
 LEAF = -1
+
+
+def _observe_batch(registry, n_rows: int, n_trees: int, elapsed: float) -> None:
+    """Record one compiled batch routing call (enabled registries only)."""
+    registry.counter("score.batches", help="compiled batch routing calls").inc()
+    registry.counter("score.rows", help="rows routed").inc(n_rows * n_trees)
+    registry.histogram(
+        "score.batch_rows", ROW_BUCKETS, unit="rows", help="rows per batch call"
+    ).observe(n_rows)
+    registry.histogram(
+        "score.batch_seconds", unit="seconds", help="batch routing wall time"
+    ).observe(elapsed)
 
 
 class _RoutingContext:
@@ -67,6 +82,7 @@ class _RoutingContext:
         self._missing: dict[int, Optional[np.ndarray]] = {}
 
     def missing_mask(self, feature: int) -> Optional[np.ndarray]:
+        """Cached non-finite mask for a column, ``None`` when all finite."""
         mask = self._missing.get(feature, False)
         if mask is False:
             column_missing = ~np.isfinite(self.columns[feature])
@@ -101,6 +117,7 @@ class _FlatArrays:
 
     @property
     def n_nodes(self) -> int:
+        """Total slot count (internal nodes plus leaves)."""
         return int(self.feature.shape[0])
 
     def _finalize(self, depth: Optional[int] = None) -> None:
@@ -346,6 +363,20 @@ class CompiledTree(_FlatArrays):
 
     def apply_slots(self, X: np.ndarray) -> np.ndarray:
         """Flat leaf slot (array index) each row lands in."""
+        registry = get_registry()
+        tracer = get_tracer()
+        if not registry.enabled and not tracer.enabled:
+            return self._apply_slots_impl(X)
+        start = perf_counter()
+        with tracer.span(
+            "score.batch", category="score", n_rows=int(X.shape[0]), n_trees=1
+        ):
+            out = self._apply_slots_impl(X)
+        if registry.enabled:
+            _observe_batch(registry, X.shape[0], 1, perf_counter() - start)
+        return out
+
+    def _apply_slots_impl(self, X: np.ndarray) -> np.ndarray:
         n_rows = X.shape[0]
         out = np.empty(n_rows, dtype=np.int64)
         self._route_subtree(
@@ -469,6 +500,21 @@ class CompiledForest(_FlatArrays):
         members, so the per-matrix setup is paid once per call rather
         than once per tree.
         """
+        registry = get_registry()
+        tracer = get_tracer()
+        if not registry.enabled and not tracer.enabled:
+            return self._apply_slots_impl(X)
+        start = perf_counter()
+        with tracer.span(
+            "score.batch", category="score",
+            n_rows=int(X.shape[0]), n_trees=self.n_trees,
+        ):
+            out = self._apply_slots_impl(X)
+        if registry.enabled:
+            _observe_batch(registry, X.shape[0], self.n_trees, perf_counter() - start)
+        return out
+
+    def _apply_slots_impl(self, X: np.ndarray) -> np.ndarray:
         n_rows = X.shape[0]
         out = np.empty((self.n_trees, n_rows), dtype=np.int64)
         ctx = _RoutingContext(X)

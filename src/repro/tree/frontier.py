@@ -107,6 +107,7 @@ class FrontierNode:
 
     @property
     def n_features(self) -> int:
+        """Number of feature columns with maintained sort orders."""
         return len(self.orders)
 
     def sorted_finite(self, feature: int) -> tuple[np.ndarray, np.ndarray]:

@@ -93,10 +93,12 @@ class CrossValidationResult:
 
     @property
     def mean(self) -> float:
+        """Mean score across folds."""
         return float(np.mean(self.fold_scores))
 
     @property
     def std(self) -> float:
+        """Population standard deviation of the fold scores."""
         return float(np.std(self.fold_scores))
 
 

@@ -25,6 +25,7 @@ from repro.core.sampling import good_training_rows
 from repro.detection.metrics import DetectionResult
 from repro.features.statistics import rank_sum_z
 from repro.features.vectorize import Feature, FeatureExtractor
+from repro.observability import get_registry
 from repro.smart.dataset import SmartDataset, TrainTestSplit
 from repro.smart.drive import DriveRecord
 from repro.updating.simulator import HOURS_PER_WEEK, FleetModel
@@ -107,11 +108,22 @@ class DriftDetector:
                 rank_sum_z(current[:, column], self._reference[:, column])
             )
         statistic = max(per_feature.values())
-        return DriftReport(
+        report = DriftReport(
             statistic=statistic,
             threshold=self.z_threshold,
             per_feature=per_feature,
         )
+        registry = get_registry()
+        registry.counter("updating.drift_checks", help="drift checks run").inc()
+        registry.gauge(
+            "updating.drift_statistic",
+            help="last max |rank-sum z| across features",
+        ).set(statistic)
+        if report.drifted:
+            registry.counter(
+                "updating.drift_alarms", help="drift checks that triggered"
+            ).inc()
+        return report
 
 
 @dataclass(frozen=True)

@@ -21,6 +21,7 @@ from pathlib import Path
 from typing import Callable, Optional, Protocol, Sequence, Union
 
 from repro.detection.metrics import DetectionResult
+from repro.observability import get_registry, get_tracer
 from repro.smart.dataset import SmartDataset, TrainTestSplit
 from repro.updating.strategies import UpdatingStrategy
 from repro.utils.checkpoint import JsonCheckpoint
@@ -70,9 +71,17 @@ def _week_slice(dataset: SmartDataset, first_week: int, last_week: int) -> Smart
     )
 
 
-def _fit_window_model(model_factory, split):
-    """Fit one training window (module-level for worker processes)."""
-    return model_factory().fit(split)
+def _fit_window_model(model_factory, task):
+    """Fit one ``(window, split)`` task (module-level for worker processes)."""
+    window, split = task
+    with get_tracer().span(
+        "updating.window_fit", category="updating", window=str(window)
+    ):
+        model = model_factory().fit(split)
+    get_registry().counter(
+        "updating.retrains", help="training-window models fitted"
+    ).inc()
+    return model
 
 
 def _cell_key(window: tuple[int, int], week: int) -> str:
@@ -162,6 +171,10 @@ def simulate_updating(
             payload = checkpoint.get(_cell_key(window, week))
             if payload is not None:
                 evaluated_cache[(window, week)] = _result_from_payload(payload)
+                get_registry().counter(
+                    "updating.checkpoint_hits",
+                    help="cells reloaded from checkpoint",
+                ).inc()
 
     # Distinct training windows with at least one cell still to compute
     # (identical training windows are fitted once and shared across
@@ -172,7 +185,7 @@ def simulate_updating(
     ))
     fitted = run_tasks(
         _fit_window_model,
-        [window_split(window) for window in windows],
+        [(window, window_split(window)) for window in windows],
         n_jobs=n_jobs,
         context=model_factory,
     )
@@ -181,7 +194,7 @@ def simulate_updating(
     def model_for_window(window: tuple[int, int]) -> FleetModel:
         if window not in fitted_cache:
             fitted_cache[window] = _fit_window_model(
-                model_factory, window_split(window)
+                model_factory, (window, window_split(window))
             )
         return fitted_cache[window]
 
@@ -190,7 +203,16 @@ def simulate_updating(
         # strategy's week-2 model is the fixed model — so each distinct
         # cell's batched fleet scoring runs once.
         key = (window, week)
-        if key not in evaluated_cache:
+        registry = get_registry()
+        if key in evaluated_cache:
+            registry.counter(
+                "updating.cache_hits", help="cells served from the in-run cache"
+            ).inc()
+            return evaluated_cache[key]
+        with get_tracer().span(
+            "updating.cell_eval", category="updating",
+            window=str(window), week=week,
+        ):
             test_slice = _week_slice(dataset, week, week)
             eval_split = TrainTestSplit(
                 train_good=(),
@@ -201,11 +223,14 @@ def simulate_updating(
             evaluated_cache[key] = model_for_window(window).evaluate(
                 eval_split, n_voters=n_voters
             )
-            if checkpoint is not None:
-                checkpoint.set(
-                    _cell_key(window, week),
-                    _result_to_payload(evaluated_cache[key]),
-                )
+        registry.counter(
+            "updating.cells_evaluated", help="cells evaluated fresh"
+        ).inc()
+        if checkpoint is not None:
+            checkpoint.set(
+                _cell_key(window, week),
+                _result_to_payload(evaluated_cache[key]),
+            )
         return evaluated_cache[key]
 
     reports = []

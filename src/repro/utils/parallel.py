@@ -56,6 +56,13 @@ from concurrent.futures import ProcessPoolExecutor, TimeoutError as FuturesTimeo
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Optional, Sequence
 
+from repro.observability import (
+    absorb_remote,
+    capture_remote,
+    get_registry,
+    get_tracer,
+    worker_config,
+)
 from repro.utils.errors import (
     BrokenPoolWarning,
     SerialFallbackWarning,
@@ -70,6 +77,11 @@ _IN_WORKER = False
 #: read-only inputs (the training matrix) are shipped once per worker
 #: instead of once per task.
 _SHARED_CONTEXT = None
+
+#: Observability config shipped by the parent (``None`` when disabled);
+#: makes workers wrap each task in fresh per-task instruments whose
+#: snapshot/spans travel home inside the result envelope.
+_OBS_CONFIG = None
 
 
 def resolve_n_jobs(n_jobs: Optional[int] = None) -> int:
@@ -93,14 +105,15 @@ def resolve_n_jobs(n_jobs: Optional[int] = None) -> int:
     return max(1, n_jobs)
 
 
-def _worker_init(context: object) -> None:
-    global _IN_WORKER, _SHARED_CONTEXT
+def _worker_init(context: object, obs_config: object = None) -> None:
+    global _IN_WORKER, _SHARED_CONTEXT, _OBS_CONFIG
     _IN_WORKER = True
     _SHARED_CONTEXT = context
+    _OBS_CONFIG = obs_config
 
 
 def _call_with_shared_context(func: Callable, task: object) -> object:
-    return func(_SHARED_CONTEXT, task)
+    return capture_remote(_OBS_CONFIG, func, _SHARED_CONTEXT, task)
 
 
 #: Sleep hook between retry attempts (module-level so tests can observe
@@ -146,6 +159,9 @@ def _run_with_retries(
             if attempt >= retries:
                 raise
             delay = _backoff_delay(attempt, backoff, max_backoff)
+            get_registry().counter(
+                "parallel.retries", help="retry attempts granted"
+            ).inc()
             warnings.warn(
                 f"task failed with {error!r}; retrying in {delay:.2f}s "
                 f"(attempt {attempt + 1}/{retries})",
@@ -157,6 +173,9 @@ def _run_with_retries(
 
 
 def _warn_fallback(category: type, cause: str, n_tasks: int) -> None:
+    get_registry().counter(
+        "parallel.serial_fallbacks", help="fan-outs degraded to serial"
+    ).inc()
     warnings.warn(
         f"parallel fan-out degraded to serial execution for {n_tasks} "
         f"task(s): {cause}",
@@ -205,12 +224,20 @@ def run_tasks(
         raise ValueError(f"retries must be >= 0, got {retries}")
     jobs = min(resolve_n_jobs(n_jobs), len(tasks))
 
-    def serial(task: object, attempts_used: int = 0) -> object:
-        return _run_with_retries(
-            func, context, task,
-            retries=retries, backoff=backoff, max_backoff=max_backoff,
-            attempts_used=attempts_used,
-        )
+    registry = get_registry()
+    tracer = get_tracer()
+
+    def serial(task: object, index: int, attempts_used: int = 0) -> object:
+        with tracer.span("parallel.task", category="parallel", index=index):
+            result = _run_with_retries(
+                func, context, task,
+                retries=retries, backoff=backoff, max_backoff=max_backoff,
+                attempts_used=attempts_used,
+            )
+        registry.counter(
+            "parallel.tasks", help="tasks completed", mode="serial"
+        ).inc()
+        return result
 
     def finish(index: int, value: object) -> object:
         if on_result is not None:
@@ -218,7 +245,7 @@ def run_tasks(
         return value
 
     if jobs <= 1:
-        return [finish(i, serial(task)) for i, task in enumerate(tasks)]
+        return [finish(i, serial(task, i)) for i, task in enumerate(tasks)]
 
     start_method = os.environ.get("REPRO_PARALLEL_START_METHOD") or None
     try:
@@ -227,31 +254,45 @@ def run_tasks(
             max_workers=jobs,
             mp_context=mp_context,
             initializer=_worker_init,
-            initargs=(context,),
+            initargs=(context, worker_config()),
         )
     except (ValueError, OSError) as error:
         # Unknown start method or a forbidden pool: everything serial.
         _warn_fallback(SerialFallbackWarning, repr(error), len(tasks))
-        return [finish(i, serial(task)) for i, task in enumerate(tasks)]
+        return [finish(i, serial(task, i)) for i, task in enumerate(tasks)]
 
     results: list = [None] * len(tasks)
     salvage: list[int] = []
     timed_out = False
+    wait_hist = registry.histogram(
+        "parallel.task_wait_seconds", unit="seconds",
+        help="pool submission to collected result, per pooled task",
+    ) if registry.enabled else None
+    submitted_at: list[float] = []
     try:
         try:
-            futures = [
-                pool.submit(_call_with_shared_context, func, task) for task in tasks
-            ]
+            futures = []
+            for task in tasks:
+                futures.append(pool.submit(_call_with_shared_context, func, task))
+                if wait_hist is not None:
+                    submitted_at.append(time.perf_counter())
         except _INFRA_ERRORS as error:
             _warn_fallback(UnpicklableTaskWarning, repr(error), len(tasks))
-            return [finish(i, serial(task)) for i, task in enumerate(tasks)]
+            return [finish(i, serial(task, i)) for i, task in enumerate(tasks)]
         for index, future in enumerate(futures):
             try:
                 # After the first timeout the pool is suspect: poll the
                 # rest instead of waiting another full budget per task.
-                results[index] = finish(
-                    index, future.result(timeout=0 if timed_out else timeout)
-                )
+                value = future.result(timeout=0 if timed_out else timeout)
+                if wait_hist is not None:
+                    wait_hist.observe(time.perf_counter() - submitted_at[index])
+                # Fold any worker observations into the parent before the
+                # caller (checkpoint writers etc.) sees the bare result.
+                value = absorb_remote(value, parent_path=tracer.current_path())
+                registry.counter(
+                    "parallel.tasks", help="tasks completed", mode="pool"
+                ).inc()
+                results[index] = finish(index, value)
             except BrokenProcessPool as error:
                 _warn_fallback(BrokenPoolWarning, repr(error), 1)
                 salvage.append(index)
@@ -285,10 +326,16 @@ def run_tasks(
 
     for index in salvage:
         attempts_used = 0
+        registry.counter(
+            "parallel.salvaged", help="tasks recomputed after pool failure"
+        ).inc()
         if retries > 0:
             # The lost pool attempt consumed the task's first try; back
             # off before the serial retry like any other failure.
             delay = _backoff_delay(0, backoff, max_backoff)
+            get_registry().counter(
+                "parallel.retries", help="retry attempts granted"
+            ).inc()
             warnings.warn(
                 f"task {index} was lost to a worker failure; retrying in "
                 f"{delay:.2f}s (attempt 1/{retries})",
@@ -298,6 +345,6 @@ def run_tasks(
             _sleep(delay)
             attempts_used = 1
         results[index] = finish(
-            index, serial(tasks[index], attempts_used=attempts_used)
+            index, serial(tasks[index], index, attempts_used=attempts_used)
         )
     return results

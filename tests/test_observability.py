@@ -1,0 +1,348 @@
+"""Unit tests for the observability substrate: metrics, tracing, exporters.
+
+Covers the ISSUE-4 test satellite: exporter golden tests (Prometheus
+text + Chrome-trace JSON round-trip), snapshot determinism with timers
+excluded, snapshot merging, and the null-instrument contracts.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import observability as obs
+from repro.observability.export import (
+    prometheus_name,
+    to_chrome_trace,
+    to_prometheus_text,
+    write_metrics,
+    write_trace,
+)
+from repro.observability.metrics import (
+    LEAD_TIME_BUCKETS_H,
+    METRICS_SCHEMA,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.observability.tracing import TRACE_SCHEMA, NullTracer, Tracer
+
+
+@pytest.fixture(autouse=True)
+def _restore_instruments():
+    """Every test leaves the process-wide no-op defaults installed."""
+    yield
+    obs.disable()
+
+
+class FakeClock:
+    """A deterministic clock: each read advances by ``step`` seconds."""
+
+    def __init__(self, start: float = 0.0, step: float = 1.0):
+        self.now = start
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestMetricsRegistry:
+    def test_counter_accumulates_and_rejects_decrease(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("serve.ticks")
+        counter.inc()
+        counter.inc(3)
+        assert registry.snapshot()["metrics"]["serve.ticks"]["series"][""] == 4
+        with pytest.raises(ValueError, match="cannot decrease"):
+            counter.inc(-1)
+
+    def test_labels_create_independent_series(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.faults", kind="wrong_shape").inc(2)
+        registry.counter("serve.faults", kind="out_of_order").inc()
+        series = registry.snapshot()["metrics"]["serve.faults"]["series"]
+        assert series == {"kind=wrong_shape": 2, "kind=out_of_order": 1}
+
+    def test_handles_are_get_or_create(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a.b") is registry.counter("a.b")
+        assert registry.counter("a.b", x="1") is not registry.counter("a.b", x="2")
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("a.b")
+
+    def test_histogram_buckets_fixed_and_cumulative_counts(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("detect.lead_time_hours", LEAD_TIME_BUCKETS_H)
+        for value in (10.0, 100.0, 450.0, 1000.0):
+            hist.observe(value)
+        entry = registry.snapshot()["metrics"]["detect.lead_time_hours"]
+        series = entry["series"][""]
+        assert series["buckets"] == list(LEAD_TIME_BUCKETS_H)
+        # 10 -> bucket le=24; 100 -> le=168; 450 -> le=450; 1000 -> +Inf.
+        assert series["counts"] == [1, 0, 1, 0, 1, 1]
+        assert series["count"] == 4
+        assert series["sum"] == pytest.approx(1560.0)
+
+    def test_histogram_bounds_must_ascend(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="ascend"):
+            registry.histogram("bad", (1.0, 1.0))
+
+    def test_snapshot_excludes_timers_when_asked(self):
+        registry = MetricsRegistry()
+        registry.counter("fit.trees").inc()
+        registry.histogram("fit.seconds", unit="seconds").observe(0.5)
+        full = registry.snapshot()
+        stable = registry.snapshot(include_timers=False)
+        assert "fit.seconds" in full["metrics"]
+        assert "fit.seconds" not in stable["metrics"]
+        assert "fit.trees" in stable["metrics"]
+
+    def test_two_identical_runs_produce_identical_snapshots(self):
+        def run() -> dict:
+            registry = MetricsRegistry()
+            rng = np.random.default_rng(7)
+            for _ in range(50):
+                registry.counter("fit.trees").inc()
+                registry.histogram("detect.lead_time_hours",
+                                   LEAD_TIME_BUCKETS_H).observe(rng.uniform(0, 500))
+                # Timers vary between runs; excluded from the comparison.
+                registry.histogram("fit.seconds", unit="seconds").observe(
+                    float(np.random.uniform(0, 2))
+                )
+            return registry.snapshot(include_timers=False)
+
+        first = json.dumps(run(), sort_keys=True)
+        second = json.dumps(run(), sort_keys=True)
+        assert first == second
+
+    def test_merge_snapshot_adds_counters_and_histograms(self):
+        worker = MetricsRegistry()
+        worker.counter("fit.trees").inc(2)
+        worker.histogram("detect.lead_time_hours", LEAD_TIME_BUCKETS_H).observe(30.0)
+        worker.gauge("updating.drift_statistic").set(4.5)
+        parent = MetricsRegistry()
+        parent.counter("fit.trees").inc()
+        parent.merge_snapshot(worker.snapshot())
+        parent.merge_snapshot(worker.snapshot())
+        metrics = parent.snapshot()["metrics"]
+        assert metrics["fit.trees"]["series"][""] == 5
+        assert metrics["detect.lead_time_hours"]["series"][""]["count"] == 2
+        assert metrics["updating.drift_statistic"]["series"][""] == 4.5
+
+    def test_null_registry_records_nothing(self):
+        registry = NullRegistry()
+        registry.counter("x").inc(100)
+        registry.gauge("y").set(1)
+        registry.histogram("z").observe(1.0)
+        assert registry.snapshot() == {"schema": METRICS_SCHEMA, "metrics": {}}
+        assert not registry.enabled
+
+    def test_global_default_is_null(self):
+        assert isinstance(obs.get_registry(), NullRegistry)
+        assert isinstance(obs.get_tracer(), NullTracer)
+
+
+class TestTracer:
+    def test_nested_spans_record_paths(self):
+        tracer = Tracer(wall=FakeClock(), cpu=FakeClock(step=0.1))
+        with tracer.span("outer", category="fit"):
+            with tracer.span("inner"):
+                pass
+        paths = [span.path for span in tracer.spans]
+        assert paths == ["outer/inner", "outer"]
+        assert tracer.current_path() == ""
+
+    def test_span_durations_from_injected_clock(self):
+        tracer = Tracer(wall=FakeClock(step=1.0), cpu=FakeClock(step=0.25))
+        with tracer.span("work"):
+            pass
+        (span,) = tracer.spans
+        assert span.start_s == 0.0
+        assert span.dur_s == 1.0
+        assert span.cpu_s == 0.25
+
+    def test_drain_clears_and_absorb_rebases(self):
+        worker = Tracer(wall=FakeClock(start=100.0), cpu=FakeClock(step=0.0))
+        with worker.span("task"):
+            pass
+        shipped = worker.drain()
+        assert worker.spans == []
+        parent = Tracer(wall=FakeClock(start=5.0), cpu=FakeClock(step=0.0))
+        parent.absorb(shipped, parent_path="grid.cell")
+        (span,) = parent.spans
+        assert span.path == "grid.cell/task"
+        assert span.start_s == 5.0  # re-based onto the parent clock
+
+    def test_null_tracer_shares_one_noop_context(self):
+        tracer = NullTracer()
+        first = tracer.span("a", n=1)
+        second = tracer.span("b")
+        assert first is second
+        with first:
+            pass
+        assert tracer.spans == []
+
+
+class TestPrometheusExport:
+    def test_name_sanitisation(self):
+        assert prometheus_name("fit.split_search_seconds") == \
+            "repro_fit_split_search_seconds"
+        assert prometheus_name("serve.faults") == "repro_serve_faults"
+
+    def test_golden_text(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.ticks", help="observations offered").inc(7)
+        registry.gauge("updating.drift_statistic").set(2.5)
+        registry.histogram(
+            "detect.lead_time_hours", (24.0, 72.0), unit="hours"
+        ).observe(30.0)
+        text = to_prometheus_text(registry)
+        assert text == (
+            "# HELP repro_detect_lead_time_hours detect.lead_time_hours (hours)\n"
+            "# TYPE repro_detect_lead_time_hours histogram\n"
+            'repro_detect_lead_time_hours_bucket{le="24.0"} 0\n'
+            'repro_detect_lead_time_hours_bucket{le="72.0"} 1\n'
+            'repro_detect_lead_time_hours_bucket{le="+Inf"} 1\n'
+            "repro_detect_lead_time_hours_sum 30.0\n"
+            "repro_detect_lead_time_hours_count 1\n"
+            "# HELP repro_serve_ticks_total observations offered\n"
+            "# TYPE repro_serve_ticks_total counter\n"
+            "repro_serve_ticks_total 7\n"
+            "# HELP repro_updating_drift_statistic updating.drift_statistic\n"
+            "# TYPE repro_updating_drift_statistic gauge\n"
+            "repro_updating_drift_statistic 2.5\n"
+        )
+
+    def test_text_parses_with_reference_grammar(self):
+        """Every sample line must match the exposition-format grammar."""
+        import re
+
+        registry = MetricsRegistry()
+        registry.counter("serve.faults", kind="wrong_shape").inc(3)
+        registry.histogram("fit.seconds", (0.1, 1.0), unit="seconds").observe(0.2)
+        sample = re.compile(
+            r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z0-9_]+="[^"]*"'
+            r'(,[a-zA-Z0-9_]+="[^"]*")*\})? -?[0-9.e+-]+(Inf)?$'
+        )
+        for line in to_prometheus_text(registry).splitlines():
+            if line.startswith("#"):
+                assert re.match(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* ", line)
+            else:
+                assert sample.match(line), line
+
+    def test_empty_registry_renders_empty(self):
+        assert to_prometheus_text(MetricsRegistry()) == ""
+
+    def test_write_metrics_picks_format_from_suffix(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("grid.cells").inc()
+        prom = write_metrics(tmp_path / "m.prom", registry)
+        assert "repro_grid_cells_total 1" in prom.read_text()
+        blob = write_metrics(tmp_path / "m.json", registry)
+        doc = json.loads(blob.read_text())
+        assert doc["schema"] == METRICS_SCHEMA
+        assert doc["metrics"]["grid.cells"]["series"][""] == 1
+
+
+class TestChromeTraceExport:
+    def test_golden_round_trip(self, tmp_path):
+        tracer = Tracer(wall=FakeClock(step=0.5), cpu=FakeClock(step=0.125))
+        with tracer.span("grid.cell", category="grid", experiment="table3"):
+            with tracer.span("fit.grow", category="fit", n_rows=8):
+                pass
+        path = write_trace(tmp_path / "trace.json", tracer)
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == TRACE_SCHEMA
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        assert [e["name"] for e in events] == ["grid.cell", "fit.grow"]
+        outer, inner = events
+        # Complete events with microsecond timestamps.
+        assert all(e["ph"] == "X" for e in events)
+        assert outer["ts"] == 0.0 and outer["dur"] == 1.5e6
+        assert inner["ts"] == 0.5e6 and inner["dur"] == 0.5e6
+        assert inner["args"]["path"] == "grid.cell/fit.grow"
+        assert inner["args"]["n_rows"] == 8
+        assert outer["args"]["experiment"] == "table3"
+        # Loadable by chrome://tracing: required keys present on every event.
+        for event in events:
+            assert {"name", "cat", "ph", "ts", "dur", "pid", "tid"} <= set(event)
+
+    def test_events_sorted_by_start(self):
+        tracer = Tracer(wall=FakeClock(), cpu=FakeClock(step=0.0))
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        names = [e["name"] for e in to_chrome_trace(tracer)["traceEvents"]]
+        assert names == ["first", "second"]
+
+
+class TestEnableDisable:
+    def test_enable_installs_recording_instruments(self):
+        registry, tracer = obs.enable()
+        assert obs.get_registry() is registry and registry.enabled
+        assert obs.get_tracer() is tracer and tracer.enabled
+        obs.disable()
+        assert not obs.get_registry().enabled
+        assert not obs.get_tracer().enabled
+
+    def test_enable_metrics_only(self):
+        registry, tracer = obs.enable(tracing=False)
+        assert registry.enabled
+        assert not tracer.enabled
+
+    def test_set_registry_returns_previous(self):
+        first = MetricsRegistry()
+        previous = obs.set_registry(first)
+        assert obs.set_registry(previous) is first
+
+
+class TestRemoteObservation:
+    def test_worker_config_none_when_disabled(self):
+        assert obs.worker_config() is None
+
+    def test_capture_and_absorb_round_trip(self):
+        registry, tracer = obs.enable()
+        config = obs.worker_config()
+        assert config == {"metrics": True, "tracing": True}
+
+        def task(context, value):
+            obs.get_registry().counter("fit.trees").inc()
+            with obs.get_tracer().span("parallel.task"):
+                pass
+            return context + value
+
+        envelope = obs.capture_remote(config, task, 10, 5)
+        assert isinstance(envelope, obs.RemoteObservation)
+        assert envelope.result == 15
+        # The capture ran under its own instruments, not the parent's.
+        assert registry.snapshot()["metrics"] == {}
+        assert tracer.spans == []
+        result = obs.absorb_remote(envelope, parent_path="grid.cell")
+        assert result == 15
+        assert registry.snapshot()["metrics"]["fit.trees"]["series"][""] == 1
+        assert tracer.spans[0].path == "grid.cell/parallel.task"
+
+    def test_capture_disabled_passes_through(self):
+        assert obs.capture_remote(None, lambda c, v: v * 2, None, 4) == 8
+        assert obs.absorb_remote(42) == 42
+
+    def test_capture_restores_instruments_on_error(self):
+        obs.enable()
+        parent_registry = obs.get_registry()
+
+        def boom(context, value):
+            raise RuntimeError("task failed")
+
+        with pytest.raises(RuntimeError):
+            obs.capture_remote(obs.worker_config(), boom, None, 1)
+        assert obs.get_registry() is parent_registry

@@ -31,6 +31,7 @@ from repro.detection.streaming import (
 )
 from repro.robustness import (
     BUILTIN_PROFILES,
+    CHAOS_REPORT_SCHEMA,
     dataset_events,
     inject_dataset,
     inject_stream,
@@ -81,6 +82,7 @@ def clean_result(clean_predictor, chaos_split):
 def chaos_report():
     """Per-profile outcome collector, persisted as the CI artifact."""
     report: dict = {
+        "schema": CHAOS_REPORT_SCHEMA,
         "margins": {"fdr": FDR_MARGIN, "far": FAR_MARGIN},
         "profiles": {name: {} for name in PROFILES},
     }
@@ -197,6 +199,10 @@ class TestChaosEndToEnd:
 
     def test_every_builtin_profile_is_covered(self, chaos_report):
         assert set(chaos_report["profiles"]) == set(BUILTIN_PROFILES)
+
+    def test_report_is_schema_tagged(self, chaos_report):
+        """Downstream consumers of CHAOS_report.json key off this tag."""
+        assert chaos_report["schema"] == "repro.chaos-report/v1"
 
 
 class TestGapsDoNotResetVoting:

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Check that file references in markdown docs resolve.
+
+Scans markdown files for two kinds of repository references:
+
+* inline links ``[text](path)`` whose target is a relative path
+  (``http(s)://``, ``mailto:`` and pure anchors are skipped);
+* backtick spans that look like repo file paths — no spaces, at least
+  one ``/``, and a documentation/code suffix (``.md``, ``.py``, ...).
+  Suffix-less spans and dotted metric names (``grid.cell/score.batch``)
+  are ignored, and ``::test_name`` selectors are stripped.
+
+A target resolves if it exists relative to the markdown file's own
+directory or to the repository root (repo docs conventionally write
+root-relative paths like ``docs/paper_mapping.md``).
+
+Usage:
+    python tools/check_links.py README.md docs/*.md
+
+Exits non-zero listing every broken reference; silent when clean.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Suffixes a backtick span must carry to be treated as a file path.
+PATH_SUFFIXES = (".md", ".py", ".json", ".csv", ".toml", ".txt", ".yml", ".yaml")
+
+_FENCE = re.compile(r"```.*?```", re.S)
+_MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_BACKTICK = re.compile(r"`([^`\n]+)`")
+
+
+def _candidate_paths(text: str) -> set[str]:
+    text = _FENCE.sub("", text)
+    found: set[str] = set()
+    for target in _MD_LINK.findall(text):
+        if "://" in target or target.startswith(("mailto:", "#")):
+            continue
+        found.add(target.split("#", 1)[0])
+    for span in _BACKTICK.findall(text):
+        if " " in span or "/" not in span or "://" in span:
+            continue
+        span = span.split("::", 1)[0]
+        if span.endswith(PATH_SUFFIXES):
+            found.add(span)
+    return {path for path in found if path}
+
+
+def broken_references(files: list[Path]) -> list[str]:
+    """``"file: target"`` for every reference that resolves nowhere."""
+    broken = []
+    for markdown in files:
+        text = markdown.read_text()
+        for target in sorted(_candidate_paths(text)):
+            bases = (markdown.parent, REPO_ROOT)
+            if not any((base / target).exists() for base in bases):
+                broken.append(f"{markdown}: {target}")
+    return broken
+
+
+def main(argv: list[str]) -> int:
+    files = [Path(arg) for arg in argv] or [
+        REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))
+    ]
+    missing = [str(f) for f in files if not f.is_file()]
+    if missing:
+        print("not a file: " + ", ".join(missing), file=sys.stderr)
+        return 2
+    broken = broken_references(files)
+    for line in broken:
+        print(f"broken reference: {line}", file=sys.stderr)
+    if not broken:
+        print(f"{len(files)} file(s) checked, all references resolve")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
