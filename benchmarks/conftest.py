@@ -68,3 +68,20 @@ def train_bench_results():
     if results:
         path = Path(os.environ.get("REPRO_BENCH_TRAIN_JSON", "BENCH_train.json"))
         path.write_text(json.dumps(results, indent=1, sort_keys=True) + "\n")
+
+
+@pytest.fixture(scope="session")
+def score_bench_results():
+    """Collector for the scoring/serving benchmarks' results.
+
+    The inference-side counterpart of ``train_bench_results``: the
+    compiled fleet-scoring speedups and the event-emission overhead
+    floors drop their records here, written to ``BENCH_score.json``
+    (override with ``REPRO_BENCH_SCORE_JSON``) at session end so the
+    bench history tracks scoring alongside training.
+    """
+    results: dict[str, dict] = {}
+    yield results
+    if results:
+        path = Path(os.environ.get("REPRO_BENCH_SCORE_JSON", "BENCH_score.json"))
+        path.write_text(json.dumps(results, indent=1, sort_keys=True) + "\n")

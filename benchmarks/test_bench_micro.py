@@ -156,7 +156,7 @@ def _time_node_per_drive(model, matrices, predict):
     return best * 1e3
 
 
-def test_micro_compiled_tree_fleet_speedup(benchmark, fleet_setup):
+def test_micro_compiled_tree_fleet_speedup(benchmark, fleet_setup, score_bench_results):
     """Single tree: batched compiled scoring >= 5x the per-drive node walk."""
     X, y, matrices = fleet_setup
     tree = ClassificationTree(minsplit=10, minbucket=3, cp=0.0005).fit(X, y)
@@ -168,6 +168,11 @@ def test_micro_compiled_tree_fleet_speedup(benchmark, fleet_setup):
     node_ms = _time_node_per_drive(tree, matrices, tree.predict)
     compiled_ms = benchmark.stats.stats.min * 1e3
     speedup = node_ms / compiled_ms
+    score_bench_results["single_tree_fleet_scoring"] = {
+        "fleet_rows": int(fleet.shape[0]),
+        "node_ms": node_ms, "compiled_ms": compiled_ms,
+        "speedup": speedup, "floor": 5.0,
+    }
     print(
         f"\nsingle tree, {fleet.shape[0]} fleet rows: "
         f"node per-drive {node_ms:.1f} ms, compiled batched {compiled_ms:.1f} ms "
@@ -176,7 +181,9 @@ def test_micro_compiled_tree_fleet_speedup(benchmark, fleet_setup):
     assert speedup >= 5.0
 
 
-def test_micro_compiled_forest_fleet_speedup(benchmark, fleet_setup):
+def test_micro_compiled_forest_fleet_speedup(
+    benchmark, fleet_setup, score_bench_results
+):
     """50-tree forest: batched compiled scoring >= 10x the per-drive walk."""
     X, y, matrices = fleet_setup
     forest = RandomForestClassifier(n_trees=50, cp=0.001, seed=5).fit(X, y)
@@ -188,6 +195,11 @@ def test_micro_compiled_forest_fleet_speedup(benchmark, fleet_setup):
     node_ms = _time_node_per_drive(forest, matrices, forest.predict)
     compiled_ms = benchmark.stats.stats.min * 1e3
     speedup = node_ms / compiled_ms
+    score_bench_results["forest_fleet_scoring"] = {
+        "fleet_rows": int(fleet.shape[0]), "n_trees": 50,
+        "node_ms": node_ms, "compiled_ms": compiled_ms,
+        "speedup": speedup, "floor": 10.0,
+    }
     print(
         f"\n50-tree forest, {fleet.shape[0]} fleet rows: "
         f"node per-drive {node_ms:.1f} ms, compiled batched {compiled_ms:.1f} ms "
@@ -369,3 +381,57 @@ def test_micro_noop_scoring_overhead(fleet_setup):
         f"(batch {batch_us / 1e3:.2f} ms)"
     )
     assert max(dispatch_us, 0.0) < budget_us
+
+
+def test_micro_noop_event_site(benchmark, score_bench_results):
+    """1,000 disabled event emissions stay sub-microsecond each.
+
+    Every lifecycle emission site in the serving path runs through the
+    global event log; with the default :class:`NullEventLog` each call
+    must be a constant-time no-op, or streaming would pay for a log
+    nobody asked for.
+    """
+    from repro.observability import get_event_log
+
+    log = get_event_log()
+    assert not log.enabled
+
+    def sites():
+        for _ in range(1_000):
+            log.emit("bench_noop", drive="d", hour=1.0, score=-1.0)
+
+    benchmark(sites)
+    per_site_us = benchmark.stats.stats.min / 1_000 * 1e6
+    score_bench_results["noop_event_site"] = {
+        "per_site_us": per_site_us, "floor_us": 5.0,
+    }
+    print(f"\ndisabled event site: {per_site_us:.3f} us per emit")
+    assert per_site_us < 5.0
+
+
+def test_micro_event_emission_overhead(benchmark, score_bench_results):
+    """Recording in-memory event emission stays cheap (< 25 us/event).
+
+    The ceiling an operator pays for turning the log on without a file
+    tee — one frozen dataclass plus a list append per emission.  The
+    JSONL tee adds I/O on top, which is a choice, not a tax.
+    """
+    from repro.observability import EventLog
+
+    def emit_batch():
+        log = EventLog()
+        for index in range(1_000):
+            log.emit(
+                "sample_scored", drive=f"d{index % 50}",
+                hour=float(index), score=-1.0,
+            )
+        return log
+
+    log = benchmark(emit_batch)
+    assert len(log.events) == 1_000
+    per_event_us = benchmark.stats.stats.min / 1_000 * 1e6
+    score_bench_results["recording_event_emit"] = {
+        "per_event_us": per_event_us, "floor_us": 25.0,
+    }
+    print(f"\nrecording event emit (in-memory): {per_event_us:.3f} us per event")
+    assert per_event_us < 25.0

@@ -26,7 +26,7 @@ from repro.detection.streaming import FleetMonitor, OnlineMajorityVote
 def main() -> None:
     # 1. Turn the instruments on.  Until this call every instrumented
     #    site records into shared no-op handles and costs nothing.
-    registry, tracer = obs.enable()
+    registry, tracer, _ = obs.enable()
 
     # 2. A small end-to-end run: fit the CT pipeline, evaluate it, and
     #    replay a few hours of streaming telemetry.

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.detection.metrics import DetectionResult, RocPoint
 from repro.detection.voting import MajorityVoteDetector, MeanThresholdDetector
-from repro.observability import get_registry, get_tracer
+from repro.observability import get_event_log, get_registry, get_tracer
 from repro.observability.metrics import LEAD_TIME_BUCKETS_H
 
 
@@ -96,13 +96,27 @@ def evaluate_detection(
         )
         for lead in tia:
             lead_hist.observe(lead)
-    return DetectionResult(
+    result = DetectionResult(
         n_good=n_good,
         n_false_alarms=n_false,
         n_failed=n_failed,
         n_detected=n_detected,
         tia_hours=tuple(tia),
     )
+    log = get_event_log()
+    if log.enabled:
+        log.emit(
+            "detection_evaluated",
+            n_series=len(series),
+            n_detected=n_detected,
+            n_failed=n_failed,
+            n_false_alarms=n_false,
+            n_good=n_good,
+            fdr=round(result.fdr, 6),
+            far=round(result.far, 6),
+            mean_tia_hours=round(result.mean_tia_hours, 3),
+        )
+    return result
 
 
 def roc_over_voters(

@@ -44,7 +44,8 @@ from typing import Callable, Optional, Sequence, Union
 import numpy as np
 
 from repro.features.vectorize import Feature, FeatureExtractor
-from repro.observability import get_registry, get_tracer
+from repro.observability import get_event_log, get_registry, get_tracer
+from repro.observability.events import decision_path_payload
 from repro.smart.attributes import N_CHANNELS, channel_index
 from repro.utils.errors import FaultKind, SampleFault
 from repro.utils.validation import check_positive
@@ -57,6 +58,11 @@ SampleScorer = Callable[[np.ndarray], float]
 
 #: Scores a stacked ``(n_rows, n_features)`` matrix in one call.
 BatchScorer = Callable[[np.ndarray], np.ndarray]
+
+
+def _json_score(score: float) -> Optional[float]:
+    """A score as event-payload JSON: non-finite values become None."""
+    return float(score) if np.isfinite(score) else None
 
 
 class OnlineFeatureBuffer:
@@ -156,6 +162,15 @@ class OnlineMajorityVote:
             return False
         return self._failed_in_window > len(self._window) / 2.0
 
+    def window_contents(self) -> list[bool]:
+        """The current voting window, oldest first (True = failed vote).
+
+        Alert provenance snapshots this at the moment the window
+        flipped, so ``repro-events explain`` can show exactly which
+        votes carried the decision.
+        """
+        return list(self._window)
+
 
 class OnlineMeanThreshold:
     """Streaming equivalent of :class:`~repro.detection.voting.MeanThresholdDetector`."""
@@ -184,14 +199,27 @@ class OnlineMeanThreshold:
         valid = values[np.isfinite(values)]
         return valid.size > 0 and float(valid.mean()) < self.threshold
 
+    def window_contents(self) -> list[Optional[float]]:
+        """The current health-degree window, oldest first (NaN → None)."""
+        return [
+            float(score) if np.isfinite(score) else None
+            for score in self._window
+        ]
+
 
 @dataclass(frozen=True)
 class Alert:
-    """A raised warning: which drive, when, and the triggering score."""
+    """A raised warning: which drive, when, and the triggering score.
+
+    ``alert_id`` is deterministic (dense per monitor, in raise order) and
+    names the matching ``alert_raised`` event in the structured log, so
+    ``repro-events explain <alert-id>`` can pull up its provenance.
+    """
 
     serial: str
     hour: float
     score: float
+    alert_id: str = ""
 
 
 class DriveStatus(enum.Enum):
@@ -239,6 +267,11 @@ class _DriveState:
     #: Last instantaneous alarm signal (``serve.vote_flips`` tracks its
     #: transitions; ``None`` until the first scored tick).
     last_signal: Optional[bool] = None
+    #: Feature row of the most recent well-formed tick — the SMART
+    #: evidence an ``alert_raised`` event's decision path explains.
+    last_row: Optional[np.ndarray] = None
+    #: True once an ``alert_cleared`` event has fired for this drive.
+    cleared: bool = False
 
 
 class FleetMonitor:
@@ -262,6 +295,20 @@ class FleetMonitor:
             malformed tick raises ``ValueError`` instead of being
             quarantined (the pre-degraded-mode behaviour; useful when
             the feed is trusted and corruption means a caller bug).
+        tree: Optional fitted tree (anything with
+            ``decision_path(row)``, e.g. ``predictor.tree_``) used to
+            attach decision-path provenance to every ``alert_raised``
+            event.  Identical output under the compiled and node
+            backends, so provenance never depends on the serving
+            backend.
+        feature_names: Optional names for the feature columns, rendered
+            into provenance steps (defaults to the ``features``
+            descriptions).
+        model_generation: Generation number of the serving model,
+            stamped on alert provenance; bumped by :meth:`set_model`.
+        slo: Optional :class:`~repro.observability.slo.SLOMonitor` fed
+            by :meth:`resolve_outcome`; its burn status is embedded in
+            :meth:`health_report`.
 
     Example:
         >>> from repro.features.selection import critical_features
@@ -285,15 +332,28 @@ class FleetMonitor:
         *,
         score_batch: Optional[BatchScorer] = None,
         quarantine: Optional[QuarantinePolicy] = _DEFAULT_QUARANTINE,
+        tree: Optional[object] = None,
+        feature_names: Optional[Sequence[str]] = None,
+        model_generation: int = 0,
+        slo: Optional[object] = None,
     ):
         self.features = tuple(features)
         self.score_sample = score_sample
         self.detector_factory = detector_factory
         self.score_batch = score_batch
         self.quarantine = quarantine
+        self.tree = tree
+        self.feature_names = (
+            tuple(feature_names)
+            if feature_names is not None
+            else tuple(f.name for f in self.features)
+        )
+        self.model_generation = int(model_generation)
+        self.slo = slo
         self._drives: dict[str, _DriveState] = {}
         self.alerts: list[Alert] = []
         self.faults: list[SampleFault] = []
+        self.vote_flips = 0
 
     def _state(self, serial: str) -> _DriveState:
         state = self._drives.get(serial)
@@ -352,11 +412,21 @@ class FleetMonitor:
             "serve.faults", help="malformed ticks excluded by the gate",
             kind=fault.kind.value,
         ).inc()
+        log = get_event_log()
+        log.emit(
+            "tick_faulted", drive=serial, hour=fault.hour,
+            kind=fault.kind.value, detail=fault.detail,
+        )
         if self.quarantine.degrades(state.fault_count):
             if state.status is not DriveStatus.DEGRADED:
                 registry.counter(
                     "serve.quarantined", help="drives transitioned to DEGRADED"
                 ).inc()
+                log.emit(
+                    "drive_quarantined", drive=serial, hour=fault.hour,
+                    fault_count=state.fault_count,
+                    fault_limit=self.quarantine.fault_limit,
+                )
             state.status = DriveStatus.DEGRADED
         return fault
 
@@ -367,20 +437,67 @@ class FleetMonitor:
 
         Degraded drives keep their detector state current but never
         alert — a page driven by a quarantined feed would be noise.
+        Emits the lifecycle events (``sample_scored`` → ``vote_flip`` →
+        ``alert_raised``/``alert_cleared``) into the structured log;
+        with the default null log every emission is a no-op.
         """
+        log = get_event_log()
+        if log.enabled and np.isfinite(score):
+            log.emit("sample_scored", drive=serial, hour=hour, score=float(score))
         alarmed = state.detector.push(score)
-        if state.last_signal is not None and alarmed != state.last_signal:
+        previous = state.last_signal
+        if previous is not None and alarmed != previous:
+            self.vote_flips += 1
             get_registry().counter(
                 "serve.vote_flips", help="alarm-signal transitions"
             ).inc()
+            log.emit("vote_flip", drive=serial, hour=hour, signal=bool(alarmed))
         state.last_signal = alarmed
         if alarmed and not state.alerted and state.status is DriveStatus.OK:
             state.alerted = True
-            alert = Alert(serial=serial, hour=float(hour), score=score)
+            alert = Alert(
+                serial=serial, hour=float(hour), score=score,
+                alert_id=f"alert-{len(self.alerts):04d}",
+            )
             self.alerts.append(alert)
             get_registry().counter("serve.alerts", help="alerts raised").inc()
+            if log.enabled:
+                log.emit(
+                    "alert_raised", drive=serial, hour=hour,
+                    **self._provenance(alert, state),
+                )
             return alert
+        if (
+            not alarmed and previous and state.alerted and not state.cleared
+            and state.status is DriveStatus.OK
+        ):
+            state.cleared = True
+            log.emit("alert_cleared", drive=serial, hour=hour, score=_json_score(score))
         return None
+
+    def _provenance(self, alert: Alert, state: _DriveState) -> dict:
+        """The evidence payload of an ``alert_raised`` event.
+
+        Built only when a recording event log is installed: the alert
+        id, the triggering score, the serving model's generation, the
+        voting-window contents at the flip, and — when the monitor
+        knows its ``tree`` — the CART decision path that classified the
+        last well-formed sample (identical for the compiled and node
+        backends by construction).
+        """
+        payload: dict = {
+            "alert_id": alert.alert_id,
+            "score": _json_score(alert.score),
+            "model_generation": self.model_generation,
+        }
+        window = getattr(state.detector, "window_contents", None)
+        if window is not None:
+            payload["window"] = window()
+        if self.tree is not None and state.last_row is not None:
+            payload["path"] = decision_path_payload(
+                self.tree, state.last_row, self.feature_names
+            )
+        return payload
 
     def observe(
         self, serial: str, hour: float, channel_values: Sequence[float]
@@ -399,6 +516,7 @@ class FleetMonitor:
         if isinstance(gated, SampleFault):
             return None
         row = state.buffer.push(hour, gated)
+        state.last_row = row
         if np.any(np.isfinite(row)):
             score = float(self.score_sample(row))
             get_registry().counter("serve.scored", help="ticks scored").inc()
@@ -446,7 +564,9 @@ class FleetMonitor:
             gated = self._gate(serial, state, hour, values)
             if isinstance(gated, SampleFault):
                 continue
-            ingested.append((serial, state, state.buffer.push(hour, gated)))
+            row = state.buffer.push(hour, gated)
+            state.last_row = row
+            ingested.append((serial, state, row))
         usable = [
             index
             for index, (_, _, row) in enumerate(ingested)
@@ -473,17 +593,104 @@ class FleetMonitor:
         alerts.  Idempotent per drive thanks to the ``alerted`` latch.
         """
         extra = []
+        log = get_event_log()
         for serial, state in self._drives.items():
             if state.alerted or state.status is not DriveStatus.OK:
                 continue
             flush = getattr(state.detector, "flush_short_history", None)
             if flush is not None and flush():
                 state.alerted = True
-                alert = Alert(serial=serial, hour=np.nan, score=np.nan)
+                alert = Alert(
+                    serial=serial, hour=np.nan, score=np.nan,
+                    alert_id=f"alert-{len(self.alerts):04d}",
+                )
                 self.alerts.append(alert)
                 get_registry().counter("serve.alerts", help="alerts raised").inc()
+                if log.enabled:
+                    log.emit(
+                        "alert_raised", drive=serial, hour=None,
+                        short_history=True, **self._provenance(alert, state),
+                    )
                 extra.append(alert)
         return extra
+
+    # -- model lifecycle and ground truth --------------------------------------
+
+    def set_model(
+        self,
+        score_sample: SampleScorer,
+        *,
+        score_batch: Optional[BatchScorer] = None,
+        tree: Optional[object] = None,
+        feature_names: Optional[Sequence[str]] = None,
+    ) -> int:
+        """Swap the serving model in place; returns the new generation.
+
+        The paper's Section V-C updating story, seen from the serving
+        side: detector windows and alert latches survive the swap (the
+        fleet keeps streaming), the generation counter bumps, and a
+        ``model_replaced`` event records the transition so every later
+        alert's provenance names the model that raised it.
+        """
+        self.score_sample = score_sample
+        self.score_batch = score_batch
+        self.tree = tree
+        if feature_names is not None:
+            self.feature_names = tuple(feature_names)
+        previous = self.model_generation
+        self.model_generation = previous + 1
+        get_event_log().emit(
+            "model_replaced",
+            from_generation=previous,
+            to_generation=self.model_generation,
+        )
+        return self.model_generation
+
+    def resolve_outcome(
+        self,
+        serial: str,
+        failed: bool,
+        *,
+        hour: Optional[float] = None,
+        failure_hour: Optional[float] = None,
+    ) -> str:
+        """Record ground truth for a drive; returns its outcome label.
+
+        Once an operator learns a drive's fate the alert latch resolves
+        to one of ``detected`` / ``missed`` / ``false_alarm`` / ``good``.
+        The outcome feeds the attached SLO monitor (when one was passed
+        at construction) with the detection's lead time, and an
+        ``outcome_resolved`` event lands in the log — the bridge from
+        the alert lifecycle to the FDR/FAR/lead-time budgets.
+        """
+        state = self._drives.get(serial)
+        alerted = state.alerted if state is not None else False
+        if failed:
+            outcome = "detected" if alerted else "missed"
+        else:
+            outcome = "false_alarm" if alerted else "good"
+        alert = next((a for a in self.alerts if a.serial == serial), None)
+        lead_hours: Optional[float] = None
+        if (
+            outcome == "detected" and alert is not None
+            and failure_hour is not None and np.isfinite(alert.hour)
+        ):
+            lead_hours = float(failure_hour) - float(alert.hour)
+        if hour is None:
+            if failure_hour is not None:
+                hour = failure_hour
+            elif alert is not None and np.isfinite(alert.hour):
+                hour = alert.hour
+            else:
+                hour = 0.0
+        get_event_log().emit(
+            "outcome_resolved", drive=serial, hour=hour,
+            outcome=outcome,
+            **({"lead_hours": lead_hours} if lead_hours is not None else {}),
+        )
+        if self.slo is not None:
+            self.slo.record(float(hour), outcome, lead_hours=lead_hours, drive=serial)
+        return outcome
 
     def watched_drives(self) -> list[str]:
         """Serials currently tracked."""
@@ -526,16 +733,21 @@ class FleetMonitor:
         for fault in self.faults:
             kinds[fault.kind.value] = kinds.get(fault.kind.value, 0) + 1
         snapshot = get_registry().snapshot()
-        return {
+        report: dict[str, object] = {
             "schema": HEALTH_REPORT_SCHEMA,
             "watched_drives": len(self._drives),
             "alerts": len(self.alerts),
             "faults_total": len(self.faults),
             "faults_by_kind": kinds,
             "degraded_drives": self.degraded_drives(),
+            "vote_flips": self.vote_flips,
+            "model_generation": self.model_generation,
             "metrics": {
                 name: entry
                 for name, entry in snapshot["metrics"].items()
                 if name.startswith("serve.")
             },
         }
+        if self.slo is not None:
+            report["slo"] = self.slo.status()
+        return report

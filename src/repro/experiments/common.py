@@ -19,7 +19,7 @@ from pathlib import Path
 from time import perf_counter
 from typing import Callable, Mapping, Optional, Union
 
-from repro.observability import get_registry, get_tracer
+from repro.observability import get_event_log, get_registry, get_tracer
 from repro.smart.dataset import SmartDataset
 from repro.smart.generator import FleetConfig, default_fleet_config
 from repro.utils.checkpoint import JsonCheckpoint, decode_object, encode_object
@@ -110,6 +110,38 @@ def _run_one_experiment(scale: ExperimentScale, task):
     return result
 
 
+def grid_checkpoint_id(checkpoint_path: Optional[Union[str, Path]]) -> Optional[str]:
+    """Stable identifier of a grid's checkpoint (``None`` without one).
+
+    ``kind:filename`` — enough for the ``run_completed`` event to name
+    the resumable artefact without leaking absolute paths into logs
+    that may be shipped off-host.
+    """
+    if checkpoint_path is None:
+        return None
+    return f"experiment-grid:{Path(checkpoint_path).name}"
+
+
+def emit_run_completed(
+    names,
+    *,
+    checkpoint_path: Optional[Union[str, Path]] = None,
+    n_cached: int = 0,
+) -> None:
+    """Emit the ``run_completed`` event closing an experiment run."""
+    log = get_event_log()
+    if not log.enabled:
+        return
+    checkpoint_id = grid_checkpoint_id(checkpoint_path)
+    log.emit(
+        "run_completed",
+        experiments=list(names),
+        n_cells=len(list(names)),
+        n_cached=int(n_cached),
+        **({"checkpoint_id": checkpoint_id} if checkpoint_id is not None else {}),
+    )
+
+
 def run_experiment_grid(
     runs: Mapping[str, Callable[[ExperimentScale], object]],
     scale: ExperimentScale = DEFAULT_SCALE,
@@ -164,4 +196,9 @@ def run_experiment_grid(
         on_result=record if checkpoint is not None else None,
     )
     done.update(zip(pending, fresh))
+    emit_run_completed(
+        names,
+        checkpoint_path=checkpoint_path,
+        n_cached=len(names) - len(pending),
+    )
     return {name: done[name] for name in names}

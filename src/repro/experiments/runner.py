@@ -7,10 +7,15 @@ selects a subset; ``--tiny`` uses the test-sized fleets.
 
 Observability (see ``docs/observability.md``): ``--metrics-out PATH``
 runs the selection under a recording metrics registry and writes the
-snapshot (JSON, or Prometheus text for ``.prom``/``.txt`` paths);
+snapshot (JSON, or Prometheus text for ``.prom``/``.txt`` paths) —
+an existing snapshot at that path is merged into, or the new snapshot
+is written to a versioned sibling, never silently overwritten;
 ``--trace-out PATH`` records spans and writes a Chrome-trace JSON
-loadable in ``chrome://tracing``.  Without these flags the no-op
-instruments stay installed and instrumentation costs nothing.
+loadable in ``chrome://tracing``; ``--events-out PATH`` streams the
+structured event log (``repro.events/v1`` JSONL, browsable with
+``repro-events``) and stamps a ``run_completed`` event with the grid
+checkpoint id.  Without these flags the no-op instruments stay
+installed and instrumentation costs nothing.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ from repro.experiments.common import (
     DEFAULT_SCALE,
     ExperimentScale,
     _run_one_experiment,
+    emit_run_completed,
     run_experiment_grid,
 )
 from repro.utils.parallel import resolve_n_jobs
@@ -148,6 +154,11 @@ def main(argv: list[str] | None = None) -> int:
         help="record spans during the run and write a Chrome-trace JSON "
         "(load in chrome://tracing or Perfetto)",
     )
+    parser.add_argument(
+        "--events-out", type=str, default=None, metavar="PATH",
+        help="stream the structured event log to this JSONL file "
+        "(repro.events/v1; browse with repro-events tail/query/explain)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -176,6 +187,8 @@ def main(argv: list[str] | None = None) -> int:
         obs.set_registry(obs.MetricsRegistry()) if args.metrics_out else None
     )
     previous_tracer = obs.set_tracer(obs.Tracer()) if args.trace_out else None
+    event_log = obs.EventLog(args.events_out) if args.events_out else None
+    previous_log = obs.set_event_log(event_log) if event_log else None
     try:
         collected: dict[str, object] = {}
         if args.checkpoint is not None or resolve_n_jobs(args.jobs) > 1:
@@ -203,6 +216,8 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"=== {name} ({elapsed:.1f}s) ===")
                 print(render(result))
                 print()
+            # The grid path emits its own run_completed.
+            emit_run_completed(selected, checkpoint_path=args.checkpoint)
 
         if args.json is not None and collected:
             from repro.experiments.report import export_results
@@ -210,16 +225,21 @@ def main(argv: list[str] | None = None) -> int:
             export_results(args.json, collected)
             print(f"raw results written to {args.json}")
         if args.metrics_out is not None:
-            obs.write_metrics(args.metrics_out)
-            print(f"metrics written to {args.metrics_out}")
+            written, action = obs.merge_or_version_metrics(args.metrics_out)
+            print(f"metrics {action}: {written}")
         if args.trace_out is not None:
             obs.write_trace(args.trace_out)
             print(f"trace written to {args.trace_out}")
+        if event_log is not None:
+            print(f"events written to {event_log.path}")
     finally:
         if args.metrics_out:
             obs.set_registry(previous_registry)
         if args.trace_out:
             obs.set_tracer(previous_tracer)
+        if event_log is not None:
+            obs.set_event_log(previous_log)
+            event_log.close()
     return status
 
 

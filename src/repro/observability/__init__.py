@@ -1,12 +1,19 @@
-"""Fleet observability: metrics, tracing, profiling hooks, exporters.
+"""Fleet observability: metrics, tracing, events, SLOs, exporters.
 
-The measurement substrate for the production-scale north star.  Three
+The measurement substrate for the production-scale north star.  Four
 pillars, all zero-dependency and all free when disabled:
 
 * :mod:`repro.observability.metrics` — counters / gauges / histograms
   with fixed bucket boundaries (deterministic snapshots);
 * :mod:`repro.observability.tracing` — span-based wall/CPU tracing with
   nested-context propagation across ``run_tasks`` worker boundaries;
+* :mod:`repro.observability.events` — append-only structured event log
+  (``repro.events/v1`` JSONL) covering the alert lifecycle, with
+  decision-path provenance on every raised alert and deterministic
+  replay (:func:`~repro.observability.events.replay_health_counters`);
+* :mod:`repro.observability.slo` — rolling FDR/FAR/lead-time SLO
+  monitors with multi-window burn-rate evaluation emitting
+  ``slo_burn`` events;
 * :mod:`repro.observability.export` — JSON snapshot, Prometheus text
   exposition, Chrome-trace dumps.
 
@@ -14,13 +21,14 @@ Typical operator session::
 
     from repro import observability as obs
 
-    obs.enable()                       # recording registry + tracer
+    obs.enable(events_path="events.jsonl")  # registry + tracer + log
     ...run experiments...
     obs.write_metrics("metrics.json")  # or metrics.prom
     obs.write_trace("trace.json")      # load in chrome://tracing
     obs.disable()
+    # then: repro-events tail events.jsonl / explain alert-0000 / slo
 
-The metric/span name catalog (and the tables rendered into
+The metric/span/event name catalog (and the tables rendered into
 ``docs/observability.md``) lives in :mod:`repro.observability.catalog`.
 """
 
@@ -29,7 +37,23 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.observability.events import (
+    EVENTS_SCHEMA,
+    Event,
+    EventLog,
+    NullEventLog,
+    decision_path_payload,
+    disable_events,
+    enable_events,
+    get_event_log,
+    iter_events,
+    read_events,
+    replay_health_counters,
+    set_event_log,
+    write_events,
+)
 from repro.observability.export import (
+    merge_or_version_metrics,
     prometheus_name,
     snapshot_document,
     to_chrome_trace,
@@ -49,6 +73,13 @@ from repro.observability.metrics import (
     get_registry,
     set_registry,
 )
+from repro.observability.slo import (
+    DEFAULT_BURN_WINDOWS,
+    DEFAULT_OBJECTIVES,
+    BurnWindow,
+    SLOMonitor,
+    SloObjective,
+)
 from repro.observability.tracing import (
     TRACE_SCHEMA,
     NullTracer,
@@ -61,55 +92,86 @@ from repro.observability.tracing import (
 )
 
 __all__ = [
+    "BurnWindow",
+    "DEFAULT_BURN_WINDOWS",
+    "DEFAULT_OBJECTIVES",
+    "EVENTS_SCHEMA",
+    "Event",
+    "EventLog",
     "LEAD_TIME_BUCKETS_H",
     "METRICS_SCHEMA",
-    "ROW_BUCKETS",
-    "TIME_BUCKETS_S",
     "MetricsRegistry",
+    "NullEventLog",
     "NullRegistry",
     "NullTracer",
+    "ROW_BUCKETS",
     "RemoteObservation",
+    "SLOMonitor",
+    "SloObjective",
     "SpanRecord",
+    "TIME_BUCKETS_S",
     "TRACE_SCHEMA",
     "Tracer",
     "absorb_remote",
     "capture_remote",
+    "decision_path_payload",
     "disable",
+    "disable_events",
     "disable_metrics",
     "disable_tracing",
     "enable",
+    "enable_events",
     "enable_metrics",
     "enable_tracing",
+    "get_event_log",
     "get_registry",
     "get_tracer",
+    "iter_events",
+    "merge_or_version_metrics",
     "prometheus_name",
+    "read_events",
+    "replay_health_counters",
+    "set_event_log",
     "set_registry",
     "set_tracer",
     "snapshot_document",
     "to_chrome_trace",
     "to_prometheus_text",
     "worker_config",
+    "write_events",
     "write_metrics",
     "write_trace",
 ]
 
 
-def enable(*, metrics: bool = True, tracing: bool = True):
-    """Install fresh recording instruments; returns ``(registry, tracer)``.
+def enable(
+    *,
+    metrics: bool = True,
+    tracing: bool = True,
+    events: bool = True,
+    events_path=None,
+):
+    """Install fresh recording instruments; returns ``(registry, tracer, log)``.
 
-    Either pillar can be enabled alone; the other keeps its no-op
-    default (pass ``tracing=False`` to collect metrics without paying
-    for span records).
+    Any pillar can be enabled alone; the others keep their no-op
+    defaults (pass ``tracing=False`` to collect metrics without paying
+    for span records).  ``events_path`` tees the event log to a JSONL
+    file as events are emitted (implies ``events=True``).
     """
     registry = enable_metrics() if metrics else get_registry()
     tracer = enable_tracing() if tracing else get_tracer()
-    return registry, tracer
+    if events or events_path is not None:
+        log = enable_events(events_path)
+    else:
+        log = get_event_log()
+    return registry, tracer, log
 
 
 def disable() -> None:
-    """Restore both no-op defaults (recorded data is discarded)."""
+    """Restore all no-op defaults (recorded data is discarded)."""
     disable_metrics()
     disable_tracing()
+    disable_events()
 
 
 # -- cross-worker propagation --------------------------------------------------
@@ -132,14 +194,19 @@ class RemoteObservation:
     result: object
     metrics: Optional[dict] = None
     spans: list = field(default_factory=list)
+    events: list = field(default_factory=list)
 
 
 def worker_config() -> Optional[dict]:
     """What the parent ships to pool workers (``None`` when disabled)."""
-    registry, tracer = get_registry(), get_tracer()
-    if not registry.enabled and not tracer.enabled:
+    registry, tracer, log = get_registry(), get_tracer(), get_event_log()
+    if not registry.enabled and not tracer.enabled and not log.enabled:
         return None
-    return {"metrics": registry.enabled, "tracing": tracer.enabled}
+    return {
+        "metrics": registry.enabled,
+        "tracing": tracer.enabled,
+        "events": log.enabled,
+    }
 
 
 def capture_remote(
@@ -149,7 +216,7 @@ def capture_remote(
 
     Returns the bare result when ``config`` is ``None`` (observability
     disabled at the parent), otherwise a :class:`RemoteObservation`
-    whose snapshot/spans are exactly this task's contribution.
+    whose snapshot/spans/events are exactly this task's contribution.
     Instruments are restored even when the task raises, so a retried
     task never double-counts.
     """
@@ -157,8 +224,10 @@ def capture_remote(
         return func(*args)
     registry = MetricsRegistry() if config.get("metrics") else None
     tracer = Tracer() if config.get("tracing") else None
+    log = EventLog() if config.get("events") else None
     previous_registry = set_registry(registry) if registry else None
     previous_tracer = set_tracer(tracer) if tracer else None
+    previous_log = set_event_log(log) if log else None
     try:
         result = func(*args)
     finally:
@@ -166,10 +235,13 @@ def capture_remote(
             set_registry(previous_registry)
         if tracer is not None:
             set_tracer(previous_tracer)
+        if log is not None:
+            set_event_log(previous_log)
     return RemoteObservation(
         result=result,
         metrics=registry.snapshot() if registry else None,
         spans=tracer.drain() if tracer else [],
+        events=log.drain() if log else [],
     )
 
 
@@ -177,7 +249,9 @@ def absorb_remote(value: object, *, parent_path: str = "") -> object:
     """Unwrap a worker result, folding any observations into the parent.
 
     Passes non-envelope values straight through, so call sites can apply
-    it unconditionally to everything a pool hands back.
+    it unconditionally to everything a pool hands back.  Worker events
+    are re-sequenced into the parent log in arrival (task-submission)
+    order, keeping the merged stream deterministic.
     """
     if not isinstance(value, RemoteObservation):
         return value
@@ -185,4 +259,6 @@ def absorb_remote(value: object, *, parent_path: str = "") -> object:
         get_registry().merge_snapshot(value.metrics)
     if value.spans:
         get_tracer().absorb(value.spans, parent_path=parent_path)
+    if value.events:
+        get_event_log().absorb(value.events)
     return value.result

@@ -1,15 +1,16 @@
-"""The metric and span catalog: every name the instrumentation emits.
+"""The metric, span and event catalog: every name the instrumentation emits.
 
-One spec per metric/span, used three ways:
+One spec per metric/span/event, used three ways:
 
 * ``docs/observability.md`` documents exactly these names (a test diffs
   the doc tables against this module);
 * ``tests/test_observability_integration.py`` runs a live end-to-end
-  scenario and diffs the emitted snapshot against this catalog in both
-  directions — an undocumented emission or a documented-but-dead name
-  fails CI;
-* :func:`render_metric_table` / :func:`render_span_table` regenerate
-  the doc tables so the catalog cannot drift from its documentation.
+  scenario and diffs the emitted snapshot/event stream against this
+  catalog in both directions — an undocumented emission or a
+  documented-but-dead name fails CI;
+* :func:`render_metric_table` / :func:`render_span_table` /
+  :func:`render_event_table` regenerate the doc tables so the catalog
+  cannot drift from its documentation.
 
 Naming convention: ``family.quantity`` with dotted lowercase families
 (``fit``, ``score``, ``serve``, ``detect``, ``fleet``, ``updating``,
@@ -51,6 +52,20 @@ class SpanSpec:
     emitted_by: str
     when: str
     args: tuple[str, ...] = field(default_factory=tuple)
+
+
+@dataclass(frozen=True)
+class EventSpec:
+    """Catalog entry for one structured-event type.
+
+    ``payload`` lists the ``data`` keys the emission site attaches
+    (optional keys marked with a trailing ``?``).
+    """
+
+    name: str
+    emitted_by: str
+    when: str
+    payload: tuple[str, ...] = field(default_factory=tuple)
 
 
 METRICS: tuple[MetricSpec, ...] = (
@@ -211,6 +226,65 @@ SPANS: tuple[SpanSpec, ...] = (
 )
 
 
+EVENTS: tuple[EventSpec, ...] = (
+    # -- the alert lifecycle (repro/detection/streaming.py) -----------------
+    EventSpec("sample_scored", "repro.detection.streaming",
+              "once per tick scored to a finite value (recording log only)",
+              ("score",)),
+    EventSpec("vote_flip", "repro.detection.streaming",
+              "once per change of a drive detector's instantaneous alarm "
+              "signal", ("signal",)),
+    EventSpec("alert_raised", "repro.detection.streaming",
+              "once per raised alert, carrying full provenance: the alert "
+              "id, triggering score, model generation, voting-window "
+              "contents, and the CART decision path of the last "
+              "well-formed sample (identical for compiled and node "
+              "backends)",
+              ("alert_id", "score", "model_generation", "window?", "path?",
+               "short_history?")),
+    EventSpec("alert_cleared", "repro.detection.streaming",
+              "once when an alerted drive's instantaneous signal first "
+              "drops back below the voting rule", ("score",)),
+    EventSpec("tick_faulted", "repro.detection.streaming",
+              "once per malformed tick the validation gate excluded",
+              ("kind", "detail")),
+    EventSpec("drive_quarantined", "repro.detection.streaming",
+              "once per drive transitioning OK -> DEGRADED",
+              ("fault_count", "fault_limit")),
+    EventSpec("outcome_resolved", "repro.detection.streaming",
+              "once per resolve_outcome call recording a drive's ground "
+              "truth (detected / missed / false_alarm / good)",
+              ("outcome", "lead_hours?")),
+    # -- offline evaluation (repro/detection/evaluator.py) ------------------
+    EventSpec("detection_evaluated", "repro.detection.evaluator",
+              "once per evaluate_detection call (recording log only), with "
+              "the aggregate FDR/FAR/TIA of the sweep",
+              ("n_series", "n_detected", "n_failed", "n_false_alarms",
+               "n_good", "fdr", "far", "mean_tia_hours")),
+    # -- model lifecycle (repro/updating/simulator.py,
+    #    repro/detection/streaming.py) --------------------------------------
+    EventSpec("model_retrained", "repro.updating.simulator",
+              "once per training-window model fitted",
+              ("window", "n_train_good", "n_train_failed")),
+    EventSpec("model_replaced", "repro.detection.streaming + "
+              "repro.updating.simulator",
+              "once per serving-model swap: FleetMonitor.set_model, or a "
+              "strategy changing its training window week-over-week",
+              ("from_generation", "to_generation", "strategy?", "week?",
+               "window?")),
+    # -- SLO burn (repro/observability/slo.py) ------------------------------
+    EventSpec("slo_burn", "repro.observability.slo",
+              "once per objective transitioning not-burning -> burning, "
+              "with every window whose burn rate crossed its threshold",
+              ("objective", "budget", "windows")),
+    # -- experiment runs (repro/experiments/common.py) ----------------------
+    EventSpec("run_completed", "repro.experiments.common",
+              "once per finished experiment run (grid or serial), with the "
+              "grid checkpoint id when one was used",
+              ("experiments", "n_cells", "n_cached", "checkpoint_id?")),
+)
+
+
 def metric_names() -> set[str]:
     """Every documented metric name."""
     return {spec.name for spec in METRICS}
@@ -219,6 +293,11 @@ def metric_names() -> set[str]:
 def span_names() -> set[str]:
     """Every documented span name."""
     return {spec.name for spec in SPANS}
+
+
+def event_names() -> set[str]:
+    """Every documented event type."""
+    return {spec.name for spec in EVENTS}
 
 
 def render_metric_table() -> str:
@@ -247,6 +326,21 @@ def render_span_table() -> str:
         args = ", ".join(spec.args) if spec.args else "—"
         lines.append(
             f"| `{spec.name}` | {spec.category} | {args} "
+            f"| `{spec.emitted_by}` | {spec.when} |"
+        )
+    return "\n".join(lines)
+
+
+def render_event_table() -> str:
+    """The docs/observability.md event table, regenerated from the specs."""
+    lines = [
+        "| Event | Payload (`data` keys, `?` = optional) | Emitted by | When |",
+        "|---|---|---|---|",
+    ]
+    for spec in EVENTS:
+        payload = ", ".join(f"`{key}`" for key in spec.payload) if spec.payload else "—"
+        lines.append(
+            f"| `{spec.name}` | {payload} "
             f"| `{spec.emitted_by}` | {spec.when} |"
         )
     return "\n".join(lines)

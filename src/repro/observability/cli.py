@@ -1,0 +1,176 @@
+"""``repro-events``: browse and explain a structured event log.
+
+The operator's companion to the ``repro.events/v1`` JSONL logs written
+by ``repro-experiments --events-out`` (or any
+:class:`~repro.observability.events.EventLog` bound to a path):
+
+* ``repro-events tail LOG [-n N]`` — the last N events, one line each;
+* ``repro-events query LOG --drive S --type T --since H`` — filter the
+  stream by drive serial, event type, and/or minimum fleet hour;
+* ``repro-events explain LOG ALERT_ID`` — the provenance of one raised
+  alert: triggering score, model generation, voting-window contents,
+  and the CART decision path (the SMART evidence, feature by feature);
+* ``repro-events slo LOG`` — replay the log's resolved outcomes through
+  a fresh :class:`~repro.observability.slo.SLOMonitor` and print the
+  per-objective burn status.
+
+Every subcommand reads the log in one pass and works on live files (a
+path-bound log flushes per event), so ``tail`` mid-run shows the
+current state of the fleet.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.observability.events import Event, read_events, render_decision_path
+from repro.observability.slo import SLOMonitor
+
+
+def _cmd_tail(args: argparse.Namespace) -> int:
+    events = read_events(args.log)
+    for event in events[-args.lines:]:
+        print(event.render())
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    matched = 0
+    for event in read_events(args.log):
+        if args.drive is not None and event.drive != args.drive:
+            continue
+        if args.type is not None and event.type != args.type:
+            continue
+        if args.since is not None and (
+            event.hour is None or event.hour < args.since
+        ):
+            continue
+        print(event.render())
+        matched += 1
+    if matched == 0:
+        print("no matching events", file=sys.stderr)
+    return 0
+
+
+def _find_alert(events, alert_id: str) -> Optional[Event]:
+    for event in events:
+        if (
+            event.type == "alert_raised"
+            and event.data.get("alert_id") == alert_id
+        ):
+            return event
+    return None
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    events = read_events(args.log)
+    event = _find_alert(events, args.alert_id)
+    if event is None:
+        known = sorted(
+            e.data["alert_id"]
+            for e in events
+            if e.type == "alert_raised" and "alert_id" in e.data
+        )
+        print(
+            f"error: no alert_raised event with id {args.alert_id!r}"
+            + (f"; known: {', '.join(known)}" if known else ""),
+            file=sys.stderr,
+        )
+        return 1
+    hour = f"{event.hour:g}" if event.hour is not None else "finalize (short history)"
+    score = event.data.get("score")
+    print(f"{args.alert_id}: drive {event.drive} alerted at hour {hour}")
+    print(f"  score: {score if score is not None else 'NaN'}")
+    print(f"  model generation: {event.data.get('model_generation', 0)}")
+    window = event.data.get("window")
+    if window is not None:
+        rendered = ", ".join(
+            {True: "FAIL", False: "ok", None: "gap"}.get(slot, str(slot))
+            for slot in window
+        )
+        print(f"  voting window (oldest first): [{rendered}]")
+    path = event.data.get("path")
+    if path:
+        print("  decision path:")
+        for line in render_decision_path(path):
+            print(f"    {line}")
+    else:
+        print("  decision path: not recorded (monitor had no tree attached)")
+    return 0
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    events = read_events(args.log)
+    monitor = SLOMonitor().replay(events)
+    status = monitor.status()
+    print(f"SLO status at hour {status['hour']:g}")
+    for name, entry in status["objectives"].items():
+        state = "BURNING" if entry["burning"] else "ok"
+        print(
+            f"  {name:<10s} {state:<8s} budget {entry['budget']:g}  "
+            f"worst burn {entry['worst_burn_rate']:g}x over "
+            f"{entry['worst_window_hours']:g}h  "
+            f"({entry['samples']} outcomes in window)"
+        )
+    burns = [e for e in events if e.type == "slo_burn"]
+    if burns:
+        print(f"  {len(burns)} slo_burn event(s) in the log:")
+        for event in burns:
+            print(f"    {event.render()}")
+    return 0
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """CLI entry point (console script ``repro-events``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-events",
+        description="Browse, query and explain repro.events/v1 JSONL logs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    tail = sub.add_parser("tail", help="print the last N events")
+    tail.add_argument("log", help="path to the events JSONL file")
+    tail.add_argument(
+        "-n", "--lines", type=int, default=20, metavar="N",
+        help="number of trailing events to show (default: 20)",
+    )
+    tail.set_defaults(func=_cmd_tail)
+
+    query = sub.add_parser("query", help="filter events by drive/type/hour")
+    query.add_argument("log", help="path to the events JSONL file")
+    query.add_argument("--drive", default=None, help="only this drive serial")
+    query.add_argument("--type", default=None, help="only this event type")
+    query.add_argument(
+        "--since", type=float, default=None, metavar="HOUR",
+        help="only events at or after this fleet hour",
+    )
+    query.set_defaults(func=_cmd_query)
+
+    explain = sub.add_parser(
+        "explain", help="print a raised alert's decision-path provenance"
+    )
+    explain.add_argument("log", help="path to the events JSONL file")
+    explain.add_argument("alert_id", help="alert id, e.g. alert-0000")
+    explain.set_defaults(func=_cmd_explain)
+
+    slo = sub.add_parser(
+        "slo", help="replay resolved outcomes and print SLO burn status"
+    )
+    slo.add_argument("log", help="path to the events JSONL file")
+    slo.set_defaults(func=_cmd_slo)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

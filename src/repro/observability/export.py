@@ -25,7 +25,7 @@ import re
 from pathlib import Path
 from typing import Optional, Union
 
-from repro.observability.metrics import MetricsRegistry, get_registry
+from repro.observability.metrics import METRICS_SCHEMA, MetricsRegistry, get_registry
 from repro.observability.tracing import TRACE_SCHEMA, Tracer, get_tracer
 
 _NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
@@ -40,13 +40,30 @@ def prometheus_name(name: str, *, prefix: str = "repro") -> str:
     return flat
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the text exposition format.
+
+    The format requires exactly three escapes inside quoted label
+    values — backslash, double-quote, and line feed — in that order
+    (escaping the backslash first so later escapes aren't doubled).
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """Escape HELP text: backslash and line feed (quotes stay literal)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _prometheus_labels(label_key: str, extra: str = "") -> str:
     """Render a snapshot series key (``k=v,k2=v2``) as a label block."""
     parts = []
     if label_key:
         for pair in label_key.split(","):
             key, value = pair.split("=", 1)
-            escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+            escaped = _escape_label_value(value)
             parts.append(f'{_SANITIZE.sub("_", key)}="{escaped}"')
     if extra:
         parts.append(extra)
@@ -75,7 +92,7 @@ def to_prometheus_text(registry: Optional[MetricsRegistry] = None) -> str:
         unit = entry.get("unit", "")
         if unit:
             help_text += f" ({unit})"
-        lines.append(f"# HELP {flat} {help_text}")
+        lines.append(f"# HELP {flat} {_escape_help(help_text)}")
         lines.append(f"# TYPE {flat} {kind}")
         for label_key, value in entry["series"].items():
             if kind == "histogram":
@@ -145,6 +162,44 @@ def write_metrics(
         document = snapshot_document(registry)
         target.write_text(json.dumps(document, indent=1, sort_keys=True) + "\n")
     return target
+
+
+def merge_or_version_metrics(
+    path: Union[str, Path], registry: Optional[MetricsRegistry] = None
+) -> tuple[Path, str]:
+    """Write metrics to ``path`` without silently clobbering history.
+
+    Returns ``(written path, action)`` where the action is one of:
+
+    * ``"written"`` — ``path`` did not exist; a plain
+      :func:`write_metrics`;
+    * ``"merged"`` — ``path`` held a JSON snapshot of the same schema;
+      the old snapshot and the new registry are merged (counters and
+      histograms add, gauges take the newer value) and written back —
+      repeated ``repro-experiments --metrics-out`` runs accumulate;
+    * ``"versioned"`` — ``path`` exists but cannot be merged (Prometheus
+      text, foreign JSON, other schema); the snapshot goes to the first
+      free ``name.N.suffix`` sibling and the original is untouched.
+    """
+    target = Path(path)
+    if not target.exists():
+        return write_metrics(target, registry), "written"
+    if target.suffix not in (".prom", ".txt"):
+        try:
+            existing = json.loads(target.read_text())
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            existing = None
+        if isinstance(existing, dict) and existing.get("schema") == METRICS_SCHEMA:
+            merged = MetricsRegistry()
+            merged.merge_snapshot(existing)
+            merged.merge_snapshot(snapshot_document(registry))
+            return write_metrics(target, merged), "merged"
+    version = 1
+    while True:
+        sibling = target.with_name(f"{target.stem}.{version}{target.suffix}")
+        if not sibling.exists():
+            return write_metrics(sibling, registry), "versioned"
+        version += 1
 
 
 def write_trace(path: Union[str, Path], tracer: Optional[Tracer] = None) -> Path:

@@ -1,0 +1,317 @@
+"""Rolling SLO burn-rate monitors for the prediction fleet.
+
+The paper's headline result — "over 95% detection at a false alarm rate
+under 0.1%" (Abstract, Section V) — reads naturally as a service-level
+objective once the predictor runs inside a data center: the fleet is in
+budget while its rolling FDR stays above 95% and its rolling FAR below
+0.1%.  This module turns those numbers (plus a lead-time objective from
+the TIA histogram of Figure 3) into multi-window *burn-rate* monitors in
+the SRE style: each objective has an **error budget** (the tolerated bad
+fraction), and the burn rate over a window is
+
+    burn = bad_fraction(window) / budget
+
+so ``burn == 1`` means "spending the budget exactly as fast as allowed"
+and ``burn == 14.4`` over a day means "the weekly budget gone in ~12
+hours".  An objective *burns* when any window's rate crosses that
+window's threshold; the not-burning → burning transition emits a
+``slo_burn`` event into the structured log, and
+:meth:`SLOMonitor.status` surfaces per-objective state for
+``health_report()``.
+
+Like everything in this package the monitor is deterministic and
+zero-dependency: time is the fleet's logical hour clock, never wall
+time, and outcomes arrive via explicit calls
+(:meth:`SLOMonitor.record` per drive,
+:meth:`SLOMonitor.record_result` for a whole
+:class:`~repro.detection.metrics.DetectionResult`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Tuple
+
+from repro.observability.events import get_event_log
+
+#: Outcome labels accepted by :meth:`SLOMonitor.record`.
+OUTCOMES = ("detected", "missed", "false_alarm", "good")
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One objective: the tolerated fraction of bad outcomes.
+
+    ``budget`` is the error budget — e.g. the paper's "over 95% FDR"
+    tolerates at most 5% missed failures, so ``budget=0.05``.
+    """
+
+    name: str
+    budget: float
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.budget <= 1.0:
+            raise ValueError(f"objective {self.name}: budget must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class BurnWindow:
+    """One rolling window with its alerting burn-rate threshold."""
+
+    hours: float
+    threshold: float
+
+
+#: Paper-derived objectives (Abstract / Section V, Figure 3).
+FDR_OBJECTIVE = SloObjective(
+    name="fdr",
+    budget=0.05,
+    description="detect >= 95% of failing drives (miss budget 5%)",
+)
+FAR_OBJECTIVE = SloObjective(
+    name="far",
+    budget=0.001,
+    description="false-alarm <= 0.1% of good drives",
+)
+LEAD_TIME_OBJECTIVE = SloObjective(
+    name="lead_time",
+    budget=0.25,
+    description=(
+        "<= 25% of detections with under 24h lead "
+        "(Figure 3: most TIA mass sits beyond a day)"
+    ),
+)
+DEFAULT_OBJECTIVES: Tuple[SloObjective, ...] = (
+    FDR_OBJECTIVE, FAR_OBJECTIVE, LEAD_TIME_OBJECTIVE,
+)
+
+#: Hours below which a detection counts against the lead-time budget.
+MIN_LEAD_HOURS = 24.0
+
+#: Google-SRE-style multi-window ladder: fast burn pages quickly, slow
+#: burn catches budget leaks.  Thresholds assume a ~28-day budget
+#: period: 14.4x over 24h or 6x over 3 days each consume ~2 weeks of
+#: budget; 1x over a week means the budget is being spent exactly at
+#: the tolerated rate.
+DEFAULT_BURN_WINDOWS: Tuple[BurnWindow, ...] = (
+    BurnWindow(hours=24.0, threshold=14.4),
+    BurnWindow(hours=72.0, threshold=6.0),
+    BurnWindow(hours=168.0, threshold=1.0),
+)
+
+#: Which outcomes each default objective counts, as (bad, total-universe).
+_OBJECTIVE_RULES = {
+    "fdr": (("missed",), ("detected", "missed")),
+    "far": (("false_alarm",), ("false_alarm", "good")),
+    "lead_time": (("short_lead",), ("short_lead", "long_lead")),
+}
+
+
+class SLOMonitor:
+    """Tracks outcome streams against objectives with burn-rate windows.
+
+    Feed it per-drive ground-truth outcomes as they resolve
+    (:meth:`record`) or whole offline evaluations
+    (:meth:`record_result`); call :meth:`evaluate` to recompute burn
+    state at an hour (done automatically by ``record``) and
+    :meth:`status` for the dict ``health_report()`` embeds.
+    """
+
+    def __init__(
+        self,
+        objectives: Tuple[SloObjective, ...] = DEFAULT_OBJECTIVES,
+        windows: Tuple[BurnWindow, ...] = DEFAULT_BURN_WINDOWS,
+        *,
+        min_lead_hours: float = MIN_LEAD_HOURS,
+    ):
+        for objective in objectives:
+            if objective.name not in _OBJECTIVE_RULES:
+                raise ValueError(
+                    f"unknown objective {objective.name!r}; expected one of "
+                    f"{sorted(_OBJECTIVE_RULES)}"
+                )
+        self.objectives = objectives
+        self.windows = tuple(sorted(windows, key=lambda w: w.hours))
+        self.min_lead_hours = float(min_lead_hours)
+        #: (hour, outcome) pairs in arrival order; bounded by the widest
+        #: window (older entries can never influence a burn rate again).
+        self._samples: Deque[Tuple[float, str]] = deque()
+        self._burning: set[str] = set()
+        self._last_hour: Optional[float] = None
+
+    # -- ingestion ------------------------------------------------------------
+
+    def record(
+        self,
+        hour: float,
+        outcome: str,
+        *,
+        lead_hours: Optional[float] = None,
+        drive: Optional[str] = None,
+    ) -> None:
+        """Record one resolved drive outcome at fleet hour ``hour``.
+
+        ``outcome`` is one of :data:`OUTCOMES`; a ``detected`` outcome
+        with ``lead_hours`` also feeds the lead-time objective.  Burn
+        state is re-evaluated immediately (so a transition emits its
+        ``slo_burn`` event at the hour that caused it).
+        """
+        if outcome not in OUTCOMES:
+            raise ValueError(f"unknown outcome {outcome!r}; expected {OUTCOMES}")
+        hour = float(hour)
+        self._append(hour, outcome)
+        if outcome == "detected" and lead_hours is not None:
+            self._append(
+                hour,
+                "short_lead" if lead_hours < self.min_lead_hours else "long_lead",
+            )
+        self.evaluate(hour, drive=drive)
+
+    def record_result(self, hour: float, result) -> None:
+        """Bulk-ingest a :class:`~repro.detection.metrics.DetectionResult`.
+
+        Expands the aggregate counts into individual outcomes at
+        ``hour`` — the offline evaluator's bridge into the same budget
+        the streaming fleet spends.
+        """
+        hour = float(hour)
+        for _ in range(result.n_detected):
+            self._append(hour, "detected")
+        for _ in range(result.n_failed - result.n_detected):
+            self._append(hour, "missed")
+        for _ in range(result.n_false_alarms):
+            self._append(hour, "false_alarm")
+        for _ in range(result.n_good - result.n_false_alarms):
+            self._append(hour, "good")
+        for lead in result.tia_hours:
+            self._append(
+                hour,
+                "short_lead" if lead < self.min_lead_hours else "long_lead",
+            )
+        self.evaluate(hour)
+
+    def _append(self, hour: float, outcome: str) -> None:
+        self._samples.append((hour, outcome))
+        self._last_hour = hour
+        horizon = hour - max(window.hours for window in self.windows)
+        while self._samples and self._samples[0][0] < horizon:
+            self._samples.popleft()
+
+    # -- evaluation -----------------------------------------------------------
+
+    def _window_rates(self, objective: SloObjective, hour: float) -> list[dict]:
+        bad_kinds, universe = _OBJECTIVE_RULES[objective.name]
+        rates = []
+        for window in self.windows:
+            start = hour - window.hours
+            bad = total = 0
+            for sample_hour, outcome in self._samples:
+                if sample_hour < start or outcome not in universe:
+                    continue
+                total += 1
+                if outcome in bad_kinds:
+                    bad += 1
+            bad_fraction = bad / total if total else 0.0
+            burn_rate = bad_fraction / objective.budget
+            rates.append({
+                "window_hours": window.hours,
+                "threshold": window.threshold,
+                "samples": total,
+                "bad": bad,
+                "bad_fraction": bad_fraction,
+                "burn_rate": burn_rate,
+                "burning": total > 0 and burn_rate >= window.threshold,
+            })
+        return rates
+
+    def evaluate(self, hour: float, *, drive: Optional[str] = None) -> dict:
+        """Recompute burn state at ``hour``; emit ``slo_burn`` on ignition.
+
+        Returns ``{objective name: window rate list}``.  A ``slo_burn``
+        event fires only on the not-burning → burning transition of an
+        objective (carrying the windows that tripped), so a sustained
+        burn produces one event, not one per tick.
+        """
+        hour = float(hour)
+        report: dict = {}
+        for objective in self.objectives:
+            rates = self._window_rates(objective, hour)
+            report[objective.name] = rates
+            burning = [rate for rate in rates if rate["burning"]]
+            if burning and objective.name not in self._burning:
+                self._burning.add(objective.name)
+                get_event_log().emit(
+                    "slo_burn",
+                    drive=drive,
+                    hour=hour,
+                    objective=objective.name,
+                    budget=objective.budget,
+                    windows=[
+                        {
+                            "window_hours": rate["window_hours"],
+                            "burn_rate": round(rate["burn_rate"], 6),
+                            "threshold": rate["threshold"],
+                        }
+                        for rate in burning
+                    ],
+                )
+            elif not burning:
+                self._burning.discard(objective.name)
+        return report
+
+    def replay(self, events) -> "SLOMonitor":
+        """Feed a recorded event stream back into this monitor.
+
+        Ingests every ``outcome_resolved`` event (with its lead time)
+        and expands every ``detection_evaluated`` aggregate into
+        individual outcomes, in stream order — what ``repro-events
+        slo`` runs to reconstruct budget state offline.  Returns
+        ``self`` for chaining.
+        """
+        for event in events:
+            hour = event.hour if event.hour is not None else 0.0
+            if event.type == "outcome_resolved":
+                self.record(
+                    hour,
+                    event.data["outcome"],
+                    lead_hours=event.data.get("lead_hours"),
+                    drive=event.drive,
+                )
+            elif event.type == "detection_evaluated":
+                data = event.data
+                for _ in range(data.get("n_detected", 0)):
+                    self._append(hour, "detected")
+                for _ in range(data.get("n_failed", 0) - data.get("n_detected", 0)):
+                    self._append(hour, "missed")
+                for _ in range(data.get("n_false_alarms", 0)):
+                    self._append(hour, "false_alarm")
+                for _ in range(
+                    data.get("n_good", 0) - data.get("n_false_alarms", 0)
+                ):
+                    self._append(hour, "good")
+                self.evaluate(hour)
+        return self
+
+    def status(self, hour: Optional[float] = None) -> dict:
+        """Per-objective burn summary for ``health_report()``.
+
+        Uses the last recorded hour when ``hour`` is omitted; with no
+        recorded outcomes every objective reports ``ok`` with zero
+        samples.
+        """
+        if hour is None:
+            hour = self._last_hour if self._last_hour is not None else 0.0
+        status: dict = {"hour": float(hour), "objectives": {}}
+        for objective in self.objectives:
+            rates = self._window_rates(objective, float(hour))
+            worst = max(rates, key=lambda rate: rate["burn_rate"])
+            status["objectives"][objective.name] = {
+                "budget": objective.budget,
+                "burning": any(rate["burning"] for rate in rates),
+                "worst_burn_rate": round(worst["burn_rate"], 6),
+                "worst_window_hours": worst["window_hours"],
+                "samples": max(rate["samples"] for rate in rates),
+            }
+        return status

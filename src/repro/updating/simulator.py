@@ -21,7 +21,7 @@ from pathlib import Path
 from typing import Callable, Optional, Protocol, Sequence, Union
 
 from repro.detection.metrics import DetectionResult
-from repro.observability import get_registry, get_tracer
+from repro.observability import get_event_log, get_registry, get_tracer
 from repro.smart.dataset import SmartDataset, TrainTestSplit
 from repro.updating.strategies import UpdatingStrategy
 from repro.utils.checkpoint import JsonCheckpoint
@@ -81,6 +81,12 @@ def _fit_window_model(model_factory, task):
     get_registry().counter(
         "updating.retrains", help="training-window models fitted"
     ).inc()
+    get_event_log().emit(
+        "model_retrained",
+        window=[int(window[0]), int(window[1])],
+        n_train_good=len(split.train_good),
+        n_train_failed=len(split.train_failed),
+    )
     return model
 
 
@@ -234,10 +240,29 @@ def simulate_updating(
         return evaluated_cache[key]
 
     reports = []
+    log = get_event_log()
     for strategy in strategies:
         outcomes = []
+        generation = 0
+        previous_window: Optional[tuple[int, int]] = None
         for week in range(2, n_weeks + 1):
-            result = evaluate_window(strategy.training_weeks(week), week)
+            window = strategy.training_weeks(week)
+            if previous_window is not None and window != previous_window:
+                # The deployment view of the week-over-week sweep: this
+                # strategy just swapped its serving model's training
+                # window, i.e. replaced the model in production.
+                generation += 1
+                log.emit(
+                    "model_replaced",
+                    hour=(week - 1) * HOURS_PER_WEEK,
+                    strategy=strategy.name,
+                    week=week,
+                    from_generation=generation - 1,
+                    to_generation=generation,
+                    window=[int(window[0]), int(window[1])],
+                )
+            previous_window = window
+            result = evaluate_window(window, week)
             outcomes.append(
                 WeeklyOutcome(strategy=strategy.name, week=week, result=result)
             )

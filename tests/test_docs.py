@@ -44,9 +44,18 @@ class TestCatalogTables:
         assert "render_span_table()" in text
         assert catalog.render_span_table() in text
 
+    def test_event_table_is_generated_output(self):
+        text = (ROOT / "docs" / "observability.md").read_text()
+        assert "render_event_table()" in text
+        assert catalog.render_event_table() in text
+
     def test_every_catalog_name_is_documented(self):
         text = (ROOT / "docs" / "observability.md").read_text()
-        for name in sorted(catalog.metric_names() | catalog.span_names()):
+        names = (
+            catalog.metric_names() | catalog.span_names()
+            | catalog.event_names()
+        )
+        for name in sorted(names):
             assert f"`{name}`" in text, f"{name} missing from docs/observability.md"
 
 

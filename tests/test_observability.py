@@ -14,6 +14,7 @@ import pytest
 
 from repro import observability as obs
 from repro.observability.export import (
+    merge_or_version_metrics,
     prometheus_name,
     to_chrome_trace,
     to_prometheus_text,
@@ -241,6 +242,36 @@ class TestPrometheusExport:
     def test_empty_registry_renders_empty(self):
         assert to_prometheus_text(MetricsRegistry()) == ""
 
+    def test_golden_hostile_label_values(self):
+        """Backslash, double-quote and newline all escape per the format.
+
+        The label value below carries every character the exposition
+        format requires escaping inside quoted label values — a literal
+        backslash, an embedded double-quote, and a line feed (the kind
+        of garbage a fault `detail` or file path label can carry).
+        """
+        registry = MetricsRegistry()
+        registry.counter(
+            "serve.faults", help="malformed ticks",
+            kind='path\\to"disk"\nline2',
+        ).inc(2)
+        text = to_prometheus_text(registry)
+        assert text == (
+            "# HELP repro_serve_faults_total malformed ticks\n"
+            "# TYPE repro_serve_faults_total counter\n"
+            'repro_serve_faults_total{kind="path\\\\to\\"disk\\"\\nline2"} 2\n'
+        )
+        # One physical line per sample: the newline must be escaped, not
+        # emitted, or the exposition parser reads a broken series line.
+        body = [line for line in text.splitlines() if not line.startswith("#")]
+        assert len(body) == 1
+
+    def test_help_text_escapes_newline_and_backslash(self):
+        registry = MetricsRegistry()
+        registry.counter("grid.cells", help="first\\line\nsecond").inc()
+        text = to_prometheus_text(registry)
+        assert "# HELP repro_grid_cells_total first\\\\line\\nsecond\n" in text
+
     def test_write_metrics_picks_format_from_suffix(self, tmp_path):
         registry = MetricsRegistry()
         registry.counter("grid.cells").inc()
@@ -250,6 +281,61 @@ class TestPrometheusExport:
         doc = json.loads(blob.read_text())
         assert doc["schema"] == METRICS_SCHEMA
         assert doc["metrics"]["grid.cells"]["series"][""] == 1
+
+
+class TestMergeOrVersionMetrics:
+    """`--metrics-out` must never silently clobber an existing artefact."""
+
+    def _registry(self, cells: int) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("grid.cells").inc(cells)
+        registry.gauge("fleet.degraded").set(cells)
+        return registry
+
+    def test_fresh_path_is_plain_write(self, tmp_path):
+        target = tmp_path / "metrics.json"
+        written, action = merge_or_version_metrics(target, self._registry(3))
+        assert (written, action) == (target, "written")
+        doc = json.loads(target.read_text())
+        assert doc["metrics"]["grid.cells"]["series"][""] == 3
+
+    def test_same_schema_json_merges_in_place(self, tmp_path):
+        target = tmp_path / "metrics.json"
+        write_metrics(target, self._registry(3))
+        written, action = merge_or_version_metrics(target, self._registry(4))
+        assert (written, action) == (target, "merged")
+        doc = json.loads(target.read_text())
+        # Counters accumulate across runs; gauges take the newer value.
+        assert doc["metrics"]["grid.cells"]["series"][""] == 7
+        assert doc["metrics"]["fleet.degraded"]["series"][""] == 4
+
+    def test_foreign_file_gets_versioned_sibling(self, tmp_path):
+        target = tmp_path / "metrics.json"
+        target.write_text('{"schema": "someone-elses/v9"}\n')
+        written, action = merge_or_version_metrics(target, self._registry(3))
+        assert action == "versioned"
+        assert written == tmp_path / "metrics.1.json"
+        # Original untouched; sibling holds the new snapshot.
+        assert json.loads(target.read_text())["schema"] == "someone-elses/v9"
+        doc = json.loads(written.read_text())
+        assert doc["metrics"]["grid.cells"]["series"][""] == 3
+
+    def test_versioning_skips_taken_siblings(self, tmp_path):
+        target = tmp_path / "metrics.prom"
+        write_metrics(target, self._registry(1))
+        (tmp_path / "metrics.1.prom").write_text("taken\n")
+        written, action = merge_or_version_metrics(target, self._registry(2))
+        # Prometheus text cannot merge, so even a same-tool artefact versions.
+        assert action == "versioned"
+        assert written == tmp_path / "metrics.2.prom"
+        assert "repro_grid_cells_total 2" in written.read_text()
+
+    def test_unparseable_json_is_versioned_not_overwritten(self, tmp_path):
+        target = tmp_path / "metrics.json"
+        target.write_text("not json {{{")
+        written, action = merge_or_version_metrics(target, self._registry(1))
+        assert action == "versioned"
+        assert target.read_text() == "not json {{{"
 
 
 class TestChromeTraceExport:
@@ -288,7 +374,7 @@ class TestChromeTraceExport:
 
 class TestEnableDisable:
     def test_enable_installs_recording_instruments(self):
-        registry, tracer = obs.enable()
+        registry, tracer, _ = obs.enable()
         assert obs.get_registry() is registry and registry.enabled
         assert obs.get_tracer() is tracer and tracer.enabled
         obs.disable()
@@ -296,7 +382,7 @@ class TestEnableDisable:
         assert not obs.get_tracer().enabled
 
     def test_enable_metrics_only(self):
-        registry, tracer = obs.enable(tracing=False)
+        registry, tracer, _ = obs.enable(tracing=False)
         assert registry.enabled
         assert not tracer.enabled
 
@@ -311,9 +397,9 @@ class TestRemoteObservation:
         assert obs.worker_config() is None
 
     def test_capture_and_absorb_round_trip(self):
-        registry, tracer = obs.enable()
+        registry, tracer, _ = obs.enable()
         config = obs.worker_config()
-        assert config == {"metrics": True, "tracing": True}
+        assert config == {"metrics": True, "tracing": True, "events": True}
 
         def task(context, value):
             obs.get_registry().counter("fit.trees").inc()

@@ -34,7 +34,9 @@ from repro.detection.voting import MajorityVoteDetector
 from repro.experiments.common import ExperimentScale, run_experiment_grid
 from repro.features.selection import basic_features
 from repro.observability import catalog
+from repro.observability.slo import SLOMonitor
 from repro.smart.attributes import N_CHANNELS
+from repro.tree import ClassificationTree
 from repro.smart.drive import DriveRecord
 from repro.updating.drift import DriftDetector
 from repro.updating.simulator import simulate_updating
@@ -87,6 +89,15 @@ def _run_serving():
         score_sample=alternating_score,
         detector_factory=lambda: OnlineMajorityVote(1),
         quarantine=QuarantinePolicy(fault_limit=0),
+        slo=SLOMonitor(),
+    )
+    fitted = ClassificationTree(minsplit=4, minbucket=2, cp=0.001).fit(
+        np.vstack([np.ones((20, len(basic_features()))),
+                   -np.ones((20, len(basic_features())))]),
+        np.array([1] * 20 + [-1] * 20),
+    )
+    monitor.set_model(          # model_replaced + provenance tree attached
+        alternating_score, tree=fitted,
     )
     clean = np.ones(N_CHANNELS)
     for hour in range(4):  # alternating signal -> alert + vote flips
@@ -95,6 +106,11 @@ def _run_serving():
     monitor.observe("d-bad", np.nan, clean)         # non-finite timestamp
     monitor.observe("d-dup", 0.0, clean)
     monitor.observe("d-dup", 0.0, clean)            # duplicate timestamp
+    # Ground truth: one detection with lead time, one miss.  A 50% miss
+    # rate burns the 5% FDR budget at 10x, tripping the 72h/168h
+    # windows -> outcome_resolved + slo_burn land in the event log.
+    monitor.resolve_outcome("d-ok", failed=True, failure_hour=40.0)
+    monitor.resolve_outcome("d-gone", failed=True)
 
     batch = FleetMonitor(
         basic_features(),
@@ -178,7 +194,9 @@ def live(tiny_fleet, tiny_split, aging_fleet_small, tmp_path_factory):
     """Run the whole scenario once; hand every test the captured state."""
     tmp = tmp_path_factory.mktemp("obs-live")
     obs.disable()
-    registry, tracer = obs.enable()
+    registry, tracer, event_log = obs.enable(
+        events_path=tmp / "events.jsonl"
+    )
     try:
         with warnings.catch_warnings():
             warnings.simplefilter("ignore")  # fallback/retry warnings are the point
@@ -191,6 +209,9 @@ def live(tiny_fleet, tiny_split, aging_fleet_small, tmp_path_factory):
             "prometheus": obs.to_prometheus_text(registry),
             "chrome": obs.to_chrome_trace(tracer),
             "health": health,
+            "events": list(event_log.events),
+            "event_types": event_log.event_types(),
+            "events_path": event_log.path,
             "detect_evals_before_pool": evals_before,
             "detect_evals_after_pool": evals_after,
         }
@@ -244,6 +265,36 @@ class TestCatalogCoverage:
         assert total("fleet.unroutable_drives") == 1
 
 
+class TestEventCatalogCoverage:
+    def test_every_documented_event_is_emitted(self, live):
+        emitted = live["event_types"]
+        documented = catalog.event_names()
+        assert documented - emitted == set(), "documented but never emitted"
+        assert emitted - documented == set(), "emitted but undocumented"
+
+    def test_payload_keys_stay_inside_catalog(self, live):
+        by_name = {spec.name: spec for spec in catalog.EVENTS}
+        for event in live["events"]:
+            spec = by_name[event.type]
+            required = {k for k in spec.payload if not k.endswith("?")}
+            optional = {k[:-1] for k in spec.payload if k.endswith("?")}
+            assert required <= set(event.data) <= required | optional, (
+                event.type
+            )
+
+    def test_streamed_jsonl_matches_in_memory_log(self, live):
+        from repro.observability.events import read_events
+
+        assert read_events(live["events_path"]) == live["events"]
+
+    def test_alert_provenance_recorded_live(self, live):
+        raised = [e for e in live["events"] if e.type == "alert_raised"]
+        assert raised, "scenario raised no alerts"
+        with_path = [e for e in raised if "path" in e.data]
+        assert with_path, "no alert carried a decision path"
+        assert with_path[0].data["path"][-1]["leaf"] is True
+
+
 class TestCrossWorkerPropagation:
     def test_pooled_worker_metrics_reach_parent(self, live):
         # Four pooled tasks each ran evaluate_detection inside a worker;
@@ -291,3 +342,11 @@ class TestHealthReport:
         assert section, "enabled registry must populate the metrics section"
         assert all(name.startswith("serve.") for name in section)
         assert "serve.ticks" in section and "serve.faults" in section
+
+    def test_slo_and_lifecycle_keys_present(self, live):
+        health = live["health"]
+        assert health["vote_flips"] >= 1
+        assert health["model_generation"] == 1
+        slo = health["slo"]["objectives"]
+        assert slo["fdr"]["burning"] is True  # 50% miss rate vs 5% budget
+        assert slo["far"]["burning"] is False

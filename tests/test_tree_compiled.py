@@ -373,6 +373,38 @@ class TestPropertyEquivalence:
         assert np.array_equal(compiled.predict(Xt), node.predict(Xt))
         assert np.array_equal(compiled.predict_proba(Xt), node.predict_proba(Xt))
 
+    @given(matrix_with_missing(), st.integers(0, 3), st.integers(0, 2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_decision_paths_agree_node_for_node(self, X, n_surrogates, label_seed):
+        """Alert provenance depends on both backends walking the same path.
+
+        `alert_raised` events record the decision path of whatever
+        backend the monitor's tree happens to use, so the node walk
+        (`Node.route`, surrogate + majority fallback) and the compiled
+        walk (`decision_path_ids` over flat arrays) must agree
+        node-for-node — including rows with NaN/inf that exercise
+        surrogate routing.
+        """
+        y = make_labels(X, seed=label_seed)
+        if len(np.unique(y)) < 2:
+            return
+        compiled, node = fit_pair(
+            X, y, minsplit=4, minbucket=2, cp=0.0, n_surrogates=n_surrogates
+        )
+        Xt = make_matrix(
+            40, X.shape[1], nan_frac=0.35, inf_frac=0.05, seed=label_seed + 3
+        )
+        backend = compiled._use_compiled()
+        assert backend is not None
+        for row in Xt:
+            ids_compiled = backend.decision_path_ids(row)
+            path_node = node.decision_path(row)
+            assert ids_compiled == [n.node_id for n in path_node]
+            # Same leaf, same stats: provenance payloads match exactly.
+            leaf = path_node[-1]
+            assert leaf.is_leaf
+            assert ids_compiled[-1] == leaf.node_id
+
     @given(matrix_with_missing(), st.integers(0, 2**16))
     @settings(max_examples=15, deadline=None)
     def test_random_serialization_round_trip(self, X, label_seed):
