@@ -85,3 +85,20 @@ def score_bench_results():
     if results:
         path = Path(os.environ.get("REPRO_BENCH_SCORE_JSON", "BENCH_score.json"))
         path.write_text(json.dumps(results, indent=1, sort_keys=True) + "\n")
+
+
+@pytest.fixture(scope="session")
+def stream_bench_results():
+    """Collector for the streaming-serving benchmarks' results.
+
+    The online counterpart of ``score_bench_results``: the columnar
+    FleetMonitor speedup over the per-drive object engine and the
+    sustained 100k-drive tick rate drop their records here, written to
+    ``BENCH_stream.json`` (override with ``REPRO_BENCH_STREAM_JSON``)
+    at session end so the bench history tracks the serving hot path.
+    """
+    results: dict[str, dict] = {}
+    yield results
+    if results:
+        path = Path(os.environ.get("REPRO_BENCH_STREAM_JSON", "BENCH_stream.json"))
+        path.write_text(json.dumps(results, indent=1, sort_keys=True) + "\n")

@@ -18,6 +18,9 @@ This package owns that layer end to end:
 * :mod:`~repro.detection.streaming` — the online
   :class:`FleetMonitor` with per-drive buffers, fault gating and
   quarantine (the deployment surface);
+* :mod:`~repro.detection.columnar` — the structure-of-arrays serving
+  engine behind ``FleetMonitor(engine="columnar")``: whole-tick ingest,
+  mask gating, ring-buffer voting matrices, one batched model call;
 * :mod:`~repro.detection.reporting` — operator-readable explanations
   of raised alerts.
 """
@@ -51,7 +54,14 @@ from repro.detection.metrics import (
     partial_auc,
     roc_dominates,
 )
+from repro.detection.columnar import (
+    ColumnarEngine,
+    MajorityVoteMatrix,
+    MeanThresholdMatrix,
+    window_matrix_for,
+)
 from repro.detection.streaming import (
+    ENGINES,
     Alert,
     DriveStatus,
     FleetMonitor,
@@ -59,6 +69,7 @@ from repro.detection.streaming import (
     OnlineMajorityVote,
     OnlineMeanThreshold,
     QuarantinePolicy,
+    WindowedVoter,
 )
 from repro.detection.voting import MajorityVoteDetector, MeanThresholdDetector
 
@@ -83,6 +94,12 @@ __all__ = [
     "OnlineFeatureBuffer",
     "OnlineMajorityVote",
     "OnlineMeanThreshold",
+    "WindowedVoter",
+    "ENGINES",
+    "ColumnarEngine",
+    "MajorityVoteMatrix",
+    "MeanThresholdMatrix",
+    "window_matrix_for",
     "Detector",
     "DriveScoreSeries",
     "MajorityVoteDetector",

@@ -31,6 +31,17 @@ by flaky sensors) are not faults: they flow through unchanged and the
 tree's surrogate/``missing_goes_left`` machinery routes them, exactly
 as at fit time; voting treats unscorable samples as NaN gaps without
 resetting its window.
+
+**Two serving engines.**  ``FleetMonitor(engine="object")`` (the
+reference backend) walks one python object per drive per tick — the
+path documented above.  ``engine="columnar"`` replaces that hot path
+with the structure-of-arrays core in
+:mod:`repro.detection.columnar`: one 2-D ``(n_drives, n_channels)``
+ingest per tick, mask-based validation, ring-buffer voting matrices
+and a single batched model call.  The two engines are bit-identical —
+same alerts, same ``health_report()``, same event stream, same
+quarantine decisions — mirroring the compiled-vs-node tree backends;
+the object engine is the oracle the columnar engine is pinned against.
 """
 
 from __future__ import annotations
@@ -39,7 +50,7 @@ import enum
 from collections import deque
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Callable, Optional, Sequence, Union
+from typing import Callable, Iterable, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -59,10 +70,68 @@ SampleScorer = Callable[[np.ndarray], float]
 #: Scores a stacked ``(n_rows, n_features)`` matrix in one call.
 BatchScorer = Callable[[np.ndarray], np.ndarray]
 
+#: Serving engines: ``"object"`` is the per-drive reference path,
+#: ``"columnar"`` the structure-of-arrays hot path (bit-identical).
+ENGINES = ("object", "columnar")
+
+# Counter help strings, shared verbatim by both engines so registry
+# snapshots (and therefore health_report metrics) stay bit-identical.
+TICKS_HELP = "observations offered"
+FAULTS_HELP = "malformed ticks excluded by the gate"
+SCORED_HELP = "ticks scored"
+FLIPS_HELP = "alarm-signal transitions"
+ALERTS_HELP = "alerts raised"
+QUARANTINED_HELP = "drives transitioned to DEGRADED"
+
 
 def _json_score(score: float) -> Optional[float]:
     """A score as event-payload JSON: non-finite values become None."""
     return float(score) if np.isfinite(score) else None
+
+
+def _duplicate_serial_fault(serial: str, hour: float) -> SampleFault:
+    """The fault recorded for each overridden duplicate-serial record.
+
+    Shared by both engines so the fault detail (and the ``tick_faulted``
+    payload built from it) is identical on the object and columnar
+    paths.
+    """
+    return SampleFault(
+        serial,
+        float(hour) if np.isfinite(hour) else np.nan,
+        FaultKind.DUPLICATE_SERIAL,
+        f"serial {serial!r} repeated within one tick; last write wins",
+    )
+
+
+def _normalize_tick(
+    records: Union[Mapping[str, Sequence[float]], Iterable[tuple]],
+) -> tuple[list[tuple], list[str]]:
+    """Canonicalise one collection tick into unique ``(serial, values)`` pairs.
+
+    ``records`` may be a serial→values mapping (the historical API,
+    duplicates impossible) or an iterable of ``(serial, values)`` pairs
+    (the array-friendly form).  A serial repeated within one tick
+    resolves **last-write-wins**: the serial keeps its first position in
+    the tick but carries the values of its final occurrence, and every
+    overridden occurrence is returned in ``duplicates`` (discovery
+    order) so the gate can record a ``duplicate-serial`` fault instead
+    of silently double-pushing the drive's voting window.
+    """
+    if isinstance(records, Mapping):
+        return list(records.items()), []
+    items: list[tuple] = []
+    position: dict[str, int] = {}
+    duplicates: list[str] = []
+    for serial, values in records:
+        at = position.get(serial)
+        if at is None:
+            position[serial] = len(items)
+            items.append((serial, values))
+        else:
+            items[at] = (serial, values)
+            duplicates.append(serial)
+    return items, duplicates
 
 
 class OnlineFeatureBuffer:
@@ -92,6 +161,7 @@ class OnlineFeatureBuffer:
             raise ValueError(
                 f"channel_values must have shape ({N_CHANNELS},), got {values.shape}"
             )
+        hour = float(hour)
         if self._last_hour is not None and hour <= self._last_hour:
             raise ValueError(
                 f"observations must be in increasing hour order "
@@ -125,7 +195,66 @@ class OnlineFeatureBuffer:
         return None
 
 
-class OnlineMajorityVote:
+class WindowedVoter:
+    """Shared mechanics of the streaming (windowed) voting rules.
+
+    Owns the single semantics source every windowed rule pins against:
+    the bounded window itself, the full-window alarm gate (``push``
+    never alarms before ``n_voters`` samples arrived), the
+    short-history flush rule (a shorter-than-window history is judged
+    once, over all its samples, like the offline detectors), and the
+    provenance snapshot.  Subclasses define how one score is stored
+    (:meth:`_ingest`), how a window width is judged (:meth:`_judge`)
+    and how one slot renders into provenance (:meth:`_slot_payload`).
+    The columnar ring-buffer voters
+    (:mod:`repro.detection.columnar`) replicate exactly these
+    semantics, matrix-wide.
+    """
+
+    def __init__(self, n_voters: int):
+        check_positive("n_voters", n_voters)
+        self.n_voters = int(n_voters)
+        self._window: deque = deque(maxlen=self.n_voters)
+
+    def push(self, score: float) -> bool:
+        """Ingest one per-sample score; True when this time point alarms."""
+        self._ingest(score)
+        if len(self._window) < self.n_voters:
+            return False
+        return self._judge(self.n_voters)
+
+    def flush_short_history(self) -> bool:
+        """Judge a drive whose whole history is shorter than the window.
+
+        Mirrors the offline rule that short series are judged once over
+        all their samples.  A filled window is never re-judged.
+        """
+        if not self._window or len(self._window) >= self.n_voters:
+            return False
+        return self._judge(len(self._window))
+
+    def window_contents(self) -> list:
+        """The current voting window, oldest first.
+
+        Alert provenance snapshots this at the moment the window
+        flipped, so ``repro-events explain`` can show exactly which
+        votes carried the decision.
+        """
+        return [self._slot_payload(slot) for slot in self._window]
+
+    # -- rule-specific hooks -------------------------------------------------
+
+    def _ingest(self, score: float) -> None:
+        raise NotImplementedError
+
+    def _judge(self, width: int) -> bool:
+        raise NotImplementedError
+
+    def _slot_payload(self, slot):
+        return slot
+
+
+class OnlineMajorityVote(WindowedVoter):
     """Streaming equivalent of :class:`~repro.detection.voting.MajorityVoteDetector`.
 
     ``push`` returns True the first time the trailing window holds a
@@ -134,77 +263,39 @@ class OnlineMajorityVote:
     """
 
     def __init__(self, n_voters: int = 1, failed_label: float = -1.0):
-        check_positive("n_voters", n_voters)
-        self.n_voters = int(n_voters)
+        super().__init__(n_voters)
         self.failed_label = failed_label
-        self._window: deque[bool] = deque(maxlen=self.n_voters)
         self._failed_in_window = 0
 
-    def push(self, score: float) -> bool:
-        """Ingest one per-sample score; True when this time point alarms."""
+    def _ingest(self, score: float) -> None:
         if len(self._window) == self._window.maxlen and self._window[0]:
             self._failed_in_window -= 1
         vote = bool(np.isfinite(score) and score == self.failed_label)
         self._window.append(vote)
         if vote:
             self._failed_in_window += 1
-        if len(self._window) < self.n_voters:
-            return False
-        return self._failed_in_window > self.n_voters / 2.0
 
-    def flush_short_history(self) -> bool:
-        """Judge a drive whose whole history is shorter than the window.
-
-        Mirrors the offline rule that short series are judged once over
-        all their samples.
-        """
-        if not self._window or len(self._window) >= self.n_voters:
-            return False
-        return self._failed_in_window > len(self._window) / 2.0
-
-    def window_contents(self) -> list[bool]:
-        """The current voting window, oldest first (True = failed vote).
-
-        Alert provenance snapshots this at the moment the window
-        flipped, so ``repro-events explain`` can show exactly which
-        votes carried the decision.
-        """
-        return list(self._window)
+    def _judge(self, width: int) -> bool:
+        return self._failed_in_window > width / 2.0
 
 
-class OnlineMeanThreshold:
+class OnlineMeanThreshold(WindowedVoter):
     """Streaming equivalent of :class:`~repro.detection.voting.MeanThresholdDetector`."""
 
     def __init__(self, n_voters: int = 11, threshold: float = 0.0):
-        check_positive("n_voters", n_voters)
-        self.n_voters = int(n_voters)
+        super().__init__(n_voters)
         self.threshold = float(threshold)
-        self._window: deque[float] = deque(maxlen=self.n_voters)
 
-    def push(self, score: float) -> bool:
-        """Ingest one health degree; True when the window mean alarms."""
+    def _ingest(self, score: float) -> None:
         self._window.append(float(score))
-        if len(self._window) < self.n_voters:
-            return False
-        return self._mean_alarms(self.n_voters)
 
-    def flush_short_history(self) -> bool:
-        """Judge a shorter-than-window history once, like the offline rule."""
-        if not self._window or len(self._window) >= self.n_voters:
-            return False
-        return self._mean_alarms(len(self._window))
-
-    def _mean_alarms(self, width: int) -> bool:
+    def _judge(self, width: int) -> bool:
         values = np.array(list(self._window)[-width:])
         valid = values[np.isfinite(values)]
         return valid.size > 0 and float(valid.mean()) < self.threshold
 
-    def window_contents(self) -> list[Optional[float]]:
-        """The current health-degree window, oldest first (NaN → None)."""
-        return [
-            float(score) if np.isfinite(score) else None
-            for score in self._window
-        ]
+    def _slot_payload(self, slot: float) -> Optional[float]:
+        return float(slot) if np.isfinite(slot) else None
 
 
 @dataclass(frozen=True)
@@ -309,6 +400,13 @@ class FleetMonitor:
         slo: Optional :class:`~repro.observability.slo.SLOMonitor` fed
             by :meth:`resolve_outcome`; its burn status is embedded in
             :meth:`health_report`.
+        engine: Serving engine — ``"object"`` (default) keeps one
+            python object per drive (the reference backend);
+            ``"columnar"`` serves the fleet from structure-of-arrays
+            state (:mod:`repro.detection.columnar`) with bit-identical
+            alerts, reports and events.  The columnar engine requires a
+            built-in windowed voter (:class:`OnlineMajorityVote` or
+            :class:`OnlineMeanThreshold`) from ``detector_factory``.
 
     Example:
         >>> from repro.features.selection import critical_features
@@ -336,6 +434,7 @@ class FleetMonitor:
         feature_names: Optional[Sequence[str]] = None,
         model_generation: int = 0,
         slo: Optional[object] = None,
+        engine: str = "object",
     ):
         self.features = tuple(features)
         self.score_sample = score_sample
@@ -350,10 +449,52 @@ class FleetMonitor:
         )
         self.model_generation = int(model_generation)
         self.slo = slo
+        if engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+        self.engine = engine
         self._drives: dict[str, _DriveState] = {}
         self.alerts: list[Alert] = []
         self.faults: list[SampleFault] = []
         self.vote_flips = 0
+        self._tick_serials: Optional[tuple[str, ...]] = None
+        if engine == "columnar":
+            from repro.detection.columnar import ColumnarEngine
+
+            self._columnar: Optional[ColumnarEngine] = ColumnarEngine(self)
+        else:
+            self._columnar = None
+
+    @classmethod
+    def from_predictor(
+        cls,
+        predictor,
+        detector_factory: Callable[[], object],
+        *,
+        engine: str = "columnar",
+        **kwargs,
+    ) -> "FleetMonitor":
+        """Build a monitor serving a fitted pipeline's tree.
+
+        ``predictor`` is any fitted pipeline exposing ``extractor`` and
+        ``tree_`` (e.g. :class:`~repro.core.predictor.DriveFailurePredictor`
+        or :class:`~repro.core.predictor.HealthDegreePredictor`): the
+        monitor scores through the tree's compiled batch entry point
+        (:meth:`~repro.tree.base.BaseDecisionTree.batch_scorer`) and
+        attaches the tree for decision-path provenance.  Extra keyword
+        arguments pass through to the constructor.
+        """
+        tree = predictor.tree_
+        if tree is None:
+            raise RuntimeError("predictor is not fitted; call fit() first")
+        return cls(
+            predictor.extractor.features,
+            score_sample=tree.sample_scorer(),
+            detector_factory=detector_factory,
+            score_batch=tree.batch_scorer(),
+            tree=tree,
+            engine=engine,
+            **kwargs,
+        )
 
     def _state(self, serial: str) -> _DriveState:
         state = self._drives.get(serial)
@@ -377,7 +518,7 @@ class FleetMonitor:
         quarantine budget and appended to :attr:`faults`.
         """
         registry = get_registry()
-        registry.counter("serve.ticks", help="observations offered").inc()
+        registry.counter("serve.ticks", help=TICKS_HELP).inc()
         fault: Optional[SampleFault] = None
         array = np.asarray(values, dtype=float)
         last = state.buffer._last_hour
@@ -404,13 +545,25 @@ class FleetMonitor:
             )
         if fault is None:
             return array
+        self._quarantine_fault(serial, state, fault)
+        return fault
+
+    def _quarantine_fault(
+        self, serial: str, state: _DriveState, fault: SampleFault
+    ) -> None:
+        """Record one malformed tick against a drive's quarantine budget.
+
+        Strict mode (``quarantine=None``) raises instead.  Shared by the
+        in-stream gate and the duplicate-serial check so every fault
+        kind flows through one bookkeeping path.
+        """
         if self.quarantine is None:
             raise ValueError(f"drive {serial}: {fault.kind}: {fault.detail}")
+        registry = get_registry()
         self.faults.append(fault)
         state.fault_count += 1
         registry.counter(
-            "serve.faults", help="malformed ticks excluded by the gate",
-            kind=fault.kind.value,
+            "serve.faults", help=FAULTS_HELP, kind=fault.kind.value,
         ).inc()
         log = get_event_log()
         log.emit(
@@ -420,7 +573,7 @@ class FleetMonitor:
         if self.quarantine.degrades(state.fault_count):
             if state.status is not DriveStatus.DEGRADED:
                 registry.counter(
-                    "serve.quarantined", help="drives transitioned to DEGRADED"
+                    "serve.quarantined", help=QUARANTINED_HELP
                 ).inc()
                 log.emit(
                     "drive_quarantined", drive=serial, hour=fault.hour,
@@ -428,7 +581,6 @@ class FleetMonitor:
                     fault_limit=self.quarantine.fault_limit,
                 )
             state.status = DriveStatus.DEGRADED
-        return fault
 
     def _record_score(
         self, serial: str, state: _DriveState, hour: float, score: float
@@ -449,7 +601,7 @@ class FleetMonitor:
         if previous is not None and alarmed != previous:
             self.vote_flips += 1
             get_registry().counter(
-                "serve.vote_flips", help="alarm-signal transitions"
+                "serve.vote_flips", help=FLIPS_HELP
             ).inc()
             log.emit("vote_flip", drive=serial, hour=hour, signal=bool(alarmed))
         state.last_signal = alarmed
@@ -460,7 +612,7 @@ class FleetMonitor:
                 alert_id=f"alert-{len(self.alerts):04d}",
             )
             self.alerts.append(alert)
-            get_registry().counter("serve.alerts", help="alerts raised").inc()
+            get_registry().counter("serve.alerts", help=ALERTS_HELP).inc()
             if log.enabled:
                 log.emit(
                     "alert_raised", drive=serial, hour=hour,
@@ -511,6 +663,11 @@ class FleetMonitor:
         values inside a well-formed tick flow through to the model's
         surrogate routing unchanged.
         """
+        if self._columnar is not None:
+            alerts = self._columnar.tick(
+                hour, [(serial, channel_values)], [], single=True
+            )
+            return alerts[0] if alerts else None
         state = self._state(serial)
         gated = self._gate(serial, state, hour, channel_values)
         if isinstance(gated, SampleFault):
@@ -519,28 +676,96 @@ class FleetMonitor:
         state.last_row = row
         if np.any(np.isfinite(row)):
             score = float(self.score_sample(row))
-            get_registry().counter("serve.scored", help="ticks scored").inc()
+            get_registry().counter("serve.scored", help=SCORED_HELP).inc()
         else:
             score = np.nan
         return self._record_score(serial, state, hour, score)
 
     def observe_fleet(
-        self, hour: float, records: dict[str, Sequence[float]]
+        self,
+        hour: float,
+        records: Union[Mapping[str, Sequence[float]], Iterable[tuple]],
     ) -> list[Alert]:
         """Ingest one collection tick for many drives at once.
 
-        ``records`` maps serials to that hour's channel readings.  With a
-        ``score_batch`` scorer the tick's usable feature rows are stacked
-        and scored in a single call (the fleet-scale fast path); without
-        one this is equivalent to calling :meth:`observe` per drive.
-        Returns the alerts raised by this tick, in ``records`` order.
+        ``records`` maps serials to that hour's channel readings, or is
+        an iterable of ``(serial, values)`` pairs (a serial repeated
+        within the tick resolves last-write-wins with a
+        ``duplicate-serial`` fault per overridden record, see
+        :func:`_normalize_tick`).  The tick's usable feature rows are
+        stacked and scored together — one ``score_batch`` call when a
+        batch scorer is installed.  Returns the alerts raised by this
+        tick, in record order.
         """
+        items, duplicates = _normalize_tick(records)
+        return self._run_tick(hour, items, duplicates)
+
+    def register_fleet(self, serials: Iterable[str]) -> tuple[str, ...]:
+        """Fix the tick roster for :meth:`observe_tick`.
+
+        Serving a stable fleet from arrays means the serial→row keying
+        is resolved once, not per tick: register the roster, then feed
+        each tick as one ``(n_drives, n_channels)`` matrix whose rows
+        align with it.  Returns the normalized roster tuple.  No drive
+        state is created until a tick actually arrives (a registered
+        but never-observed fleet is not "watched").
+        """
+        self._tick_serials = tuple(serials)
+        return self._tick_serials
+
+    def observe_tick(
+        self,
+        hour: float,
+        values: np.ndarray,
+        serials: Optional[Sequence[str]] = None,
+    ) -> list[Alert]:
+        """Ingest one collection tick as a channel matrix (the array path).
+
+        ``values`` is a ``(n_drives, n_channels)`` float matrix; row
+        ``i`` is the reading of ``serials[i]`` (default: the roster from
+        :meth:`register_fleet`).  On the columnar engine with a
+        registered roster this is the zero-copy hot path: no per-drive
+        python objects are touched.  Semantically identical to
+        ``observe_fleet(hour, zip(serials, values))``.
+        """
+        roster = tuple(serials) if serials is not None else self._tick_serials
+        if roster is None:
+            raise ValueError(
+                "no tick roster: pass serials= or call register_fleet() first"
+            )
+        matrix = np.ascontiguousarray(values, dtype=float)
+        if matrix.shape != (len(roster), N_CHANNELS):
+            raise ValueError(
+                f"values must have shape ({len(roster)}, {N_CHANNELS}), "
+                f"got {matrix.shape}"
+            )
+        if self._columnar is not None:
+            return self._run_tick(hour, None, None, roster=roster, matrix=matrix)
+        items, duplicates = _normalize_tick(zip(roster, matrix))
+        return self._run_tick(hour, items, duplicates)
+
+    def _run_tick(
+        self,
+        hour: float,
+        items: Optional[list[tuple]],
+        duplicates: Optional[list[str]],
+        *,
+        roster: Optional[tuple[str, ...]] = None,
+        matrix: Optional[np.ndarray] = None,
+    ) -> list[Alert]:
+        """Shared per-tick instrumentation around both engines."""
         registry = get_registry()
         start = perf_counter() if registry.enabled else 0.0
+        n_drives = len(roster) if roster is not None else len(items)
         with get_tracer().span(
-            "serve.tick", category="serve", n_drives=len(records)
+            "serve.tick", category="serve", n_drives=n_drives
         ):
-            alerts = self._observe_fleet_impl(hour, records)
+            if roster is not None:
+                alerts = self._columnar.tick_matrix(hour, roster, matrix)
+            elif self._columnar is not None:
+                alerts = self._columnar.tick(hour, items, duplicates)
+            else:
+                alerts = self._observe_fleet_impl(hour, items, duplicates)
         registry.counter("serve.fleet_ticks", help="collection ticks").inc()
         if registry.enabled:
             registry.histogram(
@@ -550,16 +775,16 @@ class FleetMonitor:
         return alerts
 
     def _observe_fleet_impl(
-        self, hour: float, records: dict[str, Sequence[float]]
+        self, hour: float, items: list[tuple], duplicates: list[str]
     ) -> list[Alert]:
-        if self.score_batch is None:
-            alerts = [
-                self.observe(serial, hour, values)
-                for serial, values in records.items()
-            ]
-            return [alert for alert in alerts if alert is not None]
+        registry = get_registry()
+        for serial in duplicates:
+            registry.counter("serve.ticks", help=TICKS_HELP).inc()
+            self._quarantine_fault(
+                serial, self._state(serial), _duplicate_serial_fault(serial, hour)
+            )
         ingested: list[tuple[str, _DriveState, np.ndarray]] = []
-        for serial, values in records.items():
+        for serial, values in items:
             state = self._state(serial)
             gated = self._gate(serial, state, hour, values)
             if isinstance(gated, SampleFault):
@@ -575,9 +800,15 @@ class FleetMonitor:
         scores = np.full(len(ingested), np.nan)
         if usable:
             stacked = np.vstack([ingested[index][2] for index in usable])
-            scores[usable] = np.asarray(self.score_batch(stacked), dtype=float)
-            get_registry().counter(
-                "serve.scored", help="ticks scored"
+            if self.score_batch is not None:
+                scores[usable] = np.asarray(self.score_batch(stacked), dtype=float)
+            else:
+                scores[usable] = [
+                    float(self.score_sample(stacked[at]))
+                    for at in range(len(usable))
+                ]
+            registry.counter(
+                "serve.scored", help=SCORED_HELP
             ).inc(len(usable))
         alerts = []
         for (serial, state, _), score in zip(ingested, scores):
@@ -592,6 +823,8 @@ class FleetMonitor:
         Call once at the end of a replay; returns (and records) the extra
         alerts.  Idempotent per drive thanks to the ``alerted`` latch.
         """
+        if self._columnar is not None:
+            return self._columnar.finalize()
         extra = []
         log = get_event_log()
         for serial, state in self._drives.items():
@@ -605,7 +838,7 @@ class FleetMonitor:
                     alert_id=f"alert-{len(self.alerts):04d}",
                 )
                 self.alerts.append(alert)
-                get_registry().counter("serve.alerts", help="alerts raised").inc()
+                get_registry().counter("serve.alerts", help=ALERTS_HELP).inc()
                 if log.enabled:
                     log.emit(
                         "alert_raised", drive=serial, hour=None,
@@ -663,8 +896,7 @@ class FleetMonitor:
         ``outcome_resolved`` event lands in the log — the bridge from
         the alert lifecycle to the FDR/FAR/lead-time budgets.
         """
-        state = self._drives.get(serial)
-        alerted = state.alerted if state is not None else False
+        alerted = self._is_alerted(serial)
         if failed:
             outcome = "detected" if alerted else "missed"
         else:
@@ -692,19 +924,32 @@ class FleetMonitor:
             self.slo.record(float(hour), outcome, lead_hours=lead_hours, drive=serial)
         return outcome
 
+    def _is_alerted(self, serial: str) -> bool:
+        """Whether the drive's alert latch has fired (either engine)."""
+        if self._columnar is not None:
+            return self._columnar.is_alerted(serial)
+        state = self._drives.get(serial)
+        return state.alerted if state is not None else False
+
     def watched_drives(self) -> list[str]:
         """Serials currently tracked."""
+        if self._columnar is not None:
+            return self._columnar.watched_drives()
         return sorted(self._drives)
 
     # -- degraded-mode reporting ----------------------------------------------
 
     def drive_status(self, serial: str) -> DriveStatus:
         """Serving status of one drive (unknown serials are ``OK``)."""
+        if self._columnar is not None:
+            return self._columnar.drive_status(serial)
         state = self._drives.get(serial)
         return state.status if state is not None else DriveStatus.OK
 
     def degraded_drives(self) -> list[str]:
         """Serials currently quarantined (reported, never mis-scored)."""
+        if self._columnar is not None:
+            return self._columnar.degraded_drives()
         return sorted(
             serial
             for serial, state in self._drives.items()
@@ -713,6 +958,8 @@ class FleetMonitor:
 
     def fault_counts(self) -> dict[str, int]:
         """Per-drive count of quarantined (malformed, excluded) ticks."""
+        if self._columnar is not None:
+            return self._columnar.fault_counts()
         return {
             serial: state.fault_count
             for serial, state in sorted(self._drives.items())
@@ -733,9 +980,14 @@ class FleetMonitor:
         for fault in self.faults:
             kinds[fault.kind.value] = kinds.get(fault.kind.value, 0) + 1
         snapshot = get_registry().snapshot()
+        watched = (
+            self._columnar.n_watched()
+            if self._columnar is not None
+            else len(self._drives)
+        )
         report: dict[str, object] = {
             "schema": HEALTH_REPORT_SCHEMA,
-            "watched_drives": len(self._drives),
+            "watched_drives": watched,
             "alerts": len(self.alerts),
             "faults_total": len(self.faults),
             "faults_by_kind": kinds,

@@ -126,7 +126,9 @@ METRICS: tuple[MetricSpec, ...] = (
                "once per observe_fleet collection tick"),
     MetricSpec("serve.tick_seconds", "histogram", "seconds", (),
                "repro.detection.streaming",
-               "wall time of each observe_fleet collection tick",
+               "wall time of each observe_fleet collection tick (the one "
+               "serve.* metric that differs between the object and columnar "
+               "engines — everything else is bit-identical across them)",
                TIME_BUCKETS_S),
     # -- detect: offline evaluation (repro/detection/evaluator.py) ----------
     MetricSpec("detect.evaluations", "counter", "", (),

@@ -16,6 +16,7 @@ Public surface:
 """
 
 from repro.tree.bagging import subsample_member_inputs
+from repro.tree.base import ServingScorerMixin
 from repro.tree.boosting import AdaBoostClassifier
 from repro.tree.classification import ClassificationTree, weights_for_priors
 from repro.tree.compiled import CompiledForest, CompiledTree, compile_tree
@@ -47,6 +48,7 @@ from repro.tree.validation import (
 
 __all__ = [
     "AdaBoostClassifier",
+    "ServingScorerMixin",
     "AlphaSearchResult",
     "CrossValidationResult",
     "GridSearchResult",

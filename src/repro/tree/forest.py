@@ -13,6 +13,7 @@ from typing import Mapping, Optional, Sequence
 import numpy as np
 
 from repro.tree.bagging import subsample_member_inputs
+from repro.tree.base import ServingScorerMixin
 from repro.tree.classification import ClassificationTree, ClassWeight
 from repro.tree.compiled import CompiledForest
 from repro.utils.parallel import run_tasks
@@ -36,7 +37,7 @@ def _fit_member(context, task):
     return tree, active
 
 
-class RandomForestClassifier:
+class RandomForestClassifier(ServingScorerMixin):
     """Bagged ensemble of :class:`ClassificationTree` with feature subsampling.
 
     Args:

@@ -16,6 +16,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.tree.bagging import subsample_member_inputs
+from repro.tree.base import ServingScorerMixin
 from repro.tree.compiled import CompiledForest
 from repro.tree.regression import RegressionTree
 from repro.utils.parallel import run_tasks
@@ -39,7 +40,7 @@ def _fit_member(context, task):
     return tree
 
 
-class RandomForestRegressor:
+class RandomForestRegressor(ServingScorerMixin):
     """Bootstrap-aggregated :class:`RegressionTree` ensemble.
 
     Args:

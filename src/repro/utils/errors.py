@@ -68,6 +68,9 @@ class FaultKind(enum.Enum):
     OUT_OF_ORDER = "out-of-order"
     #: Sample repeated an hour already ingested for the drive.
     DUPLICATE_TIME = "duplicate-time"
+    #: Serial appeared more than once within one collection tick; the
+    #: last occurrence wins, every earlier one is faulted.
+    DUPLICATE_SERIAL = "duplicate-serial"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
