@@ -102,3 +102,20 @@ def stream_bench_results():
     if results:
         path = Path(os.environ.get("REPRO_BENCH_STREAM_JSON", "BENCH_stream.json"))
         path.write_text(json.dumps(results, indent=1, sort_keys=True) + "\n")
+
+
+@pytest.fixture(scope="session")
+def shard_bench_results():
+    """Collector for the sharded fleet-serving benchmarks' results.
+
+    The scale-out counterpart of ``stream_bench_results``: the
+    million-drive sharded-vs-single sustained tick rates drop their
+    records here, written to ``BENCH_shard.json`` (override with
+    ``REPRO_BENCH_SHARD_JSON``) at session end so the bench history
+    tracks the coordinator alongside the single-process hot path.
+    """
+    results: dict[str, dict] = {}
+    yield results
+    if results:
+        path = Path(os.environ.get("REPRO_BENCH_SHARD_JSON", "BENCH_shard.json"))
+        path.write_text(json.dumps(results, indent=1, sort_keys=True) + "\n")

@@ -21,6 +21,12 @@ This package owns that layer end to end:
 * :mod:`~repro.detection.columnar` — the structure-of-arrays serving
   engine behind ``FleetMonitor(engine="columnar")``: whole-tick ingest,
   mask gating, ring-buffer voting matrices, one batched model call;
+* :mod:`~repro.detection.sharded` — fleet-scale serving:
+  :class:`ShardedFleetMonitor` partitions drives across N columnar
+  shards by serial hash, fans ticks out (in-process or one worker
+  process per shard), merges alerts/faults/observability back into one
+  coordinator bit-identical to a single monitor, and layers shard
+  snapshot/restore plus canary model rollouts on top;
 * :mod:`~repro.detection.reporting` — operator-readable explanations
   of raised alerts.
 """
@@ -60,6 +66,16 @@ from repro.detection.columnar import (
     MeanThresholdMatrix,
     window_matrix_for,
 )
+from repro.detection.sharded import (
+    SHARD_MODES,
+    CanaryPolicy,
+    ShardedFleetMonitor,
+    ShardSpec,
+    TreeBatchScorer,
+    TreeSampleScorer,
+    VoterSpec,
+    shard_for,
+)
 from repro.detection.streaming import (
     ENGINES,
     Alert,
@@ -96,6 +112,14 @@ __all__ = [
     "OnlineMeanThreshold",
     "WindowedVoter",
     "ENGINES",
+    "SHARD_MODES",
+    "CanaryPolicy",
+    "ShardSpec",
+    "ShardedFleetMonitor",
+    "TreeBatchScorer",
+    "TreeSampleScorer",
+    "VoterSpec",
+    "shard_for",
     "ColumnarEngine",
     "MajorityVoteMatrix",
     "MeanThresholdMatrix",

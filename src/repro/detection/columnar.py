@@ -312,6 +312,18 @@ class ColumnarEngine:
         self._last_rows = np.empty((0, self._n_features))
         self._has_row = np.empty(0, dtype=bool)
 
+    def __getstate__(self) -> dict:
+        """Pickle support for shard snapshot/restore.
+
+        The roster cache is keyed by tuple *identity*, which cannot
+        survive a pickle round-trip; drop it so a restored engine
+        re-resolves rows on its first tick (state, not caches, is what
+        a snapshot preserves).
+        """
+        state = self.__dict__.copy()
+        state["_roster_cache"] = None
+        return state
+
     # -- row allocation -------------------------------------------------------
 
     def _ensure_capacity(self, n: int) -> None:

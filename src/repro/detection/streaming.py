@@ -744,6 +744,39 @@ class FleetMonitor:
         items, duplicates = _normalize_tick(zip(roster, matrix))
         return self._run_tick(hour, items, duplicates)
 
+    def shard_tick(
+        self,
+        hour: float,
+        items: Optional[list[tuple]],
+        duplicates: Optional[list[str]],
+        *,
+        roster: Optional[tuple[str, ...]] = None,
+        matrix: Optional[np.ndarray] = None,
+    ) -> list[Alert]:
+        """One shard's slice of a coordinator tick (no tick instrumentation).
+
+        The entry point :class:`~repro.detection.sharded.ShardedFleetMonitor`
+        drives: identical to a collection tick except that the
+        tick-level instrumentation (``serve.fleet_ticks``, the
+        ``serve.tick`` span, ``serve.tick_seconds``) is *not* emitted —
+        the coordinator emits it once per logical tick, so the merged
+        registry matches a single monitor's bit-for-bit instead of
+        multiplying per-tick counters by the shard count.  Record-level
+        instrumentation (``serve.ticks``/``serve.faults``/... and the
+        lifecycle events) is emitted normally.
+
+        Pass either normalized ``items``/``duplicates`` (from
+        :func:`_normalize_tick`) or an aligned ``roster``/``matrix``
+        pair (the zero-copy path; the roster must be duplicate-free).
+        """
+        if roster is not None:
+            if self._columnar is not None:
+                return self._columnar.tick_matrix(hour, roster, matrix)
+            items, duplicates = _normalize_tick(zip(roster, matrix))
+        if self._columnar is not None:
+            return self._columnar.tick(hour, items, duplicates)
+        return self._observe_fleet_impl(hour, items, duplicates)
+
     def _run_tick(
         self,
         hour: float,

@@ -47,6 +47,7 @@ from repro.observability.events import (
     enable_events,
     get_event_log,
     iter_events,
+    merge_event_streams,
     read_events,
     replay_health_counters,
     set_event_log,
@@ -127,6 +128,7 @@ __all__ = [
     "get_registry",
     "get_tracer",
     "iter_events",
+    "merge_event_streams",
     "merge_or_version_metrics",
     "prometheus_name",
     "read_events",

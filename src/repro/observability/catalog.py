@@ -13,8 +13,8 @@ One spec per metric/span/event, used three ways:
   cannot drift from its documentation.
 
 Naming convention: ``family.quantity`` with dotted lowercase families
-(``fit``, ``score``, ``serve``, ``detect``, ``fleet``, ``updating``,
-``parallel``, ``grid``); the Prometheus exporter flattens dots to
+(``fit``, ``score``, ``serve``, ``shard``, ``detect``, ``fleet``,
+``updating``, ``parallel``, ``grid``); the Prometheus exporter flattens dots to
 underscores and prefixes ``repro_``.  Timers carry unit ``seconds`` and
 are excluded from determinism comparisons.
 """
@@ -130,6 +130,23 @@ METRICS: tuple[MetricSpec, ...] = (
                "serve.* metric that differs between the object and columnar "
                "engines — everything else is bit-identical across them)",
                TIME_BUCKETS_S),
+    # -- shard: sharded fleet serving (repro/detection/sharded.py) ----------
+    MetricSpec("shard.ticks", "counter", "", ("shard",),
+               "repro.detection.sharded",
+               "once per shard tick slice dispatched by the coordinator, "
+               "labelled by shard id"),
+    MetricSpec("shard.tick_seconds", "histogram", "seconds", (),
+               "repro.detection.sharded",
+               "wall time of one shard's tick slice (inside the "
+               "coordinator's serve.tick)", TIME_BUCKETS_S),
+    MetricSpec("shard.snapshots", "counter", "", (),
+               "repro.detection.sharded",
+               "once per shard state written to a shard-snapshot "
+               "checkpoint"),
+    MetricSpec("shard.restores", "counter", "", (),
+               "repro.detection.sharded",
+               "once per shard state restored from a shard-snapshot "
+               "checkpoint"),
     # -- detect: offline evaluation (repro/detection/evaluator.py) ----------
     MetricSpec("detect.evaluations", "counter", "", (),
                "repro.detection.evaluator",
@@ -213,6 +230,10 @@ SPANS: tuple[SpanSpec, ...] = (
              "one compiled batch routing call", ("n_rows", "n_trees")),
     SpanSpec("serve.tick", "serve", "repro.detection.streaming",
              "one observe_fleet collection tick", ("n_drives",)),
+    SpanSpec("shard.tick", "shard", "repro.detection.sharded",
+             "one shard's slice of a sharded collection tick (absorbed "
+             "under the coordinator's serve.tick path)",
+             ("shard", "n_drives")),
     SpanSpec("detect.evaluate", "detect", "repro.detection.evaluator",
              "one detector evaluation over a fleet of score series",
              ("n_series",)),
@@ -274,6 +295,30 @@ EVENTS: tuple[EventSpec, ...] = (
               "strategy changing its training window week-over-week",
               ("from_generation", "to_generation", "strategy?", "week?",
                "window?")),
+    # -- sharded serving lifecycle (repro/detection/sharded.py) -------------
+    EventSpec("shard_snapshot", "repro.detection.sharded",
+              "once per shard state written to a shard-snapshot checkpoint",
+              ("shard", "n_drives")),
+    EventSpec("shard_restored", "repro.detection.sharded",
+              "once per shard state restored from a shard-snapshot "
+              "checkpoint (kill-and-resume)", ("shard", "n_drives")),
+    EventSpec("canary_started", "repro.detection.sharded",
+              "once per begin_deployment: the named canary shards start "
+              "serving the candidate generation",
+              ("generation", "canary_shards", "soak_ticks")),
+    EventSpec("canary_verdict", "repro.detection.sharded",
+              "once per deployment at the end of its soak window, with "
+              "the canary/control alert rates the verdict compared",
+              ("generation", "passed", "canary_alert_rate",
+               "control_alert_rate", "soak_ticks")),
+    EventSpec("fleet_cutover", "repro.detection.sharded",
+              "once per passed canary verdict: every shard switches to "
+              "the candidate generation",
+              ("from_generation", "to_generation", "canary_shards")),
+    EventSpec("fleet_rollback", "repro.detection.sharded",
+              "once per failed canary verdict: the canary shards return "
+              "to the incumbent generation",
+              ("from_generation", "to_generation", "canary_shards")),
     # -- SLO burn (repro/observability/slo.py) ------------------------------
     EventSpec("slo_burn", "repro.observability.slo",
               "once per objective transitioning not-burning -> burning, "

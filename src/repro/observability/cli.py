@@ -4,17 +4,24 @@ The operator's companion to the ``repro.events/v1`` JSONL logs written
 by ``repro-experiments --events-out`` (or any
 :class:`~repro.observability.events.EventLog` bound to a path):
 
-* ``repro-events tail LOG [-n N]`` — the last N events, one line each;
-* ``repro-events query LOG --drive S --type T --since H`` — filter the
-  stream by drive serial, event type, and/or minimum fleet hour;
+* ``repro-events tail LOG... [-n N]`` — the last N events, one line
+  each;
+* ``repro-events query LOG... --drive S --type T --since H`` — filter
+  the stream by drive serial, event type, and/or minimum fleet hour;
 * ``repro-events explain LOG ALERT_ID`` — the provenance of one raised
   alert: triggering score, model generation, voting-window contents,
   and the CART decision path (the SMART evidence, feature by feature);
-* ``repro-events slo LOG`` — replay the log's resolved outcomes through
-  a fresh :class:`~repro.observability.slo.SLOMonitor` and print the
-  per-objective burn status.
+* ``repro-events slo LOG...`` — replay the log's resolved outcomes
+  through a fresh :class:`~repro.observability.slo.SLOMonitor` and
+  print the per-objective burn status.
 
-Every subcommand reads the log in one pass and works on live files (a
+``tail``, ``query`` and ``slo`` accept several logs — e.g. the
+per-shard logs of a sharded fleet — merged into one deterministic
+stream by :func:`~repro.observability.events.merge_event_streams`
+(logical hour, then command-line position, then per-log sequence).
+``explain`` looks up one alert and takes a single log.
+
+Every subcommand reads the logs in one pass and works on live files (a
 path-bound log flushes per event), so ``tail`` mid-run shows the
 current state of the fleet.
 """
@@ -25,12 +32,17 @@ import argparse
 import sys
 from typing import Optional
 
-from repro.observability.events import Event, read_events, render_decision_path
+from repro.observability.events import (
+    Event,
+    merge_event_streams,
+    read_events,
+    render_decision_path,
+)
 from repro.observability.slo import SLOMonitor
 
 
 def _cmd_tail(args: argparse.Namespace) -> int:
-    events = read_events(args.log)
+    events = merge_event_streams(args.logs)
     for event in events[-args.lines:]:
         print(event.render())
     return 0
@@ -38,7 +50,7 @@ def _cmd_tail(args: argparse.Namespace) -> int:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     matched = 0
-    for event in read_events(args.log):
+    for event in merge_event_streams(args.logs):
         if args.drive is not None and event.drive != args.drive:
             continue
         if args.type is not None and event.type != args.type:
@@ -102,7 +114,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 
 
 def _cmd_slo(args: argparse.Namespace) -> int:
-    events = read_events(args.log)
+    events = merge_event_streams(args.logs)
     monitor = SLOMonitor().replay(events)
     status = monitor.status()
     print(f"SLO status at hour {status['hour']:g}")
@@ -130,8 +142,13 @@ def main(argv: Optional[list[str]] = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    multi_log_help = (
+        "events JSONL file(s); several are merged into one stream "
+        "ordered by fleet hour, then argument position"
+    )
+
     tail = sub.add_parser("tail", help="print the last N events")
-    tail.add_argument("log", help="path to the events JSONL file")
+    tail.add_argument("logs", nargs="+", metavar="log", help=multi_log_help)
     tail.add_argument(
         "-n", "--lines", type=int, default=20, metavar="N",
         help="number of trailing events to show (default: 20)",
@@ -139,7 +156,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     tail.set_defaults(func=_cmd_tail)
 
     query = sub.add_parser("query", help="filter events by drive/type/hour")
-    query.add_argument("log", help="path to the events JSONL file")
+    query.add_argument("logs", nargs="+", metavar="log", help=multi_log_help)
     query.add_argument("--drive", default=None, help="only this drive serial")
     query.add_argument("--type", default=None, help="only this event type")
     query.add_argument(
@@ -158,7 +175,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     slo = sub.add_parser(
         "slo", help="replay resolved outcomes and print SLO burn status"
     )
-    slo.add_argument("log", help="path to the events JSONL file")
+    slo.add_argument("logs", nargs="+", metavar="log", help=multi_log_help)
     slo.set_defaults(func=_cmd_slo)
 
     args = parser.parse_args(argv)

@@ -332,6 +332,35 @@ def read_events(path: Union[str, Path]) -> list[Event]:
     return list(iter_events(path))
 
 
+def merge_event_streams(paths: Sequence[Union[str, Path]]) -> list[Event]:
+    """Deterministically merge several event logs into one ordered stream.
+
+    The merge order is the sharded-serving contract: logical hour
+    first, then the position of the log on the command line, then the
+    event's own sequence number — so merging the per-shard logs of a
+    :class:`~repro.detection.sharded.ShardedFleetMonitor` (or any other
+    set of per-component logs) reconstructs one audit stream whose
+    replay is reproducible regardless of wall-clock interleaving.
+
+    Events without an hour (lifecycle events such as ``run_completed``)
+    inherit the logical hour of the event before them *in their own
+    log*, so they stay anchored to the point in fleet time where they
+    happened; a log's leading hour-less events sort before everything.
+    Original sequence numbers are preserved (they remain meaningful
+    per source log); a single-log "merge" therefore returns the log
+    unchanged.
+    """
+    annotated: list[tuple[float, int, int, Event]] = []
+    for log_index, path in enumerate(paths):
+        carried = float("-inf")
+        for event in iter_events(path):
+            if event.hour is not None:
+                carried = float(event.hour)
+            annotated.append((carried, log_index, event.seq, event))
+    annotated.sort(key=lambda entry: entry[:3])
+    return [entry[3] for entry in annotated]
+
+
 # -- replay --------------------------------------------------------------------
 
 

@@ -28,6 +28,14 @@ from typing import Any, Union
 #: Format marker; bump on incompatible layout changes.
 _VERSION = 1
 
+#: The ``kind`` tag of sharded-serving snapshots: one cell per shard
+#: (``shard-<i>``, an :func:`encode_object` of the shard monitor) plus a
+#: ``coordinator`` cell, written by
+#: :meth:`~repro.detection.sharded.ShardedFleetMonitor.snapshot` and
+#: read back by ``restore``/``restore_shard`` so a killed shard resumes
+#: bit-identically mid-stream.
+SHARD_SNAPSHOT_KIND = "shard-snapshot"
+
 
 def encode_object(value: Any) -> dict:
     """Wrap an arbitrary picklable object as a JSON-able cell payload."""

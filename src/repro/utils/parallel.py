@@ -23,6 +23,21 @@ every fan-out site a default (``0`` or a negative value means "all
 cores").  Worker processes are pinned to ``n_jobs=1`` so nested
 fan-outs (a forest inside a cross-validated fold) cannot oversubscribe.
 
+Sharded serving adds a second knob: ``REPRO_SHARDS`` (resolved by
+:func:`resolve_shards`, mirrored by the ``n_shards`` constructor
+argument of :class:`~repro.detection.sharded.ShardedFleetMonitor`).
+The two knobs compose without oversubscribing cores: an explicit
+``n_shards`` argument always wins verbatim, while an env-derived shard
+count is capped so that ``shards x resolve_n_jobs()`` never exceeds the
+machine's cores — and inside a shard worker ``resolve_n_jobs`` is
+already pinned to 1, so per-shard fan-outs stay serial regardless.
+
+:class:`WorkerHost` is the long-lived counterpart of :func:`run_tasks`:
+one dedicated worker process hosting *stateful* computations (a shard
+monitor) across many calls, speaking the same
+:class:`~repro.observability.RemoteObservation` envelope protocol so
+per-call metrics/spans/events ship home exactly like pool tasks.
+
 Fault tolerance is layered on top of the determinism protocol:
 
 * **Salvage.**  Tasks are submitted individually, so when the pool
@@ -103,6 +118,44 @@ def resolve_n_jobs(n_jobs: Optional[int] = None) -> int:
     if n_jobs <= 0:
         n_jobs = os.cpu_count() or 1
     return max(1, n_jobs)
+
+
+def resolve_shards(n_shards: Optional[int] = None) -> int:
+    """Shard count for sharded fleet serving.
+
+    Precedence (documented in ``docs/architecture.md``):
+
+    1. An explicit ``n_shards`` argument wins verbatim (``0`` or a
+       negative value means "all cores").
+    2. ``None`` defers to the ``REPRO_SHARDS`` environment variable
+       (same zero/negative convention; default 1 — unsharded).
+    3. An *env-derived* count is additionally capped so that
+       ``shards x resolve_n_jobs()`` never exceeds the machine's cores
+       when ``REPRO_N_JOBS`` is also set — the two knobs compose
+       instead of multiplying into oversubscription.  An explicit
+       argument is never capped: the caller asked for that many.
+
+    Inside a worker process the answer is always 1 (a shard never
+    re-shards itself).
+    """
+    if _IN_WORKER:
+        return 1
+    cpus = os.cpu_count() or 1
+    if n_shards is None:
+        try:
+            shards = int(os.environ.get("REPRO_SHARDS", "1"))
+        except ValueError:
+            shards = 1
+        if shards <= 0:
+            shards = cpus
+        per_shard_jobs = resolve_n_jobs(None)
+        if per_shard_jobs > 1:
+            shards = min(shards, max(1, cpus // per_shard_jobs))
+        return max(1, shards)
+    n_shards = int(n_shards)
+    if n_shards <= 0:
+        n_shards = cpus
+    return max(1, n_shards)
 
 
 def _worker_init(context: object, obs_config: object = None) -> None:
@@ -348,3 +401,111 @@ def run_tasks(
             index, serial(tasks[index], index, attempts_used=attempts_used)
         )
     return results
+
+
+# -- long-lived stateful workers -----------------------------------------------
+
+#: Mutable state hosted by this worker process (set by ``_host_init``).
+_HOST_STATE = None
+
+
+def _host_init(build: Callable) -> None:
+    global _IN_WORKER, _HOST_STATE
+    _IN_WORKER = True
+    _HOST_STATE = build()
+
+
+def _host_call(func: Callable, config: object, payload: object) -> object:
+    return capture_remote(config, func, _HOST_STATE, payload)
+
+
+class WorkerHost:
+    """One dedicated worker process hosting mutable state across calls.
+
+    :func:`run_tasks` is built for stateless fan-out: every task ships
+    its inputs and brings its whole result home.  A *shard monitor* is
+    the opposite shape — megabytes of mutable per-drive state that must
+    live in the worker and be mutated by a stream of small calls.  A
+    ``WorkerHost`` owns exactly one such worker:
+
+    * ``build`` is a picklable zero-argument callable run **in the
+      worker** once (via the pool initializer) to create the hosted
+      state — ship a spec, not the state;
+    * :meth:`submit` schedules ``func(state, payload)`` in the worker
+      and returns its future; calls on one host execute in submission
+      order (single worker), while calls on *different* hosts run
+      concurrently — that is where sharded serving's scaling comes
+      from;
+    * per-call observability uses the same protocol as pool tasks: the
+      parent's ``worker_config()`` ships with each call, the worker
+      wraps the call in fresh instruments, and the result comes home in
+      a :class:`~repro.observability.RemoteObservation` envelope (a
+      bare result when observability is disabled);
+    * :meth:`kill` drops the worker process without draining it —
+      the crash-simulation hook behind shard kill-and-resume tests.
+
+    The worker runs with ``_IN_WORKER`` set, so any nested
+    ``resolve_n_jobs``/``resolve_shards`` inside hosted code resolves
+    to 1: a shard cannot recursively fan out.
+    """
+
+    def __init__(self, build: Callable, *, start_method: Optional[str] = None):
+        method = (
+            start_method
+            or os.environ.get("REPRO_PARALLEL_START_METHOD")
+            or None
+        )
+        mp_context = multiprocessing.get_context(method)
+        self._build = build
+        self._pool: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(
+            max_workers=1,
+            mp_context=mp_context,
+            initializer=_host_init,
+            initargs=(build,),
+        )
+
+    @property
+    def alive(self) -> bool:
+        """Whether the host still has a worker to run calls on."""
+        return self._pool is not None
+
+    def submit(self, func: Callable, payload: object = None):
+        """Schedule ``func(state, payload)`` in the worker; returns a future.
+
+        The future resolves to a ``RemoteObservation`` envelope when the
+        parent has observability enabled (unwrap with
+        :func:`~repro.observability.absorb_remote`), or to the bare
+        return value otherwise.
+        """
+        if self._pool is None:
+            raise RuntimeError(
+                "worker host is dead (killed or closed); restore it from a "
+                "snapshot before submitting more calls"
+            )
+        return self._pool.submit(_host_call, func, worker_config(), payload)
+
+    def call(self, func: Callable, payload: object = None, *,
+             timeout: Optional[float] = None) -> object:
+        """``submit`` and wait: the hosted ``func(state, payload)`` result."""
+        return self.submit(func, payload).result(timeout=timeout)
+
+    def kill(self) -> None:
+        """Drop the worker process immediately, discarding hosted state.
+
+        Simulates a crashed shard: pending calls are cancelled, nothing
+        is flushed.  The host is dead afterwards (``alive`` is False);
+        build a new one — typically from a
+        :class:`~repro.utils.checkpoint.JsonCheckpoint` snapshot — to
+        resume.
+        """
+        if self._pool is not None:
+            for process in getattr(self._pool, "_processes", {}).values():
+                process.terminate()
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def close(self) -> None:
+        """Shut the worker down cleanly (drains in-flight calls)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None

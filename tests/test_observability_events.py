@@ -39,6 +39,7 @@ from repro.observability.events import (
     EventLog,
     NullEventLog,
     decision_path_payload,
+    merge_event_streams,
     read_events,
     render_decision_path,
     replay_health_counters,
@@ -583,6 +584,104 @@ class TestEventsCLI:
     def test_missing_file_is_a_clean_error(self, tmp_path, capsys):
         assert events_cli(["tail", str(tmp_path / "absent.jsonl")]) == 1
         assert "error:" in capsys.readouterr().err
+
+    def _write_shard_logs(self, tmp_path):
+        """Two per-shard logs whose fleet hours interleave."""
+        left = tmp_path / "shard-0.jsonl"
+        right = tmp_path / "shard-1.jsonl"
+        write_events(left, [
+            Event(seq=0, type="sample_scored", drive="a", hour=0.0,
+                  data={"score": 1.0}),
+            Event(seq=1, type="sample_scored", drive="c", hour=2.0,
+                  data={"score": 1.0}),
+        ])
+        write_events(right, [
+            Event(seq=0, type="sample_scored", drive="b", hour=1.0,
+                  data={"score": -1.0}),
+        ])
+        return left, right
+
+    def test_tail_merges_multiple_logs_in_fleet_time(self, tmp_path, capsys):
+        left, right = self._write_shard_logs(tmp_path)
+        assert events_cli(["tail", str(left), str(right), "-n", "10"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert [line.split()[2] for line in lines] == ["a", "b", "c"]
+
+    def test_query_spans_multiple_logs(self, tmp_path, capsys):
+        left, right = self._write_shard_logs(tmp_path)
+        assert events_cli([
+            "query", str(left), str(right), "--type", "sample_scored",
+        ]) == 0
+        assert len(capsys.readouterr().out.splitlines()) == 3
+
+    def test_slo_replays_outcomes_from_every_log(self, tmp_path, capsys):
+        first = self._write_scenario(tmp_path, "compiled")
+        second = self._write_scenario(tmp_path, "node")
+        assert events_cli(["slo", str(first), str(second)]) == 0
+        out = capsys.readouterr().out
+        assert "SLO status" in out
+        assert events_cli([
+            "query", str(first), str(second), "--type", "outcome_resolved",
+        ]) == 0
+        assert len(capsys.readouterr().out.splitlines()) == 2
+
+
+class TestMergeEventStreams:
+    """Satellite: the deterministic multi-log merge behind the CLI."""
+
+    def test_orders_by_hour_then_log_position_then_seq(self, tmp_path):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        write_events(a, [
+            Event(seq=0, type="sample_scored", drive="a0", hour=0.0),
+            Event(seq=1, type="sample_scored", drive="a1", hour=2.0),
+        ])
+        write_events(b, [
+            Event(seq=0, type="sample_scored", drive="b0", hour=0.0),
+            Event(seq=1, type="sample_scored", drive="b1", hour=1.0),
+        ])
+        merged = merge_event_streams([a, b])
+        assert [e.drive for e in merged] == ["a0", "b0", "b1", "a1"]
+        # Swapping the command-line order breaks hour ties the other way.
+        merged = merge_event_streams([b, a])
+        assert [e.drive for e in merged] == ["b0", "a0", "b1", "a1"]
+
+    def test_hourless_events_inherit_their_logs_previous_hour(self, tmp_path):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        write_events(a, [
+            Event(seq=0, type="run_completed"),  # leading: sorts first
+            Event(seq=1, type="sample_scored", drive="a0", hour=5.0),
+            Event(seq=2, type="run_completed", data={"mark": "after-5"}),
+        ])
+        write_events(b, [
+            Event(seq=0, type="sample_scored", drive="b0", hour=1.0),
+            Event(seq=1, type="sample_scored", drive="b1", hour=9.0),
+        ])
+        merged = merge_event_streams([a, b])
+        assert [e.type for e in merged] == [
+            "run_completed",        # no hour yet: before all fleet time
+            "sample_scored",        # b0 @ 1
+            "sample_scored",        # a0 @ 5
+            "run_completed",        # carries hour 5 from its own log
+            "sample_scored",        # b1 @ 9
+        ]
+        assert merged[3].data == {"mark": "after-5"}
+
+    def test_single_log_merge_is_the_identity(self, tmp_path):
+        path = tmp_path / "one.jsonl"
+        write_events(path, [
+            Event(seq=0, type="sample_scored", drive="x", hour=3.0),
+            Event(seq=1, type="run_completed"),
+        ])
+        assert merge_event_streams([path]) == read_events(path)
+
+    def test_preserves_per_log_sequence_numbers(self, tmp_path):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        write_events(a, [Event(seq=7, type="sample_scored", hour=0.0)])
+        write_events(b, [Event(seq=7, type="sample_scored", hour=0.0)])
+        assert [e.seq for e in merge_event_streams([a, b])] == [7, 7]
 
 
 class TestRunnerIntegration:

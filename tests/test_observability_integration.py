@@ -2,7 +2,8 @@
 
 One module-scoped scenario exercises every instrumented subsystem —
 tree fitting, compiled batch scoring, fleet routing, streaming serving
-(including the fault gate), offline detection, the updating simulator
+(including the fault gate), sharded fleet serving (shard ticks,
+snapshot/restore, canary rollouts), offline detection, the updating simulator
 with checkpoint/drift, the parallel pool (pooled, salvaged, retried and
 serially-degraded tasks) and the experiment grid — under a recording
 registry and tracer.  The tests then diff the emitted names against
@@ -126,6 +127,57 @@ def _run_serving():
     return monitor.health_report()
 
 
+def _score_healthy(row):
+    return 1.0
+
+
+def _score_paging(row):
+    return -1.0
+
+
+def _run_sharded_serving(tmp):
+    """Drive the sharded coordinator through every shard.* code path."""
+    from repro.detection.sharded import (
+        CanaryPolicy,
+        ShardedFleetMonitor,
+        VoterSpec,
+    )
+
+    def build():
+        return ShardedFleetMonitor(
+            basic_features(),
+            score_sample=_score_healthy,
+            detector_factory=VoterSpec("majority", 1),
+            n_shards=2,
+        )
+
+    clean = np.ones(N_CHANNELS)
+    records = [(f"s-{i}", clean) for i in range(6)]
+
+    # Identical candidate -> alert parity -> canary_verdict + fleet_cutover.
+    monitor = build()
+    monitor.begin_deployment(
+        _score_healthy, canary_shards=(0,), policy=CanaryPolicy(soak_ticks=2)
+    )
+    for hour in range(2):
+        monitor.observe_fleet(float(hour), records)
+    assert monitor.last_verdict["passed"]
+
+    # Mid-stream snapshot, then kill-and-resume one shard.
+    snapshot_path = tmp / "shard-snapshot.json"
+    monitor.snapshot(snapshot_path)
+    monitor.restore_shard(0, snapshot_path)
+
+    # Page-everything candidate -> rate divergence -> fleet_rollback.
+    noisy = build()
+    noisy.begin_deployment(
+        _score_paging, canary_shards=(0,), policy=CanaryPolicy(soak_ticks=2)
+    )
+    for hour in range(2):
+        noisy.observe_fleet(float(hour), records)
+    assert not noisy.last_verdict["passed"]
+
+
 def _run_scenario(tiny_fleet, tiny_split, aging_fleet_small, tmp, registry):
     # fit + compiled scoring + offline detection
     predictor = DriveFailurePredictor(CONFIG).fit(tiny_split)
@@ -143,6 +195,7 @@ def _run_scenario(tiny_fleet, tiny_split, aging_fleet_small, tmp, registry):
     fleet_model.score_drives(list(tiny_fleet.drives[:10]) + [alien])
 
     health = _run_serving()
+    _run_sharded_serving(tmp)
 
     # updating: run twice against one checkpoint for checkpoint_hits;
     # the two strategies share the (week-1, week-2) cell for cache_hits

@@ -17,7 +17,13 @@ from repro.utils.errors import (
     SerialFallbackWarning,
     TaskRetryWarning,
 )
-from repro.utils.parallel import _backoff_delay, resolve_n_jobs, run_tasks
+from repro.utils.parallel import (
+    WorkerHost,
+    _backoff_delay,
+    resolve_n_jobs,
+    resolve_shards,
+    run_tasks,
+)
 from repro.utils.rng import as_rng
 
 
@@ -309,3 +315,100 @@ class TestSubsampleMemberInputs:
         )
         assert not np.isnan(inputs).any()
         np.testing.assert_array_equal(active, np.arange(4))
+
+
+class TestResolveShards:
+    """The second knob: shard count composes with REPRO_N_JOBS."""
+
+    def test_default_is_unsharded(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHARDS", raising=False)
+        assert resolve_shards() == 1
+
+    def test_explicit_wins_verbatim_even_with_jobs_set(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        monkeypatch.setenv("REPRO_N_JOBS", "8")
+        monkeypatch.setenv("REPRO_SHARDS", "2")
+        assert resolve_shards(5) == 5  # the caller asked; never capped
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_N_JOBS", raising=False)
+        monkeypatch.setenv("REPRO_SHARDS", "3")
+        assert resolve_shards() == 3
+
+    def test_env_garbage_falls_back_to_unsharded(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "lots")
+        assert resolve_shards() == 1
+
+    def test_zero_means_all_cores(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        monkeypatch.delenv("REPRO_N_JOBS", raising=False)
+        monkeypatch.setenv("REPRO_SHARDS", "0")
+        assert resolve_shards() == 8
+        assert resolve_shards(0) == 8
+        assert resolve_shards(-1) == 8
+
+    def test_env_shards_capped_by_core_budget(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        monkeypatch.setenv("REPRO_SHARDS", "8")
+        monkeypatch.setenv("REPRO_N_JOBS", "4")
+        # 8 shards x 4 jobs would oversubscribe 8 cores: capped to 8//4.
+        assert resolve_shards() == 2
+
+    def test_cap_never_goes_below_one_shard(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        monkeypatch.setenv("REPRO_SHARDS", "6")
+        monkeypatch.setenv("REPRO_N_JOBS", "16")
+        assert resolve_shards() == 1
+
+    def test_worker_processes_pin_to_one_shard(self, monkeypatch):
+        monkeypatch.setattr(parallel, "_IN_WORKER", True)
+        assert resolve_shards(8) == 1
+
+
+def _counter_state():
+    return {"total": 0}
+
+
+def _add_to_state(state, payload):
+    state["total"] += payload
+    return state["total"]
+
+
+def _nested_knobs(state, payload):
+    return (resolve_n_jobs(8), resolve_shards(8))
+
+
+class TestWorkerHost:
+    """One long-lived worker owning mutable state across calls."""
+
+    def test_state_persists_across_calls_in_order(self):
+        host = WorkerHost(_counter_state)
+        try:
+            assert host.call(_add_to_state, 2) == 2
+            assert host.call(_add_to_state, 3) == 5  # same hosted dict
+            futures = [host.submit(_add_to_state, 1) for _ in range(3)]
+            assert [f.result() for f in futures] == [6, 7, 8]
+        finally:
+            host.close()
+        assert host.alive is False
+        with pytest.raises(RuntimeError, match="dead"):
+            host.submit(_add_to_state, 1)
+
+    def test_hosted_code_cannot_fan_out_again(self):
+        host = WorkerHost(_counter_state)
+        try:
+            assert host.call(_nested_knobs) == (1, 1)
+        finally:
+            host.close()
+
+    def test_kill_discards_state_and_pending_calls(self):
+        host = WorkerHost(_counter_state)
+        try:
+            assert host.call(_add_to_state, 7) == 7
+            host.kill()
+            assert host.alive is False
+            with pytest.raises(RuntimeError, match="dead"):
+                host.call(_add_to_state, 1)
+        finally:
+            if host.alive:
+                host.close()
