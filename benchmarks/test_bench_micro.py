@@ -639,3 +639,143 @@ def test_micro_sharded_million_drive_scaling(shard_bench_results):
     )
     if floor_enforced:
         assert speedup >= 2.0
+
+def _journal_bench_features():
+    """A paper-representative feature set (8 of the 12 basic channels).
+
+    The scaling bench above uses a deliberately tiny 2-feature set so
+    shard compute is cheap relative to dispatch; here the opposite is
+    wanted — per-tick compute at realistic feature width, so the journal
+    overhead is measured against a production-shaped tick.
+    """
+    from repro.features.vectorize import Feature
+
+    return tuple(
+        Feature(short)
+        for short in ("RRER", "SUT", "RSC", "SER", "POH", "RUE", "HFW", "TC")
+    )
+
+
+def test_micro_supervised_journal_overhead(shard_bench_results, tmp_path):
+    """The write-ahead tick journal costs at most 2x sustained throughput.
+
+    Self-healing is paid for per tick: every collection tick writes a
+    matrix sidecar plus a JSONL line before dispatch.  This measures a
+    journaled ``SupervisedShardedMonitor`` against an unjournaled
+    ``ShardedFleetMonitor`` on the same serial-mode stream (same shard
+    compute, the delta is the journal), with the snapshot cadence pushed
+    past the run so checkpointing never mixes into the number.
+
+    The floor is enforced on buffered journaling (``journal_fsync=False``)
+    — sufficient for the worker-death crash model, where the surviving
+    coordinator replays page-cache-backed entries.  The fsync'd mode that
+    additionally survives whole-host power loss is recorded alongside
+    without a floor: per-tick fsync latency is a property of the disk,
+    not of the journal code.  Like the scaling floor above, enforcement
+    is gated on the environment being capable of the number at all —
+    here, raw sequential writes of the tick matrix must fit in half a
+    baseline tick, otherwise no journal implementation could stay
+    under 2x and the run is recorded without asserting.
+    """
+    from repro.detection import (
+        ShardedFleetMonitor,
+        SupervisedShardedMonitor,
+        VoterSpec,
+    )
+    from repro.smart.attributes import N_CHANNELS
+
+    n_drives, n_ticks, n_shards = 50_000, 8, 2
+    serials = tuple(f"drive-{i:06d}" for i in range(n_drives))
+    rng = np.random.default_rng(29)
+    matrix = rng.normal(size=(n_drives, N_CHANNELS))
+
+    def drive(monitor, passes=3):
+        monitor.register_fleet(serials)
+        monitor.observe_tick(0.0, matrix)  # warm-up: row allocation
+        best, hour = 0.0, 0.0
+        for _ in range(passes):
+            os.sync()  # drain writeback backlog before timing
+            start = time.perf_counter()
+            for _ in range(n_ticks):
+                hour += 1.0
+                monitor.observe_tick(hour, matrix)
+            best = max(best, n_ticks / (time.perf_counter() - start))
+        return best, len(monitor.alerts)
+
+    def build_supervised(run_dir, journal_fsync):
+        return SupervisedShardedMonitor(
+            _journal_bench_features(),
+            _shard_bench_score_sample,
+            VoterSpec("majority", 3),
+            score_batch=_shard_bench_score_batch,
+            n_shards=n_shards,
+            run_dir=run_dir,
+            snapshot_every=100 * n_ticks,  # never fires: journal cost only
+            journal_fsync=journal_fsync,
+        )
+
+    baseline = ShardedFleetMonitor(
+        _journal_bench_features(),
+        _shard_bench_score_sample,
+        VoterSpec("majority", 3),
+        score_batch=_shard_bench_score_batch,
+        n_shards=n_shards,
+    )
+    baseline_tps, baseline_alerts = drive(baseline)
+    baseline.close()
+
+    # Raw-disk capability probe: sustained buffered writes of the same
+    # bytes the journal must move, one file per tick like the sidecar
+    # stream.  A burst probe would under-measure — containers throttle
+    # dirty pages, so sustained byte rate is what the journal sees.
+    probe_dir = tmp_path / "disk-probe"
+    probe_dir.mkdir()
+
+    def probe_raw_write_seconds():
+        os.sync()
+        start = time.perf_counter()
+        for at in range(n_ticks):
+            with open(probe_dir / f"{at}.npy", "wb") as handle:
+                np.save(handle, matrix)
+                handle.flush()
+        return (time.perf_counter() - start) / n_ticks
+
+    raw_before = probe_raw_write_seconds()
+
+    buffered = build_supervised(tmp_path / "buffered-run", journal_fsync=False)
+    buffered_tps, buffered_alerts = drive(buffered, passes=4)
+    assert buffered_alerts == baseline_alerts
+    buffered.close()
+
+    # Probe again after the run: dirty-page throttling is bursty, and a
+    # floor miss only indicts the journal when the disk sustained the
+    # byte rate through the whole measurement window.
+    raw_seconds = max(raw_before, probe_raw_write_seconds())
+    floor_enforced = raw_seconds <= 0.5 / baseline_tps
+
+    durable = build_supervised(tmp_path / "durable-run", journal_fsync=True)
+    durable_tps, _ = drive(durable, passes=2)
+    durable.close()
+
+    slowdown = baseline_tps / buffered_tps
+    shard_bench_results["supervised_journal_overhead"] = {
+        "n_drives": n_drives,
+        "n_shards": n_shards,
+        "n_ticks": n_ticks,
+        "baseline_ticks_per_sec": baseline_tps,
+        "journaled_ticks_per_sec": buffered_tps,
+        "fsync_journaled_ticks_per_sec": durable_tps,
+        "raw_write_seconds": raw_seconds,
+        "slowdown": slowdown,
+        "ceiling": 2.0,
+        "floor_enforced": floor_enforced,
+    }
+    print(
+        f"\njournal overhead at {n_drives} drives: "
+        f"unjournaled {baseline_tps:.2f} ticks/s, "
+        f"journaled {buffered_tps:.2f} ticks/s ({slowdown:.2f}x slower), "
+        f"fsync'd {durable_tps:.2f} ticks/s"
+        + ("" if floor_enforced else " [floor not enforced: slow disk]")
+    )
+    if floor_enforced:
+        assert slowdown <= 2.0

@@ -76,6 +76,12 @@ from repro.detection.sharded import (
     VoterSpec,
     shard_for,
 )
+from repro.detection.supervision import (
+    TICK_JOURNAL_SCHEMA,
+    RestartPolicy,
+    SupervisedShardedMonitor,
+    TickJournal,
+)
 from repro.detection.streaming import (
     ENGINES,
     Alert,
@@ -120,6 +126,10 @@ __all__ = [
     "TreeSampleScorer",
     "VoterSpec",
     "shard_for",
+    "TICK_JOURNAL_SCHEMA",
+    "RestartPolicy",
+    "SupervisedShardedMonitor",
+    "TickJournal",
     "ColumnarEngine",
     "MajorityVoteMatrix",
     "MeanThresholdMatrix",

@@ -94,7 +94,11 @@ from repro.utils.checkpoint import (
     decode_object,
     encode_object,
 )
-from repro.utils.errors import SampleFault, UnpicklableTaskWarning
+from repro.utils.errors import (
+    SampleFault,
+    UnpicklableTaskWarning,
+    WorkerDiedError,
+)
 from repro.utils.parallel import WorkerHost, resolve_shards
 
 #: Execution modes: ``"serial"`` ticks shards in-process (deterministic
@@ -478,6 +482,7 @@ class ShardedFleetMonitor:
         self._sub_rosters: Optional[list[tuple[str, ...]]] = None
         self._roster_noted = False
         self._feed_pinned = False
+        self._quarantined: set[int] = set()
         if mode == "process":
             try:
                 pickle.dumps(self._spec)
@@ -552,18 +557,113 @@ class ShardedFleetMonitor:
         so shard slices execute concurrently; serial mode runs them
         in-process under :func:`~repro.observability.capture_remote`
         so both modes hand back the same envelope shape.
+
+        A shard that dies mid-call (or was already dead at submit time)
+        surfaces as a :class:`~repro.utils.errors.WorkerDiedError`
+        routed through :meth:`_handle_shard_death` — which re-raises
+        here, and recovers in the supervised subclass.  A handler may
+        return ``None`` to mean "this shard has no result this call"
+        (quarantine); every merge path tolerates the gap.
         """
         if self._hosts is not None:
-            futures = [
-                (sid, self._hosts[sid].submit(func, payload))
-                for sid, func, payload in calls
-            ]
-            return [(sid, future.result()) for sid, future in futures]
+            submitted: list[tuple[int, Callable, object, object]] = []
+            for sid, func, payload in calls:
+                try:
+                    outcome: object = self._hosts[sid].submit(func, payload)
+                except WorkerDiedError as error:
+                    outcome = error
+                submitted.append((sid, func, payload, outcome))
+            responses: list[tuple[int, object]] = []
+            for sid, func, payload, outcome in submitted:
+                if isinstance(outcome, WorkerDiedError):
+                    responses.append(
+                        (sid, self._handle_shard_death(sid, func, payload, outcome))
+                    )
+                    continue
+                try:
+                    responses.append((sid, outcome.result()))
+                except WorkerDiedError as error:
+                    responses.append(
+                        (sid, self._handle_shard_death(sid, func, payload, error))
+                    )
+            return responses
         config = worker_config()
+        responses = []
+        for sid, func, payload in calls:
+            shard = self._shards[sid]
+            if shard is None:
+                error = WorkerDiedError(
+                    f"shard {sid} is dead (killed in serial mode); restore "
+                    f"it from a snapshot before dispatching more calls"
+                )
+                responses.append(
+                    (sid, self._handle_shard_death(sid, func, payload, error))
+                )
+                continue
+            responses.append((sid, capture_remote(config, func, shard, payload)))
+        return responses
+
+    def _handle_shard_death(
+        self, sid: int, func: Callable, payload: object, error: WorkerDiedError
+    ) -> object:
+        """What to do when shard ``sid`` died under ``func(payload)``.
+
+        The base coordinator has no recovery machinery, so the death is
+        fatal: the error propagates and the operator restores by hand
+        (:meth:`restore_shard`).  ``SupervisedShardedMonitor`` overrides
+        this with snapshot-restore + journal-replay and returns the
+        replacement result for the in-flight call.
+        """
+        raise error
+
+    def _active_shards(self) -> list[int]:
+        """Shard ids still serving (quarantined shards are excluded)."""
         return [
-            (sid, capture_remote(config, func, self._shards[sid], payload))
-            for sid, func, payload in calls
+            sid for sid in range(self.n_shards) if sid not in self._quarantined
         ]
+
+    def kill_shard(self, shard: int) -> None:
+        """Kill one shard's worker without warning (chaos/testing hook).
+
+        Process mode terminates the host's worker process; serial mode
+        drops the in-process shard cell.  Either way the next dispatch
+        to that shard raises :class:`~repro.utils.errors.WorkerDiedError`
+        (or triggers supervised recovery).
+        """
+        if self._hosts is not None:
+            self._hosts[shard].kill()
+        else:
+            self._shards[shard] = None
+
+    def quarantine_shard(self, shard: int) -> None:
+        """Permanently stop dispatching to one shard (degraded mode).
+
+        The shard's drives stop being served and its worker is released;
+        the hole is *reported* — ``health_report()['sharding']`` lists
+        quarantined shards — but never paged.  This is the supervisor's
+        last resort when a shard keeps flapping; the base class exposes
+        it for operators who want to cut a shard loose by hand.
+        """
+        shard = int(shard)
+        if shard in self._quarantined:
+            return
+        self._quarantined.add(shard)
+        if self._hosts is not None:
+            if self._hosts[shard].alive:
+                self._hosts[shard].kill()
+        else:
+            self._shards[shard] = None
+        get_event_log().emit(
+            "shard_quarantined",
+            hour=self._last_hour,
+            shard=shard,
+            n_shards=self.n_shards,
+        )
+
+    @property
+    def quarantined_shards(self) -> list[int]:
+        """Shard ids currently excluded from serving."""
+        return sorted(self._quarantined)
 
     def _absorb(self, envelope: object, id_map: Optional[dict] = None) -> object:
         """Fold one shard envelope into the coordinator's instruments."""
@@ -638,7 +738,7 @@ class ShardedFleetMonitor:
         ]
         calls = [
             (sid, _shard_pin, {"roster": self._sub_rosters[sid]})
-            for sid in range(self.n_shards)
+            for sid in self._active_shards()
         ]
         for _, envelope in self._raw_dispatch(calls):
             self._absorb(envelope)
@@ -668,7 +768,7 @@ class ShardedFleetMonitor:
                     "feed": matrix[self._partition[sid]],
                 },
             )
-            for sid in range(self.n_shards)
+            for sid in self._active_shards()
         ]
         for _, envelope in self._raw_dispatch(calls):
             self._absorb(envelope)
@@ -729,7 +829,7 @@ class ShardedFleetMonitor:
             self._roster_noted = True
         calls = []
         shard_sizes: dict[int, int] = {}
-        for sid in range(self.n_shards):
+        for sid in self._active_shards():
             indices = self._partition[sid]
             if len(indices) == 0:
                 continue
@@ -770,7 +870,7 @@ class ShardedFleetMonitor:
         calls = []
         shard_sizes: dict[int, int] = {}
         dup_counts: dict[int, int] = {}
-        for sid in range(n):
+        for sid in self._active_shards():
             if not per_items[sid] and not per_dups[sid]:
                 continue
             shard_sizes[sid] = len(per_items[sid])
@@ -845,6 +945,10 @@ class ShardedFleetMonitor:
         results: dict[int, dict] = {}
         envelopes: list[tuple[int, RemoteObservation]] = []
         for sid, envelope in responses:
+            if envelope is None:
+                # Quarantined mid-call: the shard has no result this
+                # tick; its drives go unserved, never unreported.
+                continue
             if isinstance(envelope, RemoteObservation):
                 results[sid] = envelope.result
                 envelopes.append((sid, envelope))
@@ -876,7 +980,9 @@ class ShardedFleetMonitor:
             dup_queues[sid] = deque(result["faults"][:k])
             record_faults[sid] = {fault.serial: fault for fault in result["faults"][k:]}
         for serial in duplicates:
-            self.faults.append(dup_queues[shard_for(serial, self.n_shards)].popleft())
+            queue = dup_queues.get(shard_for(serial, self.n_shards))
+            if queue:
+                self.faults.append(queue.popleft())
         for serial, _ in items:
             fault = record_faults.get(shard_for(serial, self.n_shards), {}).pop(
                 serial, None
@@ -920,11 +1026,13 @@ class ShardedFleetMonitor:
 
     def finalize(self) -> list[Alert]:
         """Short-history flush, merged in global first-seen order."""
-        calls = [(sid, _shard_finalize, None) for sid in range(self.n_shards)]
+        calls = [(sid, _shard_finalize, None) for sid in self._active_shards()]
         responses = self._raw_dispatch(calls)
         found: dict[str, tuple[int, Alert]] = {}
         envelopes: list[tuple[int, RemoteObservation]] = []
         for sid, envelope in responses:
+            if envelope is None:
+                continue
             if isinstance(envelope, RemoteObservation):
                 result = envelope.result
                 envelopes.append((sid, envelope))
@@ -990,7 +1098,11 @@ class ShardedFleetMonitor:
         self, shards: Iterable[int], model: dict, generation: int
     ) -> None:
         payload = {**model, "generation": generation}
-        calls = [(sid, _shard_apply_model, payload) for sid in sorted(shards)]
+        calls = [
+            (sid, _shard_apply_model, payload)
+            for sid in sorted(shards)
+            if sid not in self._quarantined
+        ]
         for _, envelope in self._raw_dispatch(calls):
             self._absorb(envelope)
 
@@ -1121,9 +1233,19 @@ class ShardedFleetMonitor:
     # -- snapshot / restore ----------------------------------------------------
 
     def _export_shard(self, shard: int) -> dict:
+        if shard in self._quarantined:
+            raise WorkerDiedError(
+                f"shard {shard} is quarantined; it has no state to export"
+            )
         if self._hosts is not None:
             return self._absorb(self._hosts[shard].call(_shard_export))
-        return _shard_export(self._shards[shard], None)
+        cell = self._shards[shard]
+        if cell is None:
+            raise WorkerDiedError(
+                f"shard {shard} is dead (killed in serial mode); restore it "
+                f"before snapshotting"
+            )
+        return _shard_export(cell, None)
 
     def _coordinator_state(self) -> dict:
         return {
@@ -1140,6 +1262,7 @@ class ShardedFleetMonitor:
             "last_hour": self._last_hour,
             "deployment": self._deployment,
             "last_verdict": self.last_verdict,
+            "quarantined": sorted(self._quarantined),
         }
 
     def _open_store(
@@ -1177,7 +1300,7 @@ class ShardedFleetMonitor:
         (:meth:`pin_feed`) are transient and must be re-pinned.
         """
         store = self._open_store(store)
-        for shard in range(self.n_shards):
+        for shard in self._active_shards():
             self.snapshot_shard(shard, store)
         store.set("coordinator", encode_object(self._coordinator_state()))
         return store
@@ -1211,6 +1334,17 @@ class ShardedFleetMonitor:
                 "roster": state.get("roster"),
                 "feed": None,
             }
+        self._quarantined.discard(shard)
+        # The snapshot's roster may predate the coordinator's current
+        # registration; re-pin the live sub-roster so the matrix path
+        # keys rows correctly on the restored shard.  Feeds are
+        # transient on *every* shard-side cell, so one lost feed
+        # invalidates the fleet-wide pin — callers re-pin via pin_feed.
+        if self._sub_rosters is not None:
+            for _, envelope in self._raw_dispatch(
+                [(shard, _shard_pin, {"roster": self._sub_rosters[shard]})]
+            ):
+                self._absorb(envelope)
         self._feed_pinned = False
         get_registry().counter(
             "shard.restores", help=SHARD_RESTORES_HELP
@@ -1266,7 +1400,17 @@ class ShardedFleetMonitor:
         self._last_hour = coord["last_hour"]
         self._deployment = coord["deployment"]
         self.last_verdict = coord["last_verdict"]
+        quarantined = set(coord.get("quarantined", ()))
         for shard in range(self.n_shards):
+            if shard in quarantined:
+                # The shard was cut loose before the snapshot; there is
+                # no cell to restore and it stays out of the rotation.
+                if self._hosts is not None:
+                    self._hosts[shard].kill()
+                else:
+                    self._shards[shard] = None
+                self._quarantined.add(shard)
+                continue
             self.restore_shard(shard, store)
         return self
 
@@ -1316,10 +1460,25 @@ class ShardedFleetMonitor:
 
     # -- reporting -------------------------------------------------------------
 
+    #: What a quarantined shard reports: nothing is served, nothing is
+    #: counted — the hole shows up in the topology section instead.
+    _QUARANTINED_STATUS = {
+        "n_watched": 0,
+        "watched": [],
+        "degraded": [],
+        "fault_counts": {},
+        "vote_flips": 0,
+    }
+
     def _statuses(self) -> list[dict]:
-        calls = [(sid, _shard_status, None) for sid in range(self.n_shards)]
+        calls = [(sid, _shard_status, None) for sid in self._active_shards()]
+        by_sid = {
+            sid: self._absorb(envelope)
+            for sid, envelope in self._raw_dispatch(calls)
+        }
         return [
-            self._absorb(envelope) for _, envelope in self._raw_dispatch(calls)
+            by_sid.get(sid) or dict(self._QUARANTINED_STATUS)
+            for sid in range(self.n_shards)
         ]
 
     @property
@@ -1351,6 +1510,13 @@ class ShardedFleetMonitor:
     def drive_status(self, serial: str) -> DriveStatus:
         """Serving status of one drive (resolved on its owning shard)."""
         sid = shard_for(serial, self.n_shards)
+        if sid in self._quarantined or (
+            self._shards is not None and self._shards[sid] is None
+        ):
+            raise WorkerDiedError(
+                f"drive {serial!r} lives on shard {sid}, which is "
+                f"{'quarantined' if sid in self._quarantined else 'dead'}"
+            )
         if self._hosts is not None:
             value = self._absorb(self._hosts[sid].call(_shard_drive_status, serial))
         else:
@@ -1397,5 +1563,6 @@ class ShardedFleetMonitor:
             "n_shards": self.n_shards,
             "mode": self.mode,
             "shard_drives": [status["n_watched"] for status in statuses],
+            "quarantined_shards": sorted(self._quarantined),
         }
         return report

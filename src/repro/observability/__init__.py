@@ -51,6 +51,7 @@ from repro.observability.events import (
     read_events,
     replay_health_counters,
     set_event_log,
+    validate_events,
     write_events,
 )
 from repro.observability.export import (
@@ -133,6 +134,7 @@ __all__ = [
     "prometheus_name",
     "read_events",
     "replay_health_counters",
+    "validate_events",
     "set_event_log",
     "set_registry",
     "set_tracer",

@@ -147,6 +147,14 @@ METRICS: tuple[MetricSpec, ...] = (
                "repro.detection.sharded",
                "once per shard state restored from a shard-snapshot "
                "checkpoint"),
+    MetricSpec("shard.recoveries", "counter", "", (),
+               "repro.detection.supervision",
+               "once per dead shard the supervisor respawned "
+               "(snapshot restore or fresh build, then journal replay)"),
+    MetricSpec("shard.journal_replayed_ticks", "counter", "", (),
+               "repro.detection.supervision",
+               "journaled tick slices re-executed into a recovered shard "
+               "(with observability suppressed, so nothing double-counts)"),
     # -- detect: offline evaluation (repro/detection/evaluator.py) ----------
     MetricSpec("detect.evaluations", "counter", "", (),
                "repro.detection.evaluator",
@@ -302,6 +310,20 @@ EVENTS: tuple[EventSpec, ...] = (
     EventSpec("shard_restored", "repro.detection.sharded",
               "once per shard state restored from a shard-snapshot "
               "checkpoint (kill-and-resume)", ("shard", "n_drives")),
+    EventSpec("shard_died", "repro.detection.supervision",
+              "once per shard worker found dead — by the pre-tick probe "
+              "(probe=true) or mid-dispatch (probe=false)",
+              ("shard", "error", "probe", "exit_code?")),
+    EventSpec("shard_recovered", "repro.detection.supervision",
+              "once per successful recovery: respawn from the latest "
+              "snapshot (source=snapshot) or the shard spec "
+              "(source=fresh), then journal replay",
+              ("shard", "replayed_ticks", "source")),
+    EventSpec("shard_quarantined", "repro.detection.sharded",
+              "once when a shard exhausts its restart budget (or an "
+              "operator cuts it loose): dropped from serving, reported "
+              "in health_report, never paged",
+              ("shard", "n_shards")),
     EventSpec("canary_started", "repro.detection.sharded",
               "once per begin_deployment: the named canary shards start "
               "serving the candidate generation",

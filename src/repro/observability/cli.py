@@ -13,7 +13,11 @@ by ``repro-experiments --events-out`` (or any
   and the CART decision path (the SMART evidence, feature by feature);
 * ``repro-events slo LOG...`` — replay the log's resolved outcomes
   through a fresh :class:`~repro.observability.slo.SLOMonitor` and
-  print the per-objective burn status.
+  print the per-objective burn status;
+* ``repro-events doctor LOG...`` — validate each log's structural
+  health (schema header, sequence monotonicity, torn tail) and exit
+  nonzero on any corruption, so a post-crash runbook step can gate on
+  it.
 
 ``tail``, ``query`` and ``slo`` accept several logs — e.g. the
 per-shard logs of a sharded fleet — merged into one deterministic
@@ -37,6 +41,7 @@ from repro.observability.events import (
     merge_event_streams,
     read_events,
     render_decision_path,
+    validate_events,
 )
 from repro.observability.slo import SLOMonitor
 
@@ -134,6 +139,24 @@ def _cmd_slo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    exit_code = 0
+    for path in args.logs:
+        report = validate_events(path)
+        if report["ok"] and report["torn_tail"] is None:
+            print(f"{path}: ok ({report['events']} events)")
+            continue
+        exit_code = 1
+        verdict = "CORRUPT" if not report["ok"] else "TORN TAIL"
+        print(f"{path}: {verdict} ({report['events']} events readable)")
+        if report["torn_tail"] is not None:
+            print(f"  torn tail: {report['torn_tail']}")
+            print("  recoverable: read_events(path, tolerant=True) skips it")
+        for error in report["errors"]:
+            print(f"  error: {error}")
+    return exit_code
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     """CLI entry point (console script ``repro-events``)."""
     parser = argparse.ArgumentParser(
@@ -177,6 +200,15 @@ def main(argv: Optional[list[str]] = None) -> int:
     )
     slo.add_argument("logs", nargs="+", metavar="log", help=multi_log_help)
     slo.set_defaults(func=_cmd_slo)
+
+    doctor = sub.add_parser(
+        "doctor", help="validate log structure; exit nonzero on corruption"
+    )
+    doctor.add_argument(
+        "logs", nargs="+", metavar="log",
+        help="events JSONL file(s) to validate independently",
+    )
+    doctor.set_defaults(func=_cmd_doctor)
 
     args = parser.parse_args(argv)
     try:

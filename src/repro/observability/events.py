@@ -44,9 +44,13 @@ from __future__ import annotations
 
 import json
 import math
+import os
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable, Iterator, Optional, Sequence, TextIO, Union
+
+from repro.utils.errors import TornEventLogWarning
 
 #: Schema tag on the JSONL header line (bump on breaking change).
 EVENTS_SCHEMA = "repro.events/v1"
@@ -133,14 +137,23 @@ class EventLog:
     gets the ``repro.events/v1`` header line first; appending to an
     existing log of the same schema is allowed (multi-run logs replay
     fine — sequence numbers restart per run, total order is file order).
+
+    ``fsync=True`` additionally fsyncs after every emission, so an
+    event acknowledged to the caller survives power loss — the
+    crash-consistency mode supervised serving runs under.  The residual
+    failure window is then a *torn final line* (killed mid-``write``),
+    which ``read_events(path, tolerant=True)`` recovers from.
     """
 
     enabled = True
 
-    def __init__(self, path: Optional[Union[str, Path]] = None):
+    def __init__(
+        self, path: Optional[Union[str, Path]] = None, *, fsync: bool = False
+    ):
         self.events: list[Event] = []
         self._seq = 0
         self._path = Path(path) if path is not None else None
+        self._fsync = bool(fsync)
         self._handle: Optional[TextIO] = None
         if self._path is not None:
             needs_header = (
@@ -160,6 +173,8 @@ class EventLog:
         if self._handle is not None:
             self._handle.write(json.dumps(line, separators=(", ", ": ")) + "\n")
             self._handle.flush()
+            if self._fsync:
+                os.fsync(self._handle.fileno())
 
     def emit(
         self,
@@ -262,13 +277,16 @@ def set_event_log(log: Optional[EventLog]) -> EventLog:
     return previous
 
 
-def enable_events(path: Optional[Union[str, Path]] = None) -> EventLog:
+def enable_events(
+    path: Optional[Union[str, Path]] = None, *, fsync: bool = False
+) -> EventLog:
     """Install and return a fresh recording event log.
 
     With ``path`` the log streams every event to that JSONL file as it
-    is emitted (append mode, header written for new files).
+    is emitted (append mode, header written for new files);
+    ``fsync=True`` makes each emission durable before it returns.
     """
-    log = EventLog(path)
+    log = EventLog(path, fsync=fsync)
     set_event_log(log)
     return log
 
@@ -303,15 +321,40 @@ def write_events(
     return target
 
 
-def iter_events(path: Union[str, Path]) -> Iterator[Event]:
-    """Stream events from a JSONL log, validating the schema header."""
+def iter_events(
+    path: Union[str, Path], *, tolerant: bool = False
+) -> Iterator[Event]:
+    """Stream events from a JSONL log, validating the schema header.
+
+    With ``tolerant=True`` a torn *final* line — the signature of a
+    writer killed mid-append — is skipped with a
+    :class:`~repro.utils.errors.TornEventLogWarning` ledger entry
+    instead of raising, so post-crash replay still reconstructs every
+    acknowledged event.  Corruption anywhere *before* the final line is
+    never forgiven: that is bit rot or truncation, not a torn append,
+    and tolerant mode still raises on it.
+    """
     with Path(path).open() as handle:
         header_seen = False
+        torn: Optional[tuple[int, Exception]] = None
         for line_number, raw in enumerate(handle, start=1):
             raw = raw.strip()
             if not raw:
                 continue
-            line = json.loads(raw)
+            if torn is not None:
+                number, error = torn
+                raise ValueError(
+                    f"{path}:{number}: corrupt event line mid-log "
+                    f"(content follows it, so this is not a torn append): "
+                    f"{error}"
+                )
+            try:
+                line = json.loads(raw)
+            except json.JSONDecodeError as error:
+                if not tolerant:
+                    raise
+                torn = (line_number, error)
+                continue
             if "schema" in line and "type" not in line:
                 if line["schema"] != EVENTS_SCHEMA:
                     raise ValueError(
@@ -325,11 +368,75 @@ def iter_events(path: Union[str, Path]) -> Iterator[Event]:
                     f"{path}:{line_number}: missing {EVENTS_SCHEMA!r} header line"
                 )
             yield Event.from_json_dict(line)
+        if torn is not None:
+            number, _ = torn
+            warnings.warn(
+                TornEventLogWarning(
+                    f"{path}:{number}: skipped torn final line "
+                    f"(writer crashed mid-append)"
+                ),
+                stacklevel=2,
+            )
 
 
-def read_events(path: Union[str, Path]) -> list[Event]:
-    """All events of a JSONL log, in file order."""
-    return list(iter_events(path))
+def read_events(path: Union[str, Path], *, tolerant: bool = False) -> list[Event]:
+    """All events of a JSONL log, in file order.
+
+    ``tolerant=True`` recovers from a torn final line (see
+    :func:`iter_events`) — the read a supervisor does after a crash.
+    """
+    return list(iter_events(path, tolerant=tolerant))
+
+
+def validate_events(path: Union[str, Path]) -> dict:
+    """Structural health check of one JSONL event log.
+
+    The engine behind ``repro-events doctor``.  Returns a report dict::
+
+        {"path": str, "ok": bool, "events": int,
+         "torn_tail": Optional[str],   # ledger entry when the final
+                                       # line is torn, else None
+         "errors": [str, ...]}         # header / corruption / seq
+                                       # monotonicity findings
+
+    ``ok`` is True only for a log with a valid header, strictly
+    increasing per-run sequence numbers (a seq *reset to 0* starts a new
+    run and is fine — multi-run append logs are legal) and no corrupt
+    lines.  A torn tail alone does not clear ``ok``: it is recoverable,
+    but it is reported so an operator knows the crash reached the log.
+    """
+    target = Path(path)
+    report: dict = {
+        "path": str(target),
+        "ok": True,
+        "events": 0,
+        "torn_tail": None,
+        "errors": [],
+    }
+    previous_seq: Optional[int] = None
+    try:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always", TornEventLogWarning)
+            for event in iter_events(target, tolerant=True):
+                report["events"] += 1
+                if (
+                    previous_seq is not None
+                    and event.seq <= previous_seq
+                    and event.seq != 0
+                ):
+                    report["errors"].append(
+                        f"event #{report['events']}: seq {event.seq} does not "
+                        f"advance past {previous_seq} (log reordered or "
+                        f"duplicated?)"
+                    )
+                previous_seq = event.seq
+        for warning in caught:
+            if issubclass(warning.category, TornEventLogWarning):
+                report["torn_tail"] = str(warning.message)
+    except (OSError, ValueError, KeyError) as error:
+        report["errors"].append(str(error))
+    report["ok"] = not report["errors"]
+    return report
 
 
 def merge_event_streams(paths: Sequence[Union[str, Path]]) -> list[Event]:

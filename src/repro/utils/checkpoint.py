@@ -61,6 +61,12 @@ class JsonCheckpoint:
         kind: A label identifying the producing computation.  Loading a
             checkpoint written by a different ``kind`` raises, so a grid
             checkpoint cannot masquerade as an updating checkpoint.
+        durable: When True, every write fsyncs the temp file *and* the
+            parent directory before the atomic rename, so the rename
+            itself survives power loss — the durability bar supervision
+            snapshots need.  Off by default: the rename alone already
+            rules out torn documents, and fsync dominates the cost of
+            small checkpoints in tests.
 
     Example:
         >>> import tempfile, os
@@ -71,13 +77,27 @@ class JsonCheckpoint:
         {'metric': 0.25}
     """
 
-    def __init__(self, path: Union[str, Path], *, kind: str):
+    def __init__(
+        self, path: Union[str, Path], *, kind: str, durable: bool = False
+    ):
         self.path = Path(path)
         self.kind = str(kind)
+        self.durable = bool(durable)
         self._cells: dict[str, Any] = {}
         if self.path.exists():
-            with self.path.open() as handle:
-                document = json.load(handle)
+            try:
+                with self.path.open() as handle:
+                    document = json.load(handle)
+            except (json.JSONDecodeError, UnicodeDecodeError) as error:
+                raise ValueError(
+                    f"corrupted {self.kind!r} checkpoint at {self.path}: "
+                    f"{error}; delete the file to restart from scratch"
+                ) from error
+            if not isinstance(document, dict):
+                raise ValueError(
+                    f"corrupted {self.kind!r} checkpoint at {self.path}: "
+                    f"expected a JSON object, got {type(document).__name__}"
+                )
             if document.get("kind") != self.kind:
                 raise ValueError(
                     f"{self.path}: checkpoint was written by "
@@ -122,8 +142,18 @@ class JsonCheckpoint:
             with handle:
                 json.dump(document, handle)
                 handle.flush()
-                os.fsync(handle.fileno())
+                if self.durable:
+                    os.fsync(handle.fileno())
             os.replace(handle.name, self.path)
+            if self.durable:
+                # Persist the rename itself: without a directory fsync a
+                # power cut can roll the directory entry back to the old
+                # document even though the new bytes reached the disk.
+                fd = os.open(self.path.parent, os.O_RDONLY)
+                try:
+                    os.fsync(fd)
+                finally:
+                    os.close(fd)
         except BaseException:
             try:
                 os.unlink(handle.name)

@@ -90,6 +90,31 @@ class SampleFault:
     detail: str = ""
 
 
+class WorkerDiedError(ReproError, RuntimeError):
+    """A long-lived worker process died (killed, crashed or OOM-reaped).
+
+    Raised by :class:`~repro.utils.parallel.WorkerHost` instead of the
+    raw ``BrokenProcessPool``/``EOFError``/``BrokenPipeError`` zoo, so a
+    supervisor can catch *one* typed error and decide between respawn,
+    replay and quarantine.  ``exit_code`` carries the dead worker's exit
+    status when the host could observe it (``-9`` for SIGKILL), else
+    ``None``.
+    """
+
+    def __init__(self, message: str, *, exit_code: Optional[int] = None):
+        super().__init__(message)
+        self.exit_code = exit_code
+
+
+class TornEventLogWarning(RuntimeWarning):
+    """A tolerant event-log read skipped a truncated final line.
+
+    Emitted by ``read_events(path, tolerant=True)`` when the log's last
+    line is torn (the writer crashed mid-append); the warning message is
+    the ledger entry naming the file and line skipped.
+    """
+
+
 class SerialFallbackWarning(RuntimeWarning):
     """The parallel fan-out degraded to serial execution."""
 

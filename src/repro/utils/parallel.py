@@ -76,6 +76,9 @@ from repro.observability import (
     capture_remote,
     get_registry,
     get_tracer,
+    set_event_log,
+    set_registry,
+    set_tracer,
     worker_config,
 )
 from repro.utils.errors import (
@@ -83,6 +86,7 @@ from repro.utils.errors import (
     SerialFallbackWarning,
     TaskRetryWarning,
     UnpicklableTaskWarning,
+    WorkerDiedError,
 )
 
 #: Set inside worker processes; forces nested ``resolve_n_jobs`` to 1.
@@ -158,11 +162,27 @@ def resolve_shards(n_shards: Optional[int] = None) -> int:
     return max(1, n_shards)
 
 
+def _reset_worker_observability() -> None:
+    """Install no-op instruments in a freshly started worker process.
+
+    Under the fork start method the child inherits the parent's live
+    instruments — including a file-backed ``EventLog`` and its open
+    handle.  Worker observations must flow home only through the
+    explicit ``capture_remote`` envelope protocol; an inherited log
+    would let unobserved calls write to the parent's file with a stale
+    forked sequence counter, interleaving garbage into the shared log.
+    """
+    set_registry(None)
+    set_tracer(None)
+    set_event_log(None)
+
+
 def _worker_init(context: object, obs_config: object = None) -> None:
     global _IN_WORKER, _SHARED_CONTEXT, _OBS_CONFIG
     _IN_WORKER = True
     _SHARED_CONTEXT = context
     _OBS_CONFIG = obs_config
+    _reset_worker_observability()
 
 
 def _call_with_shared_context(func: Callable, task: object) -> object:
@@ -412,11 +432,63 @@ _HOST_STATE = None
 def _host_init(build: Callable) -> None:
     global _IN_WORKER, _HOST_STATE
     _IN_WORKER = True
+    _reset_worker_observability()
     _HOST_STATE = build()
 
 
 def _host_call(func: Callable, config: object, payload: object) -> object:
     return capture_remote(config, func, _HOST_STATE, payload)
+
+
+def _host_ping(state: object, payload: object) -> object:
+    """Health-probe echo: proves the worker loop is alive and responsive."""
+    return payload
+
+
+#: Exception types that mean "the hosted worker process is gone" when a
+#: host future is collected (SIGKILL, OOM reap, segfault, torn pipe).
+_WORKER_DEATH_ERRORS = (
+    BrokenProcessPool,
+    EOFError,
+    BrokenPipeError,
+    ConnectionError,
+    OSError,
+)
+
+
+class _HostFuture:
+    """A host call's future with worker death translated to a typed error.
+
+    Wraps the underlying pool future so ``result()`` raises
+    :class:`~repro.utils.errors.WorkerDiedError` (with the exit code,
+    when observable) instead of the raw ``BrokenProcessPool`` /
+    ``EOFError`` / ``BrokenPipeError`` family — and flips the owning
+    host's ``alive`` flag as a side effect, so death is detected at the
+    first collected call rather than discovered via a hung pipe later.
+    """
+
+    def __init__(self, future, host: "WorkerHost"):
+        self._future = future
+        self._host = host
+
+    def result(self, timeout: Optional[float] = None) -> object:
+        try:
+            return self._future.result(timeout=timeout)
+        except FuturesTimeoutError:
+            raise
+        except _WORKER_DEATH_ERRORS as error:
+            exit_code = self._host._mark_dead()
+            raise WorkerDiedError(
+                f"worker host died mid-request ({type(error).__name__}: "
+                f"{error}); exit code {exit_code}",
+                exit_code=exit_code,
+            ) from error
+
+    def done(self) -> bool:
+        return self._future.done()
+
+    def cancel(self) -> bool:
+        return self._future.cancel()
 
 
 class WorkerHost:
@@ -457,6 +529,7 @@ class WorkerHost:
         )
         mp_context = multiprocessing.get_context(method)
         self._build = build
+        self._exit_code: Optional[int] = None
         self._pool: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(
             max_workers=1,
             mp_context=mp_context,
@@ -469,20 +542,109 @@ class WorkerHost:
         """Whether the host still has a worker to run calls on."""
         return self._pool is not None
 
-    def submit(self, func: Callable, payload: object = None):
+    @property
+    def exit_code(self) -> Optional[int]:
+        """The dead worker's exit status, when it could be observed.
+
+        ``None`` while the worker runs (and for workers whose death the
+        host never got to witness); ``-signal`` for signal deaths —
+        ``-9`` is the SIGKILL signature a supervisor looks for.
+        """
+        return self._exit_code
+
+    def pids(self) -> list[int]:
+        """Live worker process ids (empty before the first submit).
+
+        ``ProcessPoolExecutor`` spawns its worker lazily, so a host that
+        has never run a call has no process yet.  Chaos harnesses use
+        this to aim a real ``SIGKILL`` at the worker.
+        """
+        if self._pool is None:
+            return []
+        return [
+            process.pid
+            for process in getattr(self._pool, "_processes", {}).values()
+            if process.pid is not None and process.exitcode is None
+        ]
+
+    def _mark_dead(self) -> Optional[int]:
+        """Record the worker's death; returns its exit code when visible."""
+        if self._pool is not None:
+            for process in getattr(self._pool, "_processes", {}).values():
+                if process.exitcode is not None:
+                    self._exit_code = process.exitcode
+                    break
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        return self._exit_code
+
+    def poll(self) -> Optional[int]:
+        """Cheap liveness probe: the worker's exit code once it has died.
+
+        Returns ``None`` while the worker is running (or not yet
+        spawned); returns the exit code — and flips ``alive`` to False —
+        as soon as the process is observed dead.  This is how a
+        supervisor *detects* a SIGKILLed shard per tick instead of
+        discovering it via a broken pipe mid-dispatch.
+        """
+        if self._pool is None:
+            return self._exit_code
+        for process in getattr(self._pool, "_processes", {}).values():
+            if process.exitcode is not None:
+                return self._mark_dead()
+        return None
+
+    def ping(self, timeout: float = 5.0) -> bool:
+        """Request/response health probe with a bounded wait.
+
+        Submits a trivial echo call and waits up to ``timeout`` seconds:
+        True means the worker loop is alive *and responsive*; False
+        covers both a dead worker and a wedged one that ate the budget.
+        A failed ping never raises — it is the question, not the answer.
+        """
+        if self._pool is None:
+            return False
+        try:
+            return self.submit(
+                _host_ping, "ping", observed=False
+            ).result(timeout=timeout) == "ping"
+        except (WorkerDiedError, FuturesTimeoutError):
+            return False
+
+    def submit(
+        self, func: Callable, payload: object = None, *, observed: bool = True
+    ) -> _HostFuture:
         """Schedule ``func(state, payload)`` in the worker; returns a future.
 
         The future resolves to a ``RemoteObservation`` envelope when the
         parent has observability enabled (unwrap with
         :func:`~repro.observability.absorb_remote`), or to the bare
-        return value otherwise.
+        return value otherwise.  ``observed=False`` forces the bare
+        path — journal replay uses it so recovered ticks re-build state
+        without re-emitting the events and counters the original run
+        already recorded.  A worker death surfaces as
+        :class:`~repro.utils.errors.WorkerDiedError` from ``result()``,
+        never a raw ``BrokenProcessPool``/``EOFError``.
         """
         if self._pool is None:
-            raise RuntimeError(
+            raise WorkerDiedError(
                 "worker host is dead (killed or closed); restore it from a "
-                "snapshot before submitting more calls"
+                "snapshot before submitting more calls",
+                exit_code=self._exit_code,
             )
-        return self._pool.submit(_host_call, func, worker_config(), payload)
+        config = worker_config() if observed else None
+        try:
+            return _HostFuture(
+                self._pool.submit(_host_call, func, config, payload), self
+            )
+        except _WORKER_DEATH_ERRORS as error:
+            # BrokenProcessPool at submit time: the pool noticed the
+            # death before we did.
+            exit_code = self._mark_dead()
+            raise WorkerDiedError(
+                f"worker host is dead ({type(error).__name__}: {error})",
+                exit_code=exit_code,
+            ) from error
 
     def call(self, func: Callable, payload: object = None, *,
              timeout: Optional[float] = None) -> object:
@@ -493,10 +655,10 @@ class WorkerHost:
         """Drop the worker process immediately, discarding hosted state.
 
         Simulates a crashed shard: pending calls are cancelled, nothing
-        is flushed.  The host is dead afterwards (``alive`` is False);
-        build a new one — typically from a
-        :class:`~repro.utils.checkpoint.JsonCheckpoint` snapshot — to
-        resume.
+        is flushed.  The host is dead afterwards (``alive`` is False)
+        and a second ``kill()`` is a no-op; build a new host — typically
+        from a :class:`~repro.utils.checkpoint.JsonCheckpoint` snapshot
+        — to resume.
         """
         if self._pool is not None:
             for process in getattr(self._pool, "_processes", {}).values():

@@ -489,6 +489,63 @@ class TestKillAndResume:
         assert_states_equal(expected, got)
         resumed.close()
 
+    def test_restored_shard_repins_the_current_roster(self, tmp_path):
+        """Regression: a snapshot can predate the live registration.
+
+        The snapshot's worker-side roster is whatever was pinned when it
+        was taken; if ``restore_shard`` did not re-pin the coordinator's
+        *current* sub-roster, matrix-path ticks after the restore would
+        key rows against the stale roster and silently mis-assign
+        drives.
+        """
+        old = tuple(f"old{d:02d}" for d in range(6))
+        new = tuple(f"new{d:02d}" for d in range(10))
+        rng = np.random.default_rng(13)
+        old_feed = rng.normal(size=(len(old), N_CHANNELS))
+        new_ticks = [rng.normal(size=(len(new), N_CHANNELS)) for _ in range(10)]
+
+        golden = _build_sharded(2)
+        golden.register_fleet(old)
+        golden.observe_tick(0.0, old_feed)
+        golden.register_fleet(new)
+        for hour, matrix in enumerate(new_ticks, start=1):
+            golden.observe_tick(float(hour), matrix)
+        expected_alerts = list(golden.alerts)
+        expected_watched = golden.watched_drives()
+
+        monitor = _build_sharded(2)
+        monitor.register_fleet(old)
+        monitor.observe_tick(0.0, old_feed)
+        store = monitor.snapshot(tmp_path / "stale.json")  # roster: old
+        monitor.register_fleet(new)
+        monitor.observe_tick(1.0, new_ticks[0])
+        monitor.kill_shard(1)
+        monitor.restore_shard(1, store)
+        # Shard 1 replays tick 1 from nothing?  No — the snapshot holds
+        # its state *before* the re-registration; re-drive tick 1's
+        # slice is gone.  Parity here is over the re-pin only: further
+        # ticks must key the NEW roster, not the snapshot's old one.
+        for hour, matrix in enumerate(new_ticks[1:], start=2):
+            monitor.observe_tick(float(hour), matrix)
+        restored_serials = {
+            s for s in monitor.watched_drives() if s.startswith("new")
+            and shard_for(s, 2) == 1
+        }
+        expected_serials = {
+            s for s in expected_watched if s.startswith("new")
+            and shard_for(s, 2) == 1
+        }
+        assert restored_serials == expected_serials
+        # Shard 0 was never killed: its alerts must match golden exactly.
+        golden_shard0 = [
+            a.serial for a in expected_alerts if shard_for(a.serial, 2) == 0
+        ]
+        resumed_shard0 = [
+            a.serial for a in monitor.alerts if shard_for(a.serial, 2) == 0
+        ]
+        assert resumed_shard0 == golden_shard0
+        monitor.close()
+
     def test_restore_missing_cells_raise(self, tmp_path):
         monitor = _build_sharded(2)
         monitor.observe_fleet(0.0, {"a": np.ones(N_CHANNELS)})

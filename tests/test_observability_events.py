@@ -44,6 +44,7 @@ from repro.observability.events import (
     render_decision_path,
     replay_health_counters,
     set_event_log,
+    validate_events,
     write_events,
 )
 from repro.observability.slo import (
@@ -55,6 +56,7 @@ from repro.observability.slo import (
 )
 from repro.smart.attributes import N_CHANNELS
 from repro.tree import ClassificationTree
+from repro.utils.errors import TornEventLogWarning
 from repro.utils.parallel import run_tasks
 
 
@@ -199,6 +201,102 @@ class TestEventLog:
         assert log.next_alert_id() == "alert-0000"
         log.emit("alert_raised", drive="d", hour=0.0, alert_id="alert-0000")
         assert log.next_alert_id() == "alert-0001"
+
+
+def _write_log_with_torn_tail(tmp_path):
+    """Two good events, then a line cut mid-write (crashed appender)."""
+    target = tmp_path / "torn.jsonl"
+    log = EventLog(target)
+    log.emit("vote_flip", drive="d1", hour=0.0, signal=True)
+    log.emit("vote_flip", drive="d1", hour=1.0, signal=False)
+    log.close()
+    with target.open("a") as handle:
+        handle.write('{"seq": 2, "type": "alert_rai')
+    return target
+
+
+class TestTornTailTolerance:
+    """Satellite: crash-consistent event logs — fsync, torn tails, doctor."""
+
+    def test_fsync_log_reads_back_identically(self, tmp_path):
+        target = tmp_path / "durable.jsonl"
+        log = EventLog(target, fsync=True)
+        log.emit("vote_flip", drive="d1", hour=0.0, signal=True)
+        log.emit("alert_raised", drive="d1", hour=1.0, alert_id="alert-0000")
+        assert read_events(target) == log.events
+        log.close()
+
+    def test_strict_read_raises_on_torn_tail(self, tmp_path):
+        target = _write_log_with_torn_tail(tmp_path)
+        with pytest.raises(json.JSONDecodeError):
+            read_events(target)
+
+    def test_tolerant_read_skips_torn_tail_with_warning(self, tmp_path):
+        target = _write_log_with_torn_tail(tmp_path)
+        with pytest.warns(TornEventLogWarning, match="torn final line"):
+            events = read_events(target, tolerant=True)
+        assert [e.type for e in events] == ["vote_flip", "vote_flip"]
+
+    def test_tolerant_read_still_raises_mid_file_corruption(self, tmp_path):
+        target = tmp_path / "corrupt.jsonl"
+        log = EventLog(target)
+        log.emit("vote_flip", drive="d1", hour=0.0, signal=True)
+        log.close()
+        lines = target.read_text().splitlines()
+        lines[1] = lines[1][:-5]  # corrupt a NON-final line
+        lines.append('{"seq": 1, "type": "vote_flip", "data": {}}')
+        target.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError):
+            read_events(target, tolerant=True)
+
+    def test_validate_events_on_a_healthy_log(self, tmp_path):
+        target = tmp_path / "ok.jsonl"
+        log = EventLog(target)
+        log.emit("vote_flip", drive="d1", hour=0.0, signal=True)
+        log.close()
+        report = validate_events(target)
+        assert report["ok"] is True
+        assert report["events"] == 1
+        assert report["torn_tail"] is None
+        assert report["errors"] == []
+
+    def test_validate_events_flags_a_torn_tail_as_recoverable(self, tmp_path):
+        target = _write_log_with_torn_tail(tmp_path)
+        report = validate_events(target)
+        assert report["ok"] is True  # torn tail alone: recoverable
+        assert report["events"] == 2
+        assert report["torn_tail"] is not None
+
+    def test_doctor_exits_zero_on_healthy_logs(self, tmp_path, capsys):
+        target = tmp_path / "ok.jsonl"
+        log = EventLog(target)
+        log.emit("vote_flip", drive="d1", hour=0.0, signal=True)
+        log.close()
+        assert events_cli(["doctor", str(target)]) == 0
+        assert "ok (1 events)" in capsys.readouterr().out
+
+    def test_doctor_exits_nonzero_on_torn_tail(self, tmp_path, capsys):
+        target = _write_log_with_torn_tail(tmp_path)
+        assert events_cli(["doctor", str(target)]) == 1
+        out = capsys.readouterr().out
+        assert "TORN TAIL" in out
+        assert "recoverable" in out
+
+    def test_doctor_exits_nonzero_on_corruption(self, tmp_path, capsys):
+        target = tmp_path / "bad.jsonl"
+        target.write_text('{"schema": "repro.events/v999"}\n')
+        assert events_cli(["doctor", str(target)]) == 1
+        assert "CORRUPT" in capsys.readouterr().out
+
+    def test_doctor_checks_each_log_independently(self, tmp_path, capsys):
+        good = tmp_path / "good.jsonl"
+        log = EventLog(good)
+        log.emit("vote_flip", drive="d1", hour=0.0, signal=True)
+        log.close()
+        torn = _write_log_with_torn_tail(tmp_path)
+        assert events_cli(["doctor", str(good), str(torn)]) == 1
+        out = capsys.readouterr().out
+        assert "ok (1 events)" in out and "TORN TAIL" in out
 
 
 def _fit_tree(backend: str, seed: int = 0) -> ClassificationTree:

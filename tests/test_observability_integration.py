@@ -3,7 +3,9 @@
 One module-scoped scenario exercises every instrumented subsystem —
 tree fitting, compiled batch scoring, fleet routing, streaming serving
 (including the fault gate), sharded fleet serving (shard ticks,
-snapshot/restore, canary rollouts), offline detection, the updating simulator
+snapshot/restore, canary rollouts), supervised serving (shard death,
+journal-replay recovery, restart-budget quarantine), offline detection,
+the updating simulator
 with checkpoint/drift, the parallel pool (pooled, salvaged, retried and
 serially-degraded tasks) and the experiment grid — under a recording
 registry and tracer.  The tests then diff the emitted names against
@@ -178,6 +180,40 @@ def _run_sharded_serving(tmp):
     assert not noisy.last_verdict["passed"]
 
 
+def _run_supervised_serving(tmp):
+    """Drive the supervisor through recovery and quarantine code paths."""
+    from repro.detection.supervision import (
+        RestartPolicy,
+        SupervisedShardedMonitor,
+    )
+    from repro.detection.sharded import VoterSpec
+
+    monitor = SupervisedShardedMonitor(
+        basic_features(),
+        _score_healthy,
+        VoterSpec("majority", 1),
+        n_shards=2,
+        run_dir=tmp / "supervised-run",
+        restart_policy=RestartPolicy(max_restarts=1, window_ticks=100),
+        snapshot_every=0,
+    )
+    try:
+        clean = np.ones(N_CHANNELS)
+        records = [(f"v-{i}", clean) for i in range(6)]
+        monitor.observe_fleet(0.0, records)
+        # First death: recovered by journal replay -> shard_died,
+        # shard_recovered, shard.recoveries, shard.journal_replayed_ticks.
+        monitor.kill_shard(0)
+        monitor.observe_fleet(1.0, records)
+        # Second death exhausts max_restarts=1 -> shard_quarantined.
+        monitor.kill_shard(0)
+        monitor.observe_fleet(2.0, records)
+        assert monitor.recoveries == 1
+        assert monitor.quarantined_shards == [0]
+    finally:
+        monitor.close()
+
+
 def _run_scenario(tiny_fleet, tiny_split, aging_fleet_small, tmp, registry):
     # fit + compiled scoring + offline detection
     predictor = DriveFailurePredictor(CONFIG).fit(tiny_split)
@@ -196,6 +232,7 @@ def _run_scenario(tiny_fleet, tiny_split, aging_fleet_small, tmp, registry):
 
     health = _run_serving()
     _run_sharded_serving(tmp)
+    _run_supervised_serving(tmp)
 
     # updating: run twice against one checkpoint for checkpoint_hits;
     # the two strategies share the (week-1, week-2) cell for cache_hits

@@ -205,6 +205,115 @@ class TestChaosEndToEnd:
         assert chaos_report["schema"] == "repro.chaos-report/v1"
 
 
+def _chaos_score_sample(row):
+    total = np.nansum(row)
+    return -1.0 if total < 0.0 else 1.0
+
+
+def _chaos_score_batch(X):
+    return np.where(np.nansum(X, axis=1) < 0.0, -1.0, 1.0)
+
+
+def test_kill9_recovery(tmp_path, chaos_report):
+    """Seeded SIGKILL chaos against supervised process-mode serving.
+
+    A random shard worker is SIGKILLed every few ticks for the whole
+    stream; the supervisor must detect each death, restore from the
+    latest snapshot, replay the write-ahead journal, and end the run
+    bit-identical to a single columnar monitor that never crashed.
+    """
+    import os as _os
+    import signal as _signal
+    import time as _time
+
+    from repro.detection import SupervisedShardedMonitor, VoterSpec
+    from repro.features.vectorize import Feature
+
+    features = (Feature("POH"), Feature("TC"), Feature("RSC", 6.0))
+    n_ticks, n_drives, kill_every, seed = 18, 16, 5, 23
+    rng = np.random.default_rng(seed)
+    stream = [
+        (float(hour), [
+            (f"k{d:03d}", rng.normal(size=values.shape))
+            for d, values in enumerate([np.empty(12)] * n_drives)
+        ])
+        for hour in range(n_ticks)
+    ]
+    kill_rng = np.random.default_rng(seed + 1)
+    kills = {
+        hour: int(kill_rng.integers(2))
+        for hour in range(kill_every, n_ticks, kill_every)
+    }
+
+    def build_single():
+        return FleetMonitor(
+            features,
+            score_sample=_chaos_score_sample,
+            score_batch=_chaos_score_batch,
+            detector_factory=VoterSpec("majority", 3),
+            quarantine=QuarantinePolicy(fault_limit=3),
+            engine="columnar",
+        )
+
+    def state_of(monitor):
+        report = monitor.health_report()
+        return {
+            "alerts": [
+                (a.serial, a.alert_id, a.hour, a.score) for a in monitor.alerts
+            ],
+            "faults": [(f.serial, f.kind, f.hour) for f in monitor.faults],
+            "watched": monitor.watched_drives(),
+            "counters": {
+                k: report[k]
+                for k in ("watched_drives", "alerts", "faults_total",
+                          "faults_by_kind", "degraded_drives", "vote_flips")
+            },
+        }
+
+    golden = build_single()
+    for hour, pairs in stream:
+        golden.observe_fleet(hour, pairs)
+    golden.finalize()
+    expected = state_of(golden)
+
+    monitor = SupervisedShardedMonitor(
+        features, _chaos_score_sample, VoterSpec("majority", 3),
+        score_batch=_chaos_score_batch,
+        quarantine=QuarantinePolicy(fault_limit=3),
+        n_shards=2, mode="process",
+        run_dir=tmp_path / "kill9", snapshot_every=4,
+    )
+    try:
+        assert monitor.mode == "process"
+        for at, (hour, pairs) in enumerate(stream):
+            if at in kills:
+                sid = kills[at]
+                (pid,) = monitor._hosts[sid].pids()
+                _os.kill(pid, _signal.SIGKILL)
+                deadline = _time.monotonic() + 10.0
+                while (
+                    monitor._hosts[sid].poll() is None
+                    and _time.monotonic() < deadline
+                ):
+                    _time.sleep(0.02)
+            monitor.observe_fleet(hour, pairs)
+        monitor.finalize()
+        got = state_of(monitor)
+        assert got == expected
+        assert monitor.recoveries == len(kills)
+        assert monitor.quarantined_shards == []
+        chaos_report["kill9"] = {
+            "ticks": n_ticks,
+            "kills": len(kills),
+            "recoveries": monitor.recoveries,
+            "replayed_ticks": monitor.replayed_ticks,
+            "alerts": len(monitor.alerts),
+            "bit_identical": True,
+        }
+    finally:
+        monitor.close()
+
+
 class TestGapsDoNotResetVoting:
     def test_alert_survives_a_mid_window_gap(self):
         """An all-NaN tick occupies a voting slot without resetting the

@@ -67,8 +67,23 @@ class TestJsonCheckpoint:
     def test_torn_file_raises_rather_than_discarding(self, tmp_path):
         path = tmp_path / "ckpt.json"
         path.write_text('{"version": 1, "kind": "demo", "cells": {')
-        with pytest.raises(json.JSONDecodeError):
+        with pytest.raises(ValueError, match="corrupted 'demo' checkpoint") as err:
             JsonCheckpoint(path, kind="demo")
+        assert str(path) in str(err.value)
+        assert "delete the file" in str(err.value)
+
+    def test_non_object_document_raises_with_kind_and_path(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError, match="corrupted 'demo' checkpoint"):
+            JsonCheckpoint(path, kind="demo")
+
+    def test_durable_writes_round_trip(self, tmp_path):
+        path = tmp_path / "durable.json"
+        store = JsonCheckpoint(path, kind="demo", durable=True)
+        store.set("cell", {"x": 1})
+        assert JsonCheckpoint(path, kind="demo").get("cell") == {"x": 1}
+        assert [p.name for p in tmp_path.iterdir()] == ["durable.json"]
 
     def test_no_temp_files_left_behind(self, tmp_path):
         store = JsonCheckpoint(tmp_path / "ckpt.json", kind="demo")

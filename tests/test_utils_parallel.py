@@ -16,6 +16,7 @@ from repro.utils.errors import (
     BrokenPoolWarning,
     SerialFallbackWarning,
     TaskRetryWarning,
+    WorkerDiedError,
 )
 from repro.utils.parallel import (
     WorkerHost,
@@ -412,3 +413,67 @@ class TestWorkerHost:
         finally:
             if host.alive:
                 host.close()
+
+
+class TestWorkerHostDeathSemantics:
+    """Satellite: SIGKILL surfaces as a typed error, never a raw pipe error."""
+
+    def test_sigkill_mid_request_raises_worker_died_error(self):
+        host = WorkerHost(_counter_state)
+        try:
+            assert host.call(_add_to_state, 1) == 1
+            (pid,) = host.pids()
+            os.kill(pid, signal.SIGKILL)
+            with pytest.raises(WorkerDiedError) as err:
+                host.call(_add_to_state, 1)
+            # The raw pipe-layer exception must never leak to the caller.
+            assert not isinstance(err.value, (EOFError, BrokenPipeError))
+            assert isinstance(err.value, RuntimeError)  # catchable as before
+            assert host.alive is False
+        finally:
+            if host.alive:
+                host.close()
+
+    def test_poll_reports_sigkill_exit_code_and_flips_alive(self):
+        host = WorkerHost(_counter_state)
+        try:
+            assert host.poll() is None  # not yet spawned: nothing to report
+            host.call(_add_to_state, 1)
+            assert host.poll() is None  # running
+            (pid,) = host.pids()
+            os.kill(pid, signal.SIGKILL)
+            deadline = time.monotonic() + 10.0
+            while host.poll() is None and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert host.poll() == -signal.SIGKILL
+            assert host.exit_code == -signal.SIGKILL
+            assert host.alive is False
+            assert host.pids() == []
+        finally:
+            if host.alive:
+                host.close()
+
+    def test_ping_answers_health_without_raising(self):
+        host = WorkerHost(_counter_state)
+        try:
+            assert host.ping(timeout=30.0) is True
+            host.kill()
+            assert host.ping() is False  # dead host: False, not an exception
+        finally:
+            if host.alive:
+                host.close()
+
+    def test_double_kill_is_idempotent(self):
+        host = WorkerHost(_counter_state)
+        host.call(_add_to_state, 1)
+        host.kill()
+        host.kill()  # second kill on a dead host must be a no-op
+        assert host.alive is False
+        with pytest.raises(WorkerDiedError, match="dead"):
+            host.submit(_add_to_state, 1)
+
+    def test_submit_on_dead_host_names_the_remedy(self):
+        host = WorkerHost(_counter_state)
+        host.kill()
+        with pytest.raises(WorkerDiedError, match="snapshot"):
+            host.submit(_add_to_state, 1)
