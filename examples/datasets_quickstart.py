@@ -1,0 +1,78 @@
+"""Datasets quickstart: ingest a Backblaze dump, run the paper's grid on it.
+
+The runnable version of the walkthrough in ``docs/datasets.md``: turn a
+directory of Backblaze daily CSVs into an on-disk columnar store, name
+the store with a dataset-registry handle, and hand that handle to the
+experiment grid — the synthetic-fleet drivers run on the real trace
+unmodified.  Uses the miniature checked-in dump the golden ingest tests
+pin (``tests/fixtures/backblaze_mini``), so it finishes in seconds.
+
+Run:
+    python examples/datasets_quickstart.py
+
+See docs/datasets.md for the handle grammar and the full ingest
+walkthrough; the same flow is reachable from the shell via
+``repro-smart ingest`` / ``repro-smart datasets`` /
+``repro-experiments --dataset``.
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.experiments.common import ExperimentScale, paper_family, run_experiment_grid
+from repro.experiments.table4 import render_table4, run_table4
+from repro.smart.ingest import IngestConfig, ingest_backblaze
+from repro.smart.registry import canonical_handle, describe, resolve
+
+FIXTURE = Path(__file__).resolve().parents[1] / "tests" / "fixtures" / "backblaze_mini"
+
+
+def main() -> None:
+    out = Path(tempfile.mkdtemp(prefix="repro-datasets-")) / "store"
+
+    # 1. Ingest the dump (a directory of daily CSVs; a zip or a single
+    #    file work the same) into a columnar store.  Chunked, parallel,
+    #    resumable — rerunning the same config is an idempotent no-op.
+    #    last-sample failure labeling keeps the paper's sub-day time
+    #    windows satisfiable on daily-cadence data (docs/datasets.md,
+    #    "Failure-window labeling").
+    manifest = ingest_backblaze(
+        IngestConfig(
+            source=str(FIXTURE), out=str(out), chunk_files=4, n_jobs=2,
+            failure_label="last-sample",
+        )
+    )
+    totals = manifest["totals"]
+    print(
+        f"Ingested {totals['n_files']} day files -> {out}: "
+        f"{totals['n_rows']} rows, {totals['n_drives']} drives "
+        f"({totals['n_failed']} failed), {totals['n_skipped_rows']} rows "
+        f"skipped into the lenient ledger [{manifest['schema']}]"
+    )
+
+    # 2. The store is now a dataset handle like any other.
+    handle = canonical_handle(f"backblaze:{out}")
+    description = describe(handle)
+    print(f"Handle {handle!r} describes as: families={description['families']}")
+
+    # 3. The paper's family roles map onto the real drive models by
+    #    fleet share: role "W" is the largest family, "Q" the second.
+    fleet = resolve(handle)
+    for role in ("W", "Q"):
+        family = paper_family(fleet, role).families()[0]
+        print(f"  paper family {role!r} -> {family}")
+
+    # 4. Run a paper experiment on the real trace.  The driver is the
+    #    stock Table IV driver, unmodified; only the dataset handle is
+    #    new.  (The dump is a 17-drive miniature, so the metrics are
+    #    about plumbing, not prediction quality.)
+    results = run_experiment_grid(
+        {"table4": run_table4}, ExperimentScale.tiny(), dataset=handle
+    )
+    print(render_table4(results["table4"]))
+    print("Datasets walkthrough complete: the synthetic-fleet drivers "
+          "ran on a real Backblaze trace through one registry handle.")
+
+
+if __name__ == "__main__":
+    main()

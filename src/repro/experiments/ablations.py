@@ -25,7 +25,9 @@ from typing import Callable, Sequence
 from repro.core.config import CTConfig, RTConfig
 from repro.core.predictor import DriveFailurePredictor, GenericFailurePredictor
 from repro.detection.metrics import DetectionResult
-from repro.experiments.common import DEFAULT_SCALE, ExperimentScale, aging_fleet, main_fleet
+from repro.experiments.common import (
+    DEFAULT_SCALE, ExperimentScale, aging_fleet, main_fleet, paper_family,
+)
 from repro.features.selection import critical_features
 from repro.health.model import HealthDegreePredictor
 from repro.tree.boosting import AdaBoostClassifier
@@ -46,7 +48,7 @@ class AblationRow:
 
 
 def _w_split(scale: ExperimentScale):
-    return main_fleet(scale).filter_family("W").split(seed=scale.split_seed)
+    return paper_family(main_fleet(scale), "W").split(seed=scale.split_seed)
 
 
 def sweep_loss_weight(
@@ -306,7 +308,7 @@ def compare_adaptive_updating(
     n_voters: int = 11,
 ) -> AdaptiveComparison:
     """Drift-triggered retraining vs fixed and 1-week replacing."""
-    fleet = aging_fleet(scale).filter_family("W")
+    fleet = paper_family(aging_fleet(scale), "W")
     factory = lambda: DriveFailurePredictor(CTConfig())
     calendar = simulate_updating(
         fleet, factory, [FixedStrategy(), ReplacingStrategy(1)],

@@ -22,6 +22,7 @@ from typing import Callable, Mapping, Optional, Union
 from repro.observability import get_event_log, get_registry, get_tracer
 from repro.smart.dataset import SmartDataset
 from repro.smart.generator import FleetConfig, default_fleet_config
+from repro.smart.registry import canonical_handle, resolve
 from repro.utils.checkpoint import JsonCheckpoint, decode_object, encode_object
 from repro.utils.parallel import run_tasks
 
@@ -56,6 +57,79 @@ class ExperimentScale:
 DEFAULT_SCALE = ExperimentScale()
 
 
+@dataclass(frozen=True)
+class GridContext:
+    """What one grid cell needs to run: the scale plus the dataset.
+
+    ``dataset`` is a canonical registry handle
+    (:func:`repro.smart.registry.canonical_handle`) or ``None`` for the
+    scale's synthetic fleets.  Shipped as the :func:`run_tasks` shared
+    context, so worker processes install the same dataset override the
+    serial path does.
+    """
+
+    scale: ExperimentScale
+    dataset: Optional[str] = None
+
+
+#: When set (a canonical registry handle), :func:`main_fleet` and
+#: :func:`aging_fleet` resolve it instead of generating synthetic
+#: fleets — the hook that lets every unmodified driver run on real
+#: traces.  Managed by :func:`set_dataset_override`, installed around
+#: each cell by :func:`_run_one_experiment`.
+_DATASET_OVERRIDE: Optional[str] = None
+
+
+def set_dataset_override(handle: Optional[str]) -> Optional[str]:
+    """Install (or clear, with ``None``) the grid's dataset override.
+
+    Returns the previous override so callers can restore it::
+
+        previous = set_dataset_override("backblaze:/data/q1-store")
+        try:
+            ...
+        finally:
+            set_dataset_override(previous)
+    """
+    global _DATASET_OVERRIDE
+    previous = _DATASET_OVERRIDE
+    _DATASET_OVERRIDE = (
+        canonical_handle(handle) if handle is not None else None
+    )
+    return previous
+
+
+def paper_family(fleet: SmartDataset, role: str = "W") -> SmartDataset:
+    """The sub-fleet playing one of the paper's family roles.
+
+    The paper's experiments run on drive family "W" (Tables III-VI,
+    most figures) with family "Q" as the smaller secondary (Figure 5).
+    Synthetic fleets carry those literal labels, so this is exactly
+    ``fleet.filter_family(role)`` for them — bit-identical to the
+    historical drivers.  Real datasets label families by drive model;
+    there, role ``"W"`` maps to the largest family by drive count and
+    ``"Q"`` to the second largest (ties broken by name, so the mapping
+    is deterministic), falling back to the largest when only one family
+    exists.  This is the one seam every driver goes through, which is
+    what makes registry datasets drop-in for the whole grid.
+    """
+    if role not in ("W", "Q"):
+        raise ValueError(f"family role must be 'W' or 'Q', got {role!r}")
+    families = fleet.families()
+    if role in families:
+        return fleet.filter_family(role)
+    summary = fleet.summary()
+    ranked = sorted(
+        summary,
+        key=lambda name: (
+            -(summary[name]["good"] + summary[name]["failed"]), name
+        ),
+    )
+    if role == "Q" and len(ranked) > 1:
+        return fleet.filter_family(ranked[1])
+    return fleet.filter_family(ranked[0])
+
+
 # Each (config, seed) fleet is a few hundred MB-equivalent of drive
 # histories; the explicit maxsize bounds how many a long benchmark
 # session can hold alive at once.
@@ -72,14 +146,29 @@ def _cached_fleet(
 
 
 def main_fleet(scale: ExperimentScale = DEFAULT_SCALE) -> SmartDataset:
-    """The 7-day two-family fleet behind the Section V-A/V-B experiments."""
+    """The fleet behind the Section V-A/V-B experiments.
+
+    The scale's synthetic 7-day two-family fleet — unless a dataset
+    override is installed (``repro-experiments --dataset``,
+    :func:`set_dataset_override`), in which case the registry handle's
+    dataset is returned instead.
+    """
+    if _DATASET_OVERRIDE is not None:
+        return resolve(_DATASET_OVERRIDE)
     return _cached_fleet(
         scale.w_good, scale.w_failed, scale.q_good, scale.q_failed, 7, scale.seed
     )
 
 
 def aging_fleet(scale: ExperimentScale = DEFAULT_SCALE) -> SmartDataset:
-    """The 56-day fleet behind the model-updating experiments (Figs 6-9)."""
+    """The fleet behind the model-updating experiments (Figs 6-9).
+
+    The scale's synthetic 56-day fleet; under a dataset override this is
+    the override dataset itself (real traces carry one collection
+    period, so the aging experiments slice whatever history it has).
+    """
+    if _DATASET_OVERRIDE is not None:
+        return resolve(_DATASET_OVERRIDE)
     return _cached_fleet(
         scale.aging_w_good, scale.aging_w_failed,
         scale.aging_q_good, scale.aging_q_failed, 56, scale.seed,
@@ -95,13 +184,29 @@ def clear_fleet_cache() -> None:
     _cached_fleet.cache_clear()
 
 
-def _run_one_experiment(scale: ExperimentScale, task):
-    """Run one experiment driver (module-level for worker processes)."""
+def _run_one_experiment(context: Union[ExperimentScale, GridContext], task):
+    """Run one experiment driver (module-level for worker processes).
+
+    ``context`` is either a bare :class:`ExperimentScale` (synthetic
+    fleets, the historical shape) or a :class:`GridContext` carrying a
+    dataset handle, which is installed as the fleet override for the
+    duration of the cell — in worker processes the override starts
+    clean, so install/restore keeps serial in-process runs equivalent.
+    """
+    if isinstance(context, GridContext):
+        scale, dataset = context.scale, context.dataset
+    else:
+        scale, dataset = context, None
     name, run = task
     registry = get_registry()
     start = perf_counter() if registry.enabled else 0.0
-    with get_tracer().span("grid.cell", category="grid", experiment=name):
-        result = run(scale)
+    previous = set_dataset_override(dataset) if dataset is not None else None
+    try:
+        with get_tracer().span("grid.cell", category="grid", experiment=name):
+            result = run(scale)
+    finally:
+        if dataset is not None:
+            set_dataset_override(previous)
     registry.counter("grid.cells", help="experiment cells computed").inc()
     if registry.enabled:
         registry.histogram(
@@ -142,6 +247,12 @@ def emit_run_completed(
     )
 
 
+#: Checkpoint cell recording the grid's dataset handle; resuming a
+#: checkpoint written against a different dataset is an error, not a
+#: silent mix of cached and fresh cells from different data.
+_DATASET_GUARD_CELL = "__dataset__"
+
+
 def run_experiment_grid(
     runs: Mapping[str, Callable[[ExperimentScale], object]],
     scale: ExperimentScale = DEFAULT_SCALE,
@@ -150,6 +261,7 @@ def run_experiment_grid(
     checkpoint_path: Optional[Union[str, Path]] = None,
     retries: int = 0,
     timeout: Optional[float] = None,
+    dataset: Optional[str] = None,
 ) -> dict[str, object]:
     """Run a grid of experiment drivers, optionally across processes.
 
@@ -161,18 +273,37 @@ def run_experiment_grid(
     worker starts with an empty fleet cache and regenerates the fleets
     it needs.
 
+    ``dataset`` is a registry handle (``kind:path?params``, see
+    :mod:`repro.smart.registry`); when given, every driver's
+    :func:`main_fleet`/:func:`aging_fleet` resolves it instead of the
+    synthetic fleets — synthetic and real datasets are interchangeable
+    here, and results stay identical at any ``n_jobs`` because a handle
+    resolves to the same drives in every process.
+
     ``checkpoint_path`` makes the grid crash-safe: every finished cell
     is persisted to the JSON checkpoint as it completes, and a rerun
     with the same path loads finished cells instead of recomputing them
     — a grid killed at cell k resumes at cell k, bit-identical to an
-    uninterrupted run.  ``retries``/``timeout`` pass through to
+    uninterrupted run.  The checkpoint records the dataset handle;
+    resuming it with a different ``dataset`` raises ``ValueError``.
+    ``retries``/``timeout`` pass through to
     :func:`repro.utils.parallel.run_tasks`.
     """
     names = list(runs)
+    handle = canonical_handle(dataset) if dataset is not None else None
     checkpoint = None
     done: dict[str, object] = {}
     if checkpoint_path is not None:
         checkpoint = JsonCheckpoint(checkpoint_path, kind="experiment-grid")
+        guard = checkpoint.get(_DATASET_GUARD_CELL)
+        if len(checkpoint) and guard != handle:
+            raise ValueError(
+                f"checkpoint {checkpoint.path} was written for dataset "
+                f"{guard!r}, not {handle!r}; use a fresh checkpoint path "
+                "per dataset"
+            )
+        if handle is not None and _DATASET_GUARD_CELL not in checkpoint:
+            checkpoint.set(_DATASET_GUARD_CELL, handle)
         done = {
             name: decode_object(checkpoint.get(name))
             for name in names
@@ -190,7 +321,7 @@ def run_experiment_grid(
         _run_one_experiment,
         [(name, runs[name]) for name in pending],
         n_jobs=n_jobs,
-        context=scale,
+        context=GridContext(scale, handle) if handle is not None else scale,
         retries=retries,
         timeout=timeout,
         on_result=record if checkpoint is not None else None,

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 from repro.core.config import CTConfig
 from repro.core.predictor import DriveFailurePredictor
-from repro.experiments.common import DEFAULT_SCALE, ExperimentScale, main_fleet
+from repro.experiments.common import DEFAULT_SCALE, ExperimentScale, main_fleet, paper_family
 from repro.tree.export import Rule, extract_rules
 
 
@@ -32,7 +32,7 @@ def run_fig1(
     scale: ExperimentScale = DEFAULT_SCALE, *, max_depth: int = 4
 ) -> Fig1Tree:
     """Fit a depth-limited CT on family "W" and render it Figure-1 style."""
-    split = main_fleet(scale).filter_family("W").split(seed=scale.split_seed)
+    split = paper_family(main_fleet(scale), "W").split(seed=scale.split_seed)
     config = CTConfig(max_depth=max_depth)
     predictor = DriveFailurePredictor(config).fit(split)
     failed_rules = extract_rules(

@@ -14,7 +14,7 @@ from dataclasses import dataclass, replace
 
 from repro.core.config import RTConfig
 from repro.detection.metrics import RocPoint
-from repro.experiments.common import DEFAULT_SCALE, ExperimentScale, main_fleet
+from repro.experiments.common import DEFAULT_SCALE, ExperimentScale, main_fleet, paper_family
 from repro.health.model import HealthDegreePredictor
 from repro.utils.tables import AsciiTable
 
@@ -39,7 +39,7 @@ def run_fig10(
     classifier_thresholds: tuple[float, ...] = CLASSIFIER_THRESHOLDS,
 ) -> Fig10Curves:
     """Fit both RT variants and sweep their detection thresholds."""
-    split = main_fleet(scale).filter_family("W").split(seed=scale.split_seed)
+    split = paper_family(main_fleet(scale), "W").split(seed=scale.split_seed)
     health = HealthDegreePredictor(RTConfig(targets="health")).fit(split)
     control = HealthDegreePredictor(RTConfig(targets="binary")).fit(split)
     return Fig10Curves(

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from repro.core.config import AnnConfig, CTConfig
 from repro.core.predictor import AnnFailurePredictor, DriveFailurePredictor
 from repro.detection.metrics import RocPoint
-from repro.experiments.common import DEFAULT_SCALE, ExperimentScale, main_fleet
+from repro.experiments.common import DEFAULT_SCALE, ExperimentScale, main_fleet, paper_family
 from repro.utils.tables import AsciiTable
 
 PAPER_VOTERS = (1, 3, 5, 7, 9, 11, 15, 17, 27)
@@ -33,7 +33,7 @@ def run_fig2(
     voters: tuple[int, ...] = PAPER_VOTERS,
 ) -> Fig2Curves:
     """Fit both models once; sweep the voter count at detection time."""
-    split = main_fleet(scale).filter_family("W").split(seed=scale.split_seed)
+    split = paper_family(main_fleet(scale), "W").split(seed=scale.split_seed)
     ct = DriveFailurePredictor(CTConfig()).fit(split)
     ann = AnnFailurePredictor(AnnConfig()).fit(split)
     return Fig2Curves(ct=ct.roc(split, voters), ann=ann.roc(split, voters))

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from repro.core.config import AnnConfig, CTConfig
 from repro.core.predictor import AnnFailurePredictor, DriveFailurePredictor
 from repro.detection.metrics import TIA_BIN_LABELS, DetectionResult
-from repro.experiments.common import DEFAULT_SCALE, ExperimentScale, main_fleet
+from repro.experiments.common import DEFAULT_SCALE, ExperimentScale, main_fleet, paper_family
 from repro.utils.tables import render_histogram
 
 
@@ -37,7 +37,7 @@ def run_fig34(
     The paper plots BP ANN at its 84.21%-detection point and CT at its
     93.23%/27-voter point; we use the corresponding voter counts.
     """
-    split = main_fleet(scale).filter_family("W").split(seed=scale.split_seed)
+    split = paper_family(main_fleet(scale), "W").split(seed=scale.split_seed)
     ann = AnnFailurePredictor(AnnConfig()).fit(split)
     ct = DriveFailurePredictor(CTConfig()).fit(split)
     return Fig34Histograms(

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from repro.core.config import AnnConfig, CTConfig
 from repro.core.predictor import AnnFailurePredictor, DriveFailurePredictor
 from repro.detection.metrics import RocPoint
-from repro.experiments.common import DEFAULT_SCALE, ExperimentScale, main_fleet
+from repro.experiments.common import DEFAULT_SCALE, ExperimentScale, main_fleet, paper_family
 from repro.utils.tables import AsciiTable
 
 PAPER_VOTERS_Q = (1, 3, 5, 11, 17)
@@ -33,7 +33,7 @@ def run_fig5(
     voters: tuple[int, ...] = PAPER_VOTERS_Q,
 ) -> Fig5Curves:
     """Fit and sweep both models on family "Q"."""
-    split = main_fleet(scale).filter_family("Q").split(seed=scale.split_seed)
+    split = paper_family(main_fleet(scale), "Q").split(seed=scale.split_seed)
     ct = DriveFailurePredictor(CTConfig()).fit(split)
     ann = AnnFailurePredictor(AnnConfig()).fit(split)
     return Fig5Curves(

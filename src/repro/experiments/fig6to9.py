@@ -15,7 +15,9 @@ from typing import Callable
 
 from repro.core.config import AnnConfig, CTConfig
 from repro.core.predictor import AnnFailurePredictor, DriveFailurePredictor
-from repro.experiments.common import DEFAULT_SCALE, ExperimentScale, aging_fleet
+from repro.experiments.common import (
+    DEFAULT_SCALE, ExperimentScale, aging_fleet, paper_family,
+)
 from repro.updating.simulator import UpdatingReport, simulate_updating
 from repro.updating.strategies import paper_strategies
 from repro.utils.tables import AsciiTable
@@ -57,7 +59,7 @@ def run_fig6to9(
     results = []
     for figure, model, family in panels:
         reports = simulate_updating(
-            fleet.filter_family(family),
+            paper_family(fleet, family),
             _factory(model),
             paper_strategies(),
             n_weeks=n_weeks,

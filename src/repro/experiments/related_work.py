@@ -21,7 +21,7 @@ from repro.baselines.threshold import ThresholdModel
 from repro.core.config import CTConfig
 from repro.core.predictor import DriveFailurePredictor, GenericFailurePredictor
 from repro.detection.metrics import DetectionResult
-from repro.experiments.common import DEFAULT_SCALE, ExperimentScale, main_fleet
+from repro.experiments.common import DEFAULT_SCALE, ExperimentScale, main_fleet, paper_family
 from repro.utils.tables import AsciiTable
 
 
@@ -37,7 +37,7 @@ def run_related_work(
     scale: ExperimentScale = DEFAULT_SCALE, *, n_voters: int = 11
 ) -> list[RelatedWorkRow]:
     """Evaluate the Section II baselines and the CT on family W."""
-    split = main_fleet(scale).filter_family("W").split(seed=scale.split_seed)
+    split = paper_family(main_fleet(scale), "W").split(seed=scale.split_seed)
     rows = []
 
     vendor = GenericFailurePredictor(

@@ -29,10 +29,12 @@ from repro import observability as obs
 from repro.experiments.common import (
     DEFAULT_SCALE,
     ExperimentScale,
+    GridContext,
     _run_one_experiment,
     emit_run_completed,
     run_experiment_grid,
 )
+from repro.smart.registry import canonical_handle, parse_handle, registered_kinds
 from repro.utils.parallel import resolve_n_jobs
 from repro.experiments.fig1 import render_fig1, run_fig1
 from repro.experiments.fig2 import render_fig2, run_fig2
@@ -135,6 +137,13 @@ def main(argv: list[str] | None = None) -> int:
         help="also export the raw results of this run as a JSON document",
     )
     parser.add_argument(
+        "--dataset", type=str, default=None, metavar="HANDLE",
+        help="registry handle naming the dataset to run on instead of the "
+        "synthetic fleets — 'kind:path?param=value', e.g. "
+        "'backblaze:/data/q1-store' or 'synthetic:default?seed=11' "
+        "(see docs/datasets.md; describe handles with repro-smart datasets)",
+    )
+    parser.add_argument(
         "--jobs", type=int, default=None, metavar="N",
         help="worker processes for running experiments "
         "(default: REPRO_N_JOBS or serial; 0 = all cores)",
@@ -169,6 +178,20 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     scale = ExperimentScale.tiny() if args.tiny else DEFAULT_SCALE
+    try:
+        dataset = (
+            canonical_handle(args.dataset) if args.dataset is not None else None
+        )
+        if dataset is not None:
+            kind = parse_handle(dataset).kind
+            if kind not in registered_kinds():
+                raise ValueError(
+                    f"unknown dataset kind {kind!r}; registered: "
+                    f"{sorted(registered_kinds())}"
+                )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     status = 0
     known = {**CATALOGUE, **EXTRAS}
     selected: dict[str, tuple[Callable, Callable]] = {}
@@ -198,6 +221,7 @@ def main(argv: list[str] | None = None) -> int:
             collected = run_experiment_grid(
                 {name: run for name, (run, _) in selected.items()},
                 scale, n_jobs=args.jobs, checkpoint_path=args.checkpoint,
+                dataset=dataset,
             )
             elapsed = time.perf_counter() - started
             print(f"=== {len(collected)} experiments ({elapsed:.1f}s total) ===")
@@ -210,7 +234,10 @@ def main(argv: list[str] | None = None) -> int:
                 started = time.perf_counter()
                 # Routed through the grid's cell wrapper so the serial
                 # path emits the same grid.* metrics and spans.
-                result = _run_one_experiment(scale, (name, run))
+                context = (
+                    GridContext(scale, dataset) if dataset is not None else scale
+                )
+                result = _run_one_experiment(context, (name, run))
                 collected[name] = result
                 elapsed = time.perf_counter() - started
                 print(f"=== {name} ({elapsed:.1f}s) ===")

@@ -13,7 +13,7 @@ from dataclasses import dataclass, replace
 from repro.core.config import AnnConfig, CTConfig, SamplingConfig
 from repro.core.predictor import AnnFailurePredictor, DriveFailurePredictor
 from repro.detection.metrics import DetectionResult
-from repro.experiments.common import DEFAULT_SCALE, ExperimentScale, main_fleet
+from repro.experiments.common import DEFAULT_SCALE, ExperimentScale, main_fleet, paper_family
 from repro.utils.tables import AsciiTable
 
 FEATURE_SET_ORDER = ("basic-12", "expert-19", "critical-13")
@@ -30,7 +30,7 @@ class Table3Row:
 
 def run_table3(scale: ExperimentScale = DEFAULT_SCALE) -> list[Table3Row]:
     """Fit {BP ANN, CT} x {12, 19, 13 features} and collect FAR/FDR/TIA."""
-    split = main_fleet(scale).filter_family("W").split(seed=scale.split_seed)
+    split = paper_family(main_fleet(scale), "W").split(seed=scale.split_seed)
     sampling = SamplingConfig(failed_window_hours=12.0)
     rows = []
     for feature_set in FEATURE_SET_ORDER:

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from repro.core.config import CTConfig, SamplingConfig
 from repro.core.predictor import DriveFailurePredictor
 from repro.detection.metrics import DetectionResult
-from repro.experiments.common import DEFAULT_SCALE, ExperimentScale, main_fleet
+from repro.experiments.common import DEFAULT_SCALE, ExperimentScale, main_fleet, paper_family
 from repro.utils.tables import AsciiTable
 
 PAPER_WINDOWS_HOURS = (12.0, 24.0, 48.0, 96.0, 168.0, 240.0)
@@ -32,7 +32,7 @@ def run_table4(
     windows_hours: tuple[float, ...] = PAPER_WINDOWS_HOURS,
 ) -> list[Table4Row]:
     """Fit one CT per failed time window on family "W"."""
-    split = main_fleet(scale).filter_family("W").split(seed=scale.split_seed)
+    split = paper_family(main_fleet(scale), "W").split(seed=scale.split_seed)
     rows = []
     for window in windows_hours:
         config = CTConfig(sampling=SamplingConfig(failed_window_hours=window))

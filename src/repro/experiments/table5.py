@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from repro.core.config import AnnConfig, CTConfig
 from repro.core.predictor import AnnFailurePredictor, DriveFailurePredictor
 from repro.detection.metrics import DetectionResult
-from repro.experiments.common import DEFAULT_SCALE, ExperimentScale, main_fleet
+from repro.experiments.common import DEFAULT_SCALE, ExperimentScale, main_fleet, paper_family
 from repro.utils.tables import AsciiTable
 
 PAPER_FRACTIONS = {"A": 0.10, "B": 0.25, "C": 0.50, "D": 0.75}
@@ -38,7 +38,7 @@ def run_table5(
 ) -> list[Table5Row]:
     """Subsample family "W" at each fraction; fit and evaluate both models."""
     fractions = PAPER_FRACTIONS if fractions is None else fractions
-    family_w = main_fleet(scale).filter_family("W")
+    family_w = paper_family(main_fleet(scale), "W")
     rows = []
     for model_name in ("BP ANN", "CT"):
         for index, (label, fraction) in enumerate(fractions.items()):

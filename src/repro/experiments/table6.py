@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 from repro.core.config import AnnConfig, CTConfig, RTConfig
 from repro.core.predictor import AnnFailurePredictor, DriveFailurePredictor
-from repro.experiments.common import DEFAULT_SCALE, ExperimentScale, main_fleet
+from repro.experiments.common import DEFAULT_SCALE, ExperimentScale, main_fleet, paper_family
 from repro.health.model import HealthDegreePredictor
 from repro.reliability.analysis import SingleDriveRow, single_drive_table
 from repro.reliability.single_drive import PAPER_MODELS, PredictionQuality
@@ -35,7 +35,7 @@ def measure_model_quality(
     scale: ExperimentScale = DEFAULT_SCALE, *, n_voters: int = 11
 ) -> dict[str, PredictionQuality]:
     """(FDR, TIA) of our fitted BP ANN, CT and RT models on family W."""
-    split = main_fleet(scale).filter_family("W").split(seed=scale.split_seed)
+    split = paper_family(main_fleet(scale), "W").split(seed=scale.split_seed)
     quality: dict[str, PredictionQuality] = {}
 
     ann_result = AnnFailurePredictor(AnnConfig()).fit(split).evaluate(

@@ -14,9 +14,9 @@ One spec per metric/span/event, used three ways:
 
 Naming convention: ``family.quantity`` with dotted lowercase families
 (``fit``, ``score``, ``serve``, ``shard``, ``detect``, ``fleet``,
-``updating``, ``parallel``, ``grid``); the Prometheus exporter flattens dots to
-underscores and prefixes ``repro_``.  Timers carry unit ``seconds`` and
-are excluded from determinism comparisons.
+``updating``, ``parallel``, ``grid``, ``ingest``); the Prometheus
+exporter flattens dots to underscores and prefixes ``repro_``.  Timers
+carry unit ``seconds`` and are excluded from determinism comparisons.
 """
 
 from __future__ import annotations
@@ -218,6 +218,32 @@ METRICS: tuple[MetricSpec, ...] = (
                "repro.utils.parallel",
                "wall time from pool submission to collected result, per "
                "pooled task (queue wait + execution)", TIME_BUCKETS_S),
+    # -- ingest: out-of-core Backblaze ingest (repro/smart/ingest.py) -------
+    MetricSpec("ingest.files", "counter", "", (), "repro.smart.ingest",
+               "day files parsed fresh this run, added once per ingest"),
+    MetricSpec("ingest.chunks", "counter", "", (), "repro.smart.ingest",
+               "chunks parsed fresh this run, added once per ingest"),
+    MetricSpec("ingest.checkpoint_hits", "counter", "", (),
+               "repro.smart.ingest",
+               "chunks reloaded from a mid-ingest checkpoint instead of "
+               "reparsed, added once per ingest"),
+    MetricSpec("ingest.rows", "counter", "", (), "repro.smart.ingest",
+               "rows kept across all chunks (cached included), added once "
+               "per ingest"),
+    MetricSpec("ingest.filtered_rows", "counter", "", (),
+               "repro.smart.ingest",
+               "rows dropped by the per-model filter, added once per ingest"),
+    MetricSpec("ingest.skipped_rows", "counter", "", (),
+               "repro.smart.ingest",
+               "malformed rows skipped into the lenient ledger, added once "
+               "per ingest"),
+    MetricSpec("ingest.drives", "counter", "", (), "repro.smart.ingest",
+               "drives assembled into the columnar store, added once per "
+               "ingest"),
+    MetricSpec("ingest.chunk_rows", "histogram", "rows", (),
+               "repro.smart.ingest",
+               "rows kept per parsed chunk — the out-of-core memory "
+               "granule a worker holds at once", ROW_BUCKETS),
     # -- grid: the experiment runner (repro/experiments/common.py) ----------
     MetricSpec("grid.cells", "counter", "", (), "repro.experiments.common",
                "once per experiment cell computed by run_experiment_grid"),
@@ -254,6 +280,16 @@ SPANS: tuple[SpanSpec, ...] = (
              "fan-out site's path)", ("index",)),
     SpanSpec("grid.cell", "grid", "repro.experiments.common",
              "one experiment cell", ("experiment",)),
+    SpanSpec("ingest.run", "ingest", "repro.smart.ingest",
+             "one whole chunked ingest (parse fan-out + assembly)",
+             ("n_files", "n_chunks")),
+    SpanSpec("ingest.chunk", "ingest", "repro.smart.ingest",
+             "one chunk of day files parsed into a columnar part (worker "
+             "spans are absorbed under the ingest fan-out's path)",
+             ("chunk", "n_files")),
+    SpanSpec("ingest.assemble", "ingest", "repro.smart.ingest",
+             "the merge of all parts into the final columnar store",
+             ("n_chunks",)),
 )
 
 

@@ -21,33 +21,67 @@ from repro.smart.generator import (
     family_w,
 )
 from repro.smart.backblaze import (
+    BackblazeReader,
     DriveLoadResult,
     read_backblaze_csv,
+    render_backblaze_mapping_table,
     write_backblaze_csv,
 )
 from repro.smart.io import read_fleet_csv, write_fleet_csv
+from repro.smart.ingest import (
+    INGEST_MANIFEST_SCHEMA,
+    IngestConfig,
+    ingest_backblaze,
+    load_backblaze,
+    load_store,
+    read_manifest,
+)
+from repro.smart.registry import (
+    DatasetSpec,
+    canonical_handle,
+    describe,
+    parse_handle,
+    register_loader,
+    registered_kinds,
+    resolve,
+)
 
 __all__ = [
     "BY_SHORT",
     "CHANNELS",
+    "INGEST_MANIFEST_SCHEMA",
     "N_CHANNELS",
     "AttributeSpec",
+    "BackblazeReader",
+    "DatasetSpec",
     "DegradationSignature",
     "DriveLoadResult",
     "DriveRecord",
     "FamilySpec",
     "FleetConfig",
     "FleetGenerator",
+    "IngestConfig",
     "Kind",
     "SmartDataset",
     "TrainTestSplit",
+    "canonical_handle",
     "channel_index",
     "channel_shorts",
     "default_fleet_config",
+    "describe",
     "family_q",
     "family_w",
+    "ingest_backblaze",
+    "load_backblaze",
+    "load_store",
+    "parse_handle",
     "read_backblaze_csv",
     "read_fleet_csv",
+    "read_manifest",
+    "register_loader",
+    "registered_kinds",
+    "render_backblaze_mapping_table",
+    "resolve",
     "write_backblaze_csv",
     "write_fleet_csv",
 ]

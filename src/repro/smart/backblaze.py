@@ -27,18 +27,25 @@ Backblaze samples daily rather than hourly; timestamps become hour
 offsets from the earliest date (24h apart), and every downstream
 component (change rates, voting windows) is cadence-agnostic as long as
 intervals are expressed in hours.
+
+Two consumers share the streaming core here (:class:`BackblazeReader`
+yields one parsed row at a time, never materializing a file):
+:func:`read_backblaze_csv` for in-memory loads of one or a few files,
+and :mod:`repro.smart.ingest` for chunked, parallel, out-of-core ingest
+of whole quarterly dumps.  ``docs/datasets.md`` is the guide.
 """
 
 from __future__ import annotations
 
 import csv
+from dataclasses import dataclass
 from datetime import date
 from pathlib import Path
-from typing import Iterable, Sequence, Union
+from typing import Iterable, Iterator, Optional, Sequence, TextIO, Union
 
 import numpy as np
 
-from repro.smart.attributes import N_CHANNELS, channel_index
+from repro.smart.attributes import N_CHANNELS, BY_SHORT, channel_index
 from repro.smart.drive import DriveRecord
 from repro.utils.errors import IngestError
 
@@ -62,6 +69,15 @@ COLUMN_TO_CHANNEL: dict[str, str] = {
 
 _REQUIRED_COLUMNS = ("date", "serial_number", "model", "failure")
 
+#: How a failed drive's failure hour is placed relative to its last
+#: reported day.  ``day-end``: the drive died sometime during its last
+#: reported day, so the failure lands at the end of that day (the
+#: historical default — lead times are >= one day).  ``last-sample``:
+#: the failure lands on the last sample itself (lead time zero), which
+#: is what sub-day failed-window protocols (the paper's 12h window)
+#: need on daily-cadence data.
+FAILURE_LABELS = ("day-end", "last-sample")
+
 
 def _parse_date(text: str, *, source: str, line: int) -> date:
     try:
@@ -73,22 +89,241 @@ def _parse_date(text: str, *, source: str, line: int) -> date:
         ) from None
 
 
-def _parse_row(row: dict, *, source: str, line: int) -> tuple[date, np.ndarray]:
-    """One snapshot row -> (day, channel vector); IngestError on bad cells."""
-    day = _parse_date(row["date"], source=source, line=line)
-    reading = np.full(N_CHANNELS, np.nan)
-    for column, short in COLUMN_TO_CHANNEL.items():
-        cell = row.get(column, "")
-        if cell in ("", None):
-            continue
-        try:
-            reading[channel_index(short)] = float(cell)
-        except ValueError:
+@dataclass(frozen=True)
+class BackblazeRow:
+    """One parsed daily-snapshot row.
+
+    ``day`` is the calendar day as an ordinal (``date.toordinal``) so
+    rows aggregate with integer arithmetic; ``failed`` is True when the
+    row's ``failure`` column flagged the drive's death on this day.
+    """
+
+    serial: str
+    model: str
+    day: int
+    failed: bool
+    reading: np.ndarray
+
+
+class BackblazeReader:
+    """Streaming reader over one Backblaze daily-snapshot CSV.
+
+    Wraps an open text handle (a plain file, or a zip member) and yields
+    one :class:`BackblazeRow` at a time — the file is never materialized,
+    so memory stays O(1) in the file size.  Provenance surfaces in two
+    ledgers:
+
+    * ``errors`` — one :class:`~repro.utils.errors.IngestError` per
+      malformed row skipped (``lenient=True``) with file/line/column;
+      with ``lenient=False`` the first malformed row raises instead;
+    * ``missing_columns`` — mapped SMART columns absent from this file's
+      header entirely; every row of those channels loads as NaN, which
+      downstream consumers should know is a schema gap, not noise.
+
+    Missing required *columns* always raise — that is a wrong file, not
+    a dirty row.
+    """
+
+    def __init__(self, handle: TextIO, *, source: str, lenient: bool = False):
+        self._reader = csv.DictReader(handle)
+        self.source = str(source)
+        self.lenient = bool(lenient)
+        self.errors: list[IngestError] = []
+        fields = self._reader.fieldnames or []
+        missing = [c for c in _REQUIRED_COLUMNS if c not in fields]
+        if missing:
             raise IngestError(
-                f"bad SMART value {cell!r}",
-                source=source, line=line, column=column,
-            ) from None
-    return day, reading
+                f"missing required columns {missing}",
+                source=self.source, line=1,
+            )
+        self.missing_columns: tuple[str, ...] = tuple(
+            column for column in COLUMN_TO_CHANNEL if column not in fields
+        )
+
+    def _parse_row(self, row: dict, line: int) -> BackblazeRow:
+        day = _parse_date(row["date"], source=self.source, line=line)
+        reading = np.full(N_CHANNELS, np.nan)
+        for column, short in COLUMN_TO_CHANNEL.items():
+            cell = row.get(column, "")
+            if cell in ("", None):
+                continue
+            try:
+                reading[channel_index(short)] = float(cell)
+            except ValueError:
+                raise IngestError(
+                    f"bad SMART value {cell!r}",
+                    source=self.source, line=line, column=column,
+                ) from None
+        return BackblazeRow(
+            serial=row["serial_number"],
+            model=row["model"],
+            day=day.toordinal(),
+            failed=row["failure"] == "1",
+            reading=reading,
+        )
+
+    def __iter__(self) -> Iterator[BackblazeRow]:
+        for line_number, row in enumerate(self._reader, start=2):
+            try:
+                yield self._parse_row(row, line_number)
+            except IngestError as error:
+                if not self.lenient:
+                    raise
+                self.errors.append(error)
+
+
+def model_matches(model: str, models: Sequence[str]) -> bool:
+    """Per-model filter predicate: empty filter keeps everything.
+
+    A drive matches when its ``model`` string starts with any of the
+    requested prefixes, so ``("ST4000",)`` keeps every ST4000 variant.
+    """
+    if not models:
+        return True
+    return any(model.startswith(prefix) for prefix in models)
+
+
+def build_drive_record(
+    serial: str,
+    family: str,
+    day_ordinals: np.ndarray,
+    values: np.ndarray,
+    *,
+    failed: bool,
+    epoch_ordinal: int,
+    failure_window_days: Optional[int] = None,
+    failure_label: str = "day-end",
+) -> DriveRecord:
+    """Assemble one drive from per-day rows (shared by both ingest paths).
+
+    ``day_ordinals`` must be sorted strictly increasing.  Failed drives
+    get their ``failure_hour`` per ``failure_label`` (see
+    :data:`FAILURE_LABELS`), and — when ``failure_window_days`` is set —
+    their history trimmed to the last that-many days before failure,
+    the paper's bounded failed-history protocol (its drives carry at
+    most 20 days of pre-failure samples).
+    """
+    if failure_label not in FAILURE_LABELS:
+        raise ValueError(
+            f"failure_label must be one of {FAILURE_LABELS}, got {failure_label!r}"
+        )
+    hours = (day_ordinals - epoch_ordinal).astype(float) * HOURS_PER_DAY
+    failure_hour = None
+    if failed:
+        failure_hour = float(hours[-1])
+        if failure_label == "day-end":
+            # The drive died sometime during its last reported day.
+            failure_hour += HOURS_PER_DAY
+        if failure_window_days is not None:
+            keep = hours > failure_hour - failure_window_days * HOURS_PER_DAY
+            hours = hours[keep]
+            values = values[keep]
+    return DriveRecord(
+        serial=serial,
+        family=family,
+        failed=failed,
+        hours=hours,
+        values=np.asarray(values, dtype=float),
+        failure_hour=failure_hour,
+    )
+
+
+class DriveTable:
+    """Per-serial accumulator of streamed rows (last write wins per day).
+
+    The shared aggregation behind :func:`read_backblaze_csv` and the
+    chunked ingest workers: feed it :class:`BackblazeRow` instances in
+    file order, then :meth:`build` the drives (or export the columnar
+    arrays a chunk part stores).
+    """
+
+    def __init__(self):
+        self._drives: dict[str, dict] = {}
+
+    def __len__(self) -> int:
+        return len(self._drives)
+
+    @property
+    def n_rows(self) -> int:
+        return sum(len(entry["days"]) for entry in self._drives.values())
+
+    def add(self, row: BackblazeRow) -> None:
+        entry = self._drives.setdefault(
+            row.serial, {"model": row.model, "days": {}, "failed_day": None}
+        )
+        entry["days"][row.day] = row.reading
+        if row.failed:
+            failed_day = entry["failed_day"]
+            entry["failed_day"] = (
+                row.day if failed_day is None else max(failed_day, row.day)
+            )
+
+    def epoch_ordinal(self) -> Optional[int]:
+        """The earliest observed day across all accumulated drives."""
+        if not self._drives:
+            return None
+        return min(min(entry["days"]) for entry in self._drives.values())
+
+    def items(self) -> Iterator[tuple[str, dict]]:
+        """``(serial, entry)`` pairs sorted by serial."""
+        return iter(sorted(self._drives.items()))
+
+    def columnar(self) -> dict[str, np.ndarray]:
+        """Serial-sorted columnar arrays (the chunk-part layout).
+
+        Keys: ``serials`` / ``models`` / ``failed_day`` (one element per
+        drive, ``-1`` when the drive never flagged failure) plus the
+        row-major ``row_serial`` (index into ``serials``), ``row_day``
+        (ordinals, sorted within each drive) and ``row_values``.
+        """
+        serials, models, failed_days = [], [], []
+        row_serial, row_day, row_values = [], [], []
+        for index, (serial, entry) in enumerate(self.items()):
+            serials.append(serial)
+            models.append(entry["model"])
+            failed_days.append(-1 if entry["failed_day"] is None else entry["failed_day"])
+            for day in sorted(entry["days"]):
+                row_serial.append(index)
+                row_day.append(day)
+                row_values.append(entry["days"][day])
+        return {
+            "serials": np.array(serials, dtype=np.str_),
+            "models": np.array(models, dtype=np.str_),
+            "failed_day": np.array(failed_days, dtype=np.int64),
+            "row_serial": np.array(row_serial, dtype=np.int64),
+            "row_day": np.array(row_day, dtype=np.int64),
+            "row_values": (
+                np.vstack(row_values) if row_values
+                else np.empty((0, N_CHANNELS))
+            ),
+        }
+
+    def build(
+        self,
+        *,
+        family_from_model: bool = True,
+        failure_window_days: Optional[int] = None,
+        failure_label: str = "day-end",
+    ) -> list[DriveRecord]:
+        """Assemble the accumulated drives, sorted by serial."""
+        epoch = self.epoch_ordinal()
+        drives = []
+        for serial, entry in self.items():
+            days = np.array(sorted(entry["days"]), dtype=np.int64)
+            values = np.vstack([entry["days"][day] for day in days])
+            drives.append(
+                build_drive_record(
+                    serial,
+                    entry["model"] if family_from_model else "BB",
+                    days,
+                    values,
+                    failed=entry["failed_day"] is not None,
+                    epoch_ordinal=epoch,
+                    failure_window_days=failure_window_days,
+                    failure_label=failure_label,
+                )
+            )
+        return drives
 
 
 class DriveLoadResult(list):
@@ -100,11 +335,21 @@ class DriveLoadResult(list):
     Attributes:
         errors: One :class:`~repro.utils.errors.IngestError` per skipped
             row, each carrying ``source``/``line``/``column``.
+        missing_columns: ``{source: (column, ...)}`` — mapped SMART
+            columns absent from a file's header entirely (those channels
+            load as NaN for every row of that file).  Only files with at
+            least one absent mapped column appear.
     """
 
-    def __init__(self, drives: Iterable[DriveRecord], errors: Sequence[IngestError]):
+    def __init__(
+        self,
+        drives: Iterable[DriveRecord],
+        errors: Sequence[IngestError],
+        missing_columns: Optional[dict[str, tuple[str, ...]]] = None,
+    ):
         super().__init__(drives)
         self.errors = tuple(errors)
+        self.missing_columns = dict(missing_columns or {})
 
     @property
     def n_skipped_rows(self) -> int:
@@ -117,88 +362,70 @@ def read_backblaze_csv(
     *,
     family_from_model: bool = True,
     lenient: bool = False,
+    models: Sequence[str] = (),
+    failure_window_days: Optional[int] = None,
+    failure_label: str = "day-end",
 ) -> list[DriveRecord]:
     """Load one or more Backblaze daily-snapshot CSVs into drive records.
 
     Args:
         paths: A single CSV path or a sequence of them (typically one
             per day); rows are merged per serial across all files.
+            Rows stream through :class:`BackblazeReader` one at a time —
+            only the per-drive aggregates are held, never a whole file.
+            For directories, zips and out-of-core scale, use
+            :func:`repro.smart.ingest.ingest_backblaze`.
         family_from_model: Use the ``model`` column as the drive family
             (the paper separates models per family); if False, every
             drive gets family ``"BB"``.
         lenient: Skip malformed rows (bad dates, unparseable SMART
             cells) instead of raising, and return a
             :class:`DriveLoadResult` whose ``errors`` attribute records
-            every skipped row's location.  Missing required *columns*
-            still raise — that is a wrong file, not a dirty row.
+            every skipped row's location and whose ``missing_columns``
+            ledger names mapped SMART columns a file does not expose at
+            all.  Missing required *columns* still raise — that is a
+            wrong file, not a dirty row.
+        models: Optional per-model filter — keep only drives whose
+            ``model`` starts with one of these prefixes (the hour epoch
+            is computed after filtering, mirroring the paper's per-model
+            datasets).
+        failure_window_days: When set, trim each failed drive's history
+            to the last that-many days before failure (the paper's
+            20-day failed-history bound).
+        failure_label: Where a failed drive's ``failure_hour`` lands —
+            see :data:`FAILURE_LABELS`.
 
     A malformed cell raises :class:`~repro.utils.errors.IngestError`
     carrying the file, 1-based line number and offending column (it is
     a ``ValueError`` subclass, so existing handlers keep working).
 
-    Failed drives take their failure time as the end of their last
-    reported day; SMART columns outside the mapping are ignored, and
-    mapped columns that are absent or empty load as NaN.
+    SMART columns outside the mapping are ignored, and mapped columns
+    that are absent or empty load as NaN.
     """
     if isinstance(paths, (str, Path)):
         paths = [paths]
-    per_drive: dict[str, dict] = {}
+    table = DriveTable()
     skipped: list[IngestError] = []
+    missing_columns: dict[str, tuple[str, ...]] = {}
     for path in paths:
         path = Path(path)
         with path.open(newline="") as handle:
-            reader = csv.DictReader(handle)
-            missing = [c for c in _REQUIRED_COLUMNS if c not in (reader.fieldnames or [])]
-            if missing:
-                raise IngestError(
-                    f"missing required columns {missing}",
-                    source=str(path), line=1,
-                )
-            for line_number, row in enumerate(reader, start=2):
-                try:
-                    day, reading = _parse_row(
-                        row, source=str(path), line=line_number
-                    )
-                except IngestError as error:
-                    if not lenient:
-                        raise
-                    skipped.append(error)
-                    continue
-                serial = row["serial_number"]
-                entry = per_drive.setdefault(
-                    serial,
-                    {"model": row["model"], "days": {}, "failed": False},
-                )
-                entry["days"][day] = reading
-                if row["failure"] == "1":
-                    entry["failed"] = True
+            reader = BackblazeReader(handle, source=str(path), lenient=lenient)
+            if reader.missing_columns:
+                missing_columns[str(path)] = reader.missing_columns
+            for row in reader:
+                if model_matches(row.model, models):
+                    table.add(row)
+            skipped.extend(reader.errors)
 
-    if not per_drive:
-        return DriveLoadResult([], skipped) if lenient else []
-    epoch = min(min(entry["days"]) for entry in per_drive.values())
-
-    drives = []
-    for serial, entry in sorted(per_drive.items()):
-        days = sorted(entry["days"])
-        hours = np.array(
-            [(day - epoch).days * HOURS_PER_DAY for day in days]
-        )
-        values = np.vstack([entry["days"][day] for day in days])
-        failure_hour = None
-        if entry["failed"]:
-            # The drive died sometime during its last reported day.
-            failure_hour = float(hours[-1] + HOURS_PER_DAY)
-        drives.append(
-            DriveRecord(
-                serial=serial,
-                family=entry["model"] if family_from_model else "BB",
-                failed=entry["failed"],
-                hours=hours,
-                values=values,
-                failure_hour=failure_hour,
-            )
-        )
-    return DriveLoadResult(drives, skipped) if lenient else drives
+    drives = table.build(
+        family_from_model=family_from_model,
+        failure_window_days=failure_window_days,
+        failure_label=failure_label,
+    )
+    if lenient:
+        return DriveLoadResult(drives, skipped, missing_columns)
+    return drives
 
 
 def write_backblaze_csv(
@@ -245,3 +472,31 @@ def write_backblaze_csv(
                 writer.writerow(cells)
                 rows_written += 1
     return rows_written
+
+
+def render_backblaze_mapping_table() -> str:
+    """The docs/paper_mapping.md attribute-mapping table, from the code.
+
+    One row per paper channel: which Backblaze column feeds it (or that
+    no public column does), regenerated from :data:`COLUMN_TO_CHANNEL`
+    so the documentation cannot drift from the adapter.
+    """
+    by_short = {short: column for column, short in COLUMN_TO_CHANNEL.items()}
+    lines = [
+        "| Paper channel | Attribute | Backblaze column | Notes |",
+        "|---|---|---|---|",
+    ]
+    notes = {
+        "RUE": "SMART 187; absent on some models — ledgered as a missing column",
+        "HFW": "SMART 189; absent on some models — ledgered as a missing column",
+        "HER": "SMART 195; vendor-specific, sparse on modern fleets",
+        "RSC_RAW": "raw counter (higher is worse)",
+        "CPSC_RAW": "raw counter (higher is worse)",
+    }
+    for spec in sorted(BY_SHORT.values(), key=lambda s: s.index):
+        column = by_short.get(spec.short, "—")
+        note = notes.get(spec.short, "")
+        lines.append(
+            f"| `{spec.short}` | {spec.name} | `{column}` | {note} |"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,623 @@
+"""Chunked, parallel, out-of-core ingest of Backblaze quarterly dumps.
+
+A Backblaze quarterly dump is ~90 daily CSVs totalling millions of
+drive-days — far beyond what :func:`~repro.smart.backblaze.read_backblaze_csv`
+should hold as text.  This module turns such a dump (a directory of
+daily CSVs, a zip archive of one, or a single file) into an on-disk
+**columnar store** the rest of the library loads in one ``np.load``
+pass, without ever materializing the raw text:
+
+1. **Chunk.**  The day files are partitioned into chunks of
+   ``chunk_files`` files each.  Chunks are the unit of parallelism,
+   checkpointing and memory: a parse worker holds one chunk's numeric
+   aggregate, never the whole dump (the manifest records per-chunk row
+   counts, so the bound is testable).
+2. **Parse.**  Each chunk streams through
+   :class:`~repro.smart.backblaze.BackblazeReader` row by row inside a
+   :func:`~repro.utils.parallel.run_tasks` worker — per-model filtering
+   applied at the row, malformed rows skipped into the lenient ledger —
+   and lands as a columnar **part file** (``parts/part-*.npz``) plus a
+   JSON summary persisted to a :class:`~repro.utils.checkpoint.JsonCheckpoint`,
+   so a killed ingest resumes at chunk granularity.
+3. **Assemble.**  Parts merge in chunk order (a drive's rows re-join
+   across day files and chunk boundaries keyed by serial; later files
+   win duplicate days), failure-window labeling is applied per drive,
+   and the store is written as one ``.npy`` file per column — byte
+   deterministic, so serial and parallel ingests of the same dump are
+   bit-identical, and so is a resumed one.
+
+The store carries a schema-tagged ``manifest.json``
+(:data:`INGEST_MANIFEST_SCHEMA`) recording the source files, the config
+fingerprint, per-chunk statistics and the full skip ledger; re-running
+the same ingest over a complete store is an idempotent no-op, and
+running a *different* config into the same directory is a hard error
+instead of a silent mix.
+
+``docs/datasets.md`` walks through the pipeline end to end; the
+``repro-smart ingest`` CLI wraps :func:`ingest_backblaze`.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import shutil
+import tempfile
+import zipfile
+from contextlib import contextmanager
+from dataclasses import dataclass
+from datetime import date
+from pathlib import Path
+from typing import Iterator, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.observability import ROW_BUCKETS, get_registry, get_tracer
+from repro.smart.backblaze import (
+    BackblazeReader,
+    DriveTable,
+    build_drive_record,
+    model_matches,
+)
+from repro.smart.dataset import SmartDataset
+from repro.smart.drive import DriveRecord
+from repro.utils.checkpoint import JsonCheckpoint
+from repro.utils.errors import IngestError, IngestInterrupted
+from repro.utils.parallel import run_tasks
+
+#: Schema tag of the store manifest; bump on incompatible layout changes.
+INGEST_MANIFEST_SCHEMA = "repro.ingest-manifest/v1"
+
+#: The ``kind`` tag of the per-chunk resume checkpoint.
+INGEST_CHECKPOINT_KIND = "backblaze-ingest"
+
+#: Column files of the store, written one ``np.save`` each (``np.savez``
+#: would embed zip timestamps and break byte determinism).
+STORE_ARRAYS = (
+    "serials", "families", "failed", "failure_hour", "offsets",
+    "hours", "values",
+)
+
+#: A file reference inside a source: ``(kind, path, member)`` where kind
+#: is ``"fs"`` (member empty) or ``"zip"`` (member names the archive
+#: entry).  Plain tuples so they are picklable and JSON-able verbatim.
+FileRef = tuple
+
+
+@dataclass(frozen=True)
+class IngestConfig:
+    """Everything that determines an ingest's output bytes (plus knobs).
+
+    The first group is the *fingerprint*: change any of these and the
+    store's bytes change, so they are recorded in the manifest and
+    guarded on resume.  ``n_jobs`` and ``stop_after_chunks`` are
+    execution knobs — a serial, a parallel and an interrupted-and-resumed
+    ingest of the same fingerprint produce bit-identical stores.
+
+    Attributes:
+        source: The dump — a directory of daily CSVs, a ``.zip`` of one,
+            or a single CSV file.
+        out: The store directory to create (holds ``manifest.json``,
+            the column ``.npy`` files, and — transiently — ``parts/``
+            and the resume checkpoint).
+        models: Per-model filter; keep drives whose ``model`` starts
+            with any of these prefixes (empty keeps all).
+        family_from_model: Use the ``model`` column as drive family.
+        failure_window_days: Trim failed drives to the last N days
+            before failure (the paper's 20-day bound); ``None`` keeps
+            full histories.
+        failure_label: Where a failed drive's failure hour lands — see
+            :data:`~repro.smart.backblaze.FAILURE_LABELS`.
+        lenient: Skip malformed rows into the ledger (default) instead
+            of failing the chunk.
+        chunk_files: Day files per chunk — the parallelism/checkpoint/
+            memory granule.
+        n_jobs: Parse workers (:func:`~repro.utils.parallel.resolve_n_jobs`
+            semantics; ``None`` defers to ``REPRO_N_JOBS``).
+        stop_after_chunks: Test hook — parse this many fresh chunks
+            serially, then raise
+            :class:`~repro.utils.errors.IngestInterrupted` (checkpoint
+            already persisted) to exercise resume paths.
+    """
+
+    source: str
+    out: str
+    models: tuple[str, ...] = ()
+    family_from_model: bool = True
+    failure_window_days: Optional[int] = None
+    failure_label: str = "day-end"
+    lenient: bool = True
+    chunk_files: int = 8
+    n_jobs: Optional[int] = None
+    stop_after_chunks: Optional[int] = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "source", str(self.source))
+        object.__setattr__(self, "out", str(self.out))
+        object.__setattr__(self, "models", tuple(self.models))
+        if self.chunk_files < 1:
+            raise ValueError(f"chunk_files must be >= 1, got {self.chunk_files}")
+
+    def fingerprint(self) -> dict:
+        """The JSON document the manifest and checkpoint guard against."""
+        return {
+            "source": os.path.basename(self.source.rstrip("/")) or self.source,
+            "models": list(self.models),
+            "family_from_model": self.family_from_model,
+            "failure_window_days": self.failure_window_days,
+            "failure_label": self.failure_label,
+            "lenient": self.lenient,
+            "chunk_files": self.chunk_files,
+        }
+
+
+def discover_source_files(source: Union[str, Path]) -> list[FileRef]:
+    """Enumerate the day files of a dump, sorted by name.
+
+    Accepts a directory (its ``*.csv``, non-recursive), a ``.zip``
+    archive (its ``*.csv`` members, directory entries skipped), or a
+    single CSV file.  Sorting by name orders Backblaze's
+    ``YYYY-MM-DD.csv`` files chronologically, which is what makes
+    "later file wins" equal "later day wins" for duplicate rows.
+    """
+    source = Path(source)
+    if source.is_dir():
+        refs = [("fs", str(path), "") for path in sorted(source.glob("*.csv"))]
+    elif source.suffix == ".zip":
+        if not source.exists():
+            raise IngestError("source not found", source=str(source))
+        with zipfile.ZipFile(source) as archive:
+            refs = [
+                ("zip", str(source), name)
+                for name in sorted(archive.namelist())
+                if name.endswith(".csv") and not name.endswith("/")
+            ]
+    elif source.exists():
+        refs = [("fs", str(source), "")]
+    else:
+        raise IngestError("source not found", source=str(source))
+    if not refs:
+        raise IngestError("no CSV files in source", source=str(source))
+    return refs
+
+
+def _ref_label(ref: FileRef) -> str:
+    kind, path, member = ref
+    return f"{path}!{member}" if kind == "zip" else path
+
+
+@contextmanager
+def _open_ref(ref: FileRef) -> Iterator:
+    """Open a file reference as a text handle (streams, never slurps)."""
+    kind, path, member = ref
+    if kind == "zip":
+        with zipfile.ZipFile(path) as archive:
+            with archive.open(member) as binary:
+                yield io.TextIOWrapper(binary, encoding="utf-8", newline="")
+    else:
+        with open(path, newline="") as handle:
+            yield handle
+
+
+def _chunk_refs(refs: Sequence[FileRef], chunk_files: int) -> list[list[FileRef]]:
+    return [
+        list(refs[start:start + chunk_files])
+        for start in range(0, len(refs), chunk_files)
+    ]
+
+
+def _part_path(out: Path, chunk: int) -> Path:
+    return out / "parts" / f"part-{chunk:05d}.npz"
+
+
+def _parse_chunk(config: IngestConfig, task: tuple) -> dict:
+    """Parse one chunk of day files into a part file (run_tasks worker).
+
+    ``task`` is ``(chunk_index, [file_ref, ...])``.  Streams every file
+    through :class:`BackblazeReader`, keeps rows passing the model
+    filter, and writes the chunk's columnar aggregate to
+    ``parts/part-<index>.npz``.  Returns the JSON-able chunk summary the
+    checkpoint and manifest record — including the chunk's slice of the
+    lenient ledger, so row-level provenance survives into the manifest.
+    """
+    chunk_index, refs = task
+    registry = get_registry()
+    tracer = get_tracer()
+    table = DriveTable()
+    n_filtered = 0
+    errors: list[dict] = []
+    missing_columns: dict[str, list[str]] = {}
+    with tracer.span(
+        "ingest.chunk", category="ingest", chunk=chunk_index, n_files=len(refs)
+    ):
+        for ref in refs:
+            label = _ref_label(ref)
+            with _open_ref(ref) as handle:
+                reader = BackblazeReader(
+                    handle, source=label, lenient=config.lenient
+                )
+                if reader.missing_columns:
+                    missing_columns[label] = list(reader.missing_columns)
+                for row in reader:
+                    if model_matches(row.model, config.models):
+                        table.add(row)
+                    else:
+                        n_filtered += 1
+                errors.extend(
+                    {
+                        "source": error.source,
+                        "line": error.line,
+                        "column": error.column,
+                        "message": str(error),
+                    }
+                    for error in reader.errors
+                )
+        n_rows = table.n_rows
+        part = _part_path(Path(config.out), chunk_index)
+        part.parent.mkdir(parents=True, exist_ok=True)
+        np.savez(part, **table.columnar())
+    registry.histogram(
+        "ingest.chunk_rows", ROW_BUCKETS, unit="rows",
+        help="rows kept per parsed chunk (the out-of-core memory granule)",
+    ).observe(float(n_rows))
+    return {
+        "chunk": chunk_index,
+        "files": [list(ref) for ref in refs],
+        "n_rows": n_rows,
+        "n_filtered_rows": n_filtered,
+        "n_skipped_rows": len(errors),
+        "n_serials": len(table),
+        "errors": errors,
+        "missing_columns": missing_columns,
+    }
+
+
+def _assemble(config: IngestConfig, summaries: list[dict]) -> dict:
+    """Merge part files into the columnar store; returns the manifest.
+
+    Parts merge in chunk order, so a row for the same ``(serial, day)``
+    in a later file overwrites an earlier one — identical semantics to
+    feeding every file through one :class:`DriveTable` serially, which
+    is what makes the chunked and in-memory paths agree bit for bit.
+    """
+    out = Path(config.out)
+    registry = get_registry()
+    tracer = get_tracer()
+    with tracer.span(
+        "ingest.assemble", category="ingest", n_chunks=len(summaries)
+    ):
+        merged: dict[str, dict] = {}
+        for summary in summaries:
+            with np.load(_part_path(out, summary["chunk"])) as part:
+                serials = part["serials"]
+                models = part["models"]
+                failed_day = part["failed_day"]
+                row_serial = part["row_serial"]
+                row_day = part["row_day"]
+                row_values = part["row_values"]
+                entries = []
+                for i, serial in enumerate(serials):
+                    entry = merged.setdefault(
+                        str(serial), {"model": "", "days": {}, "failed_day": None}
+                    )
+                    entry["model"] = str(models[i])
+                    day = int(failed_day[i])
+                    if day >= 0:
+                        previous = entry["failed_day"]
+                        entry["failed_day"] = (
+                            day if previous is None else max(previous, day)
+                        )
+                    entries.append(entry)
+                for j in range(row_day.shape[0]):
+                    entries[int(row_serial[j])]["days"][int(row_day[j])] = (
+                        row_values[j]
+                    )
+
+        epoch = None
+        if merged:
+            epoch = min(min(entry["days"]) for entry in merged.values())
+        drives = []
+        for serial in sorted(merged):
+            entry = merged[serial]
+            days = np.array(sorted(entry["days"]), dtype=np.int64)
+            values = np.vstack([entry["days"][day] for day in days])
+            drives.append(
+                build_drive_record(
+                    serial,
+                    entry["model"] if config.family_from_model else "BB",
+                    days,
+                    values,
+                    failed=entry["failed_day"] is not None,
+                    epoch_ordinal=epoch,
+                    failure_window_days=config.failure_window_days,
+                    failure_label=config.failure_label,
+                )
+            )
+
+        offsets = np.zeros(len(drives) + 1, dtype=np.int64)
+        for i, drive in enumerate(drives):
+            offsets[i + 1] = offsets[i] + drive.n_samples
+        arrays = {
+            "serials": np.array([d.serial for d in drives], dtype=np.str_),
+            "families": np.array([d.family for d in drives], dtype=np.str_),
+            "failed": np.array([d.failed for d in drives], dtype=bool),
+            "failure_hour": np.array(
+                [np.nan if d.failure_hour is None else d.failure_hour
+                 for d in drives],
+                dtype=np.float64,
+            ),
+            "offsets": offsets,
+            "hours": (
+                np.concatenate([d.hours for d in drives]) if drives
+                else np.empty(0)
+            ),
+            "values": (
+                np.concatenate([d.values for d in drives]) if drives
+                else np.empty((0, 0))
+            ),
+        }
+        for name in STORE_ARRAYS:
+            np.save(out / f"{name}.npy", arrays[name])
+        registry.counter(
+            "ingest.drives", help="drives assembled into the store"
+        ).inc(len(drives))
+
+    missing_columns: dict[str, list[str]] = {}
+    for summary in summaries:
+        missing_columns.update(summary["missing_columns"])
+    return {
+        "schema": INGEST_MANIFEST_SCHEMA,
+        "config": config.fingerprint(),
+        "n_chunks": len(summaries),
+        "chunks": [
+            {key: value for key, value in summary.items() if key != "errors"}
+            for summary in summaries
+        ],
+        "errors": [error for s in summaries for error in s["errors"]],
+        "missing_columns": missing_columns,
+        "totals": {
+            "n_files": sum(len(s["files"]) for s in summaries),
+            "n_rows": sum(s["n_rows"] for s in summaries),
+            "n_filtered_rows": sum(s["n_filtered_rows"] for s in summaries),
+            "n_skipped_rows": sum(s["n_skipped_rows"] for s in summaries),
+            "n_drives": len(drives),
+            "n_failed": int(sum(d.failed for d in drives)),
+            "n_samples": int(offsets[-1]),
+            "epoch_day": (
+                date.fromordinal(epoch).isoformat() if epoch is not None
+                else None
+            ),
+        },
+    }
+
+
+def _write_manifest(out: Path, manifest: dict) -> None:
+    """Atomic manifest write: the store is complete iff the file exists."""
+    handle = tempfile.NamedTemporaryFile(
+        "w", dir=out, prefix="manifest.", suffix=".tmp", delete=False
+    )
+    try:
+        with handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(handle.name, out / "manifest.json")
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
+
+
+def read_manifest(store: Union[str, Path]) -> dict:
+    """The store's manifest, schema-checked."""
+    path = Path(store) / "manifest.json"
+    with path.open() as handle:
+        manifest = json.load(handle)
+    if manifest.get("schema") != INGEST_MANIFEST_SCHEMA:
+        raise ValueError(
+            f"{path}: expected schema {INGEST_MANIFEST_SCHEMA!r}, "
+            f"got {manifest.get('schema')!r}"
+        )
+    return manifest
+
+
+def ingest_backblaze(config: IngestConfig) -> dict:
+    """Run (or resume, or no-op) one chunked ingest; returns the manifest.
+
+    Idempotence and resume:
+
+    * ``out/manifest.json`` present with the same fingerprint — the
+      ingest already completed; returns the manifest without touching a
+      file (a test can assert zero parse calls).
+    * ``out`` holds a *different* fingerprint (manifest or mid-ingest
+      checkpoint) — raises ``ValueError`` instead of mixing datasets.
+    * A mid-ingest checkpoint — chunks already parsed (part file on
+      disk) are reloaded, only the missing ones are parsed; the final
+      store is bit-identical to an uninterrupted run.
+
+    Parallelism: chunks fan out through
+    :func:`~repro.utils.parallel.run_tasks` (``config.n_jobs``); all
+    merge decisions are keyed by chunk order, never completion order,
+    so serial and parallel ingests agree bit for bit.
+    """
+    out = Path(config.out)
+    registry = get_registry()
+    tracer = get_tracer()
+    manifest_path = out / "manifest.json"
+    if manifest_path.exists():
+        manifest = read_manifest(out)
+        if manifest["config"] != config.fingerprint():
+            raise ValueError(
+                f"{out} already holds a completed ingest with a different "
+                f"config ({manifest['config']}); use a fresh out directory "
+                "or delete the store to re-ingest"
+            )
+        return manifest
+
+    refs = discover_source_files(config.source)
+    chunks = _chunk_refs(refs, config.chunk_files)
+    out.mkdir(parents=True, exist_ok=True)
+    checkpoint = JsonCheckpoint(
+        out / "ingest-checkpoint.json", kind=INGEST_CHECKPOINT_KIND
+    )
+    guard = checkpoint.get("__config__")
+    if guard is None:
+        checkpoint.set("__config__", config.fingerprint())
+    elif guard != config.fingerprint():
+        raise ValueError(
+            f"{checkpoint.path} belongs to an ingest with a different "
+            f"config ({guard}); use a fresh out directory or delete it"
+        )
+
+    with tracer.span(
+        "ingest.run", category="ingest",
+        n_files=len(refs), n_chunks=len(chunks),
+    ):
+        summaries: list[Optional[dict]] = [None] * len(chunks)
+        pending: list[tuple] = []
+        n_cached = 0
+        for index, chunk in enumerate(chunks):
+            cached = checkpoint.get(f"chunk-{index}")
+            if cached is not None and _part_path(out, index).exists():
+                summaries[index] = cached
+                n_cached += 1
+            else:
+                pending.append((index, chunk))
+        registry.counter(
+            "ingest.checkpoint_hits",
+            help="chunks reloaded from a mid-ingest checkpoint",
+        ).inc(n_cached)
+
+        def record(_: int, summary: dict) -> None:
+            summaries[summary["chunk"]] = summary
+            checkpoint.set(f"chunk-{summary['chunk']}", summary)
+
+        if config.stop_after_chunks is not None:
+            # Test hook: deterministic interruption point, serial on
+            # purpose so exactly the first k pending chunks are parsed.
+            for done, task in enumerate(pending):
+                if done >= config.stop_after_chunks:
+                    raise IngestInterrupted(
+                        f"stopped after {done} fresh chunk(s) of "
+                        f"{len(pending)} pending ({n_cached} cached)",
+                        chunks_done=done,
+                    )
+                record(0, _parse_chunk(config, task))
+        else:
+            run_tasks(
+                _parse_chunk, pending,
+                n_jobs=config.n_jobs, context=config, on_result=record,
+            )
+        registry.counter(
+            "ingest.chunks", help="chunks parsed fresh this run"
+        ).inc(len(pending))
+        registry.counter(
+            "ingest.files", help="day files parsed fresh this run"
+        ).inc(sum(len(chunk) for _, chunk in pending))
+        registry.counter(
+            "ingest.rows", help="rows kept across all chunks of the ingest"
+        ).inc(sum(s["n_rows"] for s in summaries))
+        registry.counter(
+            "ingest.filtered_rows",
+            help="rows dropped by the per-model filter",
+        ).inc(sum(s["n_filtered_rows"] for s in summaries))
+        registry.counter(
+            "ingest.skipped_rows",
+            help="malformed rows skipped into the lenient ledger",
+        ).inc(sum(s["n_skipped_rows"] for s in summaries))
+
+        manifest = _assemble(config, summaries)
+        _write_manifest(out, manifest)
+        shutil.rmtree(out / "parts", ignore_errors=True)
+        try:
+            os.unlink(checkpoint.path)
+        except OSError:
+            pass
+    return manifest
+
+
+def load_store(store: Union[str, Path]) -> SmartDataset:
+    """Load an ingested columnar store back into a :class:`SmartDataset`.
+
+    The inverse of :func:`ingest_backblaze`'s assembly step: one
+    ``np.load`` per column file, then per-drive views sliced by the
+    offsets table.  Raises ``ValueError`` when the manifest is missing
+    (an interrupted ingest leaves no manifest — finish it first) or
+    carries the wrong schema.
+    """
+    store = Path(store)
+    if not (store / "manifest.json").exists():
+        raise ValueError(
+            f"{store} has no manifest.json — not a completed ingest store "
+            "(resume the ingest to completion first)"
+        )
+    read_manifest(store)  # schema check
+    arrays = {name: np.load(store / f"{name}.npy") for name in STORE_ARRAYS}
+    drives = []
+    offsets = arrays["offsets"]
+    for i in range(len(arrays["serials"])):
+        start, stop = int(offsets[i]), int(offsets[i + 1])
+        failed = bool(arrays["failed"][i])
+        drives.append(
+            DriveRecord(
+                serial=str(arrays["serials"][i]),
+                family=str(arrays["families"][i]),
+                failed=failed,
+                hours=arrays["hours"][start:stop],
+                values=arrays["values"][start:stop],
+                failure_hour=(
+                    float(arrays["failure_hour"][i]) if failed else None
+                ),
+            )
+        )
+    return SmartDataset(drives)
+
+
+def load_backblaze(
+    source: Union[str, Path],
+    *,
+    models: Sequence[str] = (),
+    family_from_model: bool = True,
+    failure_window_days: Optional[int] = None,
+    failure_label: str = "day-end",
+    lenient: bool = True,
+) -> SmartDataset:
+    """One-shot in-memory load of a dump (no store directory).
+
+    Same streaming row path, model filter and labeling semantics as the
+    chunked ingest — :func:`load_store` after :func:`ingest_backblaze`
+    returns a bit-identical dataset — but aggregates in memory, for
+    sources small enough not to need resumability.  Accepts everything
+    :func:`discover_source_files` accepts.
+    """
+    table = DriveTable()
+    for ref in discover_source_files(source):
+        with _open_ref(ref) as handle:
+            reader = BackblazeReader(
+                handle, source=_ref_label(ref), lenient=lenient
+            )
+            for row in reader:
+                if model_matches(row.model, models):
+                    table.add(row)
+    return SmartDataset(
+        table.build(
+            family_from_model=family_from_model,
+            failure_window_days=failure_window_days,
+            failure_label=failure_label,
+        )
+    )
+
+
+# Re-exported for CLI convenience.
+__all__ = [
+    "INGEST_MANIFEST_SCHEMA",
+    "INGEST_CHECKPOINT_KIND",
+    "IngestConfig",
+    "discover_source_files",
+    "ingest_backblaze",
+    "load_backblaze",
+    "load_store",
+    "read_manifest",
+]

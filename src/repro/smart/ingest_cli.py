@@ -1,0 +1,199 @@
+"""``repro-smart``: ingest Backblaze dumps and describe registry datasets.
+
+Subcommands:
+
+* ``ingest`` — run the chunked, resumable, out-of-core ingest of a
+  Backblaze dump (directory, zip or single CSV) into a columnar store;
+* ``datasets`` — list the registered dataset kinds, or describe a
+  registry handle (drive counts per family, ingest provenance).
+
+Examples::
+
+    repro-smart ingest data_Q1_2024/ --out q1-store --models ST4000DM000
+    repro-smart ingest dump.zip --out store --jobs 4 --failure-window-days 20
+    repro-smart datasets
+    repro-smart datasets backblaze:q1-store
+    repro-smart datasets 'synthetic:default?w_good=200&seed=11'
+
+The full walkthrough (download to experiment grid) is
+``docs/datasets.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.smart.backblaze import FAILURE_LABELS
+from repro.smart.ingest import IngestConfig, ingest_backblaze
+from repro.smart.registry import describe, registered_kinds
+from repro.utils.errors import IngestError, IngestInterrupted
+from repro.utils.tables import AsciiTable
+
+
+def _add_ingest(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser(
+        "ingest",
+        help="chunked out-of-core ingest of a Backblaze dump into a "
+        "columnar store (resumable; re-running a complete store is a "
+        "no-op)",
+    )
+    parser.add_argument(
+        "source", type=Path,
+        help="the dump: a directory of daily CSVs, a .zip of one, or a "
+        "single CSV file",
+    )
+    parser.add_argument(
+        "--out", required=True, type=Path,
+        help="store directory to create (manifest.json + column .npy files)",
+    )
+    parser.add_argument(
+        "--models", nargs="*", default=[], metavar="PREFIX",
+        help="keep only drives whose model starts with one of these "
+        "prefixes (default: all models)",
+    )
+    parser.add_argument(
+        "--failure-window-days", type=int, default=None, metavar="N",
+        help="trim failed drives to their last N days before failure "
+        "(the paper keeps at most 20)",
+    )
+    parser.add_argument(
+        "--failure-label", choices=FAILURE_LABELS, default="day-end",
+        help="where a failed drive's failure hour lands relative to its "
+        "last reported day (default: day-end)",
+    )
+    parser.add_argument(
+        "--family", choices=("model", "none"), default="model",
+        help="drive family labels: the model column (default) or a "
+        "single 'BB' family",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="fail on the first malformed row instead of skipping it "
+        "into the manifest's ledger",
+    )
+    parser.add_argument(
+        "--chunk-files", type=int, default=8, metavar="K",
+        help="day files per parse chunk — the parallelism, checkpoint "
+        "and memory granule (default: 8)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="parse worker processes (default: REPRO_N_JOBS or serial; "
+        "0 = all cores)",
+    )
+
+
+def _add_datasets(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser(
+        "datasets",
+        help="list dataset kinds, or describe a registry handle",
+    )
+    parser.add_argument(
+        "handle", nargs="?", default=None,
+        help="a dataset handle ('kind:path?param=value'); omit to list "
+        "the registered kinds",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the description as JSON instead of a table",
+    )
+
+
+def _run_ingest(args: argparse.Namespace) -> int:
+    config = IngestConfig(
+        source=str(args.source),
+        out=str(args.out),
+        models=tuple(args.models),
+        family_from_model=args.family == "model",
+        failure_window_days=args.failure_window_days,
+        failure_label=args.failure_label,
+        lenient=not args.strict,
+        chunk_files=args.chunk_files,
+        n_jobs=args.jobs,
+    )
+    try:
+        manifest = ingest_backblaze(config)
+    except (IngestError, IngestInterrupted, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    totals = manifest["totals"]
+    print(
+        f"ingested {totals['n_files']} files / {totals['n_rows']} rows "
+        f"into {args.out}: {totals['n_drives']} drives "
+        f"({totals['n_failed']} failed), epoch {totals['epoch_day']}"
+    )
+    if totals["n_filtered_rows"]:
+        print(f"  {totals['n_filtered_rows']} rows dropped by --models filter")
+    if totals["n_skipped_rows"]:
+        print(
+            f"  {totals['n_skipped_rows']} malformed rows skipped "
+            "(provenance in manifest.json 'errors')"
+        )
+    for source, columns in manifest["missing_columns"].items():
+        print(f"  {source}: missing columns {', '.join(columns)} (NaN-filled)")
+    print(
+        f"run experiments on it with: repro-experiments --dataset "
+        f"backblaze:{args.out}"
+    )
+    return 0
+
+
+def _run_datasets(args: argparse.Namespace) -> int:
+    if args.handle is None:
+        print("registered dataset kinds:")
+        for kind in registered_kinds():
+            print(f"  {kind}")
+        print(
+            "\ndescribe one with: repro-smart datasets "
+            "'kind:path?param=value' (see docs/datasets.md)"
+        )
+        return 0
+    try:
+        description = describe(args.handle)
+    except (IngestError, ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(description, indent=2, sort_keys=True))
+        return 0
+    print(f"handle:  {description['handle']}")
+    print(f"kind:    {description['kind']}"
+          f" ({'static' if description['static'] else 'generator'})")
+    print(f"drives:  {description['n_drives']} "
+          f"({description['n_failed']} failed)")
+    table = AsciiTable(["Family", "Good", "Failed"])
+    for family in sorted(description["families"]):
+        counts = description["families"][family]
+        table.add_row([family, str(counts["good"]), str(counts["failed"])])
+    print(table.render())
+    if "ingest_totals" in description:
+        totals = description["ingest_totals"]
+        print(
+            f"ingest:  {totals['n_rows']} rows from {totals['n_files']} "
+            f"files, {totals['n_skipped_rows']} skipped, "
+            f"{totals['n_filtered_rows']} filtered, "
+            f"epoch {totals['epoch_day']}"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-smart",
+        description="Ingest Backblaze dumps and describe registry datasets.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_ingest(subparsers)
+    _add_datasets(subparsers)
+    args = parser.parse_args(argv)
+    if args.command == "ingest":
+        return _run_ingest(args)
+    return _run_datasets(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,296 @@
+"""The dataset registry: one handle grammar for synthetic and real fleets.
+
+Every dataset the experiment grid can run on is named by a **handle**:
+
+    kind:path?param=value&param=value&seed=N
+
+resolving through the ``(path | generator, params, seed) → dataset``
+contract: for a *static* dataset the path identifies the content (a
+Backblaze store or CSV on disk); for a *generator* dataset the path
+names the generator and the params + seed determine the content
+exactly.  Two calls with the same handle return the same drives, so a
+handle is sufficient provenance to reproduce any experiment — it is
+what ``repro-experiments --dataset`` accepts, what
+``run_experiment_grid`` records in its checkpoint guard cell, and what
+``repro-smart datasets`` describes.
+
+Built-in kinds:
+
+* ``synthetic:default`` — the paper-shaped two-family fleet from
+  :class:`~repro.smart.generator.FleetGenerator`; params are the
+  :func:`~repro.smart.generator.default_fleet_config` knobs
+  (``w_good``/``w_failed``/``q_good``/``q_failed``/``collection_days``)
+  plus ``seed``.
+* ``backblaze:<path>`` — real traces: a completed ingest store
+  (directory with ``manifest.json``), or a raw CSV file / directory /
+  zip loaded in-memory; params mirror
+  :func:`~repro.smart.ingest.load_backblaze` (``models`` is
+  ``+``-separated prefixes).
+* ``fleet-csv:<path>`` — the library's native long-format CSV
+  (:func:`~repro.smart.io.read_fleet_csv`).
+
+:func:`register_loader` adds project-local kinds without touching this
+module.  ``docs/datasets.md`` is the guide.
+"""
+
+from __future__ import annotations
+
+import urllib.parse
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+from repro.smart.dataset import SmartDataset
+from repro.smart.generator import default_fleet_config
+from repro.smart.ingest import load_backblaze, load_store, read_manifest
+from repro.smart.io import read_fleet_csv
+
+#: Handle params interpreted as integers by the built-in loaders.
+_INT_PARAMS = {
+    "w_good", "w_failed", "q_good", "q_failed", "collection_days",
+    "failure_window_days",
+}
+
+#: Handle params interpreted as booleans ("1"/"true"/"0"/"false").
+_BOOL_PARAMS = {"family_from_model", "lenient"}
+
+#: Dataset kinds whose content is determined by params + seed, not by
+#: bytes on disk (the "generator" side of the registry contract).
+GENERATOR_KINDS = {"synthetic"}
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A parsed dataset handle (hashable, canonical).
+
+    ``params`` is a sorted tuple of ``(key, value)`` string pairs —
+    sorted so two spellings of the same handle compare and hash equal;
+    ``seed`` is split out because only generator kinds may carry one.
+    """
+
+    kind: str
+    path: str
+    params: tuple[tuple[str, str], ...] = ()
+    seed: Optional[int] = None
+
+    def handle(self) -> str:
+        """The canonical handle string (parses back to an equal spec)."""
+        query = list(self.params)
+        if self.seed is not None:
+            query.append(("seed", str(self.seed)))
+        text = f"{self.kind}:{self.path}"
+        if query:
+            text += "?" + urllib.parse.urlencode(query)
+        return text
+
+    def param_dict(self) -> dict[str, object]:
+        """Params decoded to their loader types (ints, bools, strings)."""
+        decoded: dict[str, object] = {}
+        for key, value in self.params:
+            if key in _INT_PARAMS:
+                decoded[key] = int(value)
+            elif key in _BOOL_PARAMS:
+                if value.lower() not in ("0", "1", "true", "false"):
+                    raise ValueError(
+                        f"dataset param {key!r} must be a boolean, got {value!r}"
+                    )
+                decoded[key] = value.lower() in ("1", "true")
+            else:
+                decoded[key] = value
+        return decoded
+
+
+def parse_handle(handle: Union[str, DatasetSpec]) -> DatasetSpec:
+    """Parse ``kind:path?params`` into a canonical :class:`DatasetSpec`.
+
+    The query string follows URL conventions (``&``-separated ``k=v``,
+    percent-escapes honoured); ``seed=N`` is pulled out of the params
+    and only legal for generator kinds — a seed on a static dataset is
+    a contract violation (the bytes on disk already fix the content),
+    reported as ``ValueError``.
+    """
+    if isinstance(handle, DatasetSpec):
+        return handle
+    text = str(handle).strip()
+    if ":" not in text:
+        raise ValueError(
+            f"dataset handle {text!r} has no kind — expected "
+            "'kind:path?param=value', e.g. 'synthetic:default?seed=7'"
+        )
+    kind, rest = text.split(":", 1)
+    kind = kind.strip().lower()
+    if not kind:
+        raise ValueError(f"dataset handle {text!r} has an empty kind")
+    path, _, query = rest.partition("?")
+    if not path:
+        raise ValueError(f"dataset handle {text!r} has an empty path")
+    params: list[tuple[str, str]] = []
+    seed: Optional[int] = None
+    for key, value in urllib.parse.parse_qsl(query, keep_blank_values=True):
+        if key == "seed":
+            try:
+                seed = int(value)
+            except ValueError:
+                raise ValueError(
+                    f"dataset handle {text!r}: seed must be an integer, "
+                    f"got {value!r}"
+                ) from None
+        else:
+            params.append((key, value))
+    if seed is not None and kind not in GENERATOR_KINDS:
+        raise ValueError(
+            f"dataset handle {text!r}: kind {kind!r} is a static dataset "
+            "(its path identifies the content); seed is only meaningful "
+            f"for generator kinds {sorted(GENERATOR_KINDS)}"
+        )
+    return DatasetSpec(kind=kind, path=path, params=tuple(sorted(params)), seed=seed)
+
+
+def canonical_handle(handle: Union[str, DatasetSpec]) -> str:
+    """The canonical string form of a handle (stable across spellings)."""
+    return parse_handle(handle).handle()
+
+
+# -- built-in loaders ---------------------------------------------------------
+
+def _load_synthetic(spec: DatasetSpec) -> SmartDataset:
+    params = spec.param_dict()
+    unknown = set(params) - {
+        "w_good", "w_failed", "q_good", "q_failed", "collection_days",
+    }
+    if unknown:
+        raise ValueError(
+            f"synthetic dataset params {sorted(unknown)} not recognised"
+        )
+    if spec.path != "default":
+        raise ValueError(
+            f"unknown synthetic generator {spec.path!r}; available: 'default'"
+        )
+    config = default_fleet_config(
+        **params, **({} if spec.seed is None else {"seed": spec.seed})
+    )
+    return SmartDataset.generate(config)
+
+
+def _load_backblaze(spec: DatasetSpec) -> SmartDataset:
+    from pathlib import Path
+
+    params = spec.param_dict()
+    models = tuple(m for m in str(params.pop("models", "")).split("+") if m)
+    unknown = set(params) - {
+        "family_from_model", "failure_window_days", "failure_label", "lenient",
+    }
+    if unknown:
+        raise ValueError(
+            f"backblaze dataset params {sorted(unknown)} not recognised"
+        )
+    path = Path(spec.path)
+    if (path / "manifest.json").is_file():
+        if models or params:
+            raise ValueError(
+                f"{spec.path} is a completed ingest store; filtering and "
+                "labeling params were fixed at ingest time (see its "
+                "manifest) and cannot be overridden at load time"
+            )
+        return load_store(path)
+    return load_backblaze(path, models=models, **params)
+
+
+def _load_fleet_csv(spec: DatasetSpec) -> SmartDataset:
+    if spec.params:
+        raise ValueError(
+            f"fleet-csv datasets take no params, got {dict(spec.params)}"
+        )
+    return SmartDataset(read_fleet_csv(spec.path))
+
+
+_LOADERS: dict[str, Callable[[DatasetSpec], SmartDataset]] = {
+    "synthetic": _load_synthetic,
+    "backblaze": _load_backblaze,
+    "fleet-csv": _load_fleet_csv,
+}
+
+#: Resolved datasets, keyed by canonical handle.  Deliberately tiny:
+#: the grid resolves the same handle once per run, not once per cell.
+_CACHE: dict[str, SmartDataset] = {}
+_CACHE_LIMIT = 4
+
+
+def register_loader(
+    kind: str,
+    loader: Callable[[DatasetSpec], SmartDataset],
+    *,
+    generator: bool = False,
+) -> None:
+    """Register a project-local dataset kind.
+
+    ``loader`` receives the parsed :class:`DatasetSpec` and returns a
+    :class:`SmartDataset`.  ``generator=True`` marks the kind as
+    seed-bearing (params + seed determine content); static kinds reject
+    seeds at parse time.
+    """
+    kind = str(kind).strip().lower()
+    if not kind:
+        raise ValueError("dataset kind must be non-empty")
+    _LOADERS[kind] = loader
+    if generator:
+        GENERATOR_KINDS.add(kind)
+    elif kind in GENERATOR_KINDS:
+        GENERATOR_KINDS.discard(kind)
+    _CACHE.clear()
+
+
+def registered_kinds() -> list[str]:
+    """Registered dataset kinds, sorted."""
+    return sorted(_LOADERS)
+
+
+def resolve(handle: Union[str, DatasetSpec]) -> SmartDataset:
+    """The dataset a handle names (cached by canonical handle).
+
+    The registry contract in one line: same handle, same drives.  A
+    small cache keeps repeated resolutions of the same handle (the grid
+    runner, a CLI describe) from re-reading the store.
+    """
+    spec = parse_handle(handle)
+    try:
+        loader = _LOADERS[spec.kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown dataset kind {spec.kind!r}; registered: "
+            f"{registered_kinds()}"
+        ) from None
+    key = spec.handle()
+    if key in _CACHE:
+        return _CACHE[key]
+    dataset = loader(spec)
+    if len(_CACHE) >= _CACHE_LIMIT:
+        _CACHE.pop(next(iter(_CACHE)))
+    _CACHE[key] = dataset
+    return dataset
+
+
+def describe(handle: Union[str, DatasetSpec]) -> dict:
+    """A JSON-able description of a handle's dataset (for the CLI).
+
+    Resolves the dataset and reports the canonical handle, per-family
+    good/failed counts, totals — and, for completed ingest stores, the
+    manifest's provenance totals (skipped rows, missing columns).
+    """
+    from pathlib import Path
+
+    spec = parse_handle(handle)
+    dataset = resolve(spec)
+    description: dict = {
+        "handle": spec.handle(),
+        "kind": spec.kind,
+        "static": spec.kind not in GENERATOR_KINDS,
+        "n_drives": len(dataset.drives),
+        "n_failed": len(dataset.failed_drives),
+        "families": dataset.summary(),
+    }
+    if spec.kind == "backblaze":
+        store = Path(spec.path)
+        if (store / "manifest.json").is_file():
+            totals = read_manifest(store)["totals"]
+            description["ingest_totals"] = totals
+    return description

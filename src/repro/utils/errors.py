@@ -57,6 +57,21 @@ class IngestError(ReproError, ValueError):
         self.column = column
 
 
+class IngestInterrupted(ReproError, RuntimeError):
+    """A chunked ingest stopped early by request (``stop_after_chunks``).
+
+    The test hook behind resume-after-kill coverage: the ingest driver
+    raises this after parsing the requested number of fresh chunks, with
+    the per-chunk checkpoint already persisted, so a subsequent call
+    resumes from exactly this point.  ``chunks_done`` counts the fresh
+    chunks parsed before stopping.
+    """
+
+    def __init__(self, message: str, *, chunks_done: int = 0):
+        super().__init__(message)
+        self.chunks_done = chunks_done
+
+
 class FaultKind(enum.Enum):
     """What was malformed about one streamed SMART sample."""
 

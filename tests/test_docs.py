@@ -2,13 +2,17 @@
 
 Three enforcement layers:
 
-* the metric/span tables in ``docs/observability.md`` must be the
-  *verbatim* output of :mod:`repro.observability.catalog` — docs that
-  claim to be generated from the catalog cannot drift from it;
+* generated tables must be the *verbatim* output of their renderers —
+  the metric/span/event tables in ``docs/observability.md`` from
+  :mod:`repro.observability.catalog`, the Backblaze attribute-mapping
+  table in ``docs/paper_mapping.md`` from
+  :func:`repro.smart.backblaze.render_backblaze_mapping_table` — docs
+  that claim to be generated cannot drift from the code;
 * every local file reference in the markdown docs must resolve
   (``tools/check_links.py``, also run as a standalone CI step);
-* ``examples/observability_quickstart.py`` — the runnable version of
-  the walkthrough in ``docs/observability.md`` — must execute cleanly.
+* the runnable walkthroughs — ``examples/observability_quickstart.py``
+  for ``docs/observability.md`` and ``examples/datasets_quickstart.py``
+  for ``docs/datasets.md`` — must execute cleanly.
 """
 
 from __future__ import annotations
@@ -49,6 +53,13 @@ class TestCatalogTables:
         assert "render_event_table()" in text
         assert catalog.render_event_table() in text
 
+    def test_backblaze_mapping_table_is_generated_output(self):
+        from repro.smart.backblaze import render_backblaze_mapping_table
+
+        text = (ROOT / "docs" / "paper_mapping.md").read_text()
+        assert "render_backblaze_mapping_table()" in text  # the generation marker
+        assert render_backblaze_mapping_table() in text
+
     def test_every_catalog_name_is_documented(self):
         text = (ROOT / "docs" / "observability.md").read_text()
         names = (
@@ -77,24 +88,37 @@ class TestLinkChecker:
         page = tmp_path / "page.md"
         page.write_text(
             "A [dead link](missing/file.md) and a live one: `tools/check_links.py`.\n"
+            "A dataset handle is not a path: `fleet-csv:/no/such/fleet.csv`.\n"
         )
         broken = check_links.broken_references([page])
         assert broken == [f"{page}: missing/file.md"]
 
 
+def _run_example(name: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [str(ROOT / "src"), env.get("PYTHONPATH", "")])
+    )
+    return subprocess.run(
+        [sys.executable, str(ROOT / "examples" / name)],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+
+
 class TestWalkthroughExample:
     def test_quickstart_example_runs(self):
-        env = dict(os.environ)
-        env["PYTHONPATH"] = os.pathsep.join(
-            filter(None, [str(ROOT / "src"), env.get("PYTHONPATH", "")])
-        )
-        proc = subprocess.run(
-            [sys.executable, str(ROOT / "examples" / "observability_quickstart.py")],
-            capture_output=True,
-            text=True,
-            env=env,
-            timeout=300,
-        )
+        proc = _run_example("observability_quickstart.py")
         assert proc.returncode == 0, proc.stderr
         assert "Health report [repro.health-report/v1]" in proc.stdout
         assert "snapshot schema: repro.metrics/v1" in proc.stdout
+
+    def test_datasets_quickstart_example_runs(self):
+        proc = _run_example("datasets_quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "[repro.ingest-manifest/v1]" in proc.stdout
+        assert "paper family 'W' -> ST4000DM000" in proc.stdout
+        assert "Table IV: impact of time window on CT model" in proc.stdout
+        assert "Datasets walkthrough complete" in proc.stdout

@@ -7,8 +7,10 @@ snapshot/restore, canary rollouts), supervised serving (shard death,
 journal-replay recovery, restart-budget quarantine), offline detection,
 the updating simulator
 with checkpoint/drift, the parallel pool (pooled, salvaged, retried and
-serially-degraded tasks) and the experiment grid — under a recording
-registry and tracer.  The tests then diff the emitted names against
+serially-degraded tasks), the out-of-core Backblaze ingest (chunk
+parsing, the lenient ledger, the model filter, interrupt-and-resume
+checkpointing, store assembly) and the experiment grid — under a
+recording registry and tracer.  The tests then diff the emitted names against
 :mod:`repro.observability.catalog` in both directions, so an
 undocumented emission or a documented-but-dead name fails the suite.
 """
@@ -18,6 +20,7 @@ from __future__ import annotations
 import json
 import re
 import warnings
+from dataclasses import replace
 
 import numpy as np
 import pytest
@@ -214,6 +217,38 @@ def _run_supervised_serving(tmp):
         monitor.close()
 
 
+def _run_ingest(tmp):
+    """Drive the Backblaze ingest through every ingest.* code path."""
+    from repro.smart.ingest import IngestConfig, ingest_backblaze
+    from repro.utils.errors import IngestInterrupted
+
+    source = tmp / "backblaze-days"
+    source.mkdir()
+    header = (
+        "date,serial_number,model,capacity_bytes,failure,"
+        "smart_5_raw,smart_197_raw\n"
+    )
+    (source / "2024-01-01.csv").write_text(
+        header
+        + "2024-01-01,S-1,ST4000DM000,4000,0,0,0\n"
+        + "2024-01-01,S-2,OTHER9000,4000,0,0,0\n"  # dropped by the filter
+        + "not-a-date,S-1,ST4000DM000,4000,0,0,0\n"  # skipped into ledger
+    )
+    (source / "2024-01-02.csv").write_text(
+        header + "2024-01-02,S-1,ST4000DM000,4000,1,5,1\n"
+    )
+    config = IngestConfig(
+        source=str(source), out=str(tmp / "backblaze-store"),
+        models=("ST",), chunk_files=1,
+    )
+    # Die after the first of two chunks, then resume against the same
+    # store: the resumed run reloads chunk 0 from the mid-ingest
+    # checkpoint (ingest.checkpoint_hits) and parses only chunk 1.
+    with pytest.raises(IngestInterrupted):
+        ingest_backblaze(replace(config, stop_after_chunks=1))
+    return ingest_backblaze(config)
+
+
 def _run_scenario(tiny_fleet, tiny_split, aging_fleet_small, tmp, registry):
     # fit + compiled scoring + offline detection
     predictor = DriveFailurePredictor(CONFIG).fit(tiny_split)
@@ -233,6 +268,7 @@ def _run_scenario(tiny_fleet, tiny_split, aging_fleet_small, tmp, registry):
     health = _run_serving()
     _run_sharded_serving(tmp)
     _run_supervised_serving(tmp)
+    _run_ingest(tmp)
 
     # updating: run twice against one checkpoint for checkpoint_hits;
     # the two strategies share the (week-1, week-2) cell for cache_hits
@@ -353,6 +389,9 @@ class TestCatalogCoverage:
         assert total("updating.drift_alarms") >= 1
         assert total("grid.checkpoint_hits") >= 2
         assert total("fleet.unroutable_drives") == 1
+        assert total("ingest.checkpoint_hits") == 1
+        assert total("ingest.filtered_rows") == 1
+        assert total("ingest.skipped_rows") == 1
 
 
 class TestEventCatalogCoverage:

@@ -9,6 +9,7 @@ import pytest
 from repro.smart.attributes import channel_index
 from repro.smart.backblaze import (
     COLUMN_TO_CHANNEL,
+    BackblazeReader,
     DriveLoadResult,
     read_backblaze_csv,
     write_backblaze_csv,
@@ -159,6 +160,121 @@ class TestLenientRead:
         path.write_text("date,serial_number\n2024-01-01,S1\n")
         with pytest.raises(IngestError, match="missing required columns"):
             read_backblaze_csv(path, lenient=True)
+
+
+class TestStreamingReader:
+    def test_rows_stream_lazily(self, tmp_path):
+        # The reader must pull rows on demand, not slurp the source:
+        # after taking the first row, most of the lines are unconsumed.
+        path = tmp_path / "big.csv"
+        _write_sample(path, [_row("2024-01-01", f"S{i:04d}") for i in range(500)])
+
+        class CountingLines:
+            def __init__(self, lines):
+                self._iter = iter(lines)
+                self.consumed = 0
+
+            def __iter__(self):
+                return self
+
+            def __next__(self):
+                line = next(self._iter)
+                self.consumed += 1
+                return line
+
+        with path.open(newline="") as handle:
+            counter = CountingLines(handle)
+            reader = BackblazeReader(counter, source=str(path))
+            first = next(iter(reader))
+        assert first.serial == "S0000"
+        assert counter.consumed <= 5  # header + a row or two of lookahead
+
+    def test_missing_mapped_columns_surface_in_header_ledger(self, tmp_path):
+        path = tmp_path / "partial.csv"
+        kept = [c for c in COLUMN_TO_CHANNEL if c != "smart_189_normalized"]
+        header = ["date", "serial_number", "model", "failure"] + kept
+        lines = [",".join(header),
+                 ",".join(["2024-01-01", "S1", "ST4000", "0"] + ["1"] * len(kept))]
+        path.write_text("\n".join(lines) + "\n")
+        with path.open(newline="") as handle:
+            reader = BackblazeReader(handle, source=str(path))
+            assert reader.missing_columns == ("smart_189_normalized",)
+            (row,) = list(reader)
+        assert np.isnan(row.reading[channel_index("HFW")])
+
+    def test_missing_columns_reach_the_lenient_result(self, tmp_path):
+        path = tmp_path / "partial.csv"
+        path.write_text(
+            "date,serial_number,model,failure,smart_9_normalized\n"
+            "2024-01-01,S1,ST4000,0,95\n"
+        )
+        result = read_backblaze_csv(path, lenient=True)
+        assert str(path) in result.missing_columns
+        absent = result.missing_columns[str(path)]
+        assert "smart_1_normalized" in absent
+        assert "smart_9_normalized" not in absent
+
+
+class TestFilterAndLabelParams:
+    def test_models_prefix_filter(self, tmp_path):
+        path = tmp_path / "mixed.csv"
+        _write_sample(
+            path,
+            [
+                _row("2024-01-01", "S1", model="ST4000DM000"),
+                _row("2024-01-01", "S2", model="ST12000NM0007"),
+                _row("2024-01-01", "S3", model="HGST H540"),
+            ],
+        )
+        drives = read_backblaze_csv(path, models=("ST4000",))
+        assert [d.serial for d in drives] == ["S1"]
+        both = read_backblaze_csv(path, models=("ST4000", "HGST"))
+        assert [d.serial for d in both] == ["S1", "S3"]
+
+    def test_epoch_follows_the_filter(self, tmp_path):
+        # S1 starts a day later than the filtered-out S2; after the
+        # filter, S1's first day is the epoch (hour 0).
+        path = tmp_path / "mixed.csv"
+        _write_sample(
+            path,
+            [
+                _row("2024-01-01", "S2", model="WDC"),
+                _row("2024-01-02", "S1", model="ST4000"),
+            ],
+        )
+        (drive,) = read_backblaze_csv(path, models=("ST",))
+        assert drive.hours[0] == 0.0
+
+    def test_failure_window_trims_history(self, tmp_path):
+        path = tmp_path / "fail.csv"
+        rows = [_row(f"2024-01-{day:02d}", "S1") for day in range(1, 11)]
+        rows[-1] = _row("2024-01-10", "S1", failure=1)
+        _write_sample(path, rows)
+        (full,) = read_backblaze_csv(path)
+        assert full.n_samples == 10
+        (trimmed,) = read_backblaze_csv(path, failure_window_days=3)
+        assert trimmed.n_samples <= 3
+        assert trimmed.failure_hour == full.failure_hour
+
+    def test_last_sample_failure_label(self, tmp_path):
+        path = tmp_path / "fail.csv"
+        _write_sample(
+            path,
+            [
+                _row("2024-01-01", "S1"),
+                _row("2024-01-02", "S1", failure=1),
+            ],
+        )
+        (day_end,) = read_backblaze_csv(path)
+        (last_sample,) = read_backblaze_csv(path, failure_label="last-sample")
+        assert day_end.failure_hour == 48.0
+        assert last_sample.failure_hour == 24.0
+
+    def test_unknown_failure_label_rejected(self, tmp_path):
+        path = tmp_path / "d.csv"
+        _write_sample(path, [_row("2024-01-01", "S1")])
+        with pytest.raises(ValueError, match="failure_label"):
+            read_backblaze_csv(path, failure_label="whenever")
 
 
 class TestRoundTrip:

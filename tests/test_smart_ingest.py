@@ -1,0 +1,339 @@
+"""Tests for the chunked, out-of-core Backblaze ingest pipeline.
+
+Golden numbers come from the checked-in miniature dump at
+``tests/fixtures/backblaze_mini`` (14 daily CSVs, 17 drives over three
+models, 3 failures, 2 malformed rows, one mapped column missing from
+the header).  Regenerate it with ``python tools/make_backblaze_fixture.py``
+and update the pins together.
+"""
+
+import hashlib
+import json
+import tempfile
+import zipfile
+from dataclasses import replace
+from datetime import date
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smart.backblaze import write_backblaze_csv
+from repro.smart.dataset import SmartDataset
+from repro.smart.generator import default_fleet_config
+from repro.smart.ingest import (
+    STORE_ARRAYS,
+    IngestConfig,
+    discover_source_files,
+    ingest_backblaze,
+    load_backblaze,
+    load_store,
+    read_manifest,
+)
+from repro.utils.errors import IngestError, IngestInterrupted
+
+FIXTURE = Path(__file__).parent / "fixtures" / "backblaze_mini"
+
+#: Pinned manifest totals of the fixture (see the module docstring).
+GOLDEN_TOTALS = {
+    "n_files": 14,
+    "n_rows": 224,
+    "n_filtered_rows": 0,
+    "n_skipped_rows": 2,
+    "n_drives": 17,
+    "n_failed": 3,
+    "n_samples": 224,
+    "epoch_day": "2024-01-01",
+}
+
+
+def _config(tmp_path, **overrides):
+    defaults = dict(
+        source=str(FIXTURE), out=str(tmp_path / "store"), chunk_files=3
+    )
+    defaults.update(overrides)
+    return IngestConfig(**defaults)
+
+
+def _store_digest(store):
+    digest = hashlib.sha256()
+    for name in STORE_ARRAYS:
+        digest.update((Path(store) / f"{name}.npy").read_bytes())
+    return digest.hexdigest()
+
+
+def _assert_same_drives(left, right):
+    assert len(left.drives) == len(right.drives)
+    for a, b in zip(left.drives, right.drives):
+        assert a.serial == b.serial
+        assert a.family == b.family
+        assert a.failed == b.failed
+        assert a.failure_hour == b.failure_hour
+        np.testing.assert_array_equal(a.hours, b.hours)
+        np.testing.assert_array_equal(a.values, b.values, strict=True)
+
+
+class TestDiscover:
+    def test_directory_sorted(self):
+        refs = discover_source_files(FIXTURE)
+        assert len(refs) == 14
+        assert [kind for kind, _, _ in refs] == ["fs"] * 14
+        names = [Path(path).name for _, path, _ in refs]
+        assert names == sorted(names)
+
+    def test_single_file(self):
+        refs = discover_source_files(FIXTURE / "2024-01-01.csv")
+        assert len(refs) == 1
+
+    def test_zip(self, tmp_path):
+        archive = tmp_path / "dump.zip"
+        with zipfile.ZipFile(archive, "w") as zf:
+            for path in sorted(FIXTURE.glob("*.csv")):
+                zf.write(path, path.name)
+        refs = discover_source_files(archive)
+        assert len(refs) == 14
+        assert all(kind == "zip" for kind, _, _ in refs)
+
+    def test_missing_source(self, tmp_path):
+        with pytest.raises(IngestError, match="not found"):
+            discover_source_files(tmp_path / "nope")
+
+    def test_empty_directory(self, tmp_path):
+        with pytest.raises(IngestError, match="no CSV files"):
+            discover_source_files(tmp_path)
+
+
+class TestGoldenFixture:
+    def test_manifest_totals_pinned(self, tmp_path):
+        manifest = ingest_backblaze(_config(tmp_path))
+        assert manifest["totals"] == GOLDEN_TOTALS
+        assert manifest["n_chunks"] == 5  # ceil(14 / 3)
+
+    def test_failed_drives_and_failure_hours(self, tmp_path):
+        ingest_backblaze(_config(tmp_path))
+        dataset = load_store(tmp_path / "store")
+        failed = {d.serial: d for d in dataset.failed_drives}
+        assert sorted(failed) == ["ZA07", "ZA08", "ZB04"]
+        # day-end labeling: last reported day 10/14/12 -> hour * 24.
+        assert failed["ZA07"].failure_hour == 240.0
+        assert failed["ZA08"].failure_hour == 336.0
+        assert failed["ZB04"].failure_hour == 288.0
+
+    def test_ledger_carries_row_provenance(self, tmp_path):
+        manifest = ingest_backblaze(_config(tmp_path))
+        locations = [
+            (Path(e["source"]).name, e["line"], e["column"])
+            for e in manifest["errors"]
+        ]
+        assert locations == [
+            ("2024-01-03.csv", 18, "date"),
+            ("2024-01-06.csv", 19, "smart_9_normalized"),
+        ]
+        # smart_189_normalized is absent from every day file's header.
+        missing = manifest["missing_columns"]
+        assert len(missing) == 14
+        assert all(v == ["smart_189_normalized"] for v in missing.values())
+
+    def test_store_matches_in_memory_load(self, tmp_path):
+        ingest_backblaze(_config(tmp_path))
+        _assert_same_drives(
+            load_store(tmp_path / "store"), load_backblaze(FIXTURE)
+        )
+
+    def test_chunk_boundaries_do_not_change_the_store(self, tmp_path):
+        # Drive histories span every chunk boundary at chunk_files=1;
+        # reassembly across parts must be invisible in the output.
+        digests = set()
+        for chunk_files in (1, 3, 14):
+            out = tmp_path / f"store-{chunk_files}"
+            ingest_backblaze(
+                _config(tmp_path, out=str(out), chunk_files=chunk_files)
+            )
+            digests.add(_store_digest(out))
+        assert len(digests) == 1
+
+    def test_zip_source_is_byte_identical_to_directory(self, tmp_path):
+        archive = tmp_path / "dump.zip"
+        with zipfile.ZipFile(archive, "w") as zf:
+            for path in sorted(FIXTURE.glob("*.csv")):
+                zf.write(path, path.name)
+        ingest_backblaze(_config(tmp_path, out=str(tmp_path / "a")))
+        ingest_backblaze(
+            _config(tmp_path, source=str(archive), out=str(tmp_path / "b"))
+        )
+        assert _store_digest(tmp_path / "a") == _store_digest(tmp_path / "b")
+
+    def test_parallel_ingest_is_byte_identical_to_serial(self, tmp_path):
+        ingest_backblaze(
+            _config(tmp_path, out=str(tmp_path / "serial"), n_jobs=1)
+        )
+        ingest_backblaze(
+            _config(tmp_path, out=str(tmp_path / "parallel"), n_jobs=4)
+        )
+        assert (
+            _store_digest(tmp_path / "serial")
+            == _store_digest(tmp_path / "parallel")
+        )
+
+    def test_chunks_bound_memory_below_full_dataset(self, tmp_path):
+        # The out-of-core contract: no parse worker ever holds the whole
+        # dump — the manifest's per-chunk row counts prove the granule.
+        manifest = ingest_backblaze(_config(tmp_path, chunk_files=3))
+        per_chunk = [chunk["n_rows"] for chunk in manifest["chunks"]]
+        assert len(per_chunk) > 1
+        assert max(per_chunk) < manifest["totals"]["n_rows"]
+        assert sum(per_chunk) == manifest["totals"]["n_rows"]
+
+
+class TestResume:
+    def test_interrupt_then_resume_is_bit_identical(self, tmp_path):
+        ingest_backblaze(_config(tmp_path, out=str(tmp_path / "baseline")))
+        config = _config(tmp_path, out=str(tmp_path / "resumed"))
+        with pytest.raises(IngestInterrupted) as excinfo:
+            ingest_backblaze(replace(config, stop_after_chunks=2))
+        assert excinfo.value.chunks_done == 2
+        out = Path(config.out)
+        assert not (out / "manifest.json").exists()  # incomplete store
+        assert (out / "ingest-checkpoint.json").exists()
+
+        manifest = ingest_backblaze(config)
+        assert manifest["totals"] == GOLDEN_TOTALS
+        assert _store_digest(out) == _store_digest(tmp_path / "baseline")
+        # Completion cleans up the transient state.
+        assert not (out / "parts").exists()
+        assert not (out / "ingest-checkpoint.json").exists()
+
+    def test_resume_reparses_only_pending_chunks(self, tmp_path, monkeypatch):
+        import repro.smart.ingest as ingest_module
+
+        config = _config(tmp_path)
+        with pytest.raises(IngestInterrupted):
+            ingest_backblaze(replace(config, stop_after_chunks=3))
+        calls = []
+        real = ingest_module._parse_chunk
+
+        def counting(cfg, task):
+            calls.append(task[0])
+            return real(cfg, task)
+
+        monkeypatch.setattr(ingest_module, "_parse_chunk", counting)
+        ingest_backblaze(config)
+        assert calls == [3, 4]  # chunks 0-2 came from the checkpoint
+
+    def test_completed_store_is_an_idempotent_noop(self, tmp_path, monkeypatch):
+        import repro.smart.ingest as ingest_module
+
+        config = _config(tmp_path)
+        first = ingest_backblaze(config)
+
+        def exploding(cfg, task):
+            raise AssertionError("re-ingest of a complete store reparsed")
+
+        monkeypatch.setattr(ingest_module, "_parse_chunk", exploding)
+        assert ingest_backblaze(config) == first
+
+    def test_completed_store_rejects_a_different_config(self, tmp_path):
+        config = _config(tmp_path)
+        ingest_backblaze(config)
+        with pytest.raises(ValueError, match="different\\s+config"):
+            ingest_backblaze(replace(config, models=("ST4000",)))
+
+    def test_mid_ingest_checkpoint_rejects_a_different_config(self, tmp_path):
+        config = _config(tmp_path)
+        with pytest.raises(IngestInterrupted):
+            ingest_backblaze(replace(config, stop_after_chunks=1))
+        with pytest.raises(ValueError, match="different\\s+config"):
+            ingest_backblaze(replace(config, failure_label="last-sample"))
+
+
+class TestFilterAndLabeling:
+    def test_model_filter_drops_rows_at_the_source(self, tmp_path):
+        manifest = ingest_backblaze(_config(tmp_path, models=("ST4000",)))
+        totals = manifest["totals"]
+        assert totals["n_drives"] == 9  # the ST4000DM000 fleet only
+        assert totals["n_failed"] == 2
+        assert totals["n_rows"] + totals["n_filtered_rows"] == 224
+        dataset = load_store(tmp_path / "store")
+        assert {d.family for d in dataset.drives} == {"ST4000DM000"}
+
+    def test_multiple_prefixes(self, tmp_path):
+        manifest = ingest_backblaze(
+            _config(tmp_path, models=("ST4000", "ST12000"))
+        )
+        assert manifest["totals"]["n_drives"] == 14
+
+    def test_failure_window_trims_failed_histories(self, tmp_path):
+        ingest_backblaze(_config(tmp_path, failure_window_days=5))
+        dataset = load_store(tmp_path / "store")
+        for drive in dataset.failed_drives:
+            assert drive.n_samples <= 5
+            assert drive.hours[0] > drive.failure_hour - 5 * 24.0
+        # Good drives keep their full fortnight.
+        assert max(d.n_samples for d in dataset.good_drives) == 14
+
+    def test_last_sample_failure_label(self, tmp_path):
+        ingest_backblaze(_config(tmp_path, failure_label="last-sample"))
+        dataset = load_store(tmp_path / "store")
+        failed = {d.serial: d for d in dataset.failed_drives}
+        # ZA07 last reports on day 10 -> hour 216 under last-sample
+        # (vs 240 under day-end).
+        assert failed["ZA07"].failure_hour == 216.0
+        for drive in failed.values():
+            assert drive.failure_hour == drive.hours[-1]
+
+    def test_strict_mode_fails_on_the_first_bad_row(self, tmp_path):
+        with pytest.raises(IngestError, match="2024-01-03.csv:18"):
+            ingest_backblaze(_config(tmp_path, lenient=False))
+
+
+class TestRoundTrip:
+    @given(
+        w_good=st.integers(2, 5),
+        w_failed=st.integers(1, 3),
+        days=st.integers(2, 6),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_write_then_ingest_round_trips(self, w_good, w_failed, days, seed):
+        fleet = SmartDataset.generate(
+            default_fleet_config(
+                w_good=w_good, w_failed=w_failed, q_good=0, q_failed=0,
+                collection_days=days, seed=seed,
+            )
+        )
+        with tempfile.TemporaryDirectory() as tmp:
+            tmp = Path(tmp)
+            csv_path = tmp / "export.csv"
+            write_backblaze_csv(csv_path, fleet.drives, start=date(2024, 3, 1))
+            ingest_backblaze(
+                IngestConfig(
+                    source=str(csv_path), out=str(tmp / "store"), chunk_files=1
+                )
+            )
+            store = load_store(tmp / "store")
+            # The chunked store and the in-memory reader agree exactly.
+            _assert_same_drives(store, load_backblaze(csv_path))
+            # Drive identity and labels survive the daily downsampling.
+            assert len(store.drives) == len(fleet.drives)
+            by_serial = {d.serial: d for d in store.drives}
+            for original in fleet.drives:
+                assert by_serial[original.serial].failed == original.failed
+
+    def test_manifest_schema_is_checked(self, tmp_path):
+        config = _config(tmp_path)
+        ingest_backblaze(config)
+        store = tmp_path / "store"
+        manifest = read_manifest(store)
+        manifest["schema"] = "repro.ingest-manifest/v999"
+        (store / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="expected schema"):
+            load_store(store)
+
+    def test_incomplete_store_refuses_to_load(self, tmp_path):
+        config = _config(tmp_path)
+        with pytest.raises(IngestInterrupted):
+            ingest_backblaze(replace(config, stop_after_chunks=1))
+        with pytest.raises(ValueError, match="no manifest"):
+            load_store(tmp_path / "store")

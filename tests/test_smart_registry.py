@@ -1,0 +1,286 @@
+"""Tests for the dataset registry and its grid integration.
+
+The registry contract under test: ``(path | generator, params, seed) →
+dataset``, same handle → same drives, and a handle is a drop-in for the
+synthetic fleets everywhere the experiment grid reads data.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.common import (
+    ExperimentScale,
+    main_fleet,
+    paper_family,
+    run_experiment_grid,
+    set_dataset_override,
+)
+from repro.smart.dataset import SmartDataset
+from repro.smart.generator import default_fleet_config
+from repro.smart.ingest import IngestConfig, ingest_backblaze
+from repro.smart.io import write_fleet_csv
+from repro.smart import registry
+from repro.smart.registry import (
+    DatasetSpec,
+    canonical_handle,
+    describe,
+    parse_handle,
+    register_loader,
+    registered_kinds,
+    resolve,
+)
+from repro.utils.checkpoint import JsonCheckpoint
+
+FIXTURE = Path(__file__).parent / "fixtures" / "backblaze_mini"
+
+
+class TestParseHandle:
+    def test_basic(self):
+        spec = parse_handle("backblaze:/data/q1-store")
+        assert spec == DatasetSpec(kind="backblaze", path="/data/q1-store")
+
+    def test_params_sorted_and_seed_split_out(self):
+        spec = parse_handle("synthetic:default?w_good=20&seed=7&q_good=5")
+        assert spec.kind == "synthetic"
+        assert spec.params == (("q_good", "5"), ("w_good", "20"))
+        assert spec.seed == 7
+
+    def test_canonical_handle_is_spelling_independent(self):
+        a = canonical_handle("synthetic:default?seed=7&w_good=20&q_good=5")
+        b = canonical_handle("synthetic:default?q_good=5&w_good=20&seed=7")
+        assert a == b == "synthetic:default?q_good=5&w_good=20&seed=7"
+        # Canonical form is a fixed point.
+        assert canonical_handle(a) == a
+
+    def test_spec_passes_through(self):
+        spec = parse_handle("synthetic:default?seed=3")
+        assert parse_handle(spec) is spec
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(ValueError, match="no kind"):
+            parse_handle("just-a-path")
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError, match="empty path"):
+            parse_handle("backblaze:")
+
+    def test_seed_on_static_kind_rejected(self):
+        with pytest.raises(ValueError, match="static dataset"):
+            parse_handle("backblaze:/data/store?seed=3")
+
+    def test_non_integer_seed_rejected(self):
+        with pytest.raises(ValueError, match="seed must be an integer"):
+            parse_handle("synthetic:default?seed=lots")
+
+    def test_bad_boolean_param_rejected(self):
+        spec = parse_handle("backblaze:x?lenient=maybe")
+        with pytest.raises(ValueError, match="must be a boolean"):
+            spec.param_dict()
+
+
+class TestResolve:
+    def test_synthetic_equals_direct_generation(self):
+        handle = "synthetic:default?w_good=6&w_failed=2&q_good=0&q_failed=0&collection_days=3&seed=11"
+        dataset = resolve(handle)
+        direct = SmartDataset.generate(
+            default_fleet_config(
+                w_good=6, w_failed=2, q_good=0, q_failed=0,
+                collection_days=3, seed=11,
+            )
+        )
+        assert [d.serial for d in dataset.drives] == [
+            d.serial for d in direct.drives
+        ]
+        assert len(dataset.failed_drives) == len(direct.failed_drives)
+
+    def test_same_handle_is_cached(self):
+        handle = "synthetic:default?w_good=4&w_failed=1&q_good=0&q_failed=0&collection_days=2&seed=5"
+        assert resolve(handle) is resolve(handle)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown dataset kind"):
+            resolve("warehouse:shelf-9")
+
+    def test_unknown_synthetic_param(self):
+        with pytest.raises(ValueError, match="not recognised"):
+            resolve("synthetic:default?volume=11&seed=1")
+
+    def test_backblaze_raw_directory_with_params(self):
+        dataset = resolve(f"backblaze:{FIXTURE}?models=ST4000%2BST12000")
+        assert len(dataset.drives) == 14
+        dataset = resolve(f"backblaze:{FIXTURE}?models=ST4000")
+        assert {d.family for d in dataset.drives} == {"ST4000DM000"}
+
+    def test_backblaze_store(self, tmp_path):
+        store = tmp_path / "store"
+        ingest_backblaze(
+            IngestConfig(source=str(FIXTURE), out=str(store), chunk_files=4)
+        )
+        dataset = resolve(f"backblaze:{store}")
+        assert len(dataset.drives) == 17
+        assert len(dataset.failed_drives) == 3
+
+    def test_store_rejects_load_time_params(self, tmp_path):
+        store = tmp_path / "store"
+        ingest_backblaze(
+            IngestConfig(source=str(FIXTURE), out=str(store), chunk_files=4)
+        )
+        with pytest.raises(ValueError, match="fixed at ingest time"):
+            resolve(f"backblaze:{store}?models=ST4000")
+
+    def test_fleet_csv_kind(self, tmp_path):
+        fleet = SmartDataset.generate(
+            default_fleet_config(
+                w_good=3, w_failed=1, q_good=0, q_failed=0,
+                collection_days=2, seed=9,
+            )
+        )
+        path = tmp_path / "fleet.csv"
+        write_fleet_csv(path, fleet.drives)
+        dataset = resolve(f"fleet-csv:{path}")
+        assert len(dataset.drives) == 4
+
+    def test_register_loader_adds_a_kind(self, monkeypatch):
+        monkeypatch.setattr(registry, "_LOADERS", dict(registry._LOADERS))
+        monkeypatch.setattr(
+            registry, "GENERATOR_KINDS", set(registry.GENERATOR_KINDS)
+        )
+        monkeypatch.setattr(registry, "_CACHE", {})
+
+        def loader(spec):
+            return SmartDataset.generate(
+                default_fleet_config(
+                    w_good=2, w_failed=1, q_good=0, q_failed=0,
+                    collection_days=2, seed=spec.seed or 0,
+                )
+            )
+
+        register_loader("toy", loader, generator=True)
+        assert "toy" in registered_kinds()
+        assert len(resolve("toy:anything?seed=4").drives) == 3
+
+    def test_describe_reports_families_and_provenance(self, tmp_path):
+        description = describe(
+            "synthetic:default?w_good=4&w_failed=2&q_good=3&q_failed=1"
+            "&collection_days=2&seed=3"
+        )
+        assert description["kind"] == "synthetic"
+        assert description["static"] is False
+        assert description["n_drives"] == 10
+        assert description["families"]["W"] == {"good": 4, "failed": 2}
+
+        store = tmp_path / "store"
+        ingest_backblaze(
+            IngestConfig(source=str(FIXTURE), out=str(store), chunk_files=4)
+        )
+        description = describe(f"backblaze:{store}")
+        assert description["static"] is True
+        assert description["ingest_totals"]["n_rows"] == 224
+
+
+class TestPaperFamily:
+    def test_literal_families_pass_through(self):
+        fleet = SmartDataset.generate(
+            default_fleet_config(
+                w_good=4, w_failed=1, q_good=3, q_failed=1,
+                collection_days=2, seed=2,
+            )
+        )
+        assert paper_family(fleet, "W").families() == ["W"]
+        assert paper_family(fleet, "Q").families() == ["Q"]
+
+    def test_real_families_ranked_by_size(self):
+        fleet = resolve(f"backblaze:{FIXTURE}")
+        assert paper_family(fleet, "W").families() == ["ST4000DM000"]
+        assert paper_family(fleet, "Q").families() == ["ST12000NM0007"]
+
+    def test_single_family_serves_both_roles(self):
+        fleet = resolve(f"backblaze:{FIXTURE}?models=ST4000")
+        assert paper_family(fleet, "W").families() == ["ST4000DM000"]
+        assert paper_family(fleet, "Q").families() == ["ST4000DM000"]
+
+    def test_unknown_role_rejected(self):
+        fleet = resolve(f"backblaze:{FIXTURE}")
+        with pytest.raises(ValueError, match="family role"):
+            paper_family(fleet, "X")
+
+
+# -- grid integration (run functions must be module-level picklable) ---------
+
+def _fleet_census(scale):
+    fleet = main_fleet(scale)
+    return {
+        "n_drives": len(fleet.drives),
+        "n_failed": len(fleet.failed_drives),
+        "families": sorted(fleet.families()),
+        "w_family": paper_family(fleet, "W").families()[0],
+    }
+
+
+_GRID = {"census": _fleet_census}
+
+
+class TestGridIntegration:
+    def test_override_swaps_the_fleet_for_every_reader(self):
+        handle = f"backblaze:{FIXTURE}"
+        previous = set_dataset_override(handle)
+        try:
+            fleet = main_fleet(ExperimentScale.tiny())
+            assert len(fleet.drives) == 17
+        finally:
+            set_dataset_override(previous)
+        assert main_fleet(ExperimentScale.tiny()).families() == ["Q", "W"]
+
+    def test_grid_runs_on_a_registry_handle(self):
+        results = run_experiment_grid(
+            _GRID, ExperimentScale.tiny(), dataset=f"backblaze:{FIXTURE}"
+        )
+        assert results["census"] == {
+            "n_drives": 17,
+            "n_failed": 3,
+            "families": [
+                "HGST HMS5C4040BLE640", "ST12000NM0007", "ST4000DM000",
+            ],
+            "w_family": "ST4000DM000",
+        }
+
+    def test_serial_and_parallel_grids_agree(self):
+        handle = f"backblaze:{FIXTURE}?failure_label=last-sample"
+        serial = run_experiment_grid(
+            _GRID, ExperimentScale.tiny(), n_jobs=1, dataset=handle
+        )
+        parallel = run_experiment_grid(
+            _GRID, ExperimentScale.tiny(), n_jobs=2, dataset=handle
+        )
+        assert serial == parallel
+
+    def test_without_dataset_the_synthetic_fleet_is_untouched(self):
+        results = run_experiment_grid(_GRID, ExperimentScale.tiny())
+        assert results["census"]["families"] == ["Q", "W"]
+        assert results["census"]["w_family"] == "W"
+
+    def test_checkpoint_guard_pins_the_dataset(self, tmp_path):
+        handle = f"backblaze:{FIXTURE}"
+        path = tmp_path / "grid.json"
+        run_experiment_grid(
+            _GRID, ExperimentScale.tiny(), checkpoint_path=path, dataset=handle
+        )
+        # Same dataset resumes fine; a different one is refused.
+        run_experiment_grid(
+            _GRID, ExperimentScale.tiny(), checkpoint_path=path, dataset=handle
+        )
+        with pytest.raises(ValueError, match="was written for dataset"):
+            run_experiment_grid(
+                _GRID, ExperimentScale.tiny(), checkpoint_path=path,
+                dataset=f"backblaze:{FIXTURE}?models=ST4000",
+            )
+        with pytest.raises(ValueError, match="was written for dataset"):
+            run_experiment_grid(
+                _GRID, ExperimentScale.tiny(), checkpoint_path=path
+            )
+
+    def test_dataset_free_checkpoints_stay_legacy_clean(self, tmp_path):
+        path = tmp_path / "grid.json"
+        run_experiment_grid(_GRID, ExperimentScale.tiny(), checkpoint_path=path)
+        assert JsonCheckpoint(path, kind="experiment-grid").keys() == ["census"]

@@ -8,7 +8,9 @@ Scans markdown files for two kinds of repository references:
 * backtick spans that look like repo file paths — no spaces, at least
   one ``/``, and a documentation/code suffix (``.md``, ``.py``, ...).
   Suffix-less spans and dotted metric names (``grid.cell/score.batch``)
-  are ignored, and ``::test_name`` selectors are stripped.
+  are ignored, ``::test_name`` selectors are stripped, and spans with a
+  remaining colon (dataset handles like ``fleet-csv:/data/fleet.csv``)
+  are not paths.
 
 A target resolves if it exists relative to the markdown file's own
 directory or to the repository root (repo docs conventionally write
@@ -47,6 +49,8 @@ def _candidate_paths(text: str) -> set[str]:
         if " " in span or "/" not in span or "://" in span:
             continue
         span = span.split("::", 1)[0]
+        if ":" in span:  # dataset handles: kind:path?params
+            continue
         if span.endswith(PATH_SUFFIXES):
             found.add(span)
     return {path for path in found if path}

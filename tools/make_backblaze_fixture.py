@@ -1,0 +1,135 @@
+"""Regenerate the miniature Backblaze dump at tests/fixtures/backblaze_mini.
+
+A deterministic, seeded, 14-day corpus in the real Backblaze daily-CSV
+schema, small enough to check in (a few KB) yet shaped like the real
+thing: three drive models mapping to two paper-style families plus a
+bystander, a few failures spread across the fortnight, late-arriving
+and early-retiring drives (so drive histories span chunk boundaries at
+any ``chunk_files``), two deliberately malformed rows for the lenient
+ledger, an unmapped extra column, and one mapped column missing from
+the header (``smart_189_normalized``) so the missing-column ledger has
+something to say.
+
+The golden tests in ``tests/test_smart_ingest.py`` pin numbers derived
+from these files; regenerate only when the fixture design changes, and
+update the pins alongside::
+
+    python tools/make_backblaze_fixture.py
+"""
+
+from __future__ import annotations
+
+import random
+from datetime import date, timedelta
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+OUT = ROOT / "tests" / "fixtures" / "backblaze_mini"
+
+START = date(2024, 1, 1)
+N_DAYS = 14
+SEED = 20240101
+
+#: The header: required columns, the mapped SMART columns *except*
+#: smart_189_normalized (absent, like HGST's missing attributes in the
+#: real corpus), and one unmapped extra column readers must ignore.
+COLUMNS = [
+    "date", "serial_number", "model", "capacity_bytes", "failure",
+    "smart_1_normalized", "smart_3_normalized", "smart_5_normalized",
+    "smart_7_normalized", "smart_9_normalized", "smart_187_normalized",
+    "smart_194_normalized", "smart_195_normalized", "smart_197_normalized",
+    "smart_5_raw", "smart_197_raw",
+    "smart_4_raw",  # unmapped: ignored by the adapter
+]
+
+#: (serial, model, first_day, last_day, fails) — last_day inclusive,
+#: 0-based; a failing drive's failure flag is raised on its last day.
+DRIVES = [
+    # Family W stand-in: 9 Seagate 4TB drives, 2 failures.
+    ("ZA00", "ST4000DM000", 0, 13, False),
+    ("ZA01", "ST4000DM000", 0, 13, False),
+    ("ZA02", "ST4000DM000", 0, 13, False),
+    ("ZA03", "ST4000DM000", 0, 13, False),
+    ("ZA04", "ST4000DM000", 2, 13, False),   # provisioned late
+    ("ZA05", "ST4000DM000", 0, 11, False),   # decommissioned early
+    ("ZA06", "ST4000DM000", 0, 13, False),
+    ("ZA07", "ST4000DM000", 0, 9, True),     # fails on day 10
+    ("ZA08", "ST4000DM000", 1, 13, True),    # fails on day 14
+    # Family Q stand-in: 5 Seagate 12TB drives, 1 failure.
+    ("ZB00", "ST12000NM0007", 0, 13, False),
+    ("ZB01", "ST12000NM0007", 0, 13, False),
+    ("ZB02", "ST12000NM0007", 0, 13, False),
+    ("ZB03", "ST12000NM0007", 3, 13, False),
+    ("ZB04", "ST12000NM0007", 0, 11, True),  # fails on day 12
+    # Bystanders a --models filter drops: 3 healthy HGST drives.
+    ("ZH00", "HGST HMS5C4040BLE640", 0, 13, False),
+    ("ZH01", "HGST HMS5C4040BLE640", 0, 13, False),
+    ("ZH02", "HGST HMS5C4040BLE640", 0, 13, False),
+]
+
+CAPACITY = {
+    "ST4000DM000": 4_000_787_030_016,
+    "ST12000NM0007": 12_000_138_625_024,
+    "HGST HMS5C4040BLE640": 4_000_787_030_016,
+}
+
+
+def _reading(rng: random.Random, day: int, fails: bool, last_day: int) -> list[str]:
+    """One day's SMART cells: healthy noise, degrading when near failure."""
+    stress = 0.0
+    if fails:
+        # Ramp degradation over the final five days of a failing drive.
+        stress = max(0.0, 5.0 - (last_day - day)) / 5.0
+    cells = [
+        f"{rng.uniform(110, 120) - 40 * stress:.0f}",   # smart_1  RRER
+        f"{rng.uniform(92, 98):.0f}",                   # smart_3  SUT
+        f"{rng.uniform(98, 100) - 25 * stress:.0f}",    # smart_5  RSC
+        f"{rng.uniform(85, 90) - 20 * stress:.0f}",     # smart_7  SER
+        f"{rng.uniform(95, 97):.0f}",                   # smart_9  POH
+        f"{100 - round(6 * stress):.0f}",               # smart_187 RUE
+        f"{rng.uniform(75, 85):.0f}",                   # smart_194 TC
+        f"{rng.uniform(99, 100) - 30 * stress:.0f}",    # smart_195 HER
+        f"{rng.uniform(99, 100) - 40 * stress:.0f}",    # smart_197 CPSC
+        f"{round(40 * stress)}",                        # smart_5_raw
+        f"{round(24 * stress)}",                        # smart_197_raw
+        f"{rng.randint(1, 9)}",                         # smart_4_raw (unmapped)
+    ]
+    return cells
+
+
+def main() -> None:
+    OUT.mkdir(parents=True, exist_ok=True)
+    rng = random.Random(SEED)
+    for day in range(N_DAYS):
+        stamp = (START + timedelta(days=day)).isoformat()
+        lines = [",".join(COLUMNS)]
+        for serial, model, first, last, fails in DRIVES:
+            if not (first <= day <= last):
+                continue
+            failure = "1" if fails and day == last else "0"
+            cells = _reading(rng, day, fails, last)
+            lines.append(",".join(
+                [stamp, serial, f'"{model}"' if "," in model else model,
+                 str(CAPACITY[model]), failure] + cells
+            ))
+        # Two malformed rows for the lenient ledger, at fixed spots.
+        if day == 2:
+            lines.append(",".join(
+                ["2024-13-99", "ZBAD", "ST4000DM000",
+                 str(CAPACITY["ST4000DM000"]), "0"]
+                + _reading(rng, day, False, N_DAYS - 1)
+            ))
+        if day == 5:
+            cells = _reading(rng, day, False, N_DAYS - 1)
+            cells[4] = "not-a-number"  # smart_9_normalized
+            lines.append(",".join(
+                [stamp, "ZA00", "ST4000DM000",
+                 str(CAPACITY["ST4000DM000"]), "0"] + cells
+            ))
+        path = OUT / f"{stamp}.csv"
+        path.write_text("\n".join(lines) + "\n")
+        print(f"wrote {path.relative_to(ROOT)} ({len(lines) - 1} rows)")
+
+
+if __name__ == "__main__":
+    main()
