@@ -25,6 +25,9 @@ Subpackages:
 * :mod:`repro.updating` — model-aging strategies and simulation.
 * :mod:`repro.reliability` — Markov MTTDL models (Table VI, Figure 12).
 * :mod:`repro.experiments` — one driver per paper table/figure.
+* :mod:`repro.explain` — subtree reports from alert provenance,
+  crossfit what-if sweeps, redundancy summaries (``repro-explain``).
+* :mod:`repro.observability` — metrics, tracing, events, SLOs.
 """
 
 from repro.core import (

@@ -1452,6 +1452,8 @@ class ShardedFleetMonitor:
         get_event_log().emit(
             "outcome_resolved", drive=serial, hour=hour,
             outcome=outcome,
+            **({"alert_id": alert.alert_id}
+               if alert is not None and alert.alert_id else {}),
             **({"lead_hours": lead_hours} if lead_hours is not None else {}),
         )
         if self.slo is not None:

@@ -927,7 +927,10 @@ class FleetMonitor:
         The outcome feeds the attached SLO monitor (when one was passed
         at construction) with the detection's lead time, and an
         ``outcome_resolved`` event lands in the log — the bridge from
-        the alert lifecycle to the FDR/FAR/lead-time budgets.
+        the alert lifecycle to the FDR/FAR/lead-time budgets.  When the
+        drive had alerted, the event carries the resolving alert's id,
+        so explain reports can attribute precision to the exact
+        subtree that paged (:mod:`repro.explain.report`).
         """
         alerted = self._is_alerted(serial)
         if failed:
@@ -951,6 +954,8 @@ class FleetMonitor:
         get_event_log().emit(
             "outcome_resolved", drive=serial, hour=hour,
             outcome=outcome,
+            **({"alert_id": alert.alert_id}
+               if alert is not None and alert.alert_id else {}),
             **({"lead_hours": lead_hours} if lead_hours is not None else {}),
         )
         if self.slo is not None:

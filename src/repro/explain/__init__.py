@@ -1,0 +1,69 @@
+"""Fleet-scale model explanation and what-if simulation.
+
+The observability layer on top of alert provenance.  Every raised
+alert already carries its CART decision path
+(:func:`repro.observability.events.decision_path_payload`); this
+package turns those per-alert breadcrumbs into fleet-level products,
+following the interpretable-maintenance framing of arXiv 2102.06509
+and the facet simulation/crossfit patterns (PAPERS.md):
+
+* :mod:`repro.explain.report` — fold one or more ``repro.events/v1``
+  logs into a **top failing subtrees** report
+  (``repro.explain-report/v1``): which tree nodes carry the alert
+  volume, with outcome-resolved precision per subtree.  Replayable
+  from logs alone;
+* :mod:`repro.explain.crossfit` — one fitted model per stratified CV
+  split (the facet crossfit pattern), the uncertainty substrate for
+  the other pillars;
+* :mod:`repro.explain.simulate` — **univariate feature-uplift
+  simulation** (``repro.explain-uplift/v1``): sweep one SMART feature
+  over a partition grid, rescore the fleet through the batched
+  compiled scorer per split model, report mean ± spread;
+* :mod:`repro.explain.redundancy` — **feature redundancy /
+  interaction** summaries across split models
+  (``repro.explain-redundancy/v1``).
+
+Surface: the ``repro-explain`` CLI (:mod:`repro.explain.cli`) with
+``report`` / ``simulate`` / ``redundancy`` subcommands; the
+``explain.*`` metrics and spans are declared in
+:mod:`repro.observability.catalog` and documented in
+``docs/observability.md``; the operator walkthrough is
+``docs/explanation.md``.
+"""
+
+from repro.explain.crossfit import Crossfit, crossfit_models
+from repro.explain.redundancy import (
+    REDUNDANCY_SCHEMA,
+    render_redundancy,
+    summarize_redundancy,
+)
+from repro.explain.report import (
+    EXPLAIN_REPORT_SCHEMA,
+    build_explain_report,
+    canonical_json,
+    explain_report_from_logs,
+    render_explain_report,
+)
+from repro.explain.simulate import (
+    UPLIFT_SCHEMA,
+    partition_grid,
+    render_uplift,
+    simulate_uplift,
+)
+
+__all__ = [
+    "Crossfit",
+    "crossfit_models",
+    "REDUNDANCY_SCHEMA",
+    "render_redundancy",
+    "summarize_redundancy",
+    "EXPLAIN_REPORT_SCHEMA",
+    "build_explain_report",
+    "canonical_json",
+    "explain_report_from_logs",
+    "render_explain_report",
+    "UPLIFT_SCHEMA",
+    "partition_grid",
+    "render_uplift",
+    "simulate_uplift",
+]

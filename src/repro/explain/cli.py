@@ -1,0 +1,287 @@
+"""``repro-explain``: fleet-scale model explanation and what-if tooling.
+
+Three subcommands, one per pillar of :mod:`repro.explain`:
+
+* ``repro-explain report LOG... [--top N]`` — fold the alert
+  provenance of one or more ``repro.events/v1`` logs (a sharded
+  fleet's per-shard logs merge deterministically) into a
+  ``repro.explain-report/v1`` top-failing-subtrees document.  Default
+  output is canonical JSON — byte-stable, suitable for diffing two
+  runs; ``--human`` renders it for reading.
+* ``repro-explain simulate --dataset HANDLE --feature NAME`` —
+  crossfit one tree per CV split on the dataset's training matrix,
+  then sweep the named feature (``--shift``/``--value``/quantile grid)
+  and print the predicted failure rate with cross-split uncertainty
+  bands (``repro.explain-uplift/v1``).
+* ``repro-explain redundancy --dataset HANDLE`` — importance spread,
+  path-interaction and substitution scores across the split models
+  (``repro.explain-redundancy/v1``).
+
+``--dataset`` takes a registry handle
+(:mod:`repro.smart.registry`), e.g. ``fleet-synth:?seed=7`` or
+``backblaze:tests/fixtures/backblaze_mini``; the training matrix is
+built with the paper's protocol (time split for good drives, random
+for failed, then windowed feature extraction), so the simulated fleet
+is exactly what the CT model trains on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from functools import partial
+from typing import Optional
+
+from repro.explain.crossfit import crossfit_models
+from repro.explain.redundancy import render_redundancy, summarize_redundancy
+from repro.explain.report import (
+    canonical_json,
+    explain_report_from_logs,
+    render_explain_report,
+)
+from repro.explain.simulate import render_uplift, simulate_uplift
+
+
+def _print_document(document: dict, args: argparse.Namespace, renderer) -> None:
+    if getattr(args, "human", False):
+        for line in renderer(document):
+            print(line)
+    else:
+        print(canonical_json(document))
+    out = getattr(args, "out", None)
+    if out is not None:
+        with open(out, "w") as handle:
+            handle.write(canonical_json(document) + "\n")
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    document = explain_report_from_logs(
+        args.logs, top=args.top, tolerant=args.tolerant
+    )
+    _print_document(document, args, render_explain_report)
+    return 0
+
+
+def _training_matrix(args: argparse.Namespace):
+    """(X, y, weights, feature_names, tree_factory) for a dataset handle."""
+    from repro.core.config import CTConfig, resolve_features
+    from repro.core.sampling import build_training_set
+    from repro.features.vectorize import FeatureExtractor
+    from repro.smart.registry import resolve
+    from repro.tree.classification import ClassificationTree
+
+    config = CTConfig(minsplit=args.minsplit, minbucket=args.minbucket)
+    dataset = resolve(args.dataset)
+    split = dataset.split(seed=args.split_seed)
+    extractor = FeatureExtractor(resolve_features(config.features))
+    training = build_training_set(
+        extractor,
+        split.train_good,
+        split.train_failed,
+        config.sampling,
+        failed_share=config.failed_share,
+    )
+    loss = [[0.0, 1.0], [config.false_alarm_loss_weight, 0.0]]
+    factory = partial(
+        ClassificationTree,
+        minsplit=config.minsplit,
+        minbucket=config.minbucket,
+        cp=config.cp,
+        criterion=config.criterion,
+        loss_matrix=loss,
+        max_depth=config.max_depth,
+        n_surrogates=config.n_surrogates,
+    )
+    return (
+        training.X,
+        training.y,
+        training.sample_weight,
+        training.feature_names,
+        factory,
+    )
+
+
+def _feature_index(name: str, feature_names) -> int:
+    if name in feature_names:
+        return list(feature_names).index(name)
+    try:
+        index = int(name)
+    except ValueError:
+        raise ValueError(
+            f"unknown feature {name!r}; known: {', '.join(feature_names)}"
+        ) from None
+    if not 0 <= index < len(feature_names):
+        raise ValueError(
+            f"feature index {index} out of range "
+            f"(0..{len(feature_names) - 1})"
+        )
+    return index
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    X, y, weights, feature_names, factory = _training_matrix(args)
+    crossfit = crossfit_models(
+        factory, X, y,
+        n_folds=args.folds, sample_weight=weights,
+        seed=args.seed, n_jobs=args.jobs,
+    )
+    feature = _feature_index(args.feature, feature_names)
+    document = simulate_uplift(
+        crossfit, X, feature,
+        values=args.value if args.value else None,
+        shifts=args.shift if args.shift else None,
+        grid_points=args.grid,
+        feature_names=feature_names,
+        n_jobs=args.jobs,
+    )
+    _print_document(document, args, render_uplift)
+    return 0
+
+
+def _cmd_redundancy(args: argparse.Namespace) -> int:
+    X, y, weights, feature_names, factory = _training_matrix(args)
+    crossfit = crossfit_models(
+        factory, X, y,
+        n_folds=args.folds, sample_weight=weights,
+        seed=args.seed, n_jobs=args.jobs,
+    )
+    document = summarize_redundancy(
+        crossfit, X, feature_names=feature_names, top=args.top
+    )
+    _print_document(document, args, render_redundancy)
+    return 0
+
+
+def _add_output_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--human", action="store_true",
+        help="render for reading instead of canonical JSON",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the canonical JSON document to FILE",
+    )
+
+
+def _add_crossfit_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset", required=True, metavar="HANDLE",
+        help="dataset registry handle, e.g. "
+        "backblaze:tests/fixtures/backblaze_mini",
+    )
+    parser.add_argument(
+        "--folds", type=int, default=3, metavar="K",
+        help="CV splits to crossfit (default: 3)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="fold-assignment seed (default: 0)",
+    )
+    parser.add_argument(
+        "--split-seed", type=int, default=1, metavar="S",
+        help="train/test split seed (default: 1)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for fits and sweeps "
+        "(default: REPRO_N_JOBS; results identical at any setting)",
+    )
+    parser.add_argument(
+        "--minsplit", type=int, default=4,
+        help="CT minsplit (default: 4 — sized for small fixtures; "
+        "the paper uses 20)",
+    )
+    parser.add_argument(
+        "--minbucket", type=int, default=2,
+        help="CT minbucket (default: 2 — sized for small fixtures; "
+        "the paper uses 7)",
+    )
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """CLI entry point (console script ``repro-explain``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-explain",
+        description=(
+            "Fleet-scale explanation and what-if simulation: fold alert "
+            "provenance into top-failing-subtree reports, sweep features "
+            "with crossfit uncertainty bands, summarise redundancy."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser(
+        "report",
+        help="fold alert decision paths into a top-failing-subtrees report",
+    )
+    report.add_argument(
+        "logs", nargs="+", metavar="log",
+        help="events JSONL file(s); several are merged into one stream "
+        "ordered by fleet hour, then argument position",
+    )
+    report.add_argument(
+        "--top", type=int, default=None, metavar="N",
+        help="keep only the N most-alerting nodes per model generation",
+    )
+    report.add_argument(
+        "--tolerant", action="store_true",
+        help="forgive a torn final line per log (post-crash read)",
+    )
+    _add_output_flags(report)
+    report.set_defaults(func=_cmd_report)
+
+    simulate = sub.add_parser(
+        "simulate",
+        help="univariate feature-uplift what-if with crossfit bands",
+    )
+    _add_crossfit_flags(simulate)
+    simulate.add_argument(
+        "--feature", required=True,
+        help="feature name (e.g. TC) or index to sweep",
+    )
+    simulate.add_argument(
+        "--shift", type=float, nargs="+", default=None, metavar="D",
+        help="relative sweep: add each D to every drive's observed value",
+    )
+    simulate.add_argument(
+        "--value", type=float, nargs="+", default=None, metavar="V",
+        help="absolute sweep: set the feature to each V fleet-wide",
+    )
+    simulate.add_argument(
+        "--grid", type=int, default=11, metavar="N",
+        help="quantile grid size when no --shift/--value given "
+        "(default: 11)",
+    )
+    _add_output_flags(simulate)
+    simulate.set_defaults(func=_cmd_simulate)
+
+    redundancy = sub.add_parser(
+        "redundancy",
+        help="feature importance spread, interaction and substitution "
+        "across CV-split models",
+    )
+    _add_crossfit_flags(redundancy)
+    redundancy.add_argument(
+        "--top", type=int, default=None, metavar="N",
+        help="keep only the top N features and pairs",
+    )
+    _add_output_flags(redundancy)
+    redundancy.set_defaults(func=_cmd_redundancy)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

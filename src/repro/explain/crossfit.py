@@ -1,0 +1,104 @@
+"""Facet-style crossfit: one fitted model per cross-validation split.
+
+The facet pattern (BCG-Gamma, see PAPERS.md) separates *scoring* CV —
+fit a fold, keep only its score — from *inspection* CV: fit one model
+per stratified fold and keep **all of them**, then ask every what-if
+question of the whole ensemble.  The spread across split models is a
+cheap, deterministic uncertainty band: if a simulated intervention
+moves the predicted failure rate the same way under every split model,
+the effect is a property of the data, not of one lucky fold.
+
+Reuses the existing machinery end to end: folds come from
+:func:`repro.tree.validation.stratified_kfold_indices` (the same
+stratification CV scoring uses), fits fan out through
+:func:`repro.utils.parallel.run_tasks` (results in submission order, so
+``n_jobs`` never changes the models — serial and parallel crossfits are
+interchangeable bit-for-bit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.observability.metrics import get_registry
+from repro.observability.tracing import get_tracer
+from repro.tree.validation import stratified_kfold_indices
+from repro.utils.parallel import run_tasks
+from repro.utils.validation import check_2d, check_matching_length
+
+
+@dataclass(frozen=True)
+class Crossfit:
+    """The per-split fitted models plus the folds that produced them."""
+
+    models: tuple[object, ...]
+    folds: tuple[tuple[np.ndarray, np.ndarray], ...]
+    seed: int
+
+    @property
+    def n_models(self) -> int:
+        """Number of split models (== number of usable folds)."""
+        return len(self.models)
+
+
+def _fit_split(context, task):
+    """Fit one split model (module-level for worker processes)."""
+    model_factory, matrix, labels, weights = context
+    train_idx, _ = task
+    model = model_factory()
+    if weights is None:
+        model.fit(matrix[train_idx], labels[train_idx])
+    else:
+        model.fit(
+            matrix[train_idx], labels[train_idx],
+            sample_weight=weights[train_idx],
+        )
+    return model
+
+
+def crossfit_models(
+    model_factory: Callable[[], object],
+    X: object,
+    y: Sequence[object],
+    *,
+    n_folds: int = 5,
+    sample_weight: Optional[Sequence[float]] = None,
+    seed: int = 0,
+    n_jobs: Optional[int] = None,
+) -> Crossfit:
+    """Fit one model per stratified CV split and keep them all.
+
+    ``model_factory`` must build a fresh unfitted model per call — use
+    ``functools.partial`` (not a lambda) to keep the fold fan-out
+    available to worker pools; an unpicklable factory silently falls
+    back to the serial loop with identical results.
+    """
+    registry = get_registry()
+    tracer = get_tracer()
+    matrix = check_2d("X", X)
+    labels = np.asarray(y)
+    check_matching_length(("X", matrix), ("y", labels))
+    weights = (
+        None if sample_weight is None
+        else np.asarray(sample_weight, dtype=float)
+    )
+    folds = tuple(stratified_kfold_indices(labels, n_folds, seed))
+    if not folds:
+        raise ValueError("crossfit produced no usable folds")
+    with tracer.span(
+        "explain.crossfit", category="explain",
+        n_folds=len(folds), n_rows=int(matrix.shape[0]),
+    ):
+        models = run_tasks(
+            _fit_split,
+            list(folds),
+            n_jobs=n_jobs,
+            context=(model_factory, matrix, labels, weights),
+        )
+    registry.counter(
+        "explain.crossfit_fits", help="split models fitted by crossfits"
+    ).inc(len(models))
+    return Crossfit(models=tuple(models), folds=folds, seed=int(seed))

@@ -1,0 +1,191 @@
+"""Feature redundancy / interaction summaries across CV-split models.
+
+The paper's interpretability claim is that the tree names "the
+significant attributes inducing failures".  A single fitted tree
+overstates that story: CART picks *one* of two nearly interchangeable
+features and hides the other entirely.  Looking **across** the split
+models of a :class:`~repro.explain.crossfit.Crossfit` (the facet
+inspection pattern) recovers what one tree hides:
+
+* **importance spread** — a feature whose gain-weighted importance is
+  large in some splits and zero in others is being substituted, not
+  ignored;
+* **interaction** — the fraction of fleet rows whose root-to-leaf path
+  splits on *both* features of a pair (averaged across split models,
+  via the batched :meth:`~repro.tree.base.BaseDecisionTree.decision_paths`);
+  features that co-occur on serving paths act jointly on the same
+  drives;
+* **substitution** — an anti-correlation of a pair's importances
+  across splits (one takes exactly the gain the other loses) is the
+  classic redundancy signature; the summary reports
+  ``max(0, -corr)`` as the substitution score.
+
+Everything is computed from fitted models plus a feature matrix — no
+live monitor — and is deterministic for a deterministic crossfit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.explain.crossfit import Crossfit
+from repro.observability.metrics import get_registry
+from repro.observability.tracing import get_tracer
+from repro.utils.validation import check_2d
+
+#: Schema tag on every redundancy-summary document.
+REDUNDANCY_SCHEMA = "repro.explain-redundancy/v1"
+
+
+def _interaction_matrix(model, matrix: np.ndarray, n_features: int) -> np.ndarray:
+    """Pairwise path co-occurrence for one model: fraction of rows whose
+    decision path splits on both features of the pair."""
+    counts = np.zeros((n_features, n_features), dtype=float)
+    by_id = {node.node_id: node for node in model.root_.iter_nodes()}
+    for chain in model.decision_paths(matrix):
+        features = sorted(
+            {
+                by_id[node_id].feature
+                for node_id in chain
+                if not by_id[node_id].is_leaf
+            }
+        )
+        for position, i in enumerate(features):
+            for j in features[position:]:
+                counts[i, j] += 1.0
+                if i != j:
+                    counts[j, i] += 1.0
+    return counts / max(matrix.shape[0], 1)
+
+
+def summarize_redundancy(
+    crossfit: Crossfit,
+    X: object,
+    *,
+    feature_names: Optional[Sequence[str]] = None,
+    top: Optional[int] = None,
+) -> dict:
+    """Fold a crossfit's split models into a redundancy/interaction report.
+
+    Returns a JSON-able ``repro.explain-redundancy/v1`` document:
+    per-feature importance mean/std across split models (sorted by
+    descending mean importance), and per-pair interaction strength plus
+    substitution score (sorted by descending interaction; ``top``
+    limits both lists).
+    """
+    registry = get_registry()
+    tracer = get_tracer()
+    matrix = check_2d("X", X)
+    n_features = int(crossfit.models[0].n_features_)
+    with tracer.span(
+        "explain.redundancy", category="explain",
+        n_models=crossfit.n_models, n_features=n_features,
+    ):
+        importances = np.stack(
+            [model.feature_importances() for model in crossfit.models]
+        )
+        interactions = np.mean(
+            [
+                _interaction_matrix(model, matrix, n_features)
+                for model in crossfit.models
+            ],
+            axis=0,
+        )
+
+        def name_of(index: int) -> Optional[str]:
+            return (
+                str(feature_names[index]) if feature_names is not None
+                else None
+            )
+
+        features = []
+        for index in range(n_features):
+            entry = {
+                "feature": index,
+                "importance_mean": float(np.mean(importances[:, index])),
+                "importance_std": float(np.std(importances[:, index])),
+                "split_share": float(
+                    np.mean(importances[:, index] > 0.0)
+                ),
+            }
+            if feature_names is not None:
+                entry["name"] = name_of(index)
+            features.append(entry)
+        features.sort(
+            key=lambda entry: (-entry["importance_mean"], entry["feature"])
+        )
+
+        pairs = []
+        for i in range(n_features):
+            for j in range(i + 1, n_features):
+                interaction = float(interactions[i, j])
+                used_i, used_j = importances[:, i], importances[:, j]
+                if (
+                    crossfit.n_models > 1
+                    and float(np.std(used_i)) > 0.0
+                    and float(np.std(used_j)) > 0.0
+                ):
+                    correlation = float(np.corrcoef(used_i, used_j)[0, 1])
+                else:
+                    correlation = 0.0
+                if interaction == 0.0 and correlation == 0.0:
+                    continue
+                pair = {
+                    "i": i,
+                    "j": j,
+                    "interaction": interaction,
+                    "importance_correlation": correlation,
+                    "substitution": max(0.0, -correlation),
+                }
+                if feature_names is not None:
+                    pair["name_i"] = name_of(i)
+                    pair["name_j"] = name_of(j)
+                pairs.append(pair)
+        pairs.sort(
+            key=lambda pair: (-pair["interaction"], pair["i"], pair["j"])
+        )
+        if top is not None:
+            features_out = features[:top]
+            pairs_out = pairs[:top]
+        else:
+            features_out, pairs_out = features, pairs
+
+    registry.counter(
+        "explain.redundancy_summaries", help="redundancy summaries built"
+    ).inc()
+    return {
+        "schema": REDUNDANCY_SCHEMA,
+        "n_models": crossfit.n_models,
+        "n_features": n_features,
+        "n_rows": int(matrix.shape[0]),
+        "features": features_out,
+        "pairs": pairs_out,
+    }
+
+
+def render_redundancy(document: dict) -> list[str]:
+    """Human-readable lines for a redundancy document."""
+    lines = [
+        f"Redundancy summary [{document['schema']}]: "
+        f"{document['n_models']} split models, "
+        f"{document['n_features']} features, {document['n_rows']} rows",
+        "feature importances across splits:",
+    ]
+    for entry in document["features"]:
+        name = entry.get("name", f"x[{entry['feature']}]")
+        lines.append(
+            f"  {name}: {entry['importance_mean']:.3f} "
+            f"± {entry['importance_std']:.3f} "
+            f"(splits on it in {entry['split_share']:.0%} of models)"
+        )
+    lines.append("pairwise interaction / substitution:")
+    for pair in document["pairs"]:
+        name_i = pair.get("name_i", f"x[{pair['i']}]")
+        name_j = pair.get("name_j", f"x[{pair['j']}]")
+        lines.append(
+            f"  {name_i} × {name_j}: interaction {pair['interaction']:.3f}, "
+            f"substitution {pair['substitution']:.3f}"
+        )
+    return lines

@@ -1,0 +1,279 @@
+"""Fleet-level "top failing subtrees" reports folded from alert provenance.
+
+Every ``alert_raised`` event already carries the CART decision path that
+classified the triggering sample (PR 5 provenance).  One alert at a time
+that is an explanation; across a fleet's event logs it is a *model
+observability* signal: which subtrees of the serving model do the
+paging, how much of the alert volume each one carries, and — once
+operators feed ground truth back through ``resolve_outcome`` — how
+precise each subtree's pages turned out to be.
+
+:func:`build_explain_report` folds a ``repro.events/v1`` stream into a
+schema-tagged ``repro.explain-report/v1`` document:
+
+* alerts are grouped by ``model_generation`` (a fleet that rolled a
+  model mid-run gets one section per generation — node ids are only
+  comparable within one fitted tree);
+* every step of every decision path is attributed to its tree node.
+  Node ids follow the heap convention (root = 1, children of ``i`` are
+  ``2i`` and ``2i+1``), so the id of each internal step is derived from
+  the ``went_left`` chain even for logs written before steps carried an
+  explicit ``node_id``; the leaf uses its recorded id;
+* per node the report keeps the *training* statistics recorded in the
+  provenance (support, impurity, prediction) plus the *serving*
+  tallies: alert count, share of the generation's explained alerts,
+  and the outcome split of those alerts;
+* precision is computed only over **resolved** alerts — an alert whose
+  drive never saw ``resolve_outcome`` counts as ``unresolved`` and is
+  excluded from the precision denominator, so unlabelled traffic can
+  never dilute (or inflate) a subtree's measured precision.
+
+The outcome join prefers the ``alert_id`` that ``outcome_resolved``
+events carry; for older logs without it, the last outcome resolved for
+the alert's drive serial is used instead.
+
+Everything here replays from logs alone — no live monitor, no model
+object.  The report built from a run's log is bit-identical to the one
+built from the live in-memory event stream, and
+:func:`canonical_json` gives the byte-stable serialisation the tests
+pin.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.observability.events import Event, merge_event_streams
+from repro.observability.metrics import get_registry
+from repro.observability.tracing import get_tracer
+
+#: Schema tag on every explain-report document (bump on breaking change).
+EXPLAIN_REPORT_SCHEMA = "repro.explain-report/v1"
+
+
+def canonical_json(document: dict) -> str:
+    """The byte-stable serialisation of a report document.
+
+    Sorted keys, no whitespace: two equal documents serialise to equal
+    bytes, which is what the bit-identical acceptance tests compare.
+    """
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+def _derived_step_ids(steps: Sequence[dict]) -> list[int]:
+    """Heap node ids for a serialised decision path, root first.
+
+    Internal ids are derived from the ``went_left`` chain (root = 1,
+    left child ``2i``, right child ``2i+1``); a recorded ``node_id``
+    (present on the leaf always, on internal steps for newer logs)
+    takes precedence — the two agree by construction.
+    """
+    ids: list[int] = []
+    node_id = 1
+    for step in steps:
+        node_id = int(step.get("node_id", node_id))
+        ids.append(node_id)
+        if not step.get("leaf"):
+            node_id = 2 * node_id + (0 if step["went_left"] else 1)
+    return ids
+
+
+def _outcome_index(events: Iterable[Event]) -> tuple[dict, dict]:
+    """Join keys for ``outcome_resolved`` events.
+
+    Returns ``(by_alert_id, by_drive)``: the exact join on the optional
+    ``alert_id`` payload key, and the per-serial fallback (last outcome
+    wins) for logs written before outcomes carried the id.
+    """
+    by_alert_id: dict[str, str] = {}
+    by_drive: dict[str, str] = {}
+    for event in events:
+        if event.type != "outcome_resolved":
+            continue
+        outcome = str(event.data.get("outcome", ""))
+        alert_id = event.data.get("alert_id")
+        if alert_id is not None:
+            by_alert_id[str(alert_id)] = outcome
+        if event.drive is not None:
+            by_drive[event.drive] = outcome
+    return by_alert_id, by_drive
+
+
+def build_explain_report(
+    events: Sequence[Event], *, top: Optional[int] = None
+) -> dict:
+    """Fold an event stream into a top-failing-subtrees report.
+
+    Args:
+        events: Any ordered ``repro.events/v1`` stream — a live log's
+            buffer, :func:`~repro.observability.events.read_events`
+            output, or a multi-log
+            :func:`~repro.observability.events.merge_event_streams`
+            merge.
+        top: Keep only the ``top`` most-alerting nodes per model
+            generation (``None`` keeps every touched node).
+
+    Returns:
+        A JSON-able ``repro.explain-report/v1`` document; serialise it
+        with :func:`canonical_json` for byte-stable output.
+    """
+    registry = get_registry()
+    tracer = get_tracer()
+    events = list(events)
+    alerts = [event for event in events if event.type == "alert_raised"]
+    with tracer.span(
+        "explain.report", category="explain",
+        n_events=len(events), n_alerts=len(alerts),
+    ):
+        by_alert_id, by_drive = _outcome_index(events)
+
+        # generation -> node_id -> aggregate entry
+        generations: dict[int, dict[int, dict]] = {}
+        gen_alerts: dict[int, int] = {}
+        gen_with_path: dict[int, int] = {}
+        alerts_with_path = alerts_resolved = 0
+
+        for event in alerts:
+            generation = int(event.data.get("model_generation", 0))
+            gen_alerts[generation] = gen_alerts.get(generation, 0) + 1
+            outcome = by_alert_id.get(str(event.data.get("alert_id")))
+            if outcome is None and event.drive is not None:
+                outcome = by_drive.get(event.drive)
+            if outcome is None:
+                outcome = "unresolved"
+            else:
+                alerts_resolved += 1
+            steps = event.data.get("path")
+            if not steps:
+                continue
+            alerts_with_path += 1
+            gen_with_path[generation] = gen_with_path.get(generation, 0) + 1
+            nodes = generations.setdefault(generation, {})
+            for depth, (node_id, step) in enumerate(
+                zip(_derived_step_ids(steps), steps)
+            ):
+                entry = nodes.get(node_id)
+                if entry is None:
+                    entry = {
+                        "node_id": node_id,
+                        "depth": depth,
+                        "leaf": bool(step.get("leaf", False)),
+                        "feature": (
+                            None if step.get("leaf")
+                            else int(step["feature"])
+                        ),
+                        "threshold": (
+                            None if step.get("leaf")
+                            else float(step["threshold"])
+                        ),
+                        "support": int(step["n_samples"]),
+                        "impurity": float(step["impurity"]),
+                        "prediction": float(step["prediction"]),
+                        "alerts": 0,
+                        "outcomes": {},
+                    }
+                    if "name" in step:
+                        entry["name"] = str(step["name"])
+                    nodes[node_id] = entry
+                entry["alerts"] += 1
+                outcomes = entry["outcomes"]
+                outcomes[outcome] = outcomes.get(outcome, 0) + 1
+
+        document: dict = {
+            "schema": EXPLAIN_REPORT_SCHEMA,
+            "alerts_total": len(alerts),
+            "alerts_with_path": alerts_with_path,
+            "alerts_resolved": alerts_resolved,
+            "alerts_unresolved": len(alerts) - alerts_resolved,
+            "generations": [],
+        }
+        for generation in sorted(generations):
+            nodes = generations[generation]
+            explained = gen_with_path.get(generation, 0)
+            entries = sorted(
+                nodes.values(),
+                key=lambda entry: (-entry["alerts"], entry["node_id"]),
+            )
+            if top is not None:
+                entries = entries[:top]
+            for entry in entries:
+                entry["alert_share"] = (
+                    entry["alerts"] / explained if explained else 0.0
+                )
+                detected = entry["outcomes"].get("detected", 0)
+                false_alarm = entry["outcomes"].get("false_alarm", 0)
+                resolved = detected + false_alarm
+                entry["precision"] = (
+                    detected / resolved if resolved else None
+                )
+            document["generations"].append(
+                {
+                    "model_generation": generation,
+                    "alerts": gen_alerts.get(generation, 0),
+                    "alerts_with_path": explained,
+                    "nodes": entries,
+                }
+            )
+        registry.counter(
+            "explain.reports", help="explain reports built"
+        ).inc()
+        registry.counter(
+            "explain.paths_folded",
+            help="alert decision paths folded into explain reports",
+        ).inc(alerts_with_path)
+        return document
+
+
+def explain_report_from_logs(
+    paths: Sequence[Union[str, Path]],
+    *,
+    top: Optional[int] = None,
+    tolerant: bool = False,
+) -> dict:
+    """Build an explain report straight from one or more event logs.
+
+    Multiple logs (a sharded fleet's per-shard logs) are merged with
+    :func:`~repro.observability.events.merge_event_streams` — the same
+    deterministic order ``repro-events`` uses — before folding.
+    ``tolerant=True`` forgives a torn final line per log (the post-crash
+    read), so a report survives a writer killed mid-append.
+    """
+    events = merge_event_streams(paths, tolerant=tolerant)
+    return build_explain_report(events, top=top)
+
+
+def render_explain_report(document: dict) -> list[str]:
+    """Human-readable lines for a report (``repro-explain report --human``)."""
+    lines = [
+        f"Explain report [{document['schema']}]: "
+        f"{document['alerts_total']} alert(s), "
+        f"{document['alerts_with_path']} with provenance, "
+        f"{document['alerts_resolved']} resolved / "
+        f"{document['alerts_unresolved']} unresolved",
+    ]
+    for section in document["generations"]:
+        lines.append(
+            f"model generation {section['model_generation']}: "
+            f"{section['alerts']} alert(s), "
+            f"{section['alerts_with_path']} explained"
+        )
+        for entry in section["nodes"]:
+            if entry["leaf"]:
+                condition = f"leaf predict {entry['prediction']:g}"
+            else:
+                name = entry.get("name", f"x[{entry['feature']}]")
+                condition = f"split {name} < {entry['threshold']:g}"
+            precision = (
+                f"{entry['precision']:.0%}"
+                if entry["precision"] is not None else "n/a"
+            )
+            lines.append(
+                f"  node {entry['node_id']} (depth {entry['depth']}): "
+                f"{condition} — {entry['alerts']} alert(s), "
+                f"{entry['alert_share']:.0%} share, "
+                f"precision {precision} "
+                f"(support n={entry['support']})"
+            )
+    return lines

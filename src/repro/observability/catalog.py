@@ -14,7 +14,7 @@ One spec per metric/span/event, used three ways:
 
 Naming convention: ``family.quantity`` with dotted lowercase families
 (``fit``, ``score``, ``serve``, ``shard``, ``detect``, ``fleet``,
-``updating``, ``parallel``, ``grid``, ``ingest``); the Prometheus
+``updating``, ``parallel``, ``grid``, ``ingest``, ``explain``); the Prometheus
 exporter flattens dots to underscores and prefixes ``repro_``.  Timers
 carry unit ``seconds`` and are excluded from determinism comparisons.
 """
@@ -253,6 +253,26 @@ METRICS: tuple[MetricSpec, ...] = (
     MetricSpec("grid.cell_seconds", "histogram", "seconds", (),
                "repro.experiments.common",
                "wall time of each experiment cell", TIME_BUCKETS_S),
+    # -- explain: fleet-scale explanation & what-if (repro/explain/) --------
+    MetricSpec("explain.reports", "counter", "", (), "repro.explain.report",
+               "once per top-failing-subtrees report built from an event "
+               "stream"),
+    MetricSpec("explain.paths_folded", "counter", "", (),
+               "repro.explain.report",
+               "alert decision paths folded into reports, added once per "
+               "report"),
+    MetricSpec("explain.crossfit_fits", "counter", "", (),
+               "repro.explain.crossfit",
+               "split models fitted, added once per crossfit"),
+    MetricSpec("explain.simulations", "counter", "", (),
+               "repro.explain.simulate",
+               "once per univariate feature-uplift simulation"),
+    MetricSpec("explain.grid_points", "counter", "", (),
+               "repro.explain.simulate",
+               "grid points rescored, added once per simulation"),
+    MetricSpec("explain.redundancy_summaries", "counter", "", (),
+               "repro.explain.redundancy",
+               "once per redundancy/interaction summary built"),
 )
 
 
@@ -290,6 +310,20 @@ SPANS: tuple[SpanSpec, ...] = (
     SpanSpec("ingest.assemble", "ingest", "repro.smart.ingest",
              "the merge of all parts into the final columnar store",
              ("n_chunks",)),
+    SpanSpec("explain.report", "explain", "repro.explain.report",
+             "one top-failing-subtrees fold over an event stream",
+             ("n_events", "n_alerts")),
+    SpanSpec("explain.crossfit", "explain", "repro.explain.crossfit",
+             "one crossfit: a model fitted per stratified CV split "
+             "(fits fan out through run_tasks)",
+             ("n_folds", "n_rows")),
+    SpanSpec("explain.simulate", "explain", "repro.explain.simulate",
+             "one univariate feature-uplift sweep (grid points fan out "
+             "through run_tasks)",
+             ("feature", "n_points", "n_models")),
+    SpanSpec("explain.redundancy", "explain", "repro.explain.redundancy",
+             "one redundancy/interaction summary across split models",
+             ("n_models", "n_features")),
 )
 
 
@@ -320,8 +354,11 @@ EVENTS: tuple[EventSpec, ...] = (
               ("fault_count", "fault_limit")),
     EventSpec("outcome_resolved", "repro.detection.streaming",
               "once per resolve_outcome call recording a drive's ground "
-              "truth (detected / missed / false_alarm / good)",
-              ("outcome", "lead_hours?")),
+              "truth (detected / missed / false_alarm / good); carries "
+              "the resolved alert's id when the drive had alerted, the "
+              "join key explain reports attribute per-subtree precision "
+              "with",
+              ("outcome", "alert_id?", "lead_hours?")),
     # -- offline evaluation (repro/detection/evaluator.py) ------------------
     EventSpec("detection_evaluated", "repro.detection.evaluator",
               "once per evaluate_detection call (recording log only), with "

@@ -8,9 +8,10 @@ by ``repro-experiments --events-out`` (or any
   each;
 * ``repro-events query LOG... --drive S --type T --since H`` — filter
   the stream by drive serial, event type, and/or minimum fleet hour;
-* ``repro-events explain LOG ALERT_ID`` — the provenance of one raised
-  alert: triggering score, model generation, voting-window contents,
-  and the CART decision path (the SMART evidence, feature by feature);
+* ``repro-events explain LOG... ALERT_ID`` — the provenance of one
+  raised alert: triggering score, model generation, voting-window
+  contents, and the CART decision path (the SMART evidence, feature by
+  feature);
 * ``repro-events slo LOG...`` — replay the log's resolved outcomes
   through a fresh :class:`~repro.observability.slo.SLOMonitor` and
   print the per-objective burn status;
@@ -19,11 +20,13 @@ by ``repro-experiments --events-out`` (or any
   nonzero on any corruption, so a post-crash runbook step can gate on
   it.
 
-``tail``, ``query`` and ``slo`` accept several logs — e.g. the
+Every subcommand except ``doctor`` accepts several logs — e.g. the
 per-shard logs of a sharded fleet — merged into one deterministic
 stream by :func:`~repro.observability.events.merge_event_streams`
-(logical hour, then command-line position, then per-log sequence).
-``explain`` looks up one alert and takes a single log.
+(logical hour, then command-line position, then per-log sequence), so
+a sharded fleet's alert can be explained without manual log stitching.
+Fleet-level aggregation of *all* alerts' provenance lives in the
+``repro-explain`` CLI (:mod:`repro.explain.cli`).
 
 Every subcommand reads the logs in one pass and works on live files (a
 path-bound log flushes per event), so ``tail`` mid-run shows the
@@ -39,7 +42,6 @@ from typing import Optional
 from repro.observability.events import (
     Event,
     merge_event_streams,
-    read_events,
     render_decision_path,
     validate_events,
 )
@@ -82,7 +84,7 @@ def _find_alert(events, alert_id: str) -> Optional[Event]:
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
-    events = read_events(args.log)
+    events = merge_event_streams(args.logs)
     event = _find_alert(events, args.alert_id)
     if event is None:
         known = sorted(
@@ -191,7 +193,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     explain = sub.add_parser(
         "explain", help="print a raised alert's decision-path provenance"
     )
-    explain.add_argument("log", help="path to the events JSONL file")
+    explain.add_argument("logs", nargs="+", metavar="log", help=multi_log_help)
     explain.add_argument("alert_id", help="alert id, e.g. alert-0000")
     explain.set_defaults(func=_cmd_explain)
 

@@ -439,7 +439,9 @@ def validate_events(path: Union[str, Path]) -> dict:
     return report
 
 
-def merge_event_streams(paths: Sequence[Union[str, Path]]) -> list[Event]:
+def merge_event_streams(
+    paths: Sequence[Union[str, Path]], *, tolerant: bool = False
+) -> list[Event]:
     """Deterministically merge several event logs into one ordered stream.
 
     The merge order is the sharded-serving contract: logical hour
@@ -448,6 +450,8 @@ def merge_event_streams(paths: Sequence[Union[str, Path]]) -> list[Event]:
     :class:`~repro.detection.sharded.ShardedFleetMonitor` (or any other
     set of per-component logs) reconstructs one audit stream whose
     replay is reproducible regardless of wall-clock interleaving.
+    ``tolerant=True`` forgives a torn *final* line per log (see
+    :func:`iter_events`) — the read explain tooling does after a crash.
 
     Events without an hour (lifecycle events such as ``run_completed``)
     inherit the logical hour of the event before them *in their own
@@ -460,7 +464,7 @@ def merge_event_streams(paths: Sequence[Union[str, Path]]) -> list[Event]:
     annotated: list[tuple[float, int, int, Event]] = []
     for log_index, path in enumerate(paths):
         carried = float("-inf")
-        for event in iter_events(path):
+        for event in iter_events(path, tolerant=tolerant):
             if event.hour is not None:
                 carried = float(event.hour)
             annotated.append((carried, log_index, event.seq, event))
@@ -518,17 +522,19 @@ def decision_path_payload(
     ``tree`` is anything exposing ``decision_path(row) -> list[Node]``
     (:class:`~repro.tree.base.BaseDecisionTree`; identical output under
     the compiled and node backends by construction).  One dict per
-    internal node on the walk — feature index (and name when
-    ``feature_names`` is given), threshold, the direction taken, the
-    sample's value, and the node statistics an operator reads
+    internal node on the walk — heap node id, feature index (and name
+    when ``feature_names`` is given), threshold, the direction taken,
+    the sample's value, and the node statistics an operator reads
     (``n_samples``, ``prediction``, ``impurity``) — plus a final leaf
-    dict with the deciding leaf's statistics.
+    dict with the deciding leaf's statistics.  The per-step node ids
+    are what :mod:`repro.explain` folds fleet-wide reports over.
     """
     path = tree.decision_path(row)
     steps: list[dict] = []
     for node, child in zip(path[:-1], path[1:]):
         value = float(row[node.feature])
         step = {
+            "node_id": int(node.node_id),
             "feature": int(node.feature),
             "threshold": float(node.threshold),
             "value": value if math.isfinite(value) else None,

@@ -489,3 +489,32 @@ class BaseDecisionTree(ServingScorerMixin, ABC):
             node = node.route(row)
             path.append(node)
         return path
+
+    def decision_paths(self, X: object) -> list[tuple[int, ...]]:
+        """Root-to-leaf node-id chains for every row of ``X``, batched.
+
+        The batched counterpart of :meth:`decision_path`: rows are
+        routed to leaves in one :meth:`apply` call (the compiled hot
+        path when that backend is active) and each leaf's ancestor
+        chain is recovered from the heap id convention (parent of
+        ``i`` is ``i // 2``), so the result is bit-identical across
+        backends by construction.  One tuple of node ids per row,
+        root (id 1) first, leaf last — the fleet-scale path extraction
+        :mod:`repro.explain` aggregates over.
+        """
+        self._check_fitted()
+        leaf_ids = self.apply(X)
+        chains: dict[int, tuple[int, ...]] = {}
+        paths = []
+        for leaf_id in leaf_ids.tolist():
+            chain = chains.get(leaf_id)
+            if chain is None:
+                ancestors = []
+                node_id = int(leaf_id)
+                while node_id >= 1:
+                    ancestors.append(node_id)
+                    node_id //= 2
+                chain = tuple(reversed(ancestors))
+                chains[leaf_id] = chain
+            paths.append(chain)
+        return paths

@@ -701,6 +701,61 @@ class TestSnapshotCadence:
             monitor.close()
 
 
+class TestExplainReportChaos:
+    """Chaos satellite: explanation survives kill-and-resume byte-for-byte.
+
+    The explain report folds only served provenance (``alert_raised``
+    paths joined with ``outcome_resolved``); the supervision lifecycle
+    family describes the crashes, not the stream, and is not folded.  A
+    supervised run that was killed and recovered mid-stream must
+    therefore produce the byte-identical report of a run that never
+    crashed.
+    """
+
+    def _fit_tree(self):
+        from repro.tree import ClassificationTree
+
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(200, len(FEATURES)))
+        y = np.where(X.sum(axis=1) < 0.0, -1, 1)
+        return ClassificationTree(minsplit=8, minbucket=3, cp=0.001).fit(X, y)
+
+    def test_report_identical_before_and_after_kill_and_resume(self, tmp_path):
+        from repro.explain import build_explain_report, canonical_json
+
+        stream = _stream(ticks=20, n_drives=16, seed=23)
+        tree = self._fit_tree()
+
+        def run(run_dir, kills):
+            log = enable_events()
+            try:
+                monitor = _build_supervised(
+                    2, run_dir, slo=SLOMonitor(), snapshot_every=6, tree=tree
+                )
+                try:
+                    for at, (hour, pairs) in enumerate(stream):
+                        if at in kills:
+                            monitor.kill_shard(kills[at])
+                        monitor.observe_fleet(hour, pairs)
+                    monitor.finalize()
+                    monitor.resolve_outcome(
+                        "d000", failed=True, failure_hour=100.0
+                    )
+                    monitor.resolve_outcome("d001", failed=False)
+                    assert monitor.recoveries == len(kills)
+                finally:
+                    monitor.close()
+                return build_explain_report(list(log.events))
+            finally:
+                disable_events()
+
+        clean = run(tmp_path / "clean", {})
+        killed = run(tmp_path / "killed", {4: 0, 11: 1, 16: 0})
+        assert clean["alerts_with_path"] >= 1
+        assert clean["alerts_resolved"] >= 1
+        assert canonical_json(killed) == canonical_json(clean)
+
+
 class TestCanaryRecovery:
     def test_canary_shard_killed_mid_soak_still_resolves(self, tmp_path):
         records = {f"c{d}": np.ones(N_CHANNELS) for d in range(8)}

@@ -11,8 +11,9 @@ Three enforcement layers:
 * every local file reference in the markdown docs must resolve
   (``tools/check_links.py``, also run as a standalone CI step);
 * the runnable walkthroughs — ``examples/observability_quickstart.py``
-  for ``docs/observability.md`` and ``examples/datasets_quickstart.py``
-  for ``docs/datasets.md`` — must execute cleanly.
+  for ``docs/observability.md``, ``examples/datasets_quickstart.py``
+  for ``docs/datasets.md`` and ``examples/explanation_quickstart.py``
+  for ``docs/explanation.md`` — must execute cleanly.
 """
 
 from __future__ import annotations
@@ -122,3 +123,11 @@ class TestWalkthroughExample:
         assert "paper family 'W' -> ST4000DM000" in proc.stdout
         assert "Table IV: impact of time window on CT model" in proc.stdout
         assert "Datasets walkthrough complete" in proc.stdout
+
+    def test_explanation_quickstart_example_runs(self):
+        proc = _run_example("explanation_quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "Explain report [repro.explain-report/v1]" in proc.stdout
+        assert "[repro.explain-uplift/v1]" in proc.stdout
+        assert "[repro.explain-redundancy/v1]" in proc.stdout
+        assert "Explanation walkthrough complete" in proc.stdout

@@ -1,0 +1,147 @@
+"""Tests for the ``repro-explain`` command line interface.
+
+Each subcommand prints a schema-tagged canonical-JSON document by
+default (byte-stable, diffable), renders with ``--human``, and mirrors
+the document to ``--out``.  Errors (missing logs, unknown features,
+conflicting sweeps) exit 1 with a message on stderr.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.explain import (
+    EXPLAIN_REPORT_SCHEMA,
+    REDUNDANCY_SCHEMA,
+    UPLIFT_SCHEMA,
+    canonical_json,
+)
+from repro.explain.cli import main
+from repro.observability.events import Event, write_events
+
+_DATASET = "backblaze:tests/fixtures/backblaze_mini"
+
+#: Root split right then leaf — heap ids 1 -> 3.
+_PATH = [
+    {"feature": 0, "threshold": 0.5, "value": 1.0, "went_left": False,
+     "n_samples": 10, "prediction": 1.0, "impurity": 0.9},
+    {"leaf": True, "node_id": 3, "n_samples": 4, "prediction": -1.0,
+     "impurity": 0.2},
+]
+
+
+def _write_log(path, n_alerts: int = 3, start_seq: int = 0):
+    events = []
+    for index in range(n_alerts):
+        seq = start_seq + index
+        events.append(
+            Event(
+                seq=seq, type="alert_raised", drive=f"d{seq}", hour=float(seq),
+                data={"alert_id": f"alert-{seq:04d}", "score": -1.0,
+                      "model_generation": 0, "path": _PATH},
+            )
+        )
+    write_events(path, events)
+    return path
+
+
+class TestReportCommand:
+    def test_prints_canonical_schema_tagged_json(self, tmp_path, capsys):
+        log = _write_log(tmp_path / "events.jsonl")
+        assert main(["report", str(log)]) == 0
+        out = capsys.readouterr().out.strip()
+        document = json.loads(out)
+        assert document["schema"] == EXPLAIN_REPORT_SCHEMA
+        assert document["alerts_total"] == 3
+        assert out == canonical_json(document)  # byte-stable form
+
+    def test_multiple_logs_merge(self, tmp_path, capsys):
+        first = _write_log(tmp_path / "a.jsonl", n_alerts=2)
+        second = _write_log(tmp_path / "b.jsonl", n_alerts=2, start_seq=2)
+        assert main(["report", str(first), str(second)]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["alerts_total"] == 4
+
+    def test_human_rendering_and_out_file(self, tmp_path, capsys):
+        log = _write_log(tmp_path / "events.jsonl")
+        out_file = tmp_path / "report.json"
+        assert main(
+            ["report", str(log), "--human", "--out", str(out_file)]
+        ) == 0
+        printed = capsys.readouterr().out
+        assert EXPLAIN_REPORT_SCHEMA in printed  # rendered header
+        assert "{" not in printed.splitlines()[0]  # not raw JSON
+        document = json.loads(out_file.read_text())
+        assert document["schema"] == EXPLAIN_REPORT_SCHEMA
+
+    def test_top_limits_nodes(self, tmp_path, capsys):
+        log = _write_log(tmp_path / "events.jsonl")
+        assert main(["report", str(log), "--top", "1"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert all(
+            len(section["nodes"]) <= 1 for section in document["generations"]
+        )
+
+    def test_missing_log_exits_one(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "absent.jsonl")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+@pytest.fixture(scope="module")
+def _crossfit_flags():
+    return ["--dataset", _DATASET, "--folds", "2", "--jobs", "1"]
+
+
+class TestSimulateCommand:
+    def test_named_feature_sweep(self, _crossfit_flags, capsys):
+        assert main(
+            ["simulate", *_crossfit_flags, "--feature", "TC",
+             "--shift", "-2", "0", "2"]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == UPLIFT_SCHEMA
+        assert document["name"] == "TC"
+        assert document["mode"] == "shift"
+        assert [p["shift"] for p in document["points"]] == [-2.0, 0.0, 2.0]
+        assert len(document["points"][0]["rates"]) == 2  # one per fold
+
+    def test_feature_by_index_and_grid(self, _crossfit_flags, capsys):
+        assert main(
+            ["simulate", *_crossfit_flags, "--feature", "0", "--grid", "3"]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["feature"] == 0
+        assert document["mode"] == "value"
+        assert len(document["points"]) <= 3
+
+    def test_unknown_feature_exits_one(self, _crossfit_flags, capsys):
+        assert main(
+            ["simulate", *_crossfit_flags, "--feature", "NOPE"]
+        ) == 1
+        assert "unknown feature" in capsys.readouterr().err
+
+    def test_conflicting_sweeps_exit_one(self, _crossfit_flags, capsys):
+        assert main(
+            ["simulate", *_crossfit_flags, "--feature", "TC",
+             "--shift", "1", "--value", "1"]
+        ) == 1
+        assert "not both" in capsys.readouterr().err
+
+
+class TestRedundancyCommand:
+    def test_schema_and_named_features(self, _crossfit_flags, capsys):
+        assert main(["redundancy", *_crossfit_flags]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == REDUNDANCY_SCHEMA
+        assert document["n_models"] == 2
+        assert all("name" in entry for entry in document["features"])
+
+    def test_top_and_human(self, _crossfit_flags, capsys):
+        assert main(
+            ["redundancy", *_crossfit_flags, "--top", "3", "--human"]
+        ) == 0
+        printed = capsys.readouterr().out
+        assert REDUNDANCY_SCHEMA in printed
+        assert "importance" in printed

@@ -712,6 +712,19 @@ class TestEventsCLI:
         ]) == 0
         assert len(capsys.readouterr().out.splitlines()) == 3
 
+    def test_explain_finds_alert_across_merged_logs(self, tmp_path, capsys):
+        # Satellite: the alert lives in one shard's log; explain must
+        # accept several logs and resolve it from the merged stream,
+        # rendering exactly what the single-log invocation renders.
+        scenario = self._write_scenario(tmp_path, "compiled")
+        assert events_cli(["explain", str(scenario), "alert-0000"]) == 0
+        single = capsys.readouterr().out
+        other, _ = self._write_shard_logs(tmp_path)  # no alerts in here
+        assert events_cli(
+            ["explain", str(other), str(scenario), "alert-0000"]
+        ) == 0
+        assert capsys.readouterr().out == single
+
     def test_slo_replays_outcomes_from_every_log(self, tmp_path, capsys):
         first = self._write_scenario(tmp_path, "compiled")
         second = self._write_scenario(tmp_path, "node")

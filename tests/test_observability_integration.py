@@ -9,7 +9,9 @@ the updating simulator
 with checkpoint/drift, the parallel pool (pooled, salvaged, retried and
 serially-degraded tasks), the out-of-core Backblaze ingest (chunk
 parsing, the lenient ledger, the model filter, interrupt-and-resume
-checkpointing, store assembly) and the experiment grid — under a
+checkpointing, store assembly), the experiment grid and the explain
+layer (report folding over the scenario's own alert provenance,
+crossfit, uplift simulation, redundancy summaries) — under a
 recording registry and tracer.  The tests then diff the emitted names against
 :mod:`repro.observability.catalog` in both directions, so an
 undocumented emission or a documented-but-dead name fails the suite.
@@ -249,6 +251,34 @@ def _run_ingest(tmp):
     return ingest_backblaze(config)
 
 
+def _run_explain():
+    """Drive the explain layer through every explain.* code path."""
+    from functools import partial
+
+    from repro.explain import (
+        build_explain_report,
+        crossfit_models,
+        simulate_uplift,
+        summarize_redundancy,
+    )
+    from repro.observability.events import get_event_log
+
+    # Fold the scenario's own event stream (the serving legs above
+    # raised alerts with decision-path provenance) into a report.
+    report = build_explain_report(get_event_log().events, top=5)
+    assert report["alerts_with_path"] >= 1
+
+    rng = np.random.default_rng(5)
+    X = rng.normal(size=(60, 4))
+    y = np.where(X[:, 0] + X[:, 1] > 0, 1, -1)
+    crossfit = crossfit_models(
+        partial(ClassificationTree, minsplit=4, minbucket=2, cp=0.001),
+        X, y, n_folds=3, n_jobs=1,
+    )
+    simulate_uplift(crossfit, X, 0, shifts=[-1.0, 1.0], n_jobs=1)
+    summarize_redundancy(crossfit, X, top=3)
+
+
 def _run_scenario(tiny_fleet, tiny_split, aging_fleet_small, tmp, registry):
     # fit + compiled scoring + offline detection
     predictor = DriveFailurePredictor(CONFIG).fit(tiny_split)
@@ -269,6 +299,7 @@ def _run_scenario(tiny_fleet, tiny_split, aging_fleet_small, tmp, registry):
     _run_sharded_serving(tmp)
     _run_supervised_serving(tmp)
     _run_ingest(tmp)
+    _run_explain()  # folds the alerts the serving legs just raised
 
     # updating: run twice against one checkpoint for checkpoint_hits;
     # the two strategies share the (week-1, week-2) cell for cache_hits
